@@ -1,0 +1,25 @@
+//! Shared benchmark fixtures.
+
+use emvolt_cpu::CoreModel;
+use emvolt_isa::{InstructionPool, Isa, Kernel};
+use emvolt_platform::{a72_pdn, VoltageDomain};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// A deterministic 50-instruction ARM kernel.
+pub fn arm_kernel() -> Kernel {
+    let pool = InstructionPool::default_for(Isa::ArmV8);
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    pool.random_kernel(50, &mut rng)
+}
+
+/// A deterministic 50-instruction x86 kernel.
+pub fn x86_kernel() -> Kernel {
+    let pool = InstructionPool::default_for(Isa::X86_64);
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    pool.random_kernel(50, &mut rng)
+}
+
+/// The calibrated A72 domain.
+pub fn a72_domain() -> VoltageDomain {
+    VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9)
+}

@@ -1,0 +1,9 @@
+//! # emvolt-bench
+//!
+//! Criterion benchmarks for the emvolt workspace live in `benches/`; this
+//! library only hosts shared fixtures.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fixtures;

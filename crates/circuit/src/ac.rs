@@ -1,0 +1,286 @@
+//! Small-signal AC (phasor) analysis.
+//!
+//! Used to compute the input impedance of the power-delivery network as
+//! seen from the die (Fig. 1(b) of the paper): a unit AC current is
+//! injected at the load port and the resulting node voltage phasors are
+//! solved at each frequency. All other independent sources are zeroed
+//! (voltage sources shorted, current sources opened), as usual for
+//! small-signal analysis.
+
+use crate::complex::Complex;
+use crate::error::{CircuitError, Result};
+use crate::linalg::Matrix;
+use crate::netlist::{Circuit, ISourceId, NodeId, VSourceId};
+
+/// Which independent source provides the unit AC excitation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcExcitation {
+    /// Unit current phasor through the given current source (flowing from
+    /// its `from` node to its `to` node through the source).
+    Current(ISourceId),
+    /// Unit voltage phasor across the given voltage source.
+    Voltage(VSourceId),
+}
+
+/// Phasor solution at one frequency.
+#[derive(Debug, Clone)]
+pub struct AcSolution {
+    /// Analysis frequency in Hz.
+    pub freq: f64,
+    node_voltages: Vec<Complex>,
+}
+
+impl AcSolution {
+    /// Complex node voltage phasor relative to ground.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the analysed circuit.
+    pub fn voltage(&self, node: NodeId) -> Complex {
+        self.node_voltages[node.index()]
+    }
+}
+
+impl Circuit {
+    /// Solves the phasor network at a single frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive frequencies or a singular system.
+    pub fn ac_solve(&self, excitation: AcExcitation, freq: f64) -> Result<AcSolution> {
+        if freq <= 0.0 || !freq.is_finite() || freq.is_nan() {
+            return Err(CircuitError::InvalidAnalysis {
+                reason: format!("AC analysis requires positive frequency, got {freq}"),
+            });
+        }
+        let omega = 2.0 * std::f64::consts::PI * freq;
+        let n_nodes = self.node_count() - 1;
+        let n_vs = self.vsources.len();
+        let dim = n_nodes + n_vs;
+        let row = |node: usize| -> Option<usize> { node.checked_sub(1) };
+
+        let mut g = Matrix::<Complex>::zeros(dim);
+        let mut b = vec![Complex::ZERO; dim];
+
+        let stamp_admittance = |g: &mut Matrix<Complex>, ra: Option<usize>, rb: Option<usize>, y: Complex| {
+            if let Some(a) = ra {
+                g.stamp(a, a, y);
+            }
+            if let Some(bb) = rb {
+                g.stamp(bb, bb, y);
+            }
+            if let (Some(a), Some(bb)) = (ra, rb) {
+                g.stamp(a, bb, -y);
+                g.stamp(bb, a, -y);
+            }
+        };
+
+        for r in &self.resistors {
+            stamp_admittance(&mut g, row(r.a), row(r.b), Complex::from_real(1.0 / r.ohms));
+        }
+        for c in &self.capacitors {
+            stamp_admittance(&mut g, row(c.a), row(c.b), Complex::new(0.0, omega * c.farads));
+        }
+        for l in &self.inductors {
+            // Y = 1/(j*omega*L) = -j/(omega*L)
+            stamp_admittance(
+                &mut g,
+                row(l.a),
+                row(l.b),
+                Complex::new(0.0, -1.0 / (omega * l.henries)),
+            );
+        }
+        for (k, vs) in self.vsources.iter().enumerate() {
+            let br = n_nodes + k;
+            if let Some(p) = row(vs.pos) {
+                g.stamp(p, br, Complex::ONE);
+                g.stamp(br, p, Complex::ONE);
+            }
+            if let Some(n) = row(vs.neg) {
+                g.stamp(n, br, -Complex::ONE);
+                g.stamp(br, n, -Complex::ONE);
+            }
+            // Zero volts unless this is the excited source.
+            b[br] = match excitation {
+                AcExcitation::Voltage(id) if id.index() == k => Complex::ONE,
+                _ => Complex::ZERO,
+            };
+        }
+        if let AcExcitation::Current(id) = excitation {
+            let is = &self.isources[id.index()];
+            if let Some(rf) = row(is.from) {
+                b[rf] -= Complex::ONE;
+            }
+            if let Some(rt) = row(is.to) {
+                b[rt] += Complex::ONE;
+            }
+        }
+
+        let x = g.solve(&b)?;
+        let mut node_voltages = vec![Complex::ZERO; self.node_count()];
+        node_voltages[1..=n_nodes].copy_from_slice(&x[..n_nodes]);
+        Ok(AcSolution {
+            freq,
+            node_voltages,
+        })
+    }
+
+    /// Solves the phasor network at each frequency in `freqs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-frequency error.
+    pub fn ac_sweep(&self, excitation: AcExcitation, freqs: &[f64]) -> Result<Vec<AcSolution>> {
+        if freqs.is_empty() {
+            return Err(CircuitError::InvalidAnalysis {
+                reason: "empty frequency list".to_owned(),
+            });
+        }
+        freqs
+            .iter()
+            .map(|&f| self.ac_solve(excitation, f))
+            .collect()
+    }
+
+    /// Driving-point impedance of the port defined by current source
+    /// `source`: the source is excited with a unit current phasor and
+    /// `Z(f) = V(from) - V(to)` is returned per frequency.
+    ///
+    /// For a load source wired `current_source(vdd, GROUND, ...)` this is
+    /// exactly the impedance the die sees looking into the PDN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors (empty sweep, singular system).
+    pub fn driving_point_impedance(
+        &self,
+        source: ISourceId,
+        freqs: &[f64],
+    ) -> Result<Vec<(f64, Complex)>> {
+        let is = &self.isources[source.index()];
+        let (from, to) = (NodeId(is.from), NodeId(is.to));
+        let sols = self.ac_sweep(AcExcitation::Current(source), freqs)?;
+        Ok(sols
+            .into_iter()
+            .map(|s| {
+                // The unit excitation extracts current from `from`, so the
+                // driving-point impedance with the passive sign convention
+                // is V(to) - V(from); a lone resistor R yields Z = R + 0j.
+                let z = s.voltage(to) - s.voltage(from);
+                (s.freq, z)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stimulus::Stimulus;
+
+    fn port_circuit() -> (Circuit, ISourceId, NodeId) {
+        let mut c = Circuit::new();
+        let n = c.node("port");
+        let src = c
+            .current_source(n, NodeId::GROUND, Stimulus::Dc(0.0))
+            .unwrap();
+        (c, src, n)
+    }
+
+    #[test]
+    fn resistor_impedance_is_flat() {
+        let (mut c, src, n) = port_circuit();
+        c.resistor(n, NodeId::GROUND, 42.0).unwrap();
+        let z = c
+            .driving_point_impedance(src, &[1e3, 1e6, 1e9])
+            .unwrap();
+        for (_, zi) in z {
+            assert!((zi.norm() - 42.0).abs() < 1e-9);
+            assert!(zi.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn capacitor_impedance_follows_one_over_omega_c() {
+        let (mut c, src, n) = port_circuit();
+        let cap = 1e-9;
+        c.capacitor(n, NodeId::GROUND, cap).unwrap();
+        let f = 1e6;
+        let z = c.driving_point_impedance(src, &[f]).unwrap();
+        let expected = 1.0 / (2.0 * std::f64::consts::PI * f * cap);
+        assert!((z[0].1.norm() - expected).abs() / expected < 1e-9);
+        // Capacitive: negative reactance.
+        assert!(z[0].1.im < 0.0);
+    }
+
+    #[test]
+    fn inductor_impedance_follows_omega_l() {
+        let (mut c, src, n) = port_circuit();
+        let l = 1e-9;
+        c.inductor(n, NodeId::GROUND, l).unwrap();
+        let f = 1e8;
+        let z = c.driving_point_impedance(src, &[f]).unwrap();
+        let expected = 2.0 * std::f64::consts::PI * f * l;
+        assert!((z[0].1.norm() - expected).abs() / expected < 1e-9);
+        // Inductive: positive reactance.
+        assert!(z[0].1.im > 0.0);
+    }
+
+    #[test]
+    fn parallel_lc_peaks_at_resonance() {
+        let (mut c, src, n) = port_circuit();
+        let l = 50e-12;
+        let cap = 100e-9;
+        let mid = c.node("mid");
+        c.inductor(n, mid, l).unwrap();
+        c.resistor(mid, NodeId::GROUND, 1e-3).unwrap();
+        c.capacitor(n, NodeId::GROUND, cap).unwrap();
+        let f_res = 1.0 / (2.0 * std::f64::consts::PI * (l * cap).sqrt());
+        let freqs: Vec<f64> = (1..200).map(|i| f_res * i as f64 / 100.0).collect();
+        let z = c.driving_point_impedance(src, &freqs).unwrap();
+        let (f_peak, _) = z
+            .iter()
+            .max_by(|a, b| a.1.norm().total_cmp(&b.1.norm()))
+            .copied()
+            .unwrap();
+        assert!(
+            (f_peak - f_res).abs() / f_res < 0.03,
+            "peak at {f_peak:.3e}, resonance {f_res:.3e}"
+        );
+    }
+
+    #[test]
+    fn voltage_sources_are_shorted_when_not_excited() {
+        // Port resistor to a VDD rail held by a source: the source acts as
+        // a short at AC, so the port sees R only.
+        let (mut c, src, n) = port_circuit();
+        let vdd = c.node("vdd");
+        c.voltage_source(vdd, NodeId::GROUND, Stimulus::Dc(1.0))
+            .unwrap();
+        c.resistor(n, vdd, 10.0).unwrap();
+        let z = c.driving_point_impedance(src, &[1e6]).unwrap();
+        assert!((z[0].1.norm() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_frequencies() {
+        let (c, src, _) = port_circuit();
+        assert!(c.ac_solve(AcExcitation::Current(src), 0.0).is_err());
+        assert!(c.ac_solve(AcExcitation::Current(src), -1.0).is_err());
+        assert!(c.ac_sweep(AcExcitation::Current(src), &[]).is_err());
+    }
+
+    #[test]
+    fn voltage_excitation_drives_divider() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let mid = c.node("mid");
+        let vs = c
+            .voltage_source(vin, NodeId::GROUND, Stimulus::Dc(0.0))
+            .unwrap();
+        c.resistor(vin, mid, 1.0).unwrap();
+        c.resistor(mid, NodeId::GROUND, 1.0).unwrap();
+        let sol = c.ac_solve(AcExcitation::Voltage(vs), 1e6).unwrap();
+        assert!((sol.voltage(mid).norm() - 0.5).abs() < 1e-9);
+    }
+}

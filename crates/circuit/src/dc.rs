@@ -1,0 +1,216 @@
+//! DC operating-point analysis.
+//!
+//! Capacitors are treated as open circuits and inductors as ideal shorts
+//! (implemented as 0 V sources so their branch currents come out of the
+//! solve directly). The result seeds the transient analysis with a
+//! steady-state initial condition, so a simulation excited by a periodic
+//! load starts from the settled supply voltage rather than from zero.
+
+use crate::error::Result;
+use crate::linalg::Matrix;
+use crate::netlist::{Circuit, InductorId, NodeId, VSourceId};
+
+/// Solution of a DC operating-point analysis.
+#[derive(Debug, Clone)]
+pub struct OperatingPoint {
+    pub(crate) node_voltages: Vec<f64>,
+    pub(crate) vsource_currents: Vec<f64>,
+    pub(crate) inductor_currents: Vec<f64>,
+}
+
+impl OperatingPoint {
+    /// Voltage at `node` relative to ground.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the analysed circuit.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.node_voltages[node.index()]
+    }
+
+    /// Current delivered by voltage source `id` (flowing out of its
+    /// positive terminal through the external circuit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the analysed circuit.
+    pub fn vsource_current(&self, id: VSourceId) -> f64 {
+        self.vsource_currents[id.index()]
+    }
+
+    /// Current through inductor `id`, positive from its `a` to its `b`
+    /// terminal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the analysed circuit.
+    pub fn inductor_current(&self, id: InductorId) -> f64 {
+        self.inductor_currents[id.index()]
+    }
+}
+
+impl Circuit {
+    /// Computes the DC operating point.
+    ///
+    /// All sources take their [`crate::Stimulus::dc_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CircuitError::SingularMatrix`] if the network has a
+    /// floating node once capacitors are opened, or another ill-posed
+    /// topology.
+    pub fn dc_operating_point(&self) -> Result<OperatingPoint> {
+        let n_nodes = self.node_count() - 1; // excluding ground
+        let n_vs = self.vsources.len();
+        let n_ind = self.inductors.len();
+        let dim = n_nodes + n_vs + n_ind;
+
+        // Unknown layout: [node voltages (1..), vsource currents, inductor currents]
+        let mut g = Matrix::<f64>::zeros(dim);
+        let mut b = vec![0.0; dim];
+
+        // Map node index -> matrix row (ground drops out).
+        let row = |node: usize| -> Option<usize> { node.checked_sub(1) };
+
+        for r in &self.resistors {
+            let cond = 1.0 / r.ohms;
+            stamp_conductance(&mut g, row(r.a), row(r.b), cond);
+        }
+        for (k, vs) in self.vsources.iter().enumerate() {
+            let br = n_nodes + k;
+            stamp_branch(&mut g, row(vs.pos), row(vs.neg), br);
+            b[br] = vs.stimulus.dc_value();
+        }
+        for (k, l) in self.inductors.iter().enumerate() {
+            // 0 V source between a and b.
+            let br = n_nodes + n_vs + k;
+            stamp_branch(&mut g, row(l.a), row(l.b), br);
+            b[br] = 0.0;
+        }
+        for is in &self.isources {
+            let i = is.stimulus.dc_value();
+            if let Some(rf) = row(is.from) {
+                b[rf] -= i;
+            }
+            if let Some(rt) = row(is.to) {
+                b[rt] += i;
+            }
+        }
+
+        let x = g.solve(&b)?;
+
+        let mut node_voltages = vec![0.0; self.node_count()];
+        node_voltages[1..=n_nodes].copy_from_slice(&x[..n_nodes]);
+        let vsource_currents = (0..n_vs).map(|k| x[n_nodes + k]).collect();
+        let inductor_currents = (0..n_ind).map(|k| x[n_nodes + n_vs + k]).collect();
+        Ok(OperatingPoint {
+            node_voltages,
+            vsource_currents,
+            inductor_currents,
+        })
+    }
+}
+
+/// Stamps a two-terminal conductance into the nodal block.
+pub(crate) fn stamp_conductance(
+    g: &mut Matrix<f64>,
+    ra: Option<usize>,
+    rb: Option<usize>,
+    cond: f64,
+) {
+    if let Some(a) = ra {
+        g.stamp(a, a, cond);
+    }
+    if let Some(b) = rb {
+        g.stamp(b, b, cond);
+    }
+    if let (Some(a), Some(b)) = (ra, rb) {
+        g.stamp(a, b, -cond);
+        g.stamp(b, a, -cond);
+    }
+}
+
+/// Stamps a branch-current unknown (ideal voltage source topology).
+pub(crate) fn stamp_branch(g: &mut Matrix<f64>, rpos: Option<usize>, rneg: Option<usize>, br: usize) {
+    if let Some(p) = rpos {
+        g.stamp(p, br, 1.0);
+        g.stamp(br, p, 1.0);
+    }
+    if let Some(n) = rneg {
+        g.stamp(n, br, -1.0);
+        g.stamp(br, n, -1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stimulus::Stimulus;
+
+    #[test]
+    fn resistive_divider() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let mid = c.node("mid");
+        let src = c
+            .voltage_source(vin, NodeId::GROUND, Stimulus::Dc(10.0))
+            .unwrap();
+        c.resistor(vin, mid, 3.0).unwrap();
+        c.resistor(mid, NodeId::GROUND, 7.0).unwrap();
+        let op = c.dc_operating_point().unwrap();
+        assert!((op.voltage(mid) - 7.0).abs() < 1e-9);
+        // Source delivers 1 A; MNA convention: branch current flows from
+        // + terminal through the source, so the solved value is -1 A.
+        assert!((op.vsource_current(src) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inductor_acts_as_short_at_dc() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.voltage_source(vin, NodeId::GROUND, Stimulus::Dc(5.0))
+            .unwrap();
+        let l = c.inductor(vin, out, 1e-9).unwrap();
+        c.resistor(out, NodeId::GROUND, 5.0).unwrap();
+        let op = c.dc_operating_point().unwrap();
+        assert!((op.voltage(out) - 5.0).abs() < 1e-9);
+        assert!((op.inductor_current(l) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        let n = c.node("n");
+        c.current_source(NodeId::GROUND, n, Stimulus::Dc(2.0))
+            .unwrap();
+        c.resistor(n, NodeId::GROUND, 4.0).unwrap();
+        let op = c.dc_operating_point().unwrap();
+        assert!((op.voltage(n) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitor_is_open_at_dc() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.voltage_source(vin, NodeId::GROUND, Stimulus::Dc(3.0))
+            .unwrap();
+        c.resistor(vin, out, 1.0).unwrap();
+        // Without this resistor to ground, `out` would float; the cap does
+        // not conduct at DC.
+        c.resistor(out, NodeId::GROUND, 1e9).unwrap();
+        c.capacitor(out, NodeId::GROUND, 1e-6).unwrap();
+        let op = c.dc_operating_point().unwrap();
+        assert!((op.voltage(out) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.resistor(a, b, 1.0).unwrap();
+        assert!(c.dc_operating_point().is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type shared by all analyses in this crate.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CircuitError>;
+
+/// Errors produced while building or analysing a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// The MNA system matrix is singular — typically a floating node, a
+    /// loop of ideal voltage sources, or a cut-set of current sources.
+    SingularMatrix {
+        /// Elimination step at which the zero pivot was found.
+        pivot_index: usize,
+    },
+    /// A component was given a non-positive value where one is required
+    /// (resistance, capacitance, inductance).
+    NonPositiveValue {
+        /// Component kind, e.g. `"resistor"`.
+        component: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A node index referenced by an element does not exist in the netlist.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// An analysis was asked for an invalid configuration (empty frequency
+    /// list, zero time step, zero duration, ...).
+    InvalidAnalysis {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::SingularMatrix { pivot_index } => {
+                write!(f, "singular MNA matrix at pivot {pivot_index} (floating node or ill-posed netlist)")
+            }
+            CircuitError::NonPositiveValue { component, value } => {
+                write!(f, "non-positive {component} value {value}")
+            }
+            CircuitError::UnknownNode { node } => write!(f, "unknown node index {node}"),
+            CircuitError::InvalidAnalysis { reason } => write!(f, "invalid analysis: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CircuitError::SingularMatrix { pivot_index: 3 };
+        assert!(e.to_string().contains("pivot 3"));
+        let e = CircuitError::NonPositiveValue {
+            component: "resistor",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("resistor"));
+        let e = CircuitError::UnknownNode { node: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

@@ -1,0 +1,314 @@
+//! Dense LU factorization with partial pivoting, generic over the scalar
+//! field so a single implementation serves both the real (transient) and
+//! complex (AC phasor) solvers.
+//!
+//! MNA systems for the power-delivery networks in this workspace are tiny
+//! (tens of unknowns), so a dense direct solver is both the simplest and the
+//! fastest appropriate choice; the transient loop factors once and performs
+//! only forward/backward substitution per time step.
+
+use crate::complex::Complex;
+use crate::error::{CircuitError, Result};
+use std::fmt::Debug;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Scalar field usable by the LU solver.
+///
+/// Implemented for `f64` and [`Complex`]. The trait is sealed in spirit —
+/// downstream crates have no reason to implement it — but is left open for
+/// testing convenience.
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Magnitude used for pivot selection and singularity detection.
+    fn pivot_magnitude(self) -> f64;
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn pivot_magnitude(self) -> f64 {
+        self.abs()
+    }
+}
+
+impl Scalar for Complex {
+    fn zero() -> Self {
+        Complex::ZERO
+    }
+    fn one() -> Self {
+        Complex::ONE
+    }
+    fn pivot_magnitude(self) -> f64 {
+        self.norm()
+    }
+}
+
+/// A dense square matrix in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Creates an `n x n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![T::zero(); n * n],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = T::one();
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `value` to entry `(row, col)` — the natural operation for MNA
+    /// stamping.
+    #[inline]
+    pub fn stamp(&mut self, row: usize, col: usize, value: T) {
+        let v = self[(row, col)] + value;
+        self[(row, col)] = v;
+    }
+
+    /// Computes `self * x` for a vector `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.n, "dimension mismatch in mul_vec");
+        let mut y = vec![T::zero(); self.n];
+        for i in 0..self.n {
+            let mut acc = T::zero();
+            for j in 0..self.n {
+                acc = acc + self[(i, j)] * x[j];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Factors the matrix as `P*A = L*U` with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SingularMatrix`] when a pivot smaller than
+    /// an absolute threshold is encountered, which for MNA systems means a
+    /// floating node or an ill-posed netlist.
+    pub fn lu(&self) -> Result<LuFactors<T>> {
+        let n = self.n;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Select pivot row.
+            let mut p = k;
+            let mut best = lu[k * n + k].pivot_magnitude();
+            for r in (k + 1)..n {
+                let mag = lu[r * n + k].pivot_magnitude();
+                if mag > best {
+                    best = mag;
+                    p = r;
+                }
+            }
+            if best < 1e-300 || !best.is_finite() {
+                return Err(CircuitError::SingularMatrix { pivot_index: k });
+            }
+            if p != k {
+                perm.swap(p, k);
+                for c in 0..n {
+                    lu.swap(p * n + c, k * n + c);
+                }
+            }
+            let pivot = lu[k * n + k];
+            for r in (k + 1)..n {
+                let factor = lu[r * n + k] / pivot;
+                lu[r * n + k] = factor;
+                for c in (k + 1)..n {
+                    let upd = lu[r * n + c] - factor * lu[k * n + c];
+                    lu[r * n + c] = upd;
+                }
+            }
+        }
+        Ok(LuFactors { n, lu, perm })
+    }
+
+    /// Convenience: factor and solve in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CircuitError::SingularMatrix`] from the factorization.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>> {
+        Ok(self.lu()?.solve(b))
+    }
+}
+
+impl<T> std::ops::Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        &self.data[r * self.n + c]
+    }
+}
+
+impl<T> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        &mut self.data[r * self.n + c]
+    }
+}
+
+/// The result of [`Matrix::lu`]: a packed LU factorization plus the row
+/// permutation, reusable across many right-hand sides.
+#[derive(Debug, Clone)]
+pub struct LuFactors<T> {
+    n: usize,
+    lu: Vec<T>,
+    perm: Vec<usize>,
+}
+
+impl<T: Scalar> LuFactors<T> {
+    /// Solves `A*x = b` using the stored factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factored dimension.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        assert_eq!(b.len(), self.n, "dimension mismatch in solve");
+        let n = self.n;
+        // Apply permutation.
+        let mut x: Vec<T> = (0..n).map(|i| b[self.perm[i]]).collect();
+        // Forward substitution (L has implicit unit diagonal).
+        for i in 1..n {
+            let mut acc = x[i];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc = acc - self.lu[i * n + j] * xj;
+            }
+            x[i] = acc;
+        }
+        // Backward substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc = acc - self.lu[i * n + j] * xj;
+            }
+            x[i] = acc / self.lu[i * n + i];
+        }
+        x
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_real_system() {
+        // [2 1; 1 3] x = [3; 5]  =>  x = [0.8, 1.4]
+        let mut a = Matrix::zeros(2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 3.0;
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut a = Matrix::zeros(2);
+        a[(0, 0)] = 0.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 0.0;
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let mut a = Matrix::zeros(2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 4.0;
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(CircuitError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn complex_system() {
+        // (1+j) * x = 2  => x = 1-j
+        let mut a = Matrix::zeros(1);
+        a[(0, 0)] = Complex::new(1.0, 1.0);
+        let x = a.solve(&[Complex::new(2.0, 0.0)]).unwrap();
+        assert!((x[0] - Complex::new(1.0, -1.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_small_for_random_like_system() {
+        let n = 8;
+        let mut a = Matrix::zeros(n);
+        // Deterministic pseudo-random fill (LCG) with diagonal dominance.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 4.0;
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let x = a.solve(&b).unwrap();
+        let r = a.mul_vec(&x);
+        for i in 0..n {
+            assert!((r[i] - b[i]).abs() < 1e-9, "residual too large at {i}");
+        }
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::<f64>::identity(5);
+        let b = vec![1.0, -2.0, 3.0, -4.0, 5.0];
+        assert_eq!(a.solve(&b).unwrap(), b);
+    }
+}

@@ -1,0 +1,417 @@
+//! Fixed-step trapezoidal transient analysis.
+//!
+//! The trapezoidal rule is A-stable and preserves the energy of LC tanks —
+//! essential here, because the whole point of the simulation is resonant
+//! ringing of the power-delivery network; a dissipative integrator (e.g.
+//! backward Euler) would artificially damp the very oscillations the paper
+//! measures. The system matrix is constant for a fixed step, so it is
+//! LU-factored once and only the right-hand side is rebuilt each step.
+
+use crate::dc::{stamp_branch, stamp_conductance};
+use crate::error::{CircuitError, Result};
+use crate::linalg::Matrix;
+use crate::netlist::{Circuit, InductorId, NodeId};
+use crate::trace::Trace;
+
+/// Configuration for a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientConfig {
+    /// Integration step in seconds.
+    pub dt: f64,
+    /// Total simulated duration in seconds.
+    pub duration: f64,
+    /// Time before which samples are discarded (settling/warm-up). The
+    /// returned traces start at this time.
+    pub record_from: f64,
+}
+
+impl TransientConfig {
+    /// Creates a configuration recording the entire run.
+    pub fn new(dt: f64, duration: f64) -> Self {
+        TransientConfig {
+            dt,
+            duration,
+            record_from: 0.0,
+        }
+    }
+
+    /// Discards the first `warmup` seconds from the recorded traces.
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: f64) -> Self {
+        self.record_from = warmup;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.dt.is_nan() || self.dt <= 0.0 || !self.dt.is_finite() {
+            return Err(CircuitError::InvalidAnalysis {
+                reason: format!("non-positive time step {}", self.dt),
+            });
+        }
+        if self.duration.is_nan() || self.duration <= 0.0 || self.duration < self.dt {
+            return Err(CircuitError::InvalidAnalysis {
+                reason: format!("duration {} shorter than one step", self.duration),
+            });
+        }
+        if self.record_from < 0.0 || self.record_from >= self.duration {
+            return Err(CircuitError::InvalidAnalysis {
+                reason: format!(
+                    "record_from {} outside (0, duration)",
+                    self.record_from
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a transient analysis: one [`Trace`] per node voltage and per
+/// inductor current.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    dt: f64,
+    t0: f64,
+    node_voltages: Vec<Vec<f64>>,
+    inductor_currents: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// Voltage waveform at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the analysed circuit.
+    pub fn voltage(&self, node: NodeId) -> Trace {
+        Trace::with_start(self.dt, self.t0, self.node_voltages[node.index()].clone())
+    }
+
+    /// Current waveform through inductor `id` (positive `a -> b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the analysed circuit.
+    pub fn inductor_current(&self, id: InductorId) -> Trace {
+        Trace::with_start(self.dt, self.t0, self.inductor_currents[id.index()].clone())
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.node_voltages.first().map_or(0, Vec::len)
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Circuit {
+    /// Runs a trapezoidal transient analysis starting from the DC operating
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid configurations or an ill-posed netlist
+    /// (singular MNA matrix).
+    pub fn transient(&self, config: &TransientConfig) -> Result<TransientResult> {
+        config.validate()?;
+        let h = config.dt;
+        let n_nodes = self.node_count() - 1;
+        let n_vs = self.vsources.len();
+        let dim = n_nodes + n_vs;
+        let row = |node: usize| -> Option<usize> { node.checked_sub(1) };
+
+        // --- Constant system matrix -------------------------------------
+        let mut g = Matrix::<f64>::zeros(dim);
+        for r in &self.resistors {
+            stamp_conductance(&mut g, row(r.a), row(r.b), 1.0 / r.ohms);
+        }
+        // Trapezoidal companion conductances.
+        let cap_g: Vec<f64> = self.capacitors.iter().map(|c| 2.0 * c.farads / h).collect();
+        for (c, &gc) in self.capacitors.iter().zip(&cap_g) {
+            stamp_conductance(&mut g, row(c.a), row(c.b), gc);
+        }
+        let ind_g: Vec<f64> = self.inductors.iter().map(|l| h / (2.0 * l.henries)).collect();
+        for (l, &gl) in self.inductors.iter().zip(&ind_g) {
+            stamp_conductance(&mut g, row(l.a), row(l.b), gl);
+        }
+        for (k, vs) in self.vsources.iter().enumerate() {
+            stamp_branch(&mut g, row(vs.pos), row(vs.neg), n_nodes + k);
+        }
+        let lu = g.lu()?;
+
+        // --- Initial conditions from the DC operating point --------------
+        let op = self.dc_operating_point()?;
+        let mut v: Vec<f64> = op.node_voltages.clone(); // indexed by raw node id
+        // Capacitor state: (voltage across, current through).
+        let mut cap_v: Vec<f64> = self
+            .capacitors
+            .iter()
+            .map(|c| v[c.a] - v[c.b])
+            .collect();
+        let mut cap_i: Vec<f64> = vec![0.0; self.capacitors.len()];
+        let mut ind_i: Vec<f64> = op.inductor_currents.clone();
+        let mut ind_v: Vec<f64> = vec![0.0; self.inductors.len()];
+
+        let n_steps = (config.duration / h).round() as usize;
+        let record_start_idx = (config.record_from / h).ceil() as usize;
+        let capacity = n_steps.saturating_sub(record_start_idx) + 1;
+
+        let mut node_voltages: Vec<Vec<f64>> =
+            vec![Vec::with_capacity(capacity); self.node_count()];
+        let mut inductor_currents: Vec<Vec<f64>> =
+            vec![Vec::with_capacity(capacity); self.inductors.len()];
+
+        let record = |v: &[f64],
+                          ind_i: &[f64],
+                          node_voltages: &mut Vec<Vec<f64>>,
+                          inductor_currents: &mut Vec<Vec<f64>>| {
+            for (store, &val) in node_voltages.iter_mut().zip(v.iter()) {
+                store.push(val);
+            }
+            for (store, &val) in inductor_currents.iter_mut().zip(ind_i.iter()) {
+                store.push(val);
+            }
+        };
+
+        if record_start_idx == 0 {
+            record(&v, &ind_i, &mut node_voltages, &mut inductor_currents);
+        }
+
+        let mut b = vec![0.0; dim];
+        for step in 1..=n_steps {
+            let t_next = step as f64 * h;
+            b.iter_mut().for_each(|x| *x = 0.0);
+
+            // Capacitor history sources: i_{n+1} = g*v_{n+1} - (g*v_n + i_n).
+            for ((c, &gc), (&vc, &ic)) in self
+                .capacitors
+                .iter()
+                .zip(&cap_g)
+                .zip(cap_v.iter().zip(cap_i.iter()))
+            {
+                let hist = gc * vc + ic;
+                if let Some(a) = row(c.a) {
+                    b[a] += hist;
+                }
+                if let Some(bb) = row(c.b) {
+                    b[bb] -= hist;
+                }
+            }
+            // Inductor history sources: i_{n+1} = g*v_{n+1} + (i_n + g*v_n).
+            for ((l, &gl), (&vl, &il)) in self
+                .inductors
+                .iter()
+                .zip(&ind_g)
+                .zip(ind_v.iter().zip(ind_i.iter()))
+            {
+                let hist = il + gl * vl;
+                if let Some(a) = row(l.a) {
+                    b[a] -= hist;
+                }
+                if let Some(bb) = row(l.b) {
+                    b[bb] += hist;
+                }
+            }
+            // Independent sources evaluated at the new time point.
+            for is in &self.isources {
+                let i = is.stimulus.value_at(t_next);
+                if let Some(rf) = row(is.from) {
+                    b[rf] -= i;
+                }
+                if let Some(rt) = row(is.to) {
+                    b[rt] += i;
+                }
+            }
+            for (k, vs) in self.vsources.iter().enumerate() {
+                b[n_nodes + k] = vs.stimulus.value_at(t_next);
+            }
+
+            let x = lu.solve(&b);
+            v[1..=n_nodes].copy_from_slice(&x[..n_nodes]);
+
+            // Update element states.
+            for (k, (c, &gc)) in self.capacitors.iter().zip(&cap_g).enumerate() {
+                let vc_new = v[c.a] - v[c.b];
+                let hist = gc * cap_v[k] + cap_i[k];
+                cap_i[k] = gc * vc_new - hist;
+                cap_v[k] = vc_new;
+            }
+            for (k, (l, &gl)) in self.inductors.iter().zip(&ind_g).enumerate() {
+                let vl_new = v[l.a] - v[l.b];
+                let hist = ind_i[k] + gl * ind_v[k];
+                ind_i[k] = gl * vl_new + hist;
+                ind_v[k] = vl_new;
+            }
+
+            if step >= record_start_idx {
+                record(&v, &ind_i, &mut node_voltages, &mut inductor_currents);
+            }
+        }
+
+        Ok(TransientResult {
+            dt: h,
+            t0: record_start_idx as f64 * h,
+            node_voltages,
+            inductor_currents,
+        })
+    }
+}
+
+/// Convenience re-exports for transient consumers.
+pub use crate::trace::Trace as TransientTrace;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stimulus::Stimulus;
+
+    /// RC charge curve: v(t) = V*(1 - exp(-t/RC)).
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let r = 1_000.0;
+        let cap = 1e-9;
+        let tau = r * cap;
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.voltage_source(
+            vin,
+            NodeId::GROUND,
+            Stimulus::Step {
+                t0: 0.0,
+                before: 0.0,
+                after: 1.0,
+            },
+        )
+        .unwrap();
+        c.resistor(vin, out, r).unwrap();
+        c.capacitor(out, NodeId::GROUND, cap).unwrap();
+
+        let cfg = TransientConfig::new(tau / 200.0, 5.0 * tau);
+        let res = c.transient(&cfg).unwrap();
+        let trace = res.voltage(out);
+        for (t, v) in trace.iter().skip(1) {
+            let expected = 1.0 - (-t / tau).exp();
+            assert!(
+                (v - expected).abs() < 5e-3,
+                "t={t:.3e}: got {v}, expected {expected}"
+            );
+        }
+    }
+
+    /// Undamped LC tank rings at f = 1/(2*pi*sqrt(LC)).
+    #[test]
+    fn lc_tank_rings_at_resonance() {
+        let l: f64 = 50e-12; // 50 pH
+        let cap = 100e-9; // 100 nF  => f ~ 71.2 MHz
+        let f_expected = 1.0 / (2.0 * std::f64::consts::PI * (l * cap).sqrt());
+
+        let mut c = Circuit::new();
+        let n = c.node("tank");
+        c.inductor(n, NodeId::GROUND, l).unwrap();
+        c.capacitor(n, NodeId::GROUND, cap).unwrap();
+        // Small damping resistor so the DC operating point is well-posed.
+        c.resistor(n, NodeId::GROUND, 1e6).unwrap();
+        // Kick the tank with a current step.
+        c.current_source(
+            NodeId::GROUND,
+            n,
+            Stimulus::Step {
+                t0: 0.0,
+                before: 0.0,
+                after: 0.1,
+            },
+        )
+        .unwrap();
+
+        let period = 1.0 / f_expected;
+        let cfg = TransientConfig::new(period / 256.0, 20.0 * period);
+        let res = c.transient(&cfg).unwrap();
+        let trace = res.voltage(n);
+
+        // Count zero crossings of (v - mean) to estimate the frequency.
+        let mean = trace.mean();
+        let samples = trace.samples();
+        let mut crossings = 0usize;
+        for w in samples.windows(2) {
+            if (w[0] - mean) * (w[1] - mean) < 0.0 {
+                crossings += 1;
+            }
+        }
+        let measured_f = crossings as f64 / 2.0 / trace.duration();
+        assert!(
+            (measured_f - f_expected).abs() / f_expected < 0.02,
+            "measured {measured_f:.3e}, expected {f_expected:.3e}"
+        );
+    }
+
+    /// Trapezoidal integration must not pump energy into a passive network.
+    #[test]
+    fn damped_rlc_decays() {
+        let mut c = Circuit::new();
+        let n = c.node("tank");
+        let mid = c.node("mid");
+        c.inductor(n, mid, 50e-12).unwrap();
+        c.resistor(mid, NodeId::GROUND, 0.05).unwrap();
+        c.capacitor(n, NodeId::GROUND, 100e-9).unwrap();
+        c.resistor(n, NodeId::GROUND, 1e6).unwrap();
+        c.current_source(
+            NodeId::GROUND,
+            n,
+            Stimulus::Step {
+                t0: 0.0,
+                before: 0.0,
+                after: 1.0,
+            },
+        )
+        .unwrap();
+        let cfg = TransientConfig::new(0.2e-9, 3e-6);
+        let res = c.transient(&cfg).unwrap();
+        let trace = res.voltage(n);
+        let first_half = trace.window(0.0, 1.5e-6);
+        let second_half = trace.window(1.5e-6, 3e-6);
+        assert!(second_half.peak_to_peak() < first_half.peak_to_peak());
+        assert!(trace.max().abs() < 10.0, "unbounded growth detected");
+    }
+
+    #[test]
+    fn warmup_discards_early_samples() {
+        let mut c = Circuit::new();
+        let n = c.node("n");
+        c.resistor(n, NodeId::GROUND, 1.0).unwrap();
+        c.current_source(NodeId::GROUND, n, Stimulus::Dc(1.0)).unwrap();
+        let cfg = TransientConfig::new(1e-9, 100e-9).with_warmup(50e-9);
+        let res = c.transient(&cfg).unwrap();
+        let trace = res.voltage(n);
+        assert!(trace.start_time() >= 50e-9);
+        assert!(trace.len() <= 52);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = Circuit::new();
+        let n = c.node("n");
+        c.resistor(n, NodeId::GROUND, 1.0).unwrap();
+        assert!(c.transient(&TransientConfig::new(0.0, 1.0)).is_err());
+        assert!(c.transient(&TransientConfig::new(1.0, 0.5)).is_err());
+        let bad = TransientConfig::new(1e-9, 1e-6).with_warmup(2e-6);
+        assert!(c.transient(&bad).is_err());
+    }
+
+    #[test]
+    fn inductor_current_is_recorded() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.voltage_source(vin, NodeId::GROUND, Stimulus::Dc(1.0)).unwrap();
+        let l = c.inductor(vin, out, 1e-9).unwrap();
+        c.resistor(out, NodeId::GROUND, 1.0).unwrap();
+        let cfg = TransientConfig::new(0.05e-9, 50e-9);
+        let res = c.transient(&cfg).unwrap();
+        let i = res.inductor_current(l);
+        // Settles to 1 A through the 1 ohm resistor.
+        let tail = i.window(40e-9, 50e-9);
+        assert!((tail.mean() - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,126 @@
+//! High-level façade: one object that characterizes a voltage domain
+//! end-to-end with the EM methodology.
+
+use crate::fast_sweep::{fast_resonance_sweep, FastSweepConfig, FastSweepResult};
+use crate::ga_virus::{generate_em_virus, Virus, VirusGenConfig};
+use crate::report::{analyze_virus, VirusReport};
+use emvolt_platform::{DomainError, EmBench, VoltageDomain};
+use emvolt_vmin::{FailureModel, VminConfig};
+
+/// An EM-based characterization session for one voltage domain — the
+/// paper's complete flow: find the resonance quickly, evolve a virus,
+/// quantify the margin.
+#[derive(Debug)]
+pub struct Characterization {
+    domain: VoltageDomain,
+    bench: EmBench,
+}
+
+impl Characterization {
+    /// Aims the EM rig at `domain` (seed controls measurement noise).
+    pub fn new(domain: VoltageDomain, seed: u64) -> Self {
+        Characterization {
+            domain,
+            bench: EmBench::new(seed),
+        }
+    }
+
+    /// The domain under characterization.
+    pub fn domain(&self) -> &VoltageDomain {
+        &self.domain
+    }
+
+    /// Mutable access (power gating, DVFS) between steps.
+    pub fn domain_mut(&mut self) -> &mut VoltageDomain {
+        &mut self.domain
+    }
+
+    /// §5.3: fast loop-frequency sweep; returns the resonance estimate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn find_resonance_fast(&mut self) -> Result<FastSweepResult, DomainError> {
+        let cfg = FastSweepConfig::for_domain(&self.domain);
+        fast_resonance_sweep(&self.domain, &mut self.bench, &cfg)
+    }
+
+    /// §5.1: EM-driven GA virus generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn generate_virus(
+        &mut self,
+        name: &str,
+        config: &VirusGenConfig,
+    ) -> Result<Virus, DomainError> {
+        generate_em_virus(name, &self.domain, &mut self.bench, config)
+    }
+
+    /// §5.2 + Table 2: V_MIN and metrics for a virus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn report(
+        &self,
+        virus: &Virus,
+        failure: &FailureModel,
+        vmin_cfg: &VminConfig,
+    ) -> Result<VirusReport, DomainError> {
+        analyze_virus(
+            &virus.name,
+            &self.domain,
+            &virus.kernel,
+            failure,
+            vmin_cfg,
+            &emvolt_platform::RunConfig::fast(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emvolt_cpu::CoreModel;
+    use emvolt_ga::GaConfig;
+    use emvolt_platform::a72_pdn;
+
+    #[test]
+    fn full_flow_smoke_test() {
+        let domain = emvolt_platform::VoltageDomain::new(
+            "A72",
+            CoreModel::cortex_a72(),
+            a72_pdn(),
+            1.2e9,
+        );
+        let mut session = Characterization::new(domain, 9);
+        let sweep = session.find_resonance_fast().unwrap();
+        assert!(sweep.resonance_hz > 40e6 && sweep.resonance_hz < 120e6);
+
+        let cfg = VirusGenConfig {
+            ga: GaConfig {
+                population: 6,
+                generations: 4,
+                ..GaConfig::default()
+            },
+            kernel_len: 16,
+            samples_per_individual: 2,
+            ..VirusGenConfig::default()
+        };
+        let virus = session.generate_virus("smoke", &cfg).unwrap();
+        let report = session
+            .report(
+                &virus,
+                &FailureModel::juno_a72(),
+                &VminConfig {
+                    trials: 2,
+                    golden_iterations: 30,
+                    ..VminConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.loop_instructions, 16);
+    }
+}

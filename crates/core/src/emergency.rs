@@ -1,0 +1,127 @@
+//! Voltage-emergency analysis.
+//!
+//! A *voltage emergency* (§1 of the paper, after Reddi et al.) is an
+//! excursion of the die voltage below a safety threshold. Beyond the
+//! single worst droop that V_MIN testing keys on, the emergency *rate*
+//! at a given depth characterizes how persistently a workload stresses
+//! the margin — resonant viruses produce quasi-periodic emergencies at
+//! the PDN frequency, while benchmarks produce rare isolated ones.
+
+use emvolt_inst::{Edge, Trigger};
+use emvolt_platform::DomainRun;
+
+/// Emergency statistics for one run at one threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmergencyStats {
+    /// Threshold used, in volts below the supply.
+    pub depth_v: f64,
+    /// Number of distinct threshold crossings in the observed window.
+    pub events: usize,
+    /// Events per second of observed execution.
+    pub rate_hz: f64,
+    /// Deepest excursion observed, in volts below the supply.
+    pub worst_droop_v: f64,
+}
+
+/// Counts emergencies: excursions of V_DIE below
+/// `supply - depth_below_supply`.
+pub fn emergency_stats(run: &DomainRun, depth_below_supply: f64) -> EmergencyStats {
+    let trigger = Trigger {
+        level_v: run.supply_v - depth_below_supply,
+        edge: Edge::Falling,
+        pretrigger: 0,
+        capture: 0,
+    };
+    let events = trigger.count_events(&run.v_die);
+    let duration = run.v_die.duration().max(f64::MIN_POSITIVE);
+    EmergencyStats {
+        depth_v: depth_below_supply,
+        events,
+        rate_hz: events as f64 / duration,
+        worst_droop_v: run.max_droop(),
+    }
+}
+
+/// Emergency counts across a ladder of threshold depths — the
+/// "emergencies versus margin" profile that tells a designer how much
+/// guardband buys how much quiet.
+pub fn emergency_profile(run: &DomainRun, depths_v: &[f64]) -> Vec<EmergencyStats> {
+    depths_v
+        .iter()
+        .map(|&d| emergency_stats(run, d))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emvolt_cpu::CoreModel;
+    use emvolt_isa::kernels::resonant_stress_kernel;
+    use emvolt_isa::Isa;
+    use emvolt_platform::{a72_pdn, spec2006_suite, RunConfig, VoltageDomain};
+
+    fn a72() -> VoltageDomain {
+        VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9)
+    }
+
+    #[test]
+    fn resonant_virus_has_periodic_emergencies() {
+        let d = a72();
+        let cfg = RunConfig::fast();
+        let run = d
+            .run(&resonant_stress_kernel(Isa::ArmV8, 12, 17), 2, &cfg)
+            .unwrap();
+        // At a shallow threshold the resonant oscillation crosses nearly
+        // every period: tens of MHz of emergency rate.
+        let stats = emergency_stats(&run, 0.02);
+        assert!(stats.events > 20, "only {} events", stats.events);
+        assert!(
+            stats.rate_hz > 5e6,
+            "resonant emergency rate {} Hz",
+            stats.rate_hz
+        );
+    }
+
+    #[test]
+    fn benchmark_emergencies_are_rarer_than_virus_ones() {
+        let d = a72();
+        let cfg = RunConfig::fast();
+        let suite = spec2006_suite(Isa::ArmV8);
+        let gcc = suite.iter().find(|w| w.name == "gcc").expect("gcc exists");
+        let run_gcc = d.run(&gcc.kernel, 2, &cfg).unwrap();
+        let run_virus = d
+            .run(&resonant_stress_kernel(Isa::ArmV8, 12, 17), 2, &cfg)
+            .unwrap();
+        let depth = 0.025;
+        let s_gcc = emergency_stats(&run_gcc, depth);
+        let s_virus = emergency_stats(&run_virus, depth);
+        assert!(
+            s_virus.events > 4 * s_gcc.events.max(1),
+            "virus {} vs gcc {}",
+            s_virus.events,
+            s_gcc.events
+        );
+    }
+
+    #[test]
+    fn profile_is_monotone_in_depth() {
+        let d = a72();
+        let run = d
+            .run(
+                &resonant_stress_kernel(Isa::ArmV8, 12, 17),
+                2,
+                &RunConfig::fast(),
+            )
+            .unwrap();
+        let profile = emergency_profile(&run, &[0.01, 0.02, 0.03, 0.05, 0.09]);
+        for w in profile.windows(2) {
+            assert!(
+                w[1].events <= w[0].events,
+                "deeper thresholds must see fewer events: {profile:?}"
+            );
+        }
+        // Beyond the worst droop there are no events at all.
+        let beyond = emergency_stats(&run, run.max_droop() + 0.005);
+        assert_eq!(beyond.events, 0);
+    }
+}

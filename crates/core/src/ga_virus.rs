@@ -1,0 +1,358 @@
+//! EM-amplitude-driven dI/dt virus generation (§3, §5.1).
+//!
+//! A GA evolves 50-instruction loop bodies; each individual is executed
+//! on the target domain and its fitness is the spectrum-analyzer metric —
+//! the mean root square of 30 max-amplitude samples in the 50–200 MHz
+//! band. No voltage probe is involved: this is the paper's central
+//! zero-overhead characterization flow. A voltage-feedback variant
+//! (OC-DSO / Kelvin-pad driven, used by the paper for validation) is also
+//! provided.
+
+use emvolt_ga::{GaConfig, GaEngine, KernelRepresentation};
+use emvolt_inst::Oscilloscope;
+use emvolt_isa::{InstructionPool, Kernel};
+use emvolt_platform::{
+    DomainError, DomainRun, EmBench, RunConfig, SessionClock, VoltageDomain,
+    INDIVIDUAL_MEASUREMENT_SECONDS, INDIVIDUAL_OVERHEAD_SECONDS, RESONANCE_BAND,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which scope statistic drives the voltage-feedback GA (§3.1(b): "the
+/// target metric is either maximum voltage droop or peak to peak").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VoltageMetric {
+    /// Maximise the worst excursion below nominal.
+    #[default]
+    MaxDroop,
+    /// Maximise the peak-to-peak voltage amplitude.
+    PeakToPeak,
+}
+
+/// Configuration for a virus-generation campaign.
+#[derive(Debug, Clone)]
+pub struct VirusGenConfig {
+    /// GA engine parameters (population 50, 60 generations by default).
+    pub ga: GaConfig,
+    /// Instructions per individual (50 in the paper, Table 2).
+    pub kernel_len: usize,
+    /// Cores loaded with each individual during measurement.
+    pub loaded_cores: usize,
+    /// Spectrum samples per individual (30 in the paper).
+    pub samples_per_individual: usize,
+    /// Search band in Hz; defaults to the paper's 50–200 MHz.
+    pub band: (f64, f64),
+    /// Scope statistic used by the voltage-feedback variant.
+    pub voltage_metric: VoltageMetric,
+    /// Physics fidelity per run.
+    pub run: RunConfig,
+}
+
+impl Default for VirusGenConfig {
+    fn default() -> Self {
+        VirusGenConfig {
+            ga: GaConfig::default(),
+            kernel_len: 50,
+            loaded_cores: 1,
+            samples_per_individual: 30,
+            band: RESONANCE_BAND,
+            voltage_metric: VoltageMetric::default(),
+            run: RunConfig::fast(),
+        }
+    }
+}
+
+/// Per-generation record of the fittest individual (the series plotted in
+/// Figs. 7, 12 and 17).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationRecord {
+    /// Generation index.
+    pub index: usize,
+    /// Best fitness: EM metric in dBm (or droop in volts for the
+    /// voltage-driven variant).
+    pub best_fitness: f64,
+    /// Mean fitness of the generation.
+    pub mean_fitness: f64,
+    /// Dominant frequency of the strongest individual, Hz.
+    pub dominant_hz: f64,
+    /// Maximum droop of the strongest individual in volts, when measured
+    /// (the paper re-runs each generation's best against the OC-DSO).
+    pub droop_v: Option<f64>,
+}
+
+/// The product of a virus-generation campaign.
+#[derive(Debug, Clone)]
+pub struct Virus {
+    /// Name tag, e.g. `"a72em"`.
+    pub name: String,
+    /// The winning kernel.
+    pub kernel: Kernel,
+    /// Its final fitness (dBm for EM-driven, volts for voltage-driven).
+    pub fitness: f64,
+    /// Dominant frequency of the winner, Hz.
+    pub dominant_hz: f64,
+    /// Per-generation progression.
+    pub history: Vec<GenerationRecord>,
+    /// The fittest kernel of each generation (re-run by the paper against
+    /// the OC-DSO to produce the droop series of Fig. 7).
+    pub generation_best: Vec<Kernel>,
+    /// Simulated wall-clock the physical campaign would have taken.
+    pub campaign: SessionClock,
+}
+
+/// Runs the EM-driven GA (the paper's §5.1 flow) on `domain`.
+///
+/// # Errors
+///
+/// Returns the first simulation error encountered; individuals that fail
+/// to simulate (e.g. exotic kernels hitting the cycle cap) are scored at
+/// the noise floor instead of aborting the campaign, so errors surface
+/// only from the final re-measurement.
+pub fn generate_em_virus(
+    name: &str,
+    domain: &VoltageDomain,
+    bench: &mut EmBench,
+    config: &VirusGenConfig,
+) -> Result<Virus, DomainError> {
+    let pool = InstructionPool::default_for(domain.core_model().isa);
+    let repr = KernelRepresentation::new(pool, config.kernel_len);
+    let mut engine = GaEngine::new(repr, config.ga.clone());
+    let mut clock = SessionClock::new();
+
+    let result = {
+        let bench_ref: &mut EmBench = bench;
+        let clock_ref = &mut clock;
+        let mut fitness = |kernel: &Kernel| -> f64 {
+            // 0.6 s per spectrum sample plus orchestration overhead (the
+            // paper's 30-sample measurement costs ~18 s).
+            clock_ref.advance(
+                config.samples_per_individual as f64 * INDIVIDUAL_MEASUREMENT_SECONDS / 30.0
+                    + INDIVIDUAL_OVERHEAD_SECONDS,
+            );
+            match domain.run(kernel, config.loaded_cores, &config.run) {
+                Ok(run) => {
+                    bench_ref
+                        .measure_in_band(
+                            &run,
+                            config.band.0,
+                            config.band.1,
+                            config.samples_per_individual,
+                        )
+                        .metric_dbm
+                }
+                Err(_) => -200.0,
+            }
+        };
+        engine.run(&mut fitness, |_| {})
+    };
+
+    // Re-measure each generation's best to record its dominant frequency
+    // (the paper reads this off the analyzer marker per generation).
+    let mut dominant_of_best = Vec::with_capacity(result.generation_best.len());
+    for k in &result.generation_best {
+        let run = domain.run(k, config.loaded_cores, &config.run)?;
+        let reading = bench.measure_in_band(&run, config.band.0, config.band.1, 5);
+        dominant_of_best.push(reading.dominant_hz);
+    }
+
+    let history = result
+        .history
+        .iter()
+        .zip(&dominant_of_best)
+        .map(|(s, &dom)| GenerationRecord {
+            index: s.index,
+            best_fitness: s.best_fitness,
+            mean_fitness: s.mean_fitness,
+            dominant_hz: dom,
+            droop_v: None,
+        })
+        .collect();
+
+    let final_run = domain.run(&result.best, config.loaded_cores, &config.run)?;
+    let final_reading =
+        bench.measure_in_band(&final_run, config.band.0, config.band.1, config.samples_per_individual);
+
+    Ok(Virus {
+        name: name.to_owned(),
+        kernel: result.best,
+        fitness: result.best_fitness,
+        dominant_hz: final_reading.dominant_hz,
+        history,
+        generation_best: result.generation_best,
+        campaign: clock,
+    })
+}
+
+/// Voltage-feedback GA (the paper's validation baseline): fitness is the
+/// maximum voltage droop captured by a scope on the die rail (OC-DSO on
+/// the Juno, Kelvin pads + bench scope on the AMD).
+///
+/// # Errors
+///
+/// As for [`generate_em_virus`].
+pub fn generate_voltage_virus(
+    name: &str,
+    domain: &VoltageDomain,
+    scope: &Oscilloscope,
+    config: &VirusGenConfig,
+    scope_seed: u64,
+) -> Result<Virus, DomainError> {
+    let pool = InstructionPool::default_for(domain.core_model().isa);
+    let repr = KernelRepresentation::new(pool, config.kernel_len);
+    let mut engine = GaEngine::new(repr, config.ga.clone());
+    let mut clock = SessionClock::new();
+    let mut rng = StdRng::seed_from_u64(scope_seed);
+
+    let result = {
+        let clock_ref = &mut clock;
+        let rng_ref = &mut rng;
+        let mut fitness = |kernel: &Kernel| -> f64 {
+            clock_ref.advance(INDIVIDUAL_OVERHEAD_SECONDS + 2.0);
+            match domain.run(kernel, config.loaded_cores, &config.run) {
+                Ok(run) => {
+                    let shot = scope.capture(&run.v_die, rng_ref);
+                    match config.voltage_metric {
+                        VoltageMetric::MaxDroop => shot.max_droop_below(domain.voltage()),
+                        VoltageMetric::PeakToPeak => shot.peak_to_peak(),
+                    }
+                }
+                Err(_) => 0.0,
+            }
+        };
+        engine.run(&mut fitness, |_| {})
+    };
+
+    let history = result
+        .history
+        .iter()
+        .map(|s| GenerationRecord {
+            index: s.index,
+            best_fitness: s.best_fitness,
+            mean_fitness: s.mean_fitness,
+            dominant_hz: 0.0,
+            droop_v: Some(s.best_fitness),
+        })
+        .collect();
+
+    let final_run = domain.run(&result.best, config.loaded_cores, &config.run)?;
+    let dominant = dominant_from_run(&final_run);
+    Ok(Virus {
+        name: name.to_owned(),
+        kernel: result.best,
+        fitness: result.best_fitness,
+        dominant_hz: dominant,
+        history,
+        generation_best: result.generation_best,
+        campaign: clock,
+    })
+}
+
+/// Re-measures each generation-best kernel's droop through a scope —
+/// the paper's Fig. 7 right axis is produced exactly this way after the
+/// EM-driven search completes.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn annotate_droop(
+    virus: &mut Virus,
+    domain: &VoltageDomain,
+    scope: &Oscilloscope,
+    config: &VirusGenConfig,
+    scope_seed: u64,
+) -> Result<(), DomainError> {
+    let mut rng = StdRng::seed_from_u64(scope_seed);
+    let kernels = virus.generation_best.clone();
+    for (record, kernel) in virus.history.iter_mut().zip(&kernels) {
+        let run = domain.run(kernel, config.loaded_cores, &config.run)?;
+        let shot = scope.capture(&run.v_die, &mut rng);
+        record.droop_v = Some(shot.max_droop_below(domain.voltage()));
+    }
+    Ok(())
+}
+
+/// Dominant frequency straight from the die-current spectrum (no
+/// analyzer noise) — used where an exact value is needed for reporting.
+pub fn dominant_from_run(run: &DomainRun) -> f64 {
+    use emvolt_dsp::{Spectrum, Window};
+    let spec = Spectrum::of_trace(&run.i_die, Window::Hann);
+    spec.peak_in_band(RESONANCE_BAND.0, RESONANCE_BAND.1)
+        .map(|(f, _)| f)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emvolt_cpu::CoreModel;
+    use emvolt_platform::a72_pdn;
+
+    fn small_config() -> VirusGenConfig {
+        VirusGenConfig {
+            ga: GaConfig {
+                population: 8,
+                generations: 6,
+                ..GaConfig::default()
+            },
+            kernel_len: 20,
+            samples_per_individual: 3,
+            ..VirusGenConfig::default()
+        }
+    }
+
+    fn a72() -> VoltageDomain {
+        VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9)
+    }
+
+    #[test]
+    fn em_ga_improves_and_tracks_resonance() {
+        let domain = a72();
+        let mut bench = EmBench::new(11);
+        let virus =
+            generate_em_virus("a72em-test", &domain, &mut bench, &small_config()).unwrap();
+        assert_eq!(virus.history.len(), 6);
+        // Fitness improves (or at least does not regress) overall.
+        let first = virus.history.first().unwrap().best_fitness;
+        let last = virus.history.last().unwrap().best_fitness;
+        assert!(last >= first - 1.0, "no improvement: {first} -> {last}");
+        // Dominant frequency within the search band.
+        assert!(
+            (RESONANCE_BAND.0..=RESONANCE_BAND.1).contains(&virus.dominant_hz),
+            "dominant {:.2e}",
+            virus.dominant_hz
+        );
+        // Campaign accounting: 8 individuals x 6 generations, 3 samples
+        // each at 0.6 s plus 2 s overhead.
+        let expected = 8.0 * 6.0 * (3.0 * 0.6 + 2.0);
+        assert!(
+            virus.campaign.seconds() >= expected - 1e-6,
+            "campaign {} < {expected}",
+            virus.campaign.seconds()
+        );
+    }
+
+    #[test]
+    fn voltage_ga_peak_to_peak_metric_also_works() {
+        let domain = a72();
+        let scope = Oscilloscope::new(emvolt_inst::ScopeConfig::oc_dso());
+        let cfg = VirusGenConfig {
+            voltage_metric: VoltageMetric::PeakToPeak,
+            ..small_config()
+        };
+        let virus = generate_voltage_virus("p2p-test", &domain, &scope, &cfg, 4).unwrap();
+        assert!(virus.fitness > 0.0, "p2p {}", virus.fitness);
+        // Peak-to-peak is at least the droop for any trace, so the p2p-
+        // driven run's fitness should exceed a typical droop figure.
+        assert!(virus.fitness > 0.02, "p2p metric too small: {}", virus.fitness);
+    }
+
+    #[test]
+    fn voltage_ga_produces_droop() {
+        let domain = a72();
+        let scope = Oscilloscope::new(emvolt_inst::ScopeConfig::oc_dso());
+        let virus =
+            generate_voltage_virus("a72ocdso-test", &domain, &scope, &small_config(), 3).unwrap();
+        assert!(virus.fitness > 0.0, "droop {}", virus.fitness);
+        assert!(virus.history.iter().all(|r| r.droop_v.is_some()));
+    }
+}

@@ -1,0 +1,192 @@
+//! Virus analysis: the metrics of Table 2.
+
+use crate::ga_virus::dominant_from_run;
+use emvolt_isa::{Kernel, MixCategory};
+use emvolt_platform::{DomainError, RunConfig, VoltageDomain};
+use emvolt_vmin::{vmin_test, FailureModel, VminConfig};
+use std::collections::BTreeMap;
+
+/// One row of Table 2: the characteristics of a dI/dt virus on its
+/// platform.
+#[derive(Debug, Clone)]
+pub struct VirusReport {
+    /// Virus tag (e.g. `"a72em"`).
+    pub name: String,
+    /// Loop-body length in instructions.
+    pub loop_instructions: usize,
+    /// Average IPC while looping.
+    pub ipc: f64,
+    /// Loop period in seconds.
+    pub loop_period_s: f64,
+    /// Loop frequency in Hz (`1/loop_period`).
+    pub loop_freq_hz: f64,
+    /// Dominant (highest-EM-amplitude) frequency in Hz.
+    pub dominant_freq_hz: f64,
+    /// Voltage margin: nominal voltage minus virus V_MIN, volts.
+    pub voltage_margin_v: f64,
+    /// Instruction-mix fractions per Table-2 category.
+    pub mix: BTreeMap<MixCategory, f64>,
+}
+
+impl VirusReport {
+    /// Ratio of dominant to loop frequency — §8.2's key insight: ARM
+    /// viruses have dominant frequencies at small-integer multiples of
+    /// the loop frequency, while the faster AMD CPU's viruses match them.
+    pub fn dominant_to_loop_ratio(&self) -> f64 {
+        self.dominant_freq_hz / self.loop_freq_hz
+    }
+
+    /// The minimum IPC needed for the dominant frequency to equal the
+    /// resonant frequency at this loop length and clock (§8.2):
+    /// `minIPC = resonance * loop_instructions / clock`.
+    pub fn min_ipc_for_match(&self, resonance_hz: f64, clock_hz: f64) -> f64 {
+        resonance_hz * self.loop_instructions as f64 / clock_hz
+    }
+}
+
+/// Builds the Table-2 row for a virus kernel on a domain.
+///
+/// # Errors
+///
+/// Propagates simulation failures from the run and the V_MIN campaign.
+pub fn analyze_virus(
+    name: &str,
+    domain: &VoltageDomain,
+    kernel: &Kernel,
+    failure: &FailureModel,
+    vmin_cfg: &VminConfig,
+    run_cfg: &RunConfig,
+) -> Result<VirusReport, DomainError> {
+    let run = domain.run(kernel, vmin_cfg.loaded_cores, run_cfg)?;
+    let vmin = vmin_test(domain, kernel, failure, vmin_cfg)?;
+    let margin = if vmin.first_failure_v.is_nan() {
+        domain.voltage() - vmin_cfg.floor_v
+    } else {
+        domain.voltage() - vmin.vmin_v
+    };
+    Ok(VirusReport {
+        name: name.to_owned(),
+        loop_instructions: kernel.len(),
+        ipc: run.ipc,
+        loop_period_s: 1.0 / run.loop_frequency,
+        loop_freq_hz: run.loop_frequency,
+        dominant_freq_hz: dominant_from_run(&run),
+        voltage_margin_v: margin,
+        mix: kernel.mix_breakdown(),
+    })
+}
+
+/// Formats a collection of reports as the paper's Table 2 (text).
+pub fn format_table2(reports: &[VirusReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>6} {:>10} {:>10} {:>10} {:>8}  Mix (category: %)",
+        "Virus", "Instr", "IPC", "Period(ns)", "LoopF(MHz)", "DomF(MHz)", "Margin"
+    );
+    for r in reports {
+        let mix: Vec<String> = MixCategory::ALL
+            .iter()
+            .filter_map(|c| {
+                let f = r.mix.get(c).copied().unwrap_or(0.0);
+                (f > 0.0).then(|| format!("{}:{:.0}%", c.label(), f * 100.0))
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>6.2} {:>10.2} {:>10.2} {:>10.2} {:>6.0}mV  {}",
+            r.name,
+            r.loop_instructions,
+            r.ipc,
+            r.loop_period_s * 1e9,
+            r.loop_freq_hz / 1e6,
+            r.dominant_freq_hz / 1e6,
+            r.voltage_margin_v * 1e3,
+            mix.join(" ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emvolt_cpu::CoreModel;
+    use emvolt_isa::{kernels::padded_sweep_kernel, kernels::sweep_kernel, Isa};
+    use emvolt_platform::a72_pdn;
+
+    #[test]
+    fn report_has_consistent_metrics() {
+        let domain = emvolt_platform::VoltageDomain::new(
+            "A72",
+            CoreModel::cortex_a72(),
+            a72_pdn(),
+            1.2e9,
+        );
+        let cfg = VminConfig {
+            trials: 2,
+            golden_iterations: 30,
+            ..VminConfig::default()
+        };
+        let report = analyze_virus(
+            "a72-sweep",
+            &domain,
+            &padded_sweep_kernel(Isa::ArmV8, 17),
+            &FailureModel::juno_a72(),
+            &cfg,
+            &RunConfig::fast(),
+        )
+        .unwrap();
+        assert_eq!(report.loop_instructions, 26);
+        assert!((report.loop_freq_hz * report.loop_period_s - 1.0).abs() < 1e-9);
+        assert!(report.voltage_margin_v > 0.0 && report.voltage_margin_v < 0.5);
+        let mix_total: f64 = report.mix.values().sum();
+        assert!((mix_total - 1.0).abs() < 1e-9);
+        assert!(report.dominant_to_loop_ratio() > 0.9);
+    }
+
+    #[test]
+    fn table_formatting_contains_rows() {
+        let domain = emvolt_platform::VoltageDomain::new(
+            "A72",
+            CoreModel::cortex_a72(),
+            a72_pdn(),
+            1.2e9,
+        );
+        let cfg = VminConfig {
+            trials: 2,
+            golden_iterations: 30,
+            ..VminConfig::default()
+        };
+        let report = analyze_virus(
+            "a72em",
+            &domain,
+            &sweep_kernel(Isa::ArmV8),
+            &FailureModel::juno_a72(),
+            &cfg,
+            &RunConfig::fast(),
+        )
+        .unwrap();
+        let table = format_table2(&[report]);
+        assert!(table.contains("a72em"));
+        assert!(table.contains("Margin"));
+    }
+
+    #[test]
+    fn min_ipc_formula() {
+        let r = VirusReport {
+            name: "x".into(),
+            loop_instructions: 50,
+            ipc: 1.0,
+            loop_period_s: 1e-8,
+            loop_freq_hz: 1e8,
+            dominant_freq_hz: 1e8,
+            voltage_margin_v: 0.1,
+            mix: BTreeMap::new(),
+        };
+        // The paper's example: ~3 for the A72 (69 MHz, 50 instr, 1.2 GHz).
+        let min_ipc = r.min_ipc_for_match(69e6, 1.2e9);
+        assert!((min_ipc - 2.875).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,339 @@
+//! Functional (architectural) execution of kernels.
+//!
+//! Timing and function are split: the timing engine shapes the current
+//! waveform, while this executor computes the architectural results the
+//! V_MIN harness compares against a golden reference to detect silent data
+//! corruption (the paper checks workload output against a reference
+//! obtained at nominal voltage, §5.2).
+
+use emvolt_isa::{Kernel, RegClass, Semantics};
+use rand::Rng;
+
+/// Architectural state: both register files plus scratch memory.
+///
+/// GPRs hold `u64`; FPRs hold `f64`. The register template is
+/// pre-initialised with deterministic non-trivial values, mirroring the
+/// paper's pre-initialised register template (§3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchState {
+    /// General-purpose registers.
+    pub gprs: [u64; 64],
+    /// Floating-point registers.
+    pub fprs: [f64; 64],
+    /// Scratch memory slots (8 bytes each, always cache-resident).
+    pub mem: Vec<u64>,
+}
+
+impl ArchState {
+    /// The canonical pre-initialised template.
+    pub fn template(mem_slots: u16) -> Self {
+        let mut gprs = [0u64; 64];
+        let mut fprs = [0f64; 64];
+        for (i, g) in gprs.iter_mut().enumerate() {
+            // Odd values so divides are well-behaved.
+            *g = (0x9E37_79B9_7F4A_7C15u64)
+                .wrapping_mul(i as u64 + 1)
+                .wrapping_add(1)
+                | 1;
+        }
+        for (i, f) in fprs.iter_mut().enumerate() {
+            // Values in (1, 2): stable under repeated mul/div/sqrt.
+            *f = 1.0 + (i as f64 + 1.0) / 80.0;
+        }
+        let mem = (0..mem_slots as u64)
+            .map(|i| i.wrapping_mul(0xD1B5_4A32_D192_ED03) | 1)
+            .collect();
+        ArchState { gprs, fprs, mem }
+    }
+
+    /// Order-sensitive digest of the full architectural state (FNV-1a).
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for &g in &self.gprs {
+            eat(g);
+        }
+        for &f in &self.fprs {
+            eat(f.to_bits());
+        }
+        for &m in &self.mem {
+            eat(m);
+        }
+        h
+    }
+}
+
+/// Bit-flip fault injection model: each executed instruction's result is
+/// corrupted with probability `per_instr_probability`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Probability that any single executed instruction's destination is
+    /// corrupted by a single-bit flip.
+    pub per_instr_probability: f64,
+}
+
+/// Outcome of a functional run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuncOutput {
+    /// Digest of the final architectural state.
+    pub digest: u64,
+    /// Number of instructions whose results were corrupted.
+    pub faults_injected: u64,
+}
+
+/// Executes `kernel` for `iterations` loop iterations without faults and
+/// returns the golden digest.
+///
+/// The digest folds the architectural state after *every* iteration, so
+/// corruption anywhere in the run is visible in the output even when the
+/// register file later converges back to a fixed point (real output
+/// checking observes the whole output stream, not just the final state).
+pub fn execute(kernel: &Kernel, iterations: usize) -> u64 {
+    let mut state = ArchState::template(kernel.arch().mem_slots());
+    let (digest, _) = run(
+        kernel,
+        iterations,
+        &mut state,
+        None,
+        &mut rand::rngs::mock::StepRng::new(0, 1),
+    );
+    digest
+}
+
+/// Executes with bit-flip fault injection; returns the digest and the
+/// number of injected faults.
+pub fn execute_with_faults<R: Rng>(
+    kernel: &Kernel,
+    iterations: usize,
+    faults: FaultModel,
+    rng: &mut R,
+) -> FuncOutput {
+    let mut state = ArchState::template(kernel.arch().mem_slots());
+    let (digest, injected) = run(kernel, iterations, &mut state, Some(faults), rng);
+    FuncOutput {
+        digest,
+        faults_injected: injected,
+    }
+}
+
+fn run<R: Rng>(
+    kernel: &Kernel,
+    iterations: usize,
+    state: &mut ArchState,
+    faults: Option<FaultModel>,
+    rng: &mut R,
+) -> (u64, u64) {
+    let arch = kernel.arch();
+    let mut injected = 0u64;
+    let mut stream_digest: u64 = 0xcbf29ce484222325;
+    for _ in 0..iterations {
+        for i in kernel.body() {
+            let op = arch.op(i.op);
+            let slot = (i.mem_slot as usize) % state.mem.len().max(1);
+            let g = |r: emvolt_isa::Reg, st: &ArchState| match r.class {
+                RegClass::Gpr => st.gprs[r.index as usize],
+                RegClass::Fpr => st.fprs[r.index as usize].to_bits(),
+            };
+            let gf = |r: emvolt_isa::Reg, st: &ArchState| match r.class {
+                RegClass::Gpr => st.gprs[r.index as usize] as f64,
+                RegClass::Fpr => st.fprs[r.index as usize],
+            };
+            let a = i.srcs[0];
+            let b = i.srcs[1];
+            enum Res {
+                Int(u64),
+                Float(f64),
+                None,
+            }
+            let mut res = match op.semantics {
+                Semantics::Move => {
+                    if i.dst.class == RegClass::Fpr {
+                        Res::Float(gf(a, state))
+                    } else {
+                        Res::Int(g(a, state))
+                    }
+                }
+                Semantics::IntAdd => {
+                    if i.dst.class == RegClass::Fpr {
+                        // SIMD integer add modelled on the FP file.
+                        Res::Float(gf(a, state) + gf(b, state))
+                    } else {
+                        Res::Int(g(a, state).wrapping_add(g(b, state)))
+                    }
+                }
+                Semantics::IntSub => Res::Int(g(a, state).wrapping_sub(g(b, state))),
+                Semantics::IntXor => Res::Int(g(a, state) ^ g(b, state)),
+                Semantics::IntMul => Res::Int(g(a, state).wrapping_mul(g(b, state))),
+                Semantics::IntDiv => {
+                    let divisor = g(b, state) | 1; // never zero
+                    Res::Int(g(a, state) / divisor)
+                }
+                Semantics::FloatAdd => Res::Float(gf(a, state) + gf(b, state)),
+                Semantics::FloatMul => Res::Float(norm(gf(a, state) * gf(b, state))),
+                Semantics::FloatDiv => {
+                    let d = gf(b, state);
+                    let d = if d.abs() < 1e-300 { 1.0 } else { d };
+                    Res::Float(norm(gf(a, state) / d))
+                }
+                Semantics::FloatSqrt => Res::Float(gf(a, state).abs().sqrt()),
+                Semantics::LoadMem => {
+                    let v = state.mem[slot];
+                    if i.dst.class == RegClass::Fpr {
+                        Res::Float(f64::from_bits(v))
+                    } else {
+                        Res::Int(v)
+                    }
+                }
+                Semantics::StoreMem => {
+                    state.mem[slot] = g(a, state);
+                    Res::None
+                }
+                Semantics::Nop => Res::None,
+            };
+            // Fault injection on the produced value.
+            if let Some(fm) = faults {
+                if !matches!(res, Res::None) && rng.gen_bool(fm.per_instr_probability.clamp(0.0, 1.0))
+                {
+                    injected += 1;
+                    let bit = rng.gen_range(0..52u32); // avoid exponent bits for floats
+                    res = match res {
+                        Res::Int(v) => Res::Int(v ^ (1u64 << bit)),
+                        Res::Float(f) => Res::Float(f64::from_bits(f.to_bits() ^ (1u64 << bit))),
+                        Res::None => Res::None,
+                    };
+                }
+            }
+            if op.has_dst {
+                match (res, i.dst.class) {
+                    (Res::Int(v), RegClass::Gpr) => state.gprs[i.dst.index as usize] = v,
+                    (Res::Int(v), RegClass::Fpr) => {
+                        state.fprs[i.dst.index as usize] = f64::from_bits(v)
+                    }
+                    (Res::Float(f), RegClass::Fpr) => state.fprs[i.dst.index as usize] = f,
+                    (Res::Float(f), RegClass::Gpr) => {
+                        state.gprs[i.dst.index as usize] = f.to_bits()
+                    }
+                    (Res::None, _) => {}
+                }
+            }
+        }
+        // Fold this iteration's state into the output-stream digest.
+        for b in state.digest().to_le_bytes() {
+            stream_digest ^= b as u64;
+            stream_digest = stream_digest.wrapping_mul(0x100000001b3);
+        }
+    }
+    (stream_digest, injected)
+}
+
+/// Keeps float magnitudes in a sane range so long runs neither overflow
+/// nor denormalise (the real templates re-seed registers similarly).
+fn norm(x: f64) -> f64 {
+    if !x.is_finite() || x.abs() > 1e30 || (x != 0.0 && x.abs() < 1e-30) {
+        1.5
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emvolt_isa::{kernels::sweep_kernel, InstructionPool, Isa};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn execution_is_deterministic() {
+        let k = sweep_kernel(Isa::ArmV8);
+        assert_eq!(execute(&k, 100), execute(&k, 100));
+    }
+
+    #[test]
+    fn different_iteration_counts_change_digest() {
+        // An accumulating kernel (x1 += x2) changes state every iteration;
+        // the plain sweep kernel reaches a register fixed point instead.
+        let arch = std::sync::Arc::new(emvolt_isa::Architecture::armv8());
+        let add = arch.op_by_name("add").unwrap();
+        let body = vec![emvolt_isa::Instr {
+            op: add,
+            dst: emvolt_isa::Reg::gpr(1),
+            srcs: [emvolt_isa::Reg::gpr(1), emvolt_isa::Reg::gpr(2)],
+            mem_slot: 0,
+        }];
+        let k = emvolt_isa::Kernel::new(arch, body);
+        assert_ne!(execute(&k, 10), execute(&k, 11));
+    }
+
+    #[test]
+    fn random_kernels_execute_without_panicking() {
+        for isa in [Isa::ArmV8, Isa::X86_64] {
+            let pool = InstructionPool::default_for(isa);
+            let mut rng = StdRng::seed_from_u64(17);
+            for _ in 0..20 {
+                let k = pool.random_kernel(50, &mut rng);
+                let _ = execute(&k, 50);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_fault_probability_matches_golden() {
+        let k = sweep_kernel(Isa::X86_64);
+        let golden = execute(&k, 200);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = execute_with_faults(
+            &k,
+            200,
+            FaultModel {
+                per_instr_probability: 0.0,
+            },
+            &mut rng,
+        );
+        assert_eq!(out.digest, golden);
+        assert_eq!(out.faults_injected, 0);
+    }
+
+    #[test]
+    fn faults_corrupt_the_digest() {
+        let pool = InstructionPool::default_for(Isa::ArmV8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let k = pool.random_kernel(50, &mut rng);
+        let golden = execute(&k, 100);
+        let out = execute_with_faults(
+            &k,
+            100,
+            FaultModel {
+                per_instr_probability: 0.01,
+            },
+            &mut rng,
+        );
+        assert!(out.faults_injected > 0);
+        assert_ne!(out.digest, golden, "bit flips must be visible in output");
+    }
+
+    #[test]
+    fn state_template_is_nontrivial() {
+        let s = ArchState::template(64);
+        assert!(s.gprs.iter().all(|&g| g != 0));
+        assert!(s.gprs[0] != s.gprs[1]);
+        assert!(s.fprs.iter().all(|&f| f > 1.0 && f < 2.0));
+        assert_eq!(s.mem.len(), 64);
+    }
+
+    #[test]
+    fn float_values_stay_finite_over_long_runs() {
+        let pool = InstructionPool::default_for(Isa::ArmV8);
+        let mut rng = StdRng::seed_from_u64(23);
+        let k = pool.random_kernel(50, &mut rng);
+        let mut state = ArchState::template(64);
+        let _ = run(&k, 5000, &mut state, None, &mut rng);
+        for &f in &state.fprs {
+            assert!(f.is_finite(), "non-finite register after long run");
+        }
+    }
+}

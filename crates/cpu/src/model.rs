@@ -1,0 +1,164 @@
+//! Core microarchitecture models.
+
+use emvolt_isa::{FuKind, Isa};
+use std::collections::BTreeMap;
+
+/// Microarchitectural parameters of one CPU core.
+///
+/// The timing model only needs the handful of properties that shape the
+/// cycle-by-cycle current waveform: issue width, in-order vs out-of-order
+/// scheduling, functional-unit counts and the per-core current baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreModel {
+    /// Human-readable model name.
+    pub name: &'static str,
+    /// The instruction-set architecture this core executes.
+    pub isa: Isa,
+    /// Instructions issued per cycle at most.
+    pub issue_width: u32,
+    /// `true` for out-of-order scheduling over a window, `false` for
+    /// stall-on-first-hazard in-order issue.
+    pub out_of_order: bool,
+    /// Scheduling-window size (out-of-order only).
+    pub window: usize,
+    /// Functional-unit counts by kind; kinds absent here cannot execute.
+    pub fu_counts: BTreeMap<FuKind, u32>,
+    /// Static + clock-tree current of a powered core, in amps.
+    pub idle_current: f64,
+    /// Scale factor applied to every op's dynamic current (captures the
+    /// power class of the implementation/process).
+    pub current_scale: f64,
+}
+
+fn fu_map(entries: &[(FuKind, u32)]) -> BTreeMap<FuKind, u32> {
+    entries.iter().copied().collect()
+}
+
+impl CoreModel {
+    /// Out-of-order dual-issue-class big core (Cortex-A72-like, 16 nm).
+    pub fn cortex_a72() -> Self {
+        CoreModel {
+            name: "Cortex-A72",
+            isa: Isa::ArmV8,
+            issue_width: 3,
+            out_of_order: true,
+            window: 64,
+            fu_counts: fu_map(&[
+                (FuKind::Alu, 2),
+                (FuKind::Mul, 1),
+                (FuKind::Div, 1),
+                (FuKind::Fpu, 2),
+                (FuKind::FpDiv, 1),
+                (FuKind::SimdUnit, 2),
+                (FuKind::LoadStore, 2),
+                (FuKind::BranchUnit, 1),
+            ]),
+            idle_current: 0.25,
+            current_scale: 0.18,
+        }
+    }
+
+    /// In-order dual-issue little core (Cortex-A53-like, 16 nm).
+    pub fn cortex_a53() -> Self {
+        CoreModel {
+            name: "Cortex-A53",
+            isa: Isa::ArmV8,
+            issue_width: 2,
+            out_of_order: false,
+            window: 0,
+            fu_counts: fu_map(&[
+                (FuKind::Alu, 2),
+                (FuKind::Mul, 1),
+                (FuKind::Div, 1),
+                (FuKind::Fpu, 1),
+                (FuKind::FpDiv, 1),
+                (FuKind::SimdUnit, 1),
+                (FuKind::LoadStore, 1),
+                (FuKind::BranchUnit, 1),
+            ]),
+            idle_current: 0.12,
+            current_scale: 0.15,
+        }
+    }
+
+    /// Out-of-order desktop core (AMD Athlon II-like, 45 nm).
+    pub fn athlon_ii() -> Self {
+        CoreModel {
+            name: "Athlon II",
+            isa: Isa::X86_64,
+            issue_width: 3,
+            out_of_order: true,
+            window: 72,
+            fu_counts: fu_map(&[
+                (FuKind::Alu, 3),
+                (FuKind::Mul, 1),
+                (FuKind::Div, 1),
+                (FuKind::Fpu, 2),
+                (FuKind::FpDiv, 1),
+                (FuKind::SimdUnit, 2),
+                (FuKind::LoadStore, 2),
+                (FuKind::BranchUnit, 1),
+            ]),
+            idle_current: 2.5,
+            current_scale: 0.18,
+        }
+    }
+
+    /// A GPU streaming-multiprocessor-like core (the paper's §10 future
+    /// work extends the methodology to GPU PDNs, following EmerGPU/HPCA'15
+    /// studies): wide in-order SIMD issue, many parallel lanes, high
+    /// dynamic current per instruction.
+    pub fn gpu_sm() -> Self {
+        CoreModel {
+            name: "GPU SM",
+            isa: Isa::ArmV8, // lane ISA stands in for the shader ISA
+            issue_width: 4,
+            out_of_order: false,
+            window: 0,
+            fu_counts: fu_map(&[
+                (FuKind::Alu, 4),
+                (FuKind::Mul, 2),
+                (FuKind::Div, 1),
+                (FuKind::Fpu, 4),
+                (FuKind::FpDiv, 2),
+                (FuKind::SimdUnit, 4),
+                (FuKind::LoadStore, 2),
+                (FuKind::BranchUnit, 1),
+            ]),
+            idle_current: 0.6,
+            current_scale: 0.5,
+        }
+    }
+
+    /// Number of units of `kind` (0 when the kind is absent).
+    pub fn fu_count(&self, kind: FuKind) -> u32 {
+        self.fu_counts.get(&kind).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_shapes() {
+        let a72 = CoreModel::cortex_a72();
+        let a53 = CoreModel::cortex_a53();
+        let amd = CoreModel::athlon_ii();
+        assert!(a72.out_of_order && !a53.out_of_order && amd.out_of_order);
+        assert!(a72.issue_width > a53.issue_width || a72.window > 0);
+        assert!(amd.idle_current > a72.idle_current, "desktop idles hotter");
+        for m in [&a72, &a53, &amd] {
+            assert!(m.fu_count(FuKind::Alu) >= 2, "{} needs >=2 ALUs", m.name);
+            assert!(m.fu_count(FuKind::Div) >= 1);
+            assert!(m.current_scale > 0.0);
+        }
+    }
+
+    #[test]
+    fn missing_fu_kind_reports_zero() {
+        let mut m = CoreModel::cortex_a53();
+        m.fu_counts.remove(&FuKind::Div);
+        assert_eq!(m.fu_count(FuKind::Div), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the CPU timing and functional models.
+
+use emvolt_cpu::{execute, execute_with_faults, Cpu, CoreModel, FaultModel, SimConfig};
+use emvolt_isa::{InstructionPool, Isa};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn quick_cfg() -> SimConfig {
+    SimConfig {
+        warmup_iterations: 3,
+        min_duration: 0.5e-6,
+        ..SimConfig::default()
+    }
+}
+
+fn model_for(isa: Isa, big: bool) -> (CoreModel, f64) {
+    match (isa, big) {
+        (Isa::ArmV8, true) => (CoreModel::cortex_a72(), 1.2e9),
+        (Isa::ArmV8, false) => (CoreModel::cortex_a53(), 950e6),
+        (Isa::X86_64, _) => (CoreModel::athlon_ii(), 3.1e9),
+    }
+}
+
+fn arb_isa() -> impl Strategy<Value = Isa> {
+    prop_oneof![Just(Isa::ArmV8), Just(Isa::X86_64)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// IPC is positive and never exceeds the issue width; current never
+    /// dips below the idle floor.
+    #[test]
+    fn timing_invariants(isa in arb_isa(), big in any::<bool>(), seed in any::<u64>()) {
+        let pool = InstructionPool::default_for(isa);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kernel = pool.random_kernel(30, &mut rng);
+        let (model, freq) = model_for(isa, big);
+        let width = model.issue_width as f64;
+        let idle = model.idle_current;
+        let cpu = Cpu::new(model, freq);
+        let out = cpu.simulate(&kernel, &quick_cfg()).unwrap();
+        prop_assert!(out.ipc > 0.0 && out.ipc <= width + 1e-9, "ipc {}", out.ipc);
+        prop_assert!(out.current.min() >= idle - 1e-12);
+        prop_assert!(out.current.max().is_finite());
+        prop_assert!(out.cycles_per_iteration >= 1.0);
+    }
+
+    /// loop_frequency * cycles_per_iteration == clock frequency.
+    #[test]
+    fn loop_frequency_identity(isa in arb_isa(), seed in any::<u64>()) {
+        let pool = InstructionPool::default_for(isa);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kernel = pool.random_kernel(25, &mut rng);
+        let (model, freq) = model_for(isa, true);
+        let cpu = Cpu::new(model, freq);
+        let out = cpu.simulate(&kernel, &quick_cfg()).unwrap();
+        let reconstructed = out.loop_frequency() * out.cycles_per_iteration;
+        prop_assert!((reconstructed - freq).abs() / freq < 1e-9);
+    }
+
+    /// The timing simulation is a pure function of (kernel, config).
+    #[test]
+    fn simulation_is_deterministic(isa in arb_isa(), seed in any::<u64>()) {
+        let pool = InstructionPool::default_for(isa);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kernel = pool.random_kernel(20, &mut rng);
+        let (model, freq) = model_for(isa, false);
+        let cpu = Cpu::new(model, freq);
+        let a = cpu.simulate(&kernel, &quick_cfg()).unwrap();
+        let b = cpu.simulate(&kernel, &quick_cfg()).unwrap();
+        prop_assert_eq!(a.current.samples(), b.current.samples());
+        prop_assert_eq!(a.ipc, b.ipc);
+    }
+
+    /// Functional execution is deterministic, and fault injection with
+    /// non-zero probability eventually perturbs the digest.
+    #[test]
+    fn functional_invariants(isa in arb_isa(), seed in any::<u64>()) {
+        let pool = InstructionPool::default_for(isa);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kernel = pool.random_kernel(30, &mut rng);
+        let golden = execute(&kernel, 60);
+        prop_assert_eq!(golden, execute(&kernel, 60));
+        let mut frng = StdRng::seed_from_u64(seed ^ 0xF417);
+        let out = execute_with_faults(
+            &kernel,
+            60,
+            FaultModel { per_instr_probability: 0.05 },
+            &mut frng,
+        );
+        if out.faults_injected > 0 {
+            prop_assert_ne!(out.digest, golden);
+        }
+    }
+
+    /// Jitter changes timing but respects the same invariants, and a
+    /// fixed jitter seed keeps the run deterministic.
+    #[test]
+    fn jitter_determinism(isa in arb_isa(), seed in any::<u64>(), jitter_seed in any::<u64>()) {
+        let pool = InstructionPool::default_for(isa);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kernel = pool.random_kernel(20, &mut rng);
+        let (model, freq) = model_for(isa, true);
+        let cpu = Cpu::new(model, freq);
+        let cfg = SimConfig {
+            interference_interval_s: 200e-9,
+            jitter_seed,
+            ..quick_cfg()
+        };
+        let a = cpu.simulate(&kernel, &cfg).unwrap();
+        let b = cpu.simulate(&kernel, &cfg).unwrap();
+        prop_assert_eq!(a.current.samples(), b.current.samples());
+        prop_assert!(a.ipc > 0.0);
+    }
+}

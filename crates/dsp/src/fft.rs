@@ -1,0 +1,232 @@
+//! Fast Fourier Transform.
+//!
+//! An iterative radix-2 Cooley–Tukey FFT for power-of-two lengths, plus a
+//! Bluestein chirp-z fallback so callers can transform records of any
+//! length (instrument capture lengths are rarely powers of two).
+
+use emvolt_circuit::Complex;
+
+/// Computes the in-place forward DFT of `data` (any length).
+///
+/// Uses radix-2 Cooley–Tukey when `data.len()` is a power of two and the
+/// Bluestein chirp-z transform otherwise.
+pub fn fft(data: &mut Vec<Complex>) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        fft_pow2(data, false);
+    } else {
+        *data = bluestein(data, false);
+    }
+}
+
+/// Computes the inverse DFT of `data` (any length), including the `1/N`
+/// normalization.
+pub fn ifft(data: &mut Vec<Complex>) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        fft_pow2(data, true);
+    } else {
+        *data = bluestein(data, true);
+    }
+    let scale = 1.0 / n as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(scale);
+    }
+}
+
+/// Forward DFT of a real signal; returns the full complex spectrum.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    fft(&mut data);
+    data
+}
+
+/// Radix-2 iterative FFT; `data.len()` must be a power of two.
+fn fft_pow2(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar(1.0, ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein chirp-z transform for arbitrary lengths.
+fn bluestein(data: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = data.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let m = (2 * n - 1).next_power_of_two();
+
+    // Chirp: w_k = exp(sign * -j*pi*k^2/n); we use the identity
+    // nk = (n^2 + k^2 - (k-n)^2) / 2 to turn the DFT into a convolution.
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let angle = sign * std::f64::consts::PI * (k as f64) * (k as f64) / n as f64;
+            Complex::from_polar(1.0, angle)
+        })
+        .collect();
+
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = data[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+
+    fft_pow2(&mut a, false);
+    fft_pow2(&mut b, false);
+    for k in 0..m {
+        a[k] *= b[k];
+    }
+    fft_pow2(&mut a, true);
+    let scale = 1.0 / m as f64;
+
+    (0..n).map(|k| a[k].scale(scale) * chirp[k]).collect()
+}
+
+/// Returns the frequency (Hz) of bin `i` for an `n`-point DFT of a signal
+/// sampled at `sample_rate`.
+pub fn bin_frequency(i: usize, n: usize, sample_rate: f64) -> f64 {
+    i as f64 * sample_rate / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dft_naive(data: &[Complex]) -> Vec<Complex> {
+        let n = data.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (t, &x) in data.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                    acc += x * Complex::from_polar(1.0, ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn assert_spectra_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((*x - *y).norm() < tol, "bin {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_pow2() {
+        let signal: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut fast = signal.clone();
+        fft(&mut fast);
+        assert_spectra_close(&fast, &dft_naive(&signal), 1e-9);
+    }
+
+    #[test]
+    fn matches_naive_dft_non_pow2() {
+        for n in [3usize, 5, 12, 30, 100] {
+            let signal: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 1.1).sin(), 0.2 * i as f64))
+                .collect();
+            let mut fast = signal.clone();
+            fft(&mut fast);
+            assert_spectra_close(&fast, &dft_naive(&signal), 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let signal: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 2.0).cos()))
+            .collect();
+        let mut data = signal.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        assert_spectra_close(&data, &signal, 1e-10);
+    }
+
+    #[test]
+    fn pure_tone_lands_in_single_bin() {
+        let n = 256;
+        let fs = 1024.0;
+        let f0 = 128.0; // exactly bin 32
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin())
+            .collect();
+        let spec = fft_real(&signal);
+        let peak = (1..n / 2)
+            .max_by(|&a, &b| spec[a].norm().total_cmp(&spec[b].norm()))
+            .unwrap();
+        assert_eq!(bin_frequency(peak, n, fs), f0);
+        // All other bins should be near zero.
+        for (i, v) in spec.iter().enumerate().take(n / 2).skip(1) {
+            if i != peak {
+                assert!(v.norm() < 1e-9, "leakage at bin {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let n = 128;
+        let signal: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let spec = fft_real(&signal);
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    fn empty_and_single_are_noops() {
+        let mut empty: Vec<Complex> = vec![];
+        fft(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![Complex::new(3.0, 1.0)];
+        fft(&mut one);
+        assert_eq!(one[0], Complex::new(3.0, 1.0));
+    }
+}

@@ -1,0 +1,273 @@
+//! One-sided amplitude spectra and peak extraction.
+
+use crate::fft::fft_real;
+use crate::window::Window;
+use emvolt_circuit::Trace;
+
+/// One-sided amplitude spectrum of a real signal.
+///
+/// Bin `k` holds the estimated *peak amplitude* (not power) of a sinusoid
+/// at `k * freq_step`, corrected for the analysis window's coherent gain,
+/// so a pure tone `A*sin(2*pi*f*t)` reports amplitude `A` at `f`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    freq_step: f64,
+    bins: Vec<f64>,
+}
+
+impl Spectrum {
+    /// Computes the spectrum of raw samples taken at `sample_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not strictly positive.
+    pub fn of_samples(samples: &[f64], sample_rate: f64, window: Window) -> Spectrum {
+        assert!(sample_rate > 0.0, "sample rate must be positive");
+        let n = samples.len();
+        if n == 0 {
+            return Spectrum {
+                freq_step: sample_rate,
+                bins: Vec::new(),
+            };
+        }
+        let mut buf = samples.to_vec();
+        window.apply(&mut buf);
+        let gain = window.coherent_gain(n).max(1e-12);
+        let spec = fft_real(&buf);
+        let half = n / 2 + 1;
+        let scale = 1.0 / (n as f64 * gain);
+        let bins = (0..half)
+            .map(|k| {
+                let mag = spec[k].norm() * scale;
+                // One-sided: double everything except DC (and Nyquist for
+                // even N, where the doubling would overcount).
+                if k == 0 || (n.is_multiple_of(2) && k == n / 2) {
+                    mag
+                } else {
+                    2.0 * mag
+                }
+            })
+            .collect();
+        Spectrum {
+            freq_step: sample_rate / n as f64,
+            bins,
+        }
+    }
+
+    /// Computes the spectrum of a [`Trace`].
+    pub fn of_trace(trace: &Trace, window: Window) -> Spectrum {
+        Spectrum::of_samples(trace.samples(), trace.sample_rate(), window)
+    }
+
+    /// Builds a spectrum directly from per-bin amplitudes — used by
+    /// transfer-function models that reshape an existing spectrum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_step` is not strictly positive.
+    pub fn from_bins(freq_step: f64, bins: Vec<f64>) -> Spectrum {
+        assert!(freq_step > 0.0, "frequency step must be positive");
+        Spectrum { freq_step, bins }
+    }
+
+    /// Frequency resolution (Hz per bin).
+    pub fn freq_step(&self) -> f64 {
+        self.freq_step
+    }
+
+    /// Number of bins (DC through Nyquist).
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `true` when the spectrum holds no bins.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Frequency of bin `k`.
+    pub fn freq_at(&self, k: usize) -> f64 {
+        k as f64 * self.freq_step
+    }
+
+    /// Amplitude of bin `k`.
+    pub fn amplitude_at(&self, k: usize) -> f64 {
+        self.bins[k]
+    }
+
+    /// Raw amplitude bins.
+    pub fn amplitudes(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Amplitude at the bin nearest to frequency `f`, or `None` when `f`
+    /// is outside the covered range.
+    pub fn amplitude_near(&self, f: f64) -> Option<f64> {
+        if f < 0.0 || self.bins.is_empty() {
+            return None;
+        }
+        let k = (f / self.freq_step).round() as usize;
+        self.bins.get(k).copied()
+    }
+
+    /// Iterator over `(frequency, amplitude)` pairs within `[lo, hi]` Hz.
+    pub fn band(&self, lo: f64, hi: f64) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let step = self.freq_step;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(k, &a)| (k as f64 * step, a))
+            .filter(move |&(f, _)| f >= lo && f <= hi)
+    }
+
+    /// Strongest `(frequency, amplitude)` within `[lo, hi]` Hz, or `None`
+    /// when the band contains no bins.
+    pub fn peak_in_band(&self, lo: f64, hi: f64) -> Option<(f64, f64)> {
+        self.band(lo, hi)
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Up to `count` strongest local peaks within `[lo, hi]` Hz, separated
+    /// by at least `min_separation` Hz, strongest first.
+    pub fn peaks_in_band(
+        &self,
+        lo: f64,
+        hi: f64,
+        count: usize,
+        min_separation: f64,
+    ) -> Vec<(f64, f64)> {
+        let mut candidates: Vec<(f64, f64)> = self.band(lo, hi).collect();
+        candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let mut picked: Vec<(f64, f64)> = Vec::new();
+        for (f, a) in candidates {
+            if picked.len() >= count {
+                break;
+            }
+            if picked.iter().all(|&(pf, _)| (pf - f).abs() >= min_separation) {
+                picked.push((f, a));
+            }
+        }
+        picked
+    }
+}
+
+/// Converts an amplitude ratio to decibels (`20*log10`).
+pub fn amplitude_db(ratio: f64) -> f64 {
+    20.0 * ratio.max(1e-300).log10()
+}
+
+/// Converts a power ratio to decibels (`10*log10`).
+pub fn power_db(ratio: f64) -> f64 {
+    10.0 * ratio.max(1e-300).log10()
+}
+
+/// Converts watts to dBm.
+pub fn watts_to_dbm(watts: f64) -> f64 {
+    power_db(watts / 1e-3)
+}
+
+/// Converts dBm to watts.
+pub fn dbm_to_watts(dbm: f64) -> f64 {
+    1e-3 * 10f64.powf(dbm / 10.0)
+}
+
+/// Peak power in watts of a sinusoidal voltage of peak `amplitude` into a
+/// `load_ohms` load, using RMS convention: `P = (A/sqrt(2))^2 / R`.
+pub fn sine_power_watts(amplitude: f64, load_ohms: f64) -> f64 {
+    (amplitude * amplitude / 2.0) / load_ohms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize, fs: f64, f0: f64, a: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| a * (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn tone_amplitude_is_recovered_rectangular() {
+        let fs = 1000.0;
+        let s = tone(1000, fs, 50.0, 3.0);
+        let spec = Spectrum::of_samples(&s, fs, Window::Rectangular);
+        let (f, a) = spec.peak_in_band(1.0, 500.0).unwrap();
+        assert!((f - 50.0).abs() < 1e-9);
+        assert!((a - 3.0).abs() < 1e-9, "amplitude {a}");
+    }
+
+    #[test]
+    fn tone_amplitude_is_recovered_hann() {
+        let fs = 1000.0;
+        let s = tone(1000, fs, 50.0, 2.0);
+        let spec = Spectrum::of_samples(&s, fs, Window::Hann);
+        let (f, a) = spec.peak_in_band(1.0, 500.0).unwrap();
+        assert!((f - 50.0).abs() < 1e-9);
+        // Hann coherent-gain correction keeps the estimate within ~1%.
+        assert!((a - 2.0).abs() < 0.03, "amplitude {a}");
+    }
+
+    #[test]
+    fn dc_offset_lands_in_bin_zero() {
+        let s = vec![1.5; 256];
+        let spec = Spectrum::of_samples(&s, 100.0, Window::Rectangular);
+        assert!((spec.amplitude_at(0) - 1.5).abs() < 1e-9);
+        assert!(spec.amplitude_at(5) < 1e-9);
+    }
+
+    #[test]
+    fn two_tones_found_as_separate_peaks() {
+        let fs = 1000.0;
+        let mut s = tone(2000, fs, 60.0, 1.0);
+        let t2 = tone(2000, fs, 180.0, 0.5);
+        for (a, b) in s.iter_mut().zip(t2) {
+            *a += b;
+        }
+        let spec = Spectrum::of_samples(&s, fs, Window::Hann);
+        let peaks = spec.peaks_in_band(10.0, 400.0, 2, 20.0);
+        assert_eq!(peaks.len(), 2);
+        assert!((peaks[0].0 - 60.0).abs() < 1.0);
+        assert!((peaks[1].0 - 180.0).abs() < 1.0);
+        assert!(peaks[0].1 > peaks[1].1);
+    }
+
+    #[test]
+    fn band_filtering_respects_limits() {
+        let s = tone(512, 512.0, 100.0, 1.0);
+        let spec = Spectrum::of_samples(&s, 512.0, Window::Hann);
+        assert!(spec.peak_in_band(150.0, 250.0).unwrap().1 < 0.01);
+        assert!(spec.peak_in_band(300.0, 200.0).is_none()); // inverted band
+    }
+
+    #[test]
+    fn db_conversions_round_trip() {
+        let w = 2.5e-6;
+        assert!((dbm_to_watts(watts_to_dbm(w)) - w).abs() < 1e-18);
+        assert!((amplitude_db(10.0) - 20.0).abs() < 1e-12);
+        assert!((power_db(100.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sine_power() {
+        // 1 V peak into 50 ohm: (1/sqrt(2))^2/50 = 10 mW
+        let p = sine_power_watts(1.0, 50.0);
+        assert!((p - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_signal_gives_empty_spectrum() {
+        let spec = Spectrum::of_samples(&[], 1.0, Window::Hann);
+        assert!(spec.is_empty());
+        assert!(spec.amplitude_near(1.0).is_none());
+    }
+
+    #[test]
+    fn amplitude_near_picks_nearest_bin() {
+        let fs = 1000.0;
+        let s = tone(1000, fs, 50.0, 1.0);
+        let spec = Spectrum::of_samples(&s, fs, Window::Rectangular);
+        let a = spec.amplitude_near(50.3).unwrap();
+        assert!((a - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! Short-time Fourier transform (spectrogram).
+//!
+//! Used for time-resolved views of voltage noise: workload phase changes,
+//! the onset of resonant oscillation after a power-gating event, or
+//! watching two domains' signatures come and go (§6.1).
+
+use crate::spectrum::Spectrum;
+use crate::window::Window;
+
+/// A time–frequency magnitude map: one one-sided amplitude spectrum per
+/// analysis frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrogram {
+    frame_step_s: f64,
+    frames: Vec<Spectrum>,
+}
+
+impl Spectrogram {
+    /// Computes the spectrogram of `samples` taken at `sample_rate`,
+    /// with `frame_len` samples per frame and `hop` samples between
+    /// frame starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_len` or `hop` is zero, or `sample_rate` is not
+    /// strictly positive.
+    pub fn of_samples(
+        samples: &[f64],
+        sample_rate: f64,
+        frame_len: usize,
+        hop: usize,
+        window: Window,
+    ) -> Spectrogram {
+        assert!(frame_len > 0 && hop > 0, "frame and hop must be positive");
+        assert!(sample_rate > 0.0, "sample rate must be positive");
+        let mut frames = Vec::new();
+        let mut start = 0;
+        while start + frame_len <= samples.len() {
+            frames.push(Spectrum::of_samples(
+                &samples[start..start + frame_len],
+                sample_rate,
+                window,
+            ));
+            start += hop;
+        }
+        Spectrogram {
+            frame_step_s: hop as f64 / sample_rate,
+            frames,
+        }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when no frame fit in the input.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Time between frame starts, in seconds.
+    pub fn frame_step(&self) -> f64 {
+        self.frame_step_s
+    }
+
+    /// The spectrum of frame `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn frame(&self, i: usize) -> &Spectrum {
+        &self.frames[i]
+    }
+
+    /// Iterator over `(frame_start_time, spectrum)`.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &Spectrum)> + '_ {
+        self.frames
+            .iter()
+            .enumerate()
+            .map(move |(i, s)| (i as f64 * self.frame_step_s, s))
+    }
+
+    /// The amplitude of the bin nearest `freq` in each frame — a
+    /// single-frequency "power versus time" cut through the spectrogram.
+    pub fn track(&self, freq: f64) -> Vec<f64> {
+        self.frames
+            .iter()
+            .map(|s| s.amplitude_near(freq).unwrap_or(0.0))
+            .collect()
+    }
+
+    /// Frame index whose band peak in `[lo, hi]` is the largest, with the
+    /// peak itself — locates *when* an emission was strongest.
+    pub fn strongest_frame_in_band(&self, lo: f64, hi: f64) -> Option<(usize, f64, f64)> {
+        self.frames
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.peak_in_band(lo, hi).map(|(f, a)| (i, f, a)))
+            .max_by(|a, b| a.2.total_cmp(&b.2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tone that switches frequency halfway through.
+    fn chirped(n: usize, fs: f64, f1: f64, f2: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let f = if i < n / 2 { f1 } else { f2 };
+                (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frame_count_and_step() {
+        let s = vec![0.0; 1000];
+        let sg = Spectrogram::of_samples(&s, 1000.0, 256, 128, Window::Hann);
+        assert_eq!(sg.len(), (1000 - 256) / 128 + 1);
+        assert!((sg.frame_step() - 0.128).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracks_a_frequency_hop() {
+        let fs = 10_000.0;
+        let s = chirped(4096, fs, 500.0, 2000.0);
+        let sg = Spectrogram::of_samples(&s, fs, 512, 256, Window::Hann);
+        let early = sg.frame(0).peak_in_band(100.0, 4000.0).unwrap().0;
+        let late = sg
+            .frame(sg.len() - 1)
+            .peak_in_band(100.0, 4000.0)
+            .unwrap()
+            .0;
+        assert!((early - 500.0).abs() < 50.0, "early {early}");
+        assert!((late - 2000.0).abs() < 50.0, "late {late}");
+    }
+
+    #[test]
+    fn track_rises_when_the_tone_appears() {
+        let fs = 10_000.0;
+        let s = chirped(4096, fs, 500.0, 2000.0);
+        let sg = Spectrogram::of_samples(&s, fs, 512, 256, Window::Hann);
+        let track = sg.track(2000.0);
+        assert!(track.last().unwrap() > &(track[0] * 5.0 + 1e-6));
+    }
+
+    #[test]
+    fn strongest_frame_is_found() {
+        let fs = 10_000.0;
+        // A burst in the middle third only.
+        let s: Vec<f64> = (0..3000)
+            .map(|i| {
+                if (1000..2000).contains(&i) {
+                    (2.0 * std::f64::consts::PI * 1500.0 * i as f64 / fs).sin()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let sg = Spectrogram::of_samples(&s, fs, 500, 250, Window::Hann);
+        let (idx, f, _) = sg.strongest_frame_in_band(1000.0, 2000.0).unwrap();
+        let t = idx as f64 * sg.frame_step();
+        assert!((0.08..0.22).contains(&t), "burst located at t={t}");
+        assert!((f - 1500.0).abs() < 60.0);
+    }
+
+    #[test]
+    fn short_input_yields_empty() {
+        let sg = Spectrogram::of_samples(&[1.0; 10], 100.0, 64, 32, Window::Hann);
+        assert!(sg.is_empty());
+        assert!(sg.strongest_frame_in_band(0.0, 50.0).is_none());
+    }
+}

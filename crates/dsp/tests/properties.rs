@@ -1,0 +1,93 @@
+//! Property-based tests for the DSP crate.
+
+use emvolt_circuit::Complex;
+use emvolt_dsp::{fft, ifft, Spectrum, Window};
+use proptest::prelude::*;
+
+fn arb_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0..10.0f64, 2..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FFT followed by IFFT reproduces the input for arbitrary lengths,
+    /// including non-powers-of-two (Bluestein path).
+    #[test]
+    fn fft_round_trip(signal in arb_signal(200)) {
+        let original: Vec<Complex> =
+            signal.iter().map(|&x| Complex::from_real(x)).collect();
+        let mut data = original.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&original) {
+            prop_assert!((*a - *b).norm() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    /// Parseval: time-domain energy equals frequency-domain energy / N.
+    #[test]
+    fn parseval(signal in arb_signal(150)) {
+        let n = signal.len() as f64;
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let mut data: Vec<Complex> =
+            signal.iter().map(|&x| Complex::from_real(x)).collect();
+        fft(&mut data);
+        let freq_energy: f64 = data.iter().map(|c| c.norm_sqr()).sum::<f64>() / n;
+        prop_assert!(
+            (time_energy - freq_energy).abs() <= 1e-7 * (1.0 + time_energy),
+            "time {time_energy} vs freq {freq_energy}"
+        );
+    }
+
+    /// FFT is linear: FFT(a*x) == a*FFT(x).
+    #[test]
+    fn fft_is_homogeneous(signal in arb_signal(100), scale in -5.0..5.0f64) {
+        let mut x: Vec<Complex> = signal.iter().map(|&v| Complex::from_real(v)).collect();
+        let mut sx: Vec<Complex> =
+            signal.iter().map(|&v| Complex::from_real(v * scale)).collect();
+        fft(&mut x);
+        fft(&mut sx);
+        for (a, b) in x.iter().zip(&sx) {
+            prop_assert!((a.scale(scale) - *b).norm() < 1e-7);
+        }
+    }
+
+    /// A pure in-bin tone of arbitrary amplitude/frequency is recovered by
+    /// the amplitude spectrum within 1%.
+    #[test]
+    fn spectrum_recovers_tone(
+        bin in 2usize..100,
+        amp in 0.01..100.0f64,
+    ) {
+        let n = 512;
+        let fs = 1024.0;
+        let f0 = bin as f64 * fs / n as f64;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin())
+            .collect();
+        let spec = Spectrum::of_samples(&signal, fs, Window::Hann);
+        let (f, a) = spec.peak_in_band(1.0, fs / 2.0).unwrap();
+        prop_assert!((f - f0).abs() < fs / n as f64);
+        prop_assert!((a - amp).abs() / amp < 0.01, "amp {a} vs {amp}");
+    }
+
+    /// Spectrum bins are non-negative and finite.
+    #[test]
+    fn spectrum_is_physical(signal in arb_signal(128)) {
+        let spec = Spectrum::of_samples(&signal, 1e6, Window::Blackman);
+        for &a in spec.amplitudes() {
+            prop_assert!(a.is_finite());
+            prop_assert!(a >= 0.0);
+        }
+    }
+
+    /// Window coherent gain is in (0, 1] for all supported windows.
+    #[test]
+    fn coherent_gain_bounds(n in 2usize..2000) {
+        for w in [Window::Rectangular, Window::Hann, Window::Hamming, Window::Blackman] {
+            let g = w.coherent_gain(n);
+            prop_assert!(g > 0.0 && g <= 1.0 + 1e-12, "{w:?} gain {g}");
+        }
+    }
+}

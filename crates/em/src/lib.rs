@@ -1,0 +1,32 @@
+//! # emvolt-em
+//!
+//! Electromagnetic-emanation physics: the receive loop antenna (with the
+//! Fig. 6 self-resonance behaviour) and the radiation channel linking the
+//! die-current spectrum to the voltage spectrum arriving at the spectrum
+//! analyzer.
+//!
+//! The model follows §2.2 of the reproduced paper: radiated power at a
+//! frequency is quadratic in the oscillatory die-current amplitude at that
+//! frequency, so maximizing received EM amplitude maximizes resonant
+//! current (and hence voltage) oscillations in the PDN.
+//!
+//! # Examples
+//!
+//! ```
+//! use emvolt_em::{EmChannel, LoopAntenna};
+//!
+//! let channel = EmChannel::default();
+//! // The antenna is flat where the first-order PDN resonance lives...
+//! assert!(channel.antenna.is_flat_at(70e6));
+//! // ...and transfers more signal from stronger current oscillations.
+//! assert!(channel.transfer(70e6) > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod antenna;
+mod channel;
+
+pub use antenna::LoopAntenna;
+pub use channel::EmChannel;

@@ -1,0 +1,76 @@
+//! Property-based tests for the EM radiation channel.
+
+use emvolt_dsp::Spectrum;
+use emvolt_em::{EmChannel, LoopAntenna};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The transfer magnitude is finite, non-negative and strictly
+    /// increasing in coupling.
+    #[test]
+    fn transfer_scales_with_coupling(f in 1e6..3e9f64, c in 1e-6..1e-2f64, k in 1.1..10.0f64) {
+        let mut ch = EmChannel { coupling: c, ..EmChannel::default() };
+        let base = ch.transfer(f);
+        prop_assert!(base.is_finite() && base >= 0.0);
+        ch.coupling = c * k;
+        prop_assert!(ch.transfer(f) > base);
+    }
+
+    /// Moving the antenna closer never reduces the received signal
+    /// (cubic near-field law).
+    #[test]
+    fn transfer_monotone_in_distance(f in 1e6..1e9f64, d in 0.02..0.3f64, k in 1.1..4.0f64) {
+        let near = EmChannel { distance_m: d, ..EmChannel::default() };
+        let far = EmChannel { distance_m: d * k, ..EmChannel::default() };
+        prop_assert!(near.transfer(f) > far.transfer(f));
+        // And the law is cubic: tripling distance costs 27x.
+        let ratio = near.transfer(f) / far.transfer(f);
+        prop_assert!((ratio - k.powi(3)).abs() / k.powi(3) < 1e-9);
+    }
+
+    /// The received spectrum is linear in the source amplitude.
+    #[test]
+    fn received_is_linear_in_current(scale in 0.1..10.0f64) {
+        let ch = EmChannel::default();
+        let bins: Vec<f64> = (0..128).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        let scaled: Vec<f64> = bins.iter().map(|b| b * scale).collect();
+        let a = ch.received_spectrum(&Spectrum::from_bins(1e6, bins));
+        let b = ch.received_spectrum(&Spectrum::from_bins(1e6, scaled));
+        for k in 0..a.len() {
+            let expect = a.amplitude_at(k) * scale;
+            prop_assert!((b.amplitude_at(k) - expect).abs() <= 1e-12 + 1e-9 * expect);
+        }
+    }
+
+    /// Incoherent multi-source combining never produces less than the
+    /// strongest single source nor more than the coherent sum.
+    #[test]
+    fn multi_source_bounds(a0 in 0.0..2.0f64, a1 in 0.0..2.0f64) {
+        let ch = EmChannel::default();
+        let sa = Spectrum::from_bins(1e6, vec![a0; 64]);
+        let sb = Spectrum::from_bins(1e6, vec![a1; 64]);
+        let combined = ch.received_multi(&[&sa, &sb]);
+        let ra = ch.received_spectrum(&sa);
+        let rb = ch.received_spectrum(&sb);
+        for k in 1..combined.len() {
+            let lo = ra.amplitude_at(k).max(rb.amplitude_at(k));
+            let hi = ra.amplitude_at(k) + rb.amplitude_at(k);
+            prop_assert!(combined.amplitude_at(k) >= lo - 1e-12);
+            prop_assert!(combined.amplitude_at(k) <= hi + 1e-12);
+        }
+    }
+
+    /// Antenna gain is positive and finite everywhere, and |S11| never
+    /// exceeds 0 dB (passive one-port).
+    #[test]
+    fn antenna_physicality(f in 1e3..20e9f64, q in 2.0..30.0f64) {
+        let a = LoopAntenna { q, ..LoopAntenna::default() };
+        let g = a.gain(f);
+        prop_assert!(g.is_finite() && g > 0.0);
+        let s11 = a.s11_db(f);
+        prop_assert!(s11 <= 1e-9, "|S11| {s11} dB above unity");
+        prop_assert!(s11.is_finite());
+    }
+}

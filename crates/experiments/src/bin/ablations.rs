@@ -1,0 +1,29 @@
+//! Runs every ablation study and future-work extension, writing the
+//! combined report to `results/ablations.txt`.
+
+use emvolt_experiments::{all_extensions, output, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    let mut combined = String::new();
+    let mut failures = 0usize;
+    for (name, f) in all_extensions() {
+        eprintln!(">> running {name} ...");
+        match f(&opts) {
+            Ok(report) => {
+                println!("{report}");
+                combined.push_str(&report);
+            }
+            Err(e) => {
+                eprintln!("{name} FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Err(e) = output::write_report("ablations.txt", &combined) {
+        eprintln!("could not write report: {e}");
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates every table and figure of the paper in order, writing the
+//! combined report to `results/all_experiments.txt`.
+
+use emvolt_experiments::{all_experiments, output, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    let mut combined = String::new();
+    let mut failures = 0usize;
+    for (name, f) in all_experiments() {
+        eprintln!(">> running {name} ...");
+        match f(&opts) {
+            Ok(report) => {
+                println!("{report}");
+                combined.push_str(&report);
+            }
+            Err(e) => {
+                eprintln!("{name} FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Err(e) = output::write_report("all_experiments.txt", &combined) {
+        eprintln!("could not write combined report: {e}");
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,149 @@
+//! # emvolt-experiments
+//!
+//! One function (and one binary) per table and figure of the paper's
+//! evaluation. Each experiment prints the series/rows the paper reports
+//! and writes a CSV under `results/`.
+//!
+//! Run everything with `cargo run --release -p emvolt-experiments --bin
+//! run_all`, or a single item with e.g. `--bin fig07_ga_a72`. Pass
+//! `--quick` (or set `EMVOLT_QUICK=1`) for reduced-scale runs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod a53_figs;
+mod ablations;
+mod amd_figs;
+mod juno_figs;
+pub mod output;
+mod pdn_figs;
+mod table2_exp;
+pub mod viruses;
+
+pub use a53_figs::{fig12, fig13, fig14, fig15};
+pub use ablations::{
+    ablation_band, ablation_jitter, ablation_q, ablation_samples, ext_gpu,
+    ext_margin_prediction, ext_tamper,
+};
+pub use amd_figs::{fig16, fig17, fig18};
+pub use juno_figs::{fig04, fig07, fig08, fig09, fig10, fig11};
+pub use pdn_figs::{fig01, fig02, fig06, table1};
+pub use table2_exp::{build_reports, table2};
+
+use std::error::Error;
+
+/// An experiment entry point: takes the options, returns the printed
+/// report.
+pub type ExperimentFn = fn(&Options) -> Result<String, Box<dyn Error>>;
+
+/// Global experiment options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Reduced-scale run (smaller GA populations/sweeps) for smoke tests.
+    pub quick: bool,
+    /// Regenerate viruses even when a cached copy exists.
+    pub refresh: bool,
+}
+
+impl Options {
+    /// Parses options from the process arguments and environment
+    /// (`--quick` / `EMVOLT_QUICK=1`, `--refresh`).
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick")
+            || std::env::var("EMVOLT_QUICK").map(|v| v == "1").unwrap_or(false);
+        let refresh = args.iter().any(|a| a == "--refresh");
+        Options { quick, refresh }
+    }
+}
+
+/// The registry of all experiments in paper order.
+pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("table1", table1 as ExperimentFn),
+        ("fig01", fig01),
+        ("fig02", fig02),
+        ("fig04", fig04),
+        ("fig06", fig06),
+        ("fig07", fig07),
+        ("fig08", fig08),
+        ("fig09", fig09),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+        ("fig13", fig13),
+        ("fig14", fig14),
+        ("fig15", fig15),
+        ("fig16", fig16),
+        ("fig17", fig17),
+        ("fig18", fig18),
+        ("table2", table2),
+    ]
+}
+
+/// Ablation studies and §10 future-work extensions (not part of the
+/// paper's figures; run with the `ablations` / `extensions` binaries).
+pub fn all_extensions() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("ablation_band", ablation_band as ExperimentFn),
+        ("ablation_samples", ablation_samples),
+        ("ablation_q", ablation_q),
+        ("ablation_jitter", ablation_jitter),
+        ("ext_margin_prediction", ext_margin_prediction),
+        ("ext_tamper", ext_tamper),
+        ("ext_gpu", ext_gpu),
+    ]
+}
+
+/// Runs one experiment by name, printing its report.
+///
+/// # Errors
+///
+/// Propagates the experiment's error, or reports an unknown name.
+pub fn run_experiment(name: &str, opts: &Options) -> Result<String, Box<dyn Error>> {
+    for (n, f) in all_experiments().into_iter().chain(all_extensions()) {
+        if n == name {
+            return f(opts);
+        }
+    }
+    Err(format!("unknown experiment `{name}`").into())
+}
+
+/// Standard main body for the per-figure binaries.
+///
+/// # Errors
+///
+/// Propagates experiment failures.
+pub fn experiment_main(f: ExperimentFn, csv_hint: &str) -> Result<(), Box<dyn Error>> {
+    let opts = Options::from_env();
+    let report = f(&opts)?;
+    println!("{report}");
+    println!("(CSV written under results/: {csv_hint})");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_table_and_figure() {
+        let names: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
+        for expected in [
+            "table1", "fig01", "fig02", "fig04", "fig06", "fig07", "fig08", "fig09", "fig10",
+            "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "table2",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn unknown_experiment_is_an_error() {
+        let opts = Options {
+            quick: true,
+            refresh: false,
+        };
+        assert!(run_experiment("fig99", &opts).is_err());
+    }
+}

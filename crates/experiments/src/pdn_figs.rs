@@ -1,0 +1,201 @@
+//! Experiments that exercise the PDN and antenna substrates directly:
+//! Table 1, Fig. 1(b)/(c), Fig. 2 and Fig. 6.
+
+use crate::output::{mhz, section, table, write_csv};
+use crate::Options;
+use emvolt_circuit::{Stimulus, TransientConfig};
+use emvolt_dsp::{Spectrum, Window};
+use emvolt_em::LoopAntenna;
+use emvolt_inst::Vna;
+use emvolt_pdn::{find_resonance_peaks, log_freqs, Pdn, PdnParams};
+use emvolt_platform::{AmdDesktop, JunoBoard};
+use rand::{rngs::StdRng, SeedableRng};
+use std::error::Error;
+
+/// Table 1: experimental platform details.
+pub fn table1(_opts: &Options) -> Result<String, Box<dyn Error>> {
+    let juno = JunoBoard::new();
+    let amd = AmdDesktop::new();
+    let rows: Vec<Vec<String>> = vec![
+        (
+            "Juno Board R2",
+            &juno.a72,
+            "Out of Order",
+            "16 nm",
+            "OC-DSO",
+        ),
+        ("Juno Board R2", &juno.a53, "In-Order", "16 nm", "None"),
+        (
+            "Asus M5A78L LE",
+            &amd.domain,
+            "Out of Order",
+            "45 nm",
+            "On-package pads",
+        ),
+    ]
+    .into_iter()
+    .map(|(mb, d, uarch, node, vis)| {
+        vec![
+            mb.to_owned(),
+            d.core_model().name.to_owned(),
+            d.core_count().to_string(),
+            d.core_model().isa.to_string(),
+            uarch.to_owned(),
+            format!("{:.2} GHz, {:.2} V", d.max_frequency() / 1e9, d.voltage()),
+            node.to_owned(),
+            vis.to_owned(),
+        ]
+    })
+    .collect();
+    let headers = [
+        "MB", "CPU", "Cores", "ISA", "uArch", "Top Freq/Volt", "Node", "Noise visibility",
+    ];
+    let mut out = section("Table 1: experimental platform details");
+    out.push_str(&table(&headers, &rows));
+    write_csv("table1_platforms.csv", &headers, &rows)?;
+    Ok(out)
+}
+
+/// Fig. 1(b): PDN input impedance versus frequency (three resonances) and
+/// Fig. 1(c): time-domain response to a step-current excitation.
+pub fn fig01(opts: &Options) -> Result<String, Box<dyn Error>> {
+    let params = PdnParams::generic_mobile();
+    let pdn = Pdn::new(params.clone(), 2);
+    let n = if opts.quick { 200 } else { 1200 };
+    let freqs = log_freqs(1e3, 1e9, n);
+    let sweep = pdn.impedance_sweep(&freqs)?;
+
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .step_by((n / 40).max(1))
+        .map(|(f, z)| vec![format!("{:.3e}", f), format!("{:.4}", z.norm())])
+        .collect();
+    let mut out = section("Fig. 1(b): PDN input impedance |Z(f)| seen from the die");
+    out.push_str(&table(&["freq_hz", "z_ohm"], &rows));
+    write_csv(
+        "fig01b_impedance.csv",
+        &["freq_hz", "z_ohm"],
+        &sweep
+            .iter()
+            .map(|(f, z)| vec![format!("{f}"), format!("{}", z.norm())])
+            .collect::<Vec<_>>(),
+    )?;
+
+    let peaks = find_resonance_peaks(&sweep);
+    out.push_str("\nResonance peaks (strongest first):\n");
+    for p in peaks.iter().take(3) {
+        out.push_str(&format!(
+            "  {:>10.3} MHz   {:.1} mOhm\n",
+            p.frequency_hz / 1e6,
+            p.impedance_ohms * 1e3
+        ));
+    }
+    out.push_str(&format!(
+        "Analytic 1st-order resonance: {} MHz\n",
+        mhz(params.first_order_resonance_hz(2))
+    ));
+
+    // Fig. 1(c): step response.
+    let mut pdn_step = Pdn::new(params, 2);
+    pdn_step.set_load(Stimulus::Step {
+        t0: 50e-9,
+        before: 0.0,
+        after: 1.0,
+    });
+    let cfg = TransientConfig::new(0.25e-9, 1.5e-6);
+    let (v, _) = pdn_step.transient(&cfg)?;
+    let spec = Spectrum::of_trace(&v.window(50e-9, 1.5e-6), Window::Hann);
+    let ring = spec.peak_in_band(20e6, 200e6);
+    out.push_str(&section("Fig. 1(c): step-current response of V_DIE"));
+    out.push_str(&format!(
+        "first droop: {:.1} mV below nominal; ringing frequency: {} MHz\n",
+        v.max_droop_below(1.0) * 1e3,
+        ring.map(|(f, _)| mhz(f)).unwrap_or_else(|| "-".into())
+    ));
+    write_csv(
+        "fig01c_step.csv",
+        &["t_s", "v_die"],
+        &v.iter()
+            .step_by(8)
+            .map(|(t, val)| vec![format!("{t}"), format!("{val}")])
+            .collect::<Vec<_>>(),
+    )?;
+    Ok(out)
+}
+
+/// Fig. 2: V_DIE and I_DIE under a persistent pulsed I_LOAD at the
+/// first-order resonance — both undergo large-magnitude oscillations.
+pub fn fig02(_opts: &Options) -> Result<String, Box<dyn Error>> {
+    let params = PdnParams::generic_mobile();
+    let f_res = params.first_order_resonance_hz(2);
+    let mut pdn = Pdn::new(params, 2);
+    let cfg = TransientConfig::new(0.2e-9, 4e-6).with_warmup(2e-6);
+
+    let mut run = |f: f64| -> Result<(f64, f64), Box<dyn Error>> {
+        pdn.set_load(Stimulus::square(0.0, 1.0, f));
+        let (v, i) = pdn.transient(&cfg)?;
+        Ok((v.peak_to_peak(), i.peak_to_peak()))
+    };
+    let (v_res, i_res) = run(f_res)?;
+    let (v_off_lo, i_off_lo) = run(f_res / 3.0)?;
+    let (v_off_hi, i_off_hi) = run(f_res * 2.5)?;
+
+    let rows = vec![
+        vec![
+            format!("{} (resonant)", mhz(f_res)),
+            format!("{:.1}", v_res * 1e3),
+            format!("{:.2}", i_res),
+        ],
+        vec![mhz(f_res / 3.0), format!("{:.1}", v_off_lo * 1e3), format!("{:.2}", i_off_lo)],
+        vec![mhz(f_res * 2.5), format!("{:.1}", v_off_hi * 1e3), format!("{:.2}", i_off_hi)],
+    ];
+    let mut out = section("Fig. 2: resonant amplification of V_DIE / I_DIE (1 A square load)");
+    out.push_str(&table(&["pulse freq (MHz)", "V_DIE p2p (mV)", "I_DIE p2p (A)"], &rows));
+    out.push_str(&format!(
+        "\nresonant V amplification vs off-resonance: {:.1}x / {:.1}x; I_DIE swing exceeds the 1 A load: {}\n",
+        v_res / v_off_lo,
+        v_res / v_off_hi,
+        i_res > 1.0
+    ));
+    write_csv("fig02_resonance.csv", &["freq_mhz", "v_p2p_mv", "i_p2p_a"], &rows)?;
+    Ok(out)
+}
+
+/// Fig. 6: measured |S11| of the square loop antenna.
+pub fn fig06(opts: &Options) -> Result<String, Box<dyn Error>> {
+    let antenna = LoopAntenna::default();
+    let vna = Vna::default();
+    let n = if opts.quick { 100 } else { 400 };
+    let freqs: Vec<f64> = (1..=n).map(|i| i as f64 * 4e9 / n as f64).collect();
+    let mut rng = StdRng::seed_from_u64(0x5_11);
+    let s11 = vna.measure_s11(&antenna, &freqs, &mut rng);
+    let rows: Vec<Vec<String>> = s11
+        .iter()
+        .step_by((n / 40).max(1))
+        .map(|(f, db)| vec![format!("{:.2}", f / 1e9), format!("{db:.2}")])
+        .collect();
+    let mut out = section("Fig. 6: antenna |S11| (square loop, 3 cm side)");
+    out.push_str(&table(&["freq_ghz", "s11_db"], &rows));
+    let (f_dip, db_dip) = s11
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .copied()
+        .unwrap();
+    out.push_str(&format!(
+        "\nself-resonance dip: {:.2} GHz at {:.1} dB (paper: 2.95 GHz)\n",
+        f_dip / 1e9,
+        db_dip
+    ));
+    out.push_str(&format!(
+        "flat in the 50-200 MHz measurement band: {}\n",
+        antenna.is_flat_at(50e6) && antenna.is_flat_at(200e6)
+    ));
+    write_csv(
+        "fig06_s11.csv",
+        &["freq_hz", "s11_db"],
+        &s11.iter()
+            .map(|(f, db)| vec![format!("{f}"), format!("{db}")])
+            .collect::<Vec<_>>(),
+    )?;
+    Ok(out)
+}

@@ -1,0 +1,125 @@
+//! Binds the GA engine to instruction-sequence genomes.
+
+use crate::{one_point_crossover, Representation};
+use emvolt_isa::{InstructionPool, Kernel};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Instruction-sequence representation: genomes are [`Kernel`]s of fixed
+/// length sampled from an [`InstructionPool`] (the paper's individuals —
+/// 50-instruction loop bodies).
+#[derive(Debug, Clone)]
+pub struct KernelRepresentation {
+    pool: InstructionPool,
+    kernel_len: usize,
+}
+
+impl KernelRepresentation {
+    /// Creates a representation producing kernels of `kernel_len`
+    /// instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel_len` is zero.
+    pub fn new(pool: InstructionPool, kernel_len: usize) -> Self {
+        assert!(kernel_len > 0, "kernel length must be positive");
+        KernelRepresentation { pool, kernel_len }
+    }
+
+    /// The underlying instruction pool.
+    pub fn pool(&self) -> &InstructionPool {
+        &self.pool
+    }
+
+    /// Configured kernel length.
+    pub fn kernel_len(&self) -> usize {
+        self.kernel_len
+    }
+}
+
+impl Representation for KernelRepresentation {
+    type Genome = Kernel;
+
+    fn random(&self, rng: &mut StdRng) -> Kernel {
+        self.pool.random_kernel(self.kernel_len, rng)
+    }
+
+    fn crossover(&self, a: &Kernel, b: &Kernel, rng: &mut StdRng) -> (Kernel, Kernel) {
+        let (b1, b2) = one_point_crossover(a.body(), b.body(), rng);
+        (
+            Kernel::new(Arc::clone(a.arch()), b1),
+            Kernel::new(Arc::clone(b.arch()), b2),
+        )
+    }
+
+    fn mutate(&self, genome: &mut Kernel, rate: f64, rng: &mut StdRng) {
+        let len = genome.len();
+        for i in 0..len {
+            if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                self.pool.mutate_instr(&mut genome.body_mut()[i], rng);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emvolt_isa::Isa;
+    use rand::SeedableRng;
+
+    fn repr() -> KernelRepresentation {
+        KernelRepresentation::new(InstructionPool::default_for(Isa::ArmV8), 50)
+    }
+
+    #[test]
+    fn random_kernels_have_configured_length() {
+        let r = repr();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(r.random(&mut rng).len(), 50);
+    }
+
+    #[test]
+    fn crossover_preserves_length() {
+        let r = repr();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = r.random(&mut rng);
+        let b = r.random(&mut rng);
+        let (c1, c2) = r.crossover(&a, &b, &mut rng);
+        assert_eq!(c1.len(), 50);
+        assert_eq!(c2.len(), 50);
+    }
+
+    #[test]
+    fn zero_rate_mutation_is_identity() {
+        let r = repr();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut k = r.random(&mut rng);
+        let before = k.body().to_vec();
+        r.mutate(&mut k, 0.0, &mut rng);
+        assert_eq!(k.body(), before.as_slice());
+    }
+
+    #[test]
+    fn full_rate_mutation_changes_most_genes() {
+        let r = repr();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut k = r.random(&mut rng);
+        let before = k.body().to_vec();
+        r.mutate(&mut k, 1.0, &mut rng);
+        let changed = k
+            .body()
+            .iter()
+            .zip(&before)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed > 25, "only {changed} genes changed at rate 1.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel length")]
+    fn rejects_zero_length() {
+        let _ = KernelRepresentation::new(InstructionPool::default_for(Isa::ArmV8), 0);
+    }
+}

@@ -1,0 +1,431 @@
+//! # emvolt-ga
+//!
+//! The genetic-algorithm optimization framework of §3: tournament
+//! selection, one-point crossover, per-gene mutation and elitism over a
+//! population of instruction-sequence individuals, driven by an arbitrary
+//! (typically noisy) fitness function such as measured EM amplitude.
+//!
+//! The engine is generic: [`Representation`] supplies the genome
+//! operators and the fitness closure the objective.
+//! [`KernelRepresentation`] binds the engine to [`emvolt_isa`]
+//! instruction pools.
+//!
+//! # Examples
+//!
+//! Maximize the number of short-latency integer instructions in a kernel
+//! (a toy fitness):
+//!
+//! ```
+//! use emvolt_ga::{GaConfig, GaEngine, KernelRepresentation};
+//! use emvolt_isa::{InstructionPool, Isa, OpClass};
+//!
+//! let pool = InstructionPool::default_for(Isa::ArmV8);
+//! let repr = KernelRepresentation::new(pool, 20);
+//! let config = GaConfig { generations: 15, population: 20, ..GaConfig::default() };
+//! let mut engine = GaEngine::new(repr, config);
+//! let result = engine.run(
+//!     |kernel| kernel.class_fraction(OpClass::IntShort),
+//!     |_stats| {},
+//! );
+//! assert!(result.best_fitness > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+mod kernel_repr;
+
+pub use kernel_repr::KernelRepresentation;
+
+/// Genome operators for a particular solution representation.
+pub trait Representation {
+    /// The genome type evolved by the engine.
+    type Genome: Clone;
+
+    /// Samples a random genome (seed population).
+    fn random(&self, rng: &mut StdRng) -> Self::Genome;
+
+    /// One-point crossover producing two children.
+    fn crossover(
+        &self,
+        a: &Self::Genome,
+        b: &Self::Genome,
+        rng: &mut StdRng,
+    ) -> (Self::Genome, Self::Genome);
+
+    /// Mutates a genome in place; `rate` is the per-gene probability.
+    fn mutate(&self, genome: &mut Self::Genome, rate: f64, rng: &mut StdRng);
+}
+
+/// GA engine configuration.
+///
+/// Defaults follow the paper: population 50, 60 generations, tournament
+/// selection, one-point crossover, 2–4% mutation rate (§3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament_k: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Number of top individuals copied unchanged into the next
+    /// generation.
+    pub elitism: usize,
+    /// RNG seed: runs are fully reproducible.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 50,
+            generations: 60,
+            tournament_k: 3,
+            mutation_rate: 0.03,
+            elitism: 2,
+            seed: 0xE110_CAFE,
+        }
+    }
+}
+
+/// Statistics for one completed generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationStats {
+    /// Generation index, starting at 0.
+    pub index: usize,
+    /// Best fitness in this generation.
+    pub best_fitness: f64,
+    /// Mean fitness of the generation.
+    pub mean_fitness: f64,
+    /// Best fitness seen in any generation so far.
+    pub best_so_far: f64,
+}
+
+/// Final result of a GA run.
+#[derive(Debug, Clone)]
+pub struct GaResult<G> {
+    /// The best genome found across all generations.
+    pub best: G,
+    /// Its fitness.
+    pub best_fitness: f64,
+    /// Per-generation statistics.
+    pub history: Vec<GenerationStats>,
+    /// The best genome of each generation (for per-generation re-runs,
+    /// as the paper does when re-measuring droop per generation).
+    pub generation_best: Vec<G>,
+}
+
+/// The GA engine: owns the representation and configuration.
+#[derive(Debug)]
+pub struct GaEngine<R: Representation> {
+    repr: R,
+    config: GaConfig,
+}
+
+impl<R: Representation> GaEngine<R> {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (population < 2, zero
+    /// tournament, elitism >= population).
+    pub fn new(repr: R, config: GaConfig) -> Self {
+        assert!(config.population >= 2, "population must be at least 2");
+        assert!(config.tournament_k >= 1, "tournament size must be >= 1");
+        assert!(
+            config.elitism < config.population,
+            "elitism must leave room for offspring"
+        );
+        GaEngine { repr, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    /// Runs the GA to completion.
+    ///
+    /// `fitness` is called once per individual per generation (it may be
+    /// noisy — the engine re-evaluates elites each generation rather than
+    /// caching, matching how a physical measurement behaves).
+    /// `on_generation` observes each generation's statistics.
+    pub fn run<F, C>(&mut self, mut fitness: F, mut on_generation: C) -> GaResult<R::Genome>
+    where
+        F: FnMut(&R::Genome) -> f64,
+        C: FnMut(&GenerationStats),
+    {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut population: Vec<R::Genome> = (0..self.config.population)
+            .map(|_| self.repr.random(&mut rng))
+            .collect();
+
+        let mut best: Option<(R::Genome, f64)> = None;
+        let mut history = Vec::with_capacity(self.config.generations);
+        let mut generation_best = Vec::with_capacity(self.config.generations);
+
+        for generation in 0..self.config.generations {
+            let scores: Vec<f64> = population.iter().map(&mut fitness).collect();
+
+            // Rank indices by descending fitness.
+            let mut order: Vec<usize> = (0..population.len()).collect();
+            order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+
+            let gen_best_idx = order[0];
+            let gen_best_fit = scores[gen_best_idx];
+            let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+            if best.as_ref().is_none_or(|(_, f)| gen_best_fit > *f) {
+                best = Some((population[gen_best_idx].clone(), gen_best_fit));
+            }
+            let stats = GenerationStats {
+                index: generation,
+                best_fitness: gen_best_fit,
+                mean_fitness: mean,
+                best_so_far: best.as_ref().map(|(_, f)| *f).expect("set above"),
+            };
+            on_generation(&stats);
+            history.push(stats);
+            generation_best.push(population[gen_best_idx].clone());
+
+            if generation + 1 == self.config.generations {
+                break;
+            }
+
+            // Next generation: elites + tournament/crossover/mutation.
+            let mut next: Vec<R::Genome> = order[..self.config.elitism]
+                .iter()
+                .map(|&i| population[i].clone())
+                .collect();
+            while next.len() < self.config.population {
+                let p1 = self.tournament(&population, &scores, &mut rng);
+                let p2 = self.tournament(&population, &scores, &mut rng);
+                let (mut c1, mut c2) = self.repr.crossover(p1, p2, &mut rng);
+                self.repr.mutate(&mut c1, self.config.mutation_rate, &mut rng);
+                self.repr.mutate(&mut c2, self.config.mutation_rate, &mut rng);
+                next.push(c1);
+                if next.len() < self.config.population {
+                    next.push(c2);
+                }
+            }
+            population = next;
+        }
+
+        let (best, best_fitness) = best.expect("at least one generation ran");
+        GaResult {
+            best,
+            best_fitness,
+            history,
+            generation_best,
+        }
+    }
+
+    fn tournament<'a>(
+        &self,
+        population: &'a [R::Genome],
+        scores: &[f64],
+        rng: &mut StdRng,
+    ) -> &'a R::Genome {
+        let mut best_idx = rng.gen_range(0..population.len());
+        for _ in 1..self.config.tournament_k {
+            let idx = rng.gen_range(0..population.len());
+            if scores[idx] > scores[best_idx] {
+                best_idx = idx;
+            }
+        }
+        &population[best_idx]
+    }
+}
+
+/// Helper for representations over `Vec<T>` genomes: one-point crossover.
+pub fn one_point_crossover<T: Clone>(a: &[T], b: &[T], rng: &mut StdRng) -> (Vec<T>, Vec<T>) {
+    let n = a.len().min(b.len());
+    if n < 2 {
+        return (a.to_vec(), b.to_vec());
+    }
+    let cut = rng.gen_range(1..n);
+    let mut c1 = a[..cut].to_vec();
+    c1.extend_from_slice(&b[cut..]);
+    let mut c2 = b[..cut].to_vec();
+    c2.extend_from_slice(&a[cut..]);
+    (c1, c2)
+}
+
+/// Evaluates an entire population in parallel using scoped threads; used
+/// when fitness evaluation is CPU-bound simulation rather than a shared
+/// instrument session.
+pub fn evaluate_parallel<G, F>(population: &[G], fitness: F, threads: usize) -> Vec<f64>
+where
+    G: Sync,
+    F: Fn(&G) -> f64 + Sync,
+{
+    let threads = threads.max(1);
+    let mut scores = vec![0.0f64; population.len()];
+    let chunk = population.len().div_ceil(threads).max(1);
+    crossbeam::thread::scope(|s| {
+        for (genomes, out) in population.chunks(chunk).zip(scores.chunks_mut(chunk)) {
+            let fitness = &fitness;
+            s.spawn(move |_| {
+                for (g, o) in genomes.iter().zip(out.iter_mut()) {
+                    *o = fitness(g);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bit-string representation for engine tests.
+    struct Bits(usize);
+
+    impl Representation for Bits {
+        type Genome = Vec<bool>;
+
+        fn random(&self, rng: &mut StdRng) -> Vec<bool> {
+            (0..self.0).map(|_| rng.gen_bool(0.5)).collect()
+        }
+
+        fn crossover(
+            &self,
+            a: &Vec<bool>,
+            b: &Vec<bool>,
+            rng: &mut StdRng,
+        ) -> (Vec<bool>, Vec<bool>) {
+            one_point_crossover(a, b, rng)
+        }
+
+        fn mutate(&self, genome: &mut Vec<bool>, rate: f64, rng: &mut StdRng) {
+            for g in genome.iter_mut() {
+                if rng.gen_bool(rate) {
+                    *g = !*g;
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::ptr_arg)] // must match Representation::Genome = Vec<bool>
+    fn ones(g: &Vec<bool>) -> f64 {
+        g.iter().filter(|&&b| b).count() as f64
+    }
+
+    #[test]
+    fn solves_onemax() {
+        let mut engine = GaEngine::new(
+            Bits(64),
+            GaConfig {
+                population: 40,
+                generations: 60,
+                ..GaConfig::default()
+            },
+        );
+        let result = engine.run(ones, |_| {});
+        assert!(
+            result.best_fitness >= 60.0,
+            "best {} of 64",
+            result.best_fitness
+        );
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let mut engine = GaEngine::new(Bits(32), GaConfig::default());
+        let result = engine.run(ones, |_| {});
+        for w in result.history.windows(2) {
+            assert!(w[1].best_so_far >= w[0].best_so_far);
+        }
+        assert_eq!(result.history.len(), 60);
+        assert_eq!(result.generation_best.len(), 60);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut engine = GaEngine::new(
+                Bits(32),
+                GaConfig {
+                    generations: 10,
+                    ..GaConfig::default()
+                },
+            );
+            engine.run(ones, |_| {}).best
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn noisy_fitness_still_improves() {
+        let mut engine = GaEngine::new(
+            Bits(64),
+            GaConfig {
+                population: 40,
+                generations: 50,
+                seed: 7,
+                ..GaConfig::default()
+            },
+        );
+        let mut noise_rng = StdRng::seed_from_u64(99);
+        let result = engine.run(move |g| ones(g) + noise_rng.gen_range(-2.0..2.0), |_| {});
+        assert!(result.best_fitness > 50.0);
+    }
+
+    #[test]
+    fn callback_sees_every_generation() {
+        let mut engine = GaEngine::new(
+            Bits(16),
+            GaConfig {
+                generations: 12,
+                ..GaConfig::default()
+            },
+        );
+        let mut seen = Vec::new();
+        let _ = engine.run(ones, |s| seen.push(s.index));
+        assert_eq!(seen, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_point_crossover_preserves_length_and_genes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = vec![1u8; 10];
+        let b = vec![2u8; 10];
+        let (c1, c2) = one_point_crossover(&a, &b, &mut rng);
+        assert_eq!(c1.len(), 10);
+        assert_eq!(c2.len(), 10);
+        let ones_total =
+            c1.iter().filter(|&&x| x == 1).count() + c2.iter().filter(|&&x| x == 1).count();
+        assert_eq!(ones_total, 10, "genes must be conserved");
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial() {
+        let population: Vec<Vec<bool>> = {
+            let repr = Bits(24);
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..37).map(|_| repr.random(&mut rng)).collect()
+        };
+        let serial: Vec<f64> = population.iter().map(ones).collect();
+        let parallel = evaluate_parallel(&population, ones, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn rejects_tiny_population() {
+        let _ = GaEngine::new(
+            Bits(8),
+            GaConfig {
+                population: 1,
+                ..GaConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Oscilloscope triggering and analyzer trace modes.
+//!
+//! Real undervolting campaigns do not stare at free-running captures:
+//! the scope is armed with an edge trigger on the rail (to catch droop
+//! events) and the analyzer is left in max-hold to accumulate the worst
+//! spike over a workload's lifetime. Both modes are used by the V_MIN
+//! and monitoring flows.
+
+use emvolt_circuit::Trace;
+use crate::SweepReading;
+
+/// Edge polarity for the scope trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Trigger when the signal crosses the level downward (droops).
+    Falling,
+    /// Trigger when the signal crosses the level upward (overshoots).
+    Rising,
+}
+
+/// An edge-trigger condition on a captured trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trigger {
+    /// Trigger level in volts.
+    pub level_v: f64,
+    /// Crossing direction.
+    pub edge: Edge,
+    /// Samples kept before the trigger point.
+    pub pretrigger: usize,
+    /// Samples kept from the trigger point on.
+    pub capture: usize,
+}
+
+impl Trigger {
+    /// Finds the first trigger point in `trace`, returning its sample
+    /// index.
+    pub fn find(&self, trace: &Trace) -> Option<usize> {
+        let s = trace.samples();
+        s.windows(2).position(|w| match self.edge {
+            Edge::Falling => w[0] >= self.level_v && w[1] < self.level_v,
+            Edge::Rising => w[0] <= self.level_v && w[1] > self.level_v,
+        })
+        .map(|i| i + 1)
+    }
+
+    /// Returns the triggered window around the first crossing, or `None`
+    /// when the trace never crosses the level. The window is clamped to
+    /// the available samples.
+    pub fn capture_window(&self, trace: &Trace) -> Option<Trace> {
+        let at = self.find(trace)?;
+        let start = at.saturating_sub(self.pretrigger);
+        let end = (at + self.capture).min(trace.len());
+        let samples = trace.samples()[start..end].to_vec();
+        Some(Trace::with_start(
+            trace.dt(),
+            trace.start_time() + start as f64 * trace.dt(),
+            samples,
+        ))
+    }
+
+    /// Counts trigger events (crossings) in the trace — the
+    /// voltage-emergency rate when armed below nominal.
+    pub fn count_events(&self, trace: &Trace) -> usize {
+        let s = trace.samples();
+        s.windows(2)
+            .filter(|w| match self.edge {
+                Edge::Falling => w[0] >= self.level_v && w[1] < self.level_v,
+                Edge::Rising => w[0] <= self.level_v && w[1] > self.level_v,
+            })
+            .count()
+    }
+}
+
+/// Accumulates analyzer sweeps in max-hold or averaging mode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceMode {
+    /// Keep the maximum level per point (worst-case spike hunting).
+    MaxHold,
+    /// Average the linear power per point (noise smoothing).
+    Average,
+}
+
+/// A trace accumulator over repeated sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAccumulator {
+    mode: TraceMode,
+    sweeps: usize,
+    freqs: Vec<f64>,
+    acc: Vec<f64>,
+}
+
+impl TraceAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new(mode: TraceMode) -> Self {
+        TraceAccumulator {
+            mode,
+            sweeps: 0,
+            freqs: Vec::new(),
+            acc: Vec::new(),
+        }
+    }
+
+    /// Folds one sweep in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep grid differs from previous sweeps.
+    pub fn add(&mut self, sweep: &SweepReading) {
+        if self.sweeps == 0 {
+            self.freqs = sweep.points.iter().map(|p| p.0).collect();
+            self.acc = match self.mode {
+                TraceMode::MaxHold => sweep.points.iter().map(|p| p.1).collect(),
+                TraceMode::Average => sweep
+                    .points
+                    .iter()
+                    .map(|p| 10f64.powf(p.1 / 10.0))
+                    .collect(),
+            };
+            self.sweeps = 1;
+            return;
+        }
+        assert_eq!(
+            self.freqs.len(),
+            sweep.points.len(),
+            "sweep grid changed mid-accumulation"
+        );
+        for (a, p) in self.acc.iter_mut().zip(&sweep.points) {
+            match self.mode {
+                TraceMode::MaxHold => *a = a.max(p.1),
+                TraceMode::Average => *a += 10f64.powf(p.1 / 10.0),
+            }
+        }
+        self.sweeps += 1;
+    }
+
+    /// Number of folded sweeps.
+    pub fn sweeps(&self) -> usize {
+        self.sweeps
+    }
+
+    /// The accumulated display in dBm per point.
+    pub fn display(&self) -> Vec<(f64, f64)> {
+        match self.mode {
+            TraceMode::MaxHold => self.freqs.iter().copied().zip(self.acc.iter().copied()).collect(),
+            TraceMode::Average => self
+                .freqs
+                .iter()
+                .copied()
+                .zip(
+                    self.acc
+                        .iter()
+                        .map(|&p| 10.0 * (p / self.sweeps.max(1) as f64).log10()),
+                )
+                .collect(),
+        }
+    }
+
+    /// Peak of the accumulated display within `[lo, hi]` Hz.
+    pub fn peak_in_band(&self, lo: f64, hi: f64) -> Option<(f64, f64)> {
+        self.display()
+            .into_iter()
+            .filter(|(f, _)| *f >= lo && *f <= hi)
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalyzerConfig, SpectrumAnalyzer};
+    use emvolt_dsp::Spectrum;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn droopy_trace() -> Trace {
+        // Flat at 1.0 V with two droop events.
+        let mut v = vec![1.0; 200];
+        v[50..55].fill(0.93);
+        v[120..124].fill(0.90);
+        Trace::from_samples(1e-9, v)
+    }
+
+    #[test]
+    fn falling_trigger_finds_the_first_droop() {
+        let t = Trigger {
+            level_v: 0.95,
+            edge: Edge::Falling,
+            pretrigger: 5,
+            capture: 10,
+        };
+        let trace = droopy_trace();
+        assert_eq!(t.find(&trace), Some(50));
+        let win = t.capture_window(&trace).unwrap();
+        assert_eq!(win.len(), 15);
+        assert!(win.min() < 0.95);
+        assert_eq!(t.count_events(&trace), 2);
+    }
+
+    #[test]
+    fn rising_trigger_sees_recoveries() {
+        let t = Trigger {
+            level_v: 0.95,
+            edge: Edge::Rising,
+            pretrigger: 0,
+            capture: 4,
+        };
+        assert_eq!(t.count_events(&droopy_trace()), 2);
+    }
+
+    #[test]
+    fn no_crossing_no_capture() {
+        let t = Trigger {
+            level_v: 0.5,
+            edge: Edge::Falling,
+            pretrigger: 4,
+            capture: 4,
+        };
+        assert!(t.capture_window(&droopy_trace()).is_none());
+        assert_eq!(t.count_events(&droopy_trace()), 0);
+    }
+
+    fn tone(f0: f64, amp: f64) -> Spectrum {
+        let fs = 1e9;
+        let s: Vec<f64> = (0..4096)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin())
+            .collect();
+        Spectrum::of_samples(&s, fs, emvolt_dsp::Window::Hann)
+    }
+
+    #[test]
+    fn max_hold_keeps_the_worst_spike() {
+        let mut sa = SpectrumAnalyzer::new(AnalyzerConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hold = TraceAccumulator::new(TraceMode::MaxHold);
+        // Alternate weak and strong sweeps.
+        for k in 0..6 {
+            let amp = if k == 3 { 5e-3 } else { 5e-4 };
+            hold.add(&sa.sweep(&tone(80e6, amp), &mut rng));
+        }
+        let (_, held) = hold.peak_in_band(70e6, 90e6).unwrap();
+        let single = sa
+            .sweep(&tone(80e6, 5e-4), &mut rng)
+            .peak_in_band(70e6, 90e6)
+            .unwrap()
+            .1;
+        assert!(held > single + 15.0, "max-hold {held} vs single {single}");
+        assert_eq!(hold.sweeps(), 6);
+    }
+
+    #[test]
+    fn averaging_reduces_noise_scatter() {
+        let mut sa = SpectrumAnalyzer::new(AnalyzerConfig::default());
+        let mut rng = StdRng::seed_from_u64(8);
+        let empty = Spectrum::from_bins(1e6, vec![0.0; 256]);
+        let mut avg = TraceAccumulator::new(TraceMode::Average);
+        for _ in 0..32 {
+            avg.add(&sa.sweep(&empty, &mut rng));
+        }
+        let disp = avg.display();
+        // All averaged floor points cluster tightly around -95 dBm.
+        let spread = disp
+            .iter()
+            .map(|p| (p.1 + 95.0).abs())
+            .fold(0.0f64, f64::max);
+        assert!(spread < 1.0, "averaged floor spread {spread} dB");
+    }
+}

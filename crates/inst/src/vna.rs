@@ -1,0 +1,81 @@
+//! Single-port vector-network-analyzer model used to characterize the
+//! receive antenna (the paper's Fig. 6 S11 measurement).
+
+use emvolt_em::LoopAntenna;
+use rand::Rng;
+
+/// A one-port VNA measuring reflection coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vna {
+    /// Per-point measurement noise in dB (RMS).
+    pub noise_sigma_db: f64,
+}
+
+impl Default for Vna {
+    fn default() -> Self {
+        Vna {
+            noise_sigma_db: 0.15,
+        }
+    }
+}
+
+impl Vna {
+    /// Measures `|S11|` of the antenna in dB at each frequency.
+    pub fn measure_s11<R: Rng>(
+        &self,
+        antenna: &LoopAntenna,
+        freqs: &[f64],
+        rng: &mut R,
+    ) -> Vec<(f64, f64)> {
+        freqs
+            .iter()
+            .map(|&f| {
+                let clean = antenna.s11_db(f);
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let noise = (-2.0 * u1.ln()).sqrt()
+                    * (2.0 * std::f64::consts::PI * u2).cos()
+                    * self.noise_sigma_db;
+                (f, clean + noise)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn finds_the_self_resonance_dip() {
+        let vna = Vna::default();
+        let antenna = LoopAntenna::default();
+        let freqs: Vec<f64> = (1..=400).map(|i| i as f64 * 1e7).collect(); // 10 MHz..4 GHz
+        let mut rng = StdRng::seed_from_u64(1);
+        let s11 = vna.measure_s11(&antenna, &freqs, &mut rng);
+        let (f_min, db_min) = s11
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .copied()
+            .unwrap();
+        assert!(
+            (f_min - 2.95e9).abs() < 0.1e9,
+            "dip at {f_min:.3e}, expected 2.95 GHz"
+        );
+        assert!(db_min < -15.0);
+    }
+
+    #[test]
+    fn low_band_is_unmatched() {
+        let vna = Vna {
+            noise_sigma_db: 0.0,
+        };
+        let antenna = LoopAntenna::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let s11 = vna.measure_s11(&antenna, &[50e6, 100e6, 200e6], &mut rng);
+        for (f, db) in s11 {
+            assert!(db > -1.0, "unexpected match at {f:.2e}: {db} dB");
+        }
+    }
+}

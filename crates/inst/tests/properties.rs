@@ -1,0 +1,93 @@
+//! Property-based tests for the instrument models.
+
+use emvolt_circuit::Trace;
+use emvolt_dsp::{Spectrum, Window};
+use emvolt_inst::{AnalyzerConfig, Oscilloscope, ScopeConfig, SpectrumAnalyzer};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn tone_spectrum(f0: f64, amp_v: f64) -> Spectrum {
+    let fs = 1e9;
+    let n = 4096;
+    let s: Vec<f64> = (0..n)
+        .map(|i| amp_v * (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin())
+        .collect();
+    Spectrum::of_samples(&s, fs, Window::Hann)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Analyzer monotonicity: a stronger tone never reads lower (with
+    /// noise disabled).
+    #[test]
+    fn analyzer_is_monotone(f0 in 20e6..240e6f64, a in 1e-5..1e-2f64, k in 1.5..10.0f64) {
+        let mut sa = SpectrumAnalyzer::new(AnalyzerConfig {
+            noise_sigma_db: 0.0,
+            ..AnalyzerConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(0);
+        let (weak, _) = sa.peak_metric(&tone_spectrum(f0, a), 10e6, 250e6, 1, &mut rng);
+        let (strong, _) = sa.peak_metric(&tone_spectrum(f0, a * k), 10e6, 250e6, 1, &mut rng);
+        prop_assert!(strong >= weak, "strong {strong} < weak {weak}");
+    }
+
+    /// A noiseless tone reads within 2 dB of its theoretical dBm level
+    /// whenever it is comfortably above the floor.
+    #[test]
+    fn analyzer_levels_match_theory(f0 in 20e6..240e6f64, a in 3e-4..1e-2f64) {
+        let mut sa = SpectrumAnalyzer::new(AnalyzerConfig {
+            noise_sigma_db: 0.0,
+            ..AnalyzerConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let (dbm, f) = sa.peak_metric(&tone_spectrum(f0, a), 10e6, 250e6, 1, &mut rng);
+        let expected = 10.0 * ((a * a / 100.0) / 1e-3).log10();
+        prop_assert!((dbm - expected).abs() < 2.0, "{dbm} vs {expected}");
+        prop_assert!((f - f0).abs() < 2e6, "marker at {f}, tone {f0}");
+    }
+
+    /// Scope output always lies on the quantization grid and inside the
+    /// vertical range, for any input.
+    #[test]
+    fn scope_output_is_on_grid(
+        amp in 0.0..3.0f64,
+        offset in -1.0..3.0f64,
+        f0 in 1e6..200e6f64,
+    ) {
+        let cfg = ScopeConfig {
+            noise_v: 0.0,
+            ..ScopeConfig::oc_dso()
+        };
+        let scope = Oscilloscope::new(cfg.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        let analog = Trace::from_samples(
+            0.25e-9,
+            (0..4000)
+                .map(|i| offset + amp * (2.0 * std::f64::consts::PI * f0 * i as f64 * 0.25e-9).sin())
+                .collect(),
+        );
+        let shot = scope.capture(&analog, &mut rng);
+        let lo = cfg.v_center - cfg.v_span / 2.0;
+        let hi = cfg.v_center + cfg.v_span / 2.0;
+        let lsb = cfg.v_span / (1u64 << cfg.bits) as f64;
+        for &v in shot.samples() {
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+            let steps = (v - lo) / lsb;
+            prop_assert!((steps - steps.round()).abs() < 1e-9);
+        }
+    }
+
+    /// Scope capture of an in-range signal preserves its mean within an
+    /// LSB plus noise.
+    #[test]
+    fn scope_preserves_mean(offset in 0.8..1.2f64) {
+        let cfg = ScopeConfig::oc_dso();
+        let lsb = cfg.v_span / (1u64 << cfg.bits) as f64;
+        let scope = Oscilloscope::new(cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let analog = Trace::from_samples(1e-9, vec![offset; 4000]);
+        let shot = scope.capture(&analog, &mut rng);
+        prop_assert!((shot.mean() - offset).abs() < lsb + 1e-3);
+    }
+}

@@ -1,0 +1,306 @@
+//! Instruction instances and kernels (loop bodies).
+
+use crate::arch::{Architecture, Isa, MixCategory, OpClass, OpIndex};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Register-file class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// General-purpose (integer) register.
+    Gpr,
+    /// Floating-point / SIMD register.
+    Fpr,
+}
+
+/// A concrete register operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg {
+    /// Register-file class.
+    pub class: RegClass,
+    /// Index within the file.
+    pub index: u8,
+}
+
+impl Reg {
+    /// A general-purpose register.
+    pub fn gpr(index: u8) -> Self {
+        Reg {
+            class: RegClass::Gpr,
+            index,
+        }
+    }
+
+    /// A floating-point/SIMD register.
+    pub fn fpr(index: u8) -> Self {
+        Reg {
+            class: RegClass::Fpr,
+            index,
+        }
+    }
+}
+
+/// One instruction of a kernel: an operation with bound operands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    /// Operation index into the kernel's [`Architecture`].
+    pub op: OpIndex,
+    /// Destination register (meaningful when the op writes one).
+    pub dst: Reg,
+    /// Source registers; only the first `src_count` of the op are used.
+    pub srcs: [Reg; 2],
+    /// Scratch-memory slot for memory-class ops.
+    pub mem_slot: u16,
+}
+
+/// A loop kernel: the 50-instruction body the GA evolves (plus the back
+/// branch implied at the end).
+///
+/// # Examples
+///
+/// ```
+/// use emvolt_isa::{Architecture, Kernel, Instr, Reg, OpIndex};
+/// use std::sync::Arc;
+///
+/// let arch = Arc::new(Architecture::armv8());
+/// let add = arch.op_by_name("add").unwrap();
+/// let instr = Instr { op: add, dst: Reg::gpr(1), srcs: [Reg::gpr(2), Reg::gpr(3)], mem_slot: 0 };
+/// let kernel = Kernel::new(arch, vec![instr]);
+/// assert_eq!(kernel.len(), 1);
+/// assert!(kernel.render().contains("add"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    arch: Arc<Architecture>,
+    body: Vec<Instr>,
+}
+
+impl Kernel {
+    /// Creates a kernel from a loop body.
+    pub fn new(arch: Arc<Architecture>, body: Vec<Instr>) -> Self {
+        Kernel { arch, body }
+    }
+
+    /// The architecture this kernel targets.
+    pub fn arch(&self) -> &Arc<Architecture> {
+        &self.arch
+    }
+
+    /// The loop body.
+    pub fn body(&self) -> &[Instr] {
+        &self.body
+    }
+
+    /// Mutable access to the loop body (used by GA operators).
+    pub fn body_mut(&mut self) -> &mut Vec<Instr> {
+        &mut self.body
+    }
+
+    /// Number of instructions in the loop body.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// `true` when the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Instruction-mix breakdown as fractions per Table-2 category
+    /// (fractions sum to 1 for a non-empty kernel).
+    pub fn mix_breakdown(&self) -> BTreeMap<MixCategory, f64> {
+        let mut counts: BTreeMap<MixCategory, usize> = BTreeMap::new();
+        for i in &self.body {
+            *counts
+                .entry(self.arch.op(i.op).class.mix_category())
+                .or_insert(0) += 1;
+        }
+        let total = self.body.len().max(1) as f64;
+        counts
+            .into_iter()
+            .map(|(k, v)| (k, v as f64 / total))
+            .collect()
+    }
+
+    /// Fraction of instructions in `class`.
+    pub fn class_fraction(&self, class: OpClass) -> f64 {
+        if self.body.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .body
+            .iter()
+            .filter(|i| self.arch.op(i.op).class == class)
+            .count();
+        n as f64 / self.body.len() as f64
+    }
+
+    /// Renders the kernel as assembly text in the target ISA's syntax,
+    /// wrapped in a label + back-branch loop, matching what the paper's
+    /// framework would hand to the assembler on the target machine.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, ".loop:");
+        for (k, i) in self.body.iter().enumerate() {
+            let _ = writeln!(out, "    {}", self.render_instr(i, k));
+        }
+        match self.arch.isa() {
+            Isa::ArmV8 => {
+                let _ = writeln!(out, "    b .loop");
+            }
+            Isa::X86_64 => {
+                let _ = writeln!(out, "    jmp .loop");
+            }
+        }
+        out
+    }
+
+    fn reg_name(&self, r: Reg) -> String {
+        match (self.arch.isa(), r.class) {
+            (Isa::ArmV8, RegClass::Gpr) => format!("x{}", r.index),
+            (Isa::ArmV8, RegClass::Fpr) => format!("v{}", r.index),
+            (Isa::X86_64, RegClass::Gpr) => {
+                const NAMES: [&str; 12] = [
+                    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12",
+                    "r13",
+                ];
+                NAMES
+                    .get(r.index as usize)
+                    .map(|s| (*s).to_owned())
+                    .unwrap_or_else(|| format!("r{}", r.index))
+            }
+            (Isa::X86_64, RegClass::Fpr) => format!("xmm{}", r.index),
+        }
+    }
+
+    fn render_instr(&self, i: &Instr, position: usize) -> String {
+        let op = self.arch.op(i.op);
+        let mem = |slot: u16| match self.arch.isa() {
+            Isa::ArmV8 => format!("[x28, #{}]", slot * 8),
+            Isa::X86_64 => format!("[rbp+{}]", slot * 8),
+        };
+        match (self.arch.isa(), op.class) {
+            (_, OpClass::Branch) => match self.arch.isa() {
+                Isa::ArmV8 => format!("b .l{}", position + 1),
+                Isa::X86_64 => format!("jmp .l{}", position + 1),
+            },
+            (Isa::ArmV8, OpClass::Load) => {
+                format!("ldr {}, {}", self.reg_name(i.dst), mem(i.mem_slot))
+            }
+            (Isa::ArmV8, OpClass::Store) => {
+                format!("str {}, {}", self.reg_name(i.srcs[0]), mem(i.mem_slot))
+            }
+            (Isa::X86_64, OpClass::IntShortMem | OpClass::IntLongMem) => {
+                if op.src_count == 0 {
+                    format!("mov {}, {}", self.reg_name(i.dst), mem(i.mem_slot))
+                } else {
+                    format!("{} {}, {}", base_mnemonic(op.name), self.reg_name(i.dst), mem(i.mem_slot))
+                }
+            }
+            (Isa::X86_64, _) => {
+                // x86 two-operand form: the destination doubles as the
+                // first source (the pool generator enforces
+                // `srcs[0] == dst` for 2-source ops).
+                let mut parts: Vec<String> = Vec::with_capacity(2);
+                if op.has_dst {
+                    parts.push(self.reg_name(i.dst));
+                }
+                if op.src_count == 2 {
+                    parts.push(self.reg_name(i.srcs[1]));
+                } else if op.src_count == 1 {
+                    parts.push(self.reg_name(i.srcs[0]));
+                }
+                format!("{} {}", op.name, parts.join(", "))
+            }
+            _ => {
+                let mut parts: Vec<String> = Vec::with_capacity(3);
+                if op.has_dst {
+                    parts.push(self.reg_name(i.dst));
+                }
+                for s in 0..op.src_count as usize {
+                    parts.push(self.reg_name(i.srcs[s]));
+                }
+                format!("{} {}", op.name, parts.join(", "))
+            }
+        }
+    }
+}
+
+/// Strips the `mem` suffix from synthetic memory-form mnemonics
+/// (`addmem` renders as `add dst, [mem]`).
+fn base_mnemonic(name: &str) -> &str {
+    name.strip_suffix("mem").unwrap_or(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+
+    fn arm_kernel() -> Kernel {
+        let arch = Arc::new(Architecture::armv8());
+        let add = arch.op_by_name("add").unwrap();
+        let ldr = arch.op_by_name("ldr").unwrap();
+        let fsqrt = arch.op_by_name("fsqrt").unwrap();
+        let body = vec![
+            Instr { op: add, dst: Reg::gpr(1), srcs: [Reg::gpr(2), Reg::gpr(3)], mem_slot: 0 },
+            Instr { op: ldr, dst: Reg::gpr(4), srcs: [Reg::gpr(0), Reg::gpr(0)], mem_slot: 3 },
+            Instr { op: fsqrt, dst: Reg::fpr(1), srcs: [Reg::fpr(2), Reg::fpr(0)], mem_slot: 0 },
+        ];
+        Kernel::new(arch, body)
+    }
+
+    #[test]
+    fn renders_arm_syntax() {
+        let text = arm_kernel().render();
+        assert!(text.contains("add x1, x2, x3"), "{text}");
+        assert!(text.contains("ldr x4, [x28, #24]"), "{text}");
+        assert!(text.contains("fsqrt v1, v2"), "{text}");
+        assert!(text.trim_end().ends_with("b .loop"), "{text}");
+    }
+
+    #[test]
+    fn renders_x86_syntax() {
+        let arch = Arc::new(Architecture::x86_64());
+        let addmem = arch.op_by_name("addmem").unwrap();
+        let mulpd = arch.op_by_name("mulpd").unwrap();
+        let body = vec![
+            Instr { op: addmem, dst: Reg::gpr(0), srcs: [Reg::gpr(0), Reg::gpr(0)], mem_slot: 2 },
+            Instr { op: mulpd, dst: Reg::fpr(3), srcs: [Reg::fpr(3), Reg::fpr(4)], mem_slot: 0 },
+        ];
+        let k = Kernel::new(arch, body);
+        let text = k.render();
+        assert!(text.contains("add rax, [rbp+16]"), "{text}");
+        assert!(text.contains("mulpd xmm3, xmm4"), "{text}");
+        assert!(text.trim_end().ends_with("jmp .loop"), "{text}");
+    }
+
+    #[test]
+    fn mix_breakdown_sums_to_one() {
+        let k = arm_kernel();
+        let mix = k.mix_breakdown();
+        let total: f64 = mix.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((mix[&MixCategory::ShortIntReg] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((mix[&MixCategory::Mem] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((mix[&MixCategory::Float] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_fraction() {
+        let k = arm_kernel();
+        assert!((k.class_fraction(OpClass::IntShort) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(k.class_fraction(OpClass::Simd), 0.0);
+    }
+
+    #[test]
+    fn empty_kernel_is_well_behaved() {
+        let arch = Arc::new(Architecture::armv8());
+        let k = Kernel::new(arch, vec![]);
+        assert!(k.is_empty());
+        assert!(k.mix_breakdown().is_empty());
+        assert_eq!(k.class_fraction(OpClass::IntShort), 0.0);
+        assert!(k.render().contains(".loop"));
+    }
+}

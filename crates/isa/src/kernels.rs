@@ -1,0 +1,202 @@
+//! Hand-written kernels: the fast resonance-sweep loop of §5.3 and other
+//! fixed instruction sequences used outside the GA.
+
+use crate::arch::{Architecture, Isa};
+use crate::instr::{Instr, Kernel, Reg};
+use std::sync::Arc;
+
+/// Builds the paper's §5.3 sweep loop: a high-current burst of eight
+/// single-cycle ADDs followed by one long-latency divide.
+///
+/// On a dual-issue core the ADDs retire in 4 cycles at high current and
+/// the divide stalls the pipe at low current, so the loop produces one
+/// current pulse per iteration — an EM spike at the loop frequency, which
+/// DVFS then sweeps across the resonance.
+pub fn sweep_kernel(isa: Isa) -> Kernel {
+    let arch = Arc::new(Architecture::for_isa(isa));
+    let (add_name, div_name) = match isa {
+        Isa::ArmV8 => ("add", "sdiv"),
+        Isa::X86_64 => ("add", "idiv"),
+    };
+    let add = arch.op_by_name(add_name).expect("add exists");
+    let div = arch.op_by_name(div_name).expect("div exists");
+    let div_dst = Reg::gpr(0);
+    let mut body = Vec::with_capacity(9);
+    for k in 0..8u8 {
+        // Independent adds so a dual-issue core sustains 2 per cycle —
+        // except the first, which consumes the divide's result so the
+        // loop's high- and low-current phases cannot overlap across
+        // iterations.
+        let dst = Reg::gpr(1 + (k % 6));
+        let src = match (isa, k) {
+            (_, 0) => div_dst,
+            (Isa::ArmV8, _) => Reg::gpr(7 + (k % 4)),
+            // x86 two-operand form: dst is also the first source.
+            (Isa::X86_64, _) => dst,
+        };
+        body.push(Instr {
+            op: add,
+            dst,
+            srcs: [src, Reg::gpr(7 + ((k + 1) % 4))],
+            mem_slot: 0,
+        });
+    }
+    body.push(Instr {
+        op: div,
+        dst: div_dst,
+        srcs: [
+            if isa == Isa::X86_64 { div_dst } else { Reg::gpr(9) },
+            Reg::gpr(10),
+        ],
+        mem_slot: 0,
+    });
+    Kernel::new(arch, body)
+}
+
+/// Builds the sweep loop stretched with `extra_adds` serially dependent
+/// single-cycle adds. The dependent chain is loop-carried, so the loop
+/// period is at least `extra_adds` cycles — used to place the loop
+/// frequency near a known resonance without DVFS.
+pub fn padded_sweep_kernel(isa: Isa, extra_adds: usize) -> Kernel {
+    let base = sweep_kernel(isa);
+    let arch = Arc::clone(base.arch());
+    let add = arch.op_by_name("add").expect("add exists");
+    let mut body = base.body().to_vec();
+    let dst = Reg::gpr(11);
+    for _ in 0..extra_adds {
+        // `dst` doubles as the first source: a loop-carried chain on both
+        // ISAs (and exactly the x86 two-operand form).
+        body.push(Instr {
+            op: add,
+            dst,
+            srcs: [dst, Reg::gpr(10)],
+            mem_slot: 0,
+        });
+    }
+    Kernel::new(arch, body)
+}
+
+/// Builds a strong resonant stress kernel: a burst of `simd_ops` parallel
+/// SIMD multiplies (the highest-current instructions) followed by a
+/// loop-carried chain of `pad` single-cycle adds that sets the loop
+/// period. Pick `pad` so the loop frequency (~`f_clk / max(pad, burst)`)
+/// lands on the PDN resonance; the result approximates a GA-generated
+/// dI/dt virus without running the GA (useful in tests and examples).
+pub fn resonant_stress_kernel(isa: Isa, simd_ops: usize, pad: usize) -> Kernel {
+    let arch = Arc::new(Architecture::for_isa(isa));
+    let simd_name = match isa {
+        Isa::ArmV8 => "fmul.4s",
+        Isa::X86_64 => "mulpd",
+    };
+    let simd = arch.op_by_name(simd_name).expect("simd op exists");
+    let add = arch.op_by_name("add").expect("add exists");
+    let mut body = Vec::with_capacity(simd_ops + pad);
+    for k in 0..simd_ops {
+        let dst = Reg::fpr((k % 8) as u8);
+        let s0 = if isa == Isa::X86_64 {
+            dst
+        } else {
+            Reg::fpr(8 + (k % 4) as u8)
+        };
+        body.push(Instr {
+            op: simd,
+            dst,
+            srcs: [s0, Reg::fpr(8 + ((k + 1) % 4) as u8)],
+            mem_slot: 0,
+        });
+    }
+    let dst = Reg::gpr(11);
+    for _ in 0..pad {
+        body.push(Instr {
+            op: add,
+            dst,
+            srcs: [dst, Reg::gpr(10)],
+            mem_slot: 0,
+        });
+    }
+    Kernel::new(arch, body)
+}
+
+/// Builds a simple alternating high/low-current kernel with `bursts`
+/// repetitions of (8 ADDs + 1 DIV) per loop iteration — used to construct
+/// loops whose intra-iteration modulation frequency is a multiple of the
+/// loop frequency.
+pub fn burst_kernel(isa: Isa, bursts: usize) -> Kernel {
+    let single = sweep_kernel(isa);
+    let arch = Arc::clone(single.arch());
+    let mut body = Vec::with_capacity(single.len() * bursts);
+    for _ in 0..bursts {
+        body.extend_from_slice(single.body());
+    }
+    Kernel::new(arch, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::OpClass;
+
+    #[test]
+    fn sweep_kernel_is_eight_adds_one_div() {
+        for isa in [Isa::ArmV8, Isa::X86_64] {
+            let k = sweep_kernel(isa);
+            assert_eq!(k.len(), 9);
+            let adds = k
+                .body()
+                .iter()
+                .filter(|i| k.arch().op(i.op).class == OpClass::IntShort)
+                .count();
+            let divs = k
+                .body()
+                .iter()
+                .filter(|i| k.arch().op(i.op).class == OpClass::IntLong)
+                .count();
+            assert_eq!((adds, divs), (8, 1), "{isa:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_kernel_adds_are_independent_pairs() {
+        let k = sweep_kernel(Isa::ArmV8);
+        // Consecutive adds must not form dst->src chains that would
+        // serialize a dual-issue core.
+        for pair in k.body()[..8].windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            assert_ne!(a.dst, b.srcs[0]);
+            assert_ne!(a.dst, b.srcs[1]);
+        }
+        // The first add consumes the divide result (loop-carried
+        // serialization of the high/low phases).
+        assert_eq!(k.body()[0].srcs[0], k.body()[8].dst);
+    }
+
+    #[test]
+    fn padded_kernel_grows_by_requested_adds() {
+        let k = padded_sweep_kernel(Isa::ArmV8, 9);
+        assert_eq!(k.len(), 18);
+        let k0 = padded_sweep_kernel(Isa::X86_64, 0);
+        assert_eq!(k0.len(), 9);
+    }
+
+    #[test]
+    fn resonant_stress_kernel_shape() {
+        let k = resonant_stress_kernel(Isa::ArmV8, 12, 17);
+        assert_eq!(k.len(), 29);
+        assert!(k.class_fraction(OpClass::Simd) > 0.35);
+        let x = resonant_stress_kernel(Isa::X86_64, 16, 40);
+        assert_eq!(x.len(), 56);
+    }
+
+    #[test]
+    fn burst_kernel_scales_length() {
+        let k = burst_kernel(Isa::ArmV8, 4);
+        assert_eq!(k.len(), 36);
+    }
+
+    #[test]
+    fn renders_cleanly() {
+        let text = sweep_kernel(Isa::X86_64).render();
+        assert!(text.contains("idiv"), "{text}");
+        assert!(text.matches("add ").count() >= 8, "{text}");
+    }
+}

@@ -1,0 +1,42 @@
+//! # emvolt-isa
+//!
+//! Instruction-set abstractions for GA-generated dI/dt stress tests:
+//!
+//! * [`Architecture`] — per-ISA operation tables (latency, functional
+//!   unit, per-cycle current draw, functional semantics) for ARMv8 and
+//!   x86-64/SSE2, mirroring §3.3 of the reproduced paper.
+//! * [`Kernel`] / [`Instr`] — loop bodies with assembly rendering and
+//!   Table-2 instruction-mix accounting.
+//! * [`InstructionPool`] / [`PoolSpec`] — the user-configurable search
+//!   space the GA samples from (the paper's XML input file, as JSON).
+//! * [`kernels`] — hand-written kernels such as the §5.3 resonance-sweep
+//!   loop (8 ADDs + 1 DIV).
+//!
+//! # Examples
+//!
+//! ```
+//! use emvolt_isa::{InstructionPool, Isa};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let pool = InstructionPool::default_for(Isa::ArmV8);
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let kernel = pool.random_kernel(50, &mut rng);
+//! assert_eq!(kernel.len(), 50);
+//! println!("{}", kernel.render());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod arch;
+mod instr;
+pub mod kernels;
+mod parse;
+mod pool;
+mod serialize;
+
+pub use arch::{Architecture, FuKind, Isa, MixCategory, Op, OpClass, OpIndex, Semantics};
+pub use instr::{Instr, Kernel, Reg, RegClass};
+pub use parse::{parse_kernel, ParseError};
+pub use pool::{InstructionPool, PoolError, PoolSpec};
+pub use serialize::{InstrSpec, KernelSpec, KernelSpecError, RegSpec};

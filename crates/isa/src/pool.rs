@@ -1,0 +1,380 @@
+//! Instruction pools: the user-specified search space for GA-generated
+//! stress tests.
+//!
+//! The paper's framework reads an XML file listing the instructions the GA
+//! may use, the registers each instruction may touch and the memory
+//! addresses available to memory instructions (§3.2). This module is that
+//! configuration surface, expressed as a serde-able [`PoolSpec`] (JSON
+//! replaces XML) resolved into an [`InstructionPool`] bound to an
+//! [`Architecture`].
+
+use crate::arch::{Architecture, Isa, OpIndex};
+use crate::instr::{Instr, Kernel, Reg, RegClass};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Serializable description of an instruction pool (the paper's XML input
+/// file).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Target ISA.
+    pub isa: Isa,
+    /// Mnemonics the GA may emit; must exist in the target architecture.
+    pub op_names: Vec<String>,
+    /// General-purpose register indices available to generated code.
+    pub gprs: Vec<u8>,
+    /// FP/SIMD register indices available to generated code.
+    pub fprs: Vec<u8>,
+    /// Scratch-memory slots available to memory instructions.
+    pub mem_slots: u16,
+}
+
+impl PoolSpec {
+    /// The default ARMv8 pool: every op class of §3.3 (short/long integer,
+    /// float, SIMD, loads/stores, dummy branches).
+    pub fn arm_default() -> Self {
+        PoolSpec {
+            isa: Isa::ArmV8,
+            op_names: [
+                "mov", "add", "sub", "eor", "mul", "sdiv", "fadd", "fmul", "fdiv", "fsqrt",
+                "add.4s", "fmul.4s", "fsqrt.4s", "ldr", "str", "b",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+            gprs: (0..12).collect(),
+            fprs: (0..12).collect(),
+            mem_slots: 64,
+        }
+    }
+
+    /// The default x86-64 pool (SSE2 SIMD, memory operands instead of
+    /// explicit loads/stores).
+    pub fn x86_default() -> Self {
+        PoolSpec {
+            isa: Isa::X86_64,
+            op_names: [
+                "mov", "add", "sub", "xor", "addmem", "movmem", "imul", "idiv", "imulmem",
+                "addsd", "mulsd", "divsd", "sqrtsd", "addpd", "mulpd", "sqrtpd", "jmp",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+            gprs: (0..12).collect(),
+            fprs: (0..12).collect(),
+            mem_slots: 64,
+        }
+    }
+
+    /// Default pool for an ISA.
+    pub fn default_for(isa: Isa) -> Self {
+        match isa {
+            Isa::ArmV8 => PoolSpec::arm_default(),
+            Isa::X86_64 => PoolSpec::x86_default(),
+        }
+    }
+}
+
+/// Error resolving a [`PoolSpec`] against an architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolError {
+    reason: String,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction pool: {}", self.reason)
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A resolved instruction pool: the sampling space for random kernels and
+/// GA mutations.
+#[derive(Debug, Clone)]
+pub struct InstructionPool {
+    arch: Arc<Architecture>,
+    ops: Vec<OpIndex>,
+    gprs: Vec<u8>,
+    fprs: Vec<u8>,
+    mem_slots: u16,
+}
+
+impl InstructionPool {
+    /// Resolves a spec against its ISA's architecture description.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown mnemonics, out-of-range registers or
+    /// an empty pool.
+    pub fn from_spec(spec: &PoolSpec) -> Result<Self, PoolError> {
+        let arch = Arc::new(Architecture::for_isa(spec.isa));
+        let mut ops = Vec::with_capacity(spec.op_names.len());
+        for name in &spec.op_names {
+            let idx = arch.op_by_name(name).ok_or_else(|| PoolError {
+                reason: format!("unknown op `{name}` for {}", spec.isa),
+            })?;
+            ops.push(idx);
+        }
+        if ops.is_empty() {
+            return Err(PoolError {
+                reason: "op list is empty".into(),
+            });
+        }
+        if spec.gprs.is_empty() || spec.fprs.is_empty() {
+            return Err(PoolError {
+                reason: "register lists must be non-empty".into(),
+            });
+        }
+        for &g in &spec.gprs {
+            if g >= arch.gpr_count() {
+                return Err(PoolError {
+                    reason: format!("gpr {g} out of range (< {})", arch.gpr_count()),
+                });
+            }
+        }
+        for &f in &spec.fprs {
+            if f >= arch.fpr_count() {
+                return Err(PoolError {
+                    reason: format!("fpr {f} out of range (< {})", arch.fpr_count()),
+                });
+            }
+        }
+        if spec.mem_slots == 0 || spec.mem_slots > arch.mem_slots() {
+            return Err(PoolError {
+                reason: format!("mem_slots must be in 1..={}", arch.mem_slots()),
+            });
+        }
+        Ok(InstructionPool {
+            arch,
+            ops,
+            gprs: spec.gprs.clone(),
+            fprs: spec.fprs.clone(),
+            mem_slots: spec.mem_slots,
+        })
+    }
+
+    /// Default pool for an ISA.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the built-in specs always resolve.
+    pub fn default_for(isa: Isa) -> Self {
+        InstructionPool::from_spec(&PoolSpec::default_for(isa)).expect("built-in spec resolves")
+    }
+
+    /// The bound architecture.
+    pub fn arch(&self) -> &Arc<Architecture> {
+        &self.arch
+    }
+
+    /// Ops available to the generator.
+    pub fn ops(&self) -> &[OpIndex] {
+        &self.ops
+    }
+
+    fn random_reg(&self, class: RegClass, rng: &mut impl Rng) -> Reg {
+        match class {
+            RegClass::Gpr => Reg::gpr(*self.gprs.choose(rng).expect("non-empty gprs")),
+            RegClass::Fpr => Reg::fpr(*self.fprs.choose(rng).expect("non-empty fprs")),
+        }
+    }
+
+    /// Samples a random register valid as operand for `op` (destination
+    /// and sources share a file in this model).
+    pub fn random_operand(&self, op: OpIndex, rng: &mut impl Rng) -> Reg {
+        let class = if self.arch.op(op).class.uses_fp_registers() {
+            RegClass::Fpr
+        } else {
+            RegClass::Gpr
+        };
+        self.random_reg(class, rng)
+    }
+
+    /// Samples a random instruction.
+    pub fn random_instr(&self, rng: &mut impl Rng) -> Instr {
+        let op_idx = *self.ops.choose(rng).expect("non-empty ops");
+        let op = self.arch.op(op_idx);
+        let dst = self.random_operand(op_idx, rng);
+        let mut srcs = [self.random_operand(op_idx, rng), self.random_operand(op_idx, rng)];
+        // x86 two-operand encoding: dst is also the first source.
+        if self.arch.isa() == Isa::X86_64 && op.src_count == 2 {
+            srcs[0] = dst;
+        }
+        let mem_slot = rng.gen_range(0..self.mem_slots);
+        Instr {
+            op: op_idx,
+            dst,
+            srcs,
+            mem_slot,
+        }
+    }
+
+    /// Samples a random instruction restricted to ops of `class`, or
+    /// `None` when the pool has no such op — used by the synthetic
+    /// workload library to realise instruction-mix profiles.
+    pub fn random_instr_of_class(
+        &self,
+        class: crate::arch::OpClass,
+        rng: &mut impl Rng,
+    ) -> Option<Instr> {
+        let candidates: Vec<OpIndex> = self
+            .ops
+            .iter()
+            .copied()
+            .filter(|&i| self.arch.op(i).class == class)
+            .collect();
+        let op_idx = *candidates.choose(rng)?;
+        let op = self.arch.op(op_idx);
+        let dst = self.random_operand(op_idx, rng);
+        let mut srcs = [
+            self.random_operand(op_idx, rng),
+            self.random_operand(op_idx, rng),
+        ];
+        if self.arch.isa() == Isa::X86_64 && op.src_count == 2 {
+            srcs[0] = dst;
+        }
+        Some(Instr {
+            op: op_idx,
+            dst,
+            srcs,
+            mem_slot: rng.gen_range(0..self.mem_slots),
+        })
+    }
+
+    /// Samples a random kernel of `len` instructions — a GA seed
+    /// individual.
+    pub fn random_kernel(&self, len: usize, rng: &mut impl Rng) -> Kernel {
+        let body = (0..len).map(|_| self.random_instr(rng)).collect();
+        Kernel::new(Arc::clone(&self.arch), body)
+    }
+
+    /// Mutates one instruction in place: with equal probability replaces
+    /// the whole instruction or re-rolls one operand (the paper's
+    /// instruction / instruction-operand mutation).
+    pub fn mutate_instr(&self, instr: &mut Instr, rng: &mut impl Rng) {
+        if rng.gen_bool(0.5) {
+            *instr = self.random_instr(rng);
+        } else {
+            let op = self.arch.op(instr.op);
+            match rng.gen_range(0..3u8) {
+                0 if op.has_dst => {
+                    instr.dst = self.random_operand(instr.op, rng);
+                    if self.arch.isa() == Isa::X86_64 && op.src_count == 2 {
+                        instr.srcs[0] = instr.dst;
+                    }
+                }
+                1 if op.src_count > 0 => {
+                    let s = rng.gen_range(0..op.src_count as usize);
+                    if !(self.arch.isa() == Isa::X86_64 && op.src_count == 2 && s == 0) {
+                        instr.srcs[s] = self.random_operand(instr.op, rng);
+                    }
+                }
+                _ => instr.mem_slot = rng.gen_range(0..self.mem_slots),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_pools_resolve() {
+        for isa in [Isa::ArmV8, Isa::X86_64] {
+            let pool = InstructionPool::default_for(isa);
+            assert!(!pool.ops().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_op_is_rejected() {
+        let mut spec = PoolSpec::arm_default();
+        spec.op_names.push("frobnicate".into());
+        assert!(InstructionPool::from_spec(&spec).is_err());
+    }
+
+    #[test]
+    fn out_of_range_registers_rejected() {
+        let mut spec = PoolSpec::arm_default();
+        spec.gprs = vec![200];
+        assert!(InstructionPool::from_spec(&spec).is_err());
+    }
+
+    #[test]
+    fn empty_ops_rejected() {
+        let mut spec = PoolSpec::arm_default();
+        spec.op_names.clear();
+        assert!(InstructionPool::from_spec(&spec).is_err());
+    }
+
+    #[test]
+    fn random_kernels_are_valid_and_deterministic() {
+        let pool = InstructionPool::default_for(Isa::ArmV8);
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let a = pool.random_kernel(50, &mut rng1);
+        let b = pool.random_kernel(50, &mut rng2);
+        assert_eq!(a.body(), b.body(), "same seed must give same kernel");
+        assert_eq!(a.len(), 50);
+        for i in a.body() {
+            let op = pool.arch().op(i.op);
+            if op.class.uses_fp_registers() {
+                assert_eq!(i.dst.class, RegClass::Fpr);
+            }
+        }
+    }
+
+    #[test]
+    fn x86_two_operand_invariant_holds() {
+        let pool = InstructionPool::default_for(Isa::X86_64);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let i = pool.random_instr(&mut rng);
+            let op = pool.arch().op(i.op);
+            if op.src_count == 2 {
+                assert_eq!(i.srcs[0], i.dst, "{} broke two-operand form", op.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_preserves_two_operand_invariant() {
+        let pool = InstructionPool::default_for(Isa::X86_64);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut k = pool.random_kernel(50, &mut rng);
+        for _ in 0..2000 {
+            let idx = rng.gen_range(0..k.len());
+            let arch = Arc::clone(pool.arch());
+            pool.mutate_instr(&mut k.body_mut()[idx], &mut rng);
+            let i = &k.body()[idx];
+            let op = arch.op(i.op);
+            if op.src_count == 2 {
+                assert_eq!(i.srcs[0], i.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn spec_serde_round_trip() {
+        let spec = PoolSpec::x86_default();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: PoolSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn mem_slot_limits_enforced() {
+        let mut spec = PoolSpec::arm_default();
+        spec.mem_slots = 0;
+        assert!(InstructionPool::from_spec(&spec).is_err());
+        spec.mem_slots = 10_000;
+        assert!(InstructionPool::from_spec(&spec).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the ISA crate.
+
+use emvolt_isa::{InstructionPool, Isa, KernelSpec, MixCategory, PoolSpec};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn arb_isa() -> impl Strategy<Value = Isa> {
+    prop_oneof![Just(Isa::ArmV8), Just(Isa::X86_64)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random kernels always render to non-empty assembly containing one
+    /// line per instruction plus the loop frame.
+    #[test]
+    fn random_kernels_render(isa in arb_isa(), seed in any::<u64>(), len in 1usize..80) {
+        let pool = InstructionPool::default_for(isa);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = pool.random_kernel(len, &mut rng);
+        let text = k.render();
+        prop_assert_eq!(text.lines().count(), len + 2, "{}", text);
+        prop_assert!(text.starts_with(".loop:"));
+    }
+
+    /// The Table-2 mix breakdown always sums to one and each fraction is
+    /// a multiple of 1/len.
+    #[test]
+    fn mix_breakdown_is_a_distribution(isa in arb_isa(), seed in any::<u64>(), len in 1usize..60) {
+        let pool = InstructionPool::default_for(isa);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = pool.random_kernel(len, &mut rng);
+        let mix = k.mix_breakdown();
+        let total: f64 = mix.values().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for (&cat, &frac) in &mix {
+            prop_assert!(MixCategory::ALL.contains(&cat));
+            let counts = frac * len as f64;
+            prop_assert!((counts - counts.round()).abs() < 1e-6);
+        }
+    }
+
+    /// KernelSpec round-trips every pool-generated kernel exactly.
+    #[test]
+    fn kernel_spec_round_trip(isa in arb_isa(), seed in any::<u64>(), len in 1usize..60) {
+        let pool = InstructionPool::default_for(isa);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = pool.random_kernel(len, &mut rng);
+        let spec = KernelSpec::from_kernel(&k);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: KernelSpec = serde_json::from_str(&json).unwrap();
+        let k2 = back.to_kernel().unwrap();
+        prop_assert_eq!(k.body(), k2.body());
+    }
+
+    /// Mutation never produces instructions outside the pool, and
+    /// preserves kernel length.
+    #[test]
+    fn mutation_stays_in_pool(isa in arb_isa(), seed in any::<u64>(), rounds in 1usize..200) {
+        let pool = InstructionPool::default_for(isa);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut k = pool.random_kernel(20, &mut rng);
+        for _ in 0..rounds {
+            let idx = (seed as usize + rounds) % k.len();
+            pool.mutate_instr(&mut k.body_mut()[idx], &mut rng);
+        }
+        prop_assert_eq!(k.len(), 20);
+        for i in k.body() {
+            prop_assert!(pool.ops().contains(&i.op), "op escaped the pool");
+        }
+    }
+
+    /// Pool specs restricted to arbitrary op subsets still resolve (as
+    /// long as non-empty) and only emit the allowed ops.
+    #[test]
+    fn restricted_pools_respect_their_spec(
+        isa in arb_isa(),
+        mask in 1u32..(1 << 10),
+        seed in any::<u64>(),
+    ) {
+        let full = PoolSpec::default_for(isa);
+        let op_names: Vec<String> = full
+            .op_names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << (i % 10)) != 0)
+            .map(|(_, n)| n.clone())
+            .collect();
+        prop_assume!(!op_names.is_empty());
+        let spec = PoolSpec { op_names: op_names.clone(), ..full };
+        let pool = InstructionPool::from_spec(&spec).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = pool.random_kernel(30, &mut rng);
+        for i in k.body() {
+            let name = k.arch().op(i.op).name;
+            prop_assert!(op_names.iter().any(|n| n == name), "op {name} not allowed");
+        }
+    }
+}

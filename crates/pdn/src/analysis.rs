@@ -1,0 +1,145 @@
+//! Resonance extraction from impedance sweeps.
+
+use emvolt_circuit::Complex;
+
+/// A resonance peak found in an impedance sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResonancePeak {
+    /// Frequency of the local impedance maximum, in Hz.
+    pub frequency_hz: f64,
+    /// Impedance magnitude at the peak, in ohms.
+    pub impedance_ohms: f64,
+}
+
+/// Finds local maxima of `|Z(f)|` in an impedance sweep, strongest first.
+///
+/// Endpoints qualify as peaks when they exceed their single neighbour, so
+/// resonances at the edge of the sweep are still reported.
+pub fn find_resonance_peaks(sweep: &[(f64, Complex)]) -> Vec<ResonancePeak> {
+    let n = sweep.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![ResonancePeak {
+            frequency_hz: sweep[0].0,
+            impedance_ohms: sweep[0].1.norm(),
+        }];
+    }
+    let mags: Vec<f64> = sweep.iter().map(|(_, z)| z.norm()).collect();
+    let mut peaks = Vec::new();
+    for (i, (&(freq, _), &mag)) in sweep.iter().zip(&mags).enumerate() {
+        let left_ok = i == 0 || mag > mags[i - 1];
+        let right_ok = i == n - 1 || mag >= mags[i + 1];
+        if left_ok && right_ok {
+            peaks.push(ResonancePeak {
+                frequency_hz: freq,
+                impedance_ohms: mag,
+            });
+        }
+    }
+    peaks.sort_by(|a, b| b.impedance_ohms.total_cmp(&a.impedance_ohms));
+    peaks
+}
+
+/// The strongest peak within `[lo, hi]` Hz, if any — used to isolate the
+/// first-order resonance in the 50–200 MHz band the paper searches.
+pub fn strongest_peak_in_band(
+    sweep: &[(f64, Complex)],
+    lo: f64,
+    hi: f64,
+) -> Option<ResonancePeak> {
+    find_resonance_peaks(sweep)
+        .into_iter()
+        .find(|p| p.frequency_hz >= lo && p.frequency_hz <= hi)
+}
+
+/// Generates `n` logarithmically spaced frequencies in `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `lo` or `hi` is non-positive, `hi <= lo`, or `n < 2`.
+pub fn log_freqs(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && n >= 2, "invalid log sweep spec");
+    let (l0, l1) = (lo.log10(), hi.log10());
+    (0..n)
+        .map(|i| 10f64.powf(l0 + (l1 - l0) * i as f64 / (n - 1) as f64))
+        .collect()
+}
+
+/// Generates linearly spaced frequencies in `[lo, hi]` with step `step`.
+///
+/// # Panics
+///
+/// Panics if `step` is non-positive or `hi < lo`.
+pub fn lin_freqs(lo: f64, hi: f64, step: f64) -> Vec<f64> {
+    assert!(step > 0.0 && hi >= lo, "invalid linear sweep spec");
+    let n = ((hi - lo) / step).floor() as usize + 1;
+    (0..n).map(|i| lo + i as f64 * step).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Pdn;
+    use crate::params::PdnParams;
+
+    #[test]
+    fn finds_three_resonances_of_generic_pdn() {
+        let params = PdnParams::generic_mobile();
+        let pdn = Pdn::new(params.clone(), 2);
+        let freqs = log_freqs(1e3, 1e9, 1200);
+        let sweep = pdn.impedance_sweep(&freqs).unwrap();
+        let peaks = find_resonance_peaks(&sweep);
+        assert!(
+            peaks.len() >= 3,
+            "expected at least 3 resonances, found {}",
+            peaks.len()
+        );
+        // First-order peak is the strongest and sits near the analytic value.
+        let f1 = params.first_order_resonance_hz(2);
+        assert!(
+            (peaks[0].frequency_hz - f1).abs() / f1 < 0.1,
+            "strongest peak {:.3e} vs {f1:.3e}",
+            peaks[0].frequency_hz
+        );
+        // A 2nd-order peak exists in the ~0.5-10 MHz region.
+        assert!(peaks
+            .iter()
+            .any(|p| (0.3e6..12e6).contains(&p.frequency_hz)));
+        // A 3rd-order peak exists below 100 kHz.
+        assert!(peaks.iter().any(|p| p.frequency_hz < 100e3));
+    }
+
+    #[test]
+    fn band_filtering() {
+        let params = PdnParams::generic_mobile();
+        let pdn = Pdn::new(params, 2);
+        let freqs = log_freqs(1e3, 1e9, 600);
+        let sweep = pdn.impedance_sweep(&freqs).unwrap();
+        let p = strongest_peak_in_band(&sweep, 50e6, 200e6).unwrap();
+        assert!((50e6..=200e6).contains(&p.frequency_hz));
+    }
+
+    #[test]
+    fn log_and_lin_grids() {
+        let lg = log_freqs(1.0, 1000.0, 4);
+        assert!((lg[1] - 10.0).abs() < 1e-9);
+        let ln = lin_freqs(10.0, 20.0, 5.0);
+        assert_eq!(ln, vec![10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn empty_sweep_has_no_peaks() {
+        assert!(find_resonance_peaks(&[]).is_empty());
+    }
+
+    #[test]
+    fn monotone_sweep_reports_endpoint() {
+        let sweep: Vec<(f64, Complex)> = (1..=5)
+            .map(|i| (i as f64, Complex::from_real(i as f64)))
+            .collect();
+        let peaks = find_resonance_peaks(&sweep);
+        assert_eq!(peaks[0].frequency_hz, 5.0);
+    }
+}

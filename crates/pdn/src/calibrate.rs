@@ -1,0 +1,159 @@
+//! Calibration of die-capacitance models against measured resonance
+//! frequencies.
+//!
+//! The paper reports first-order resonance frequencies at different
+//! power-gating configurations (e.g. Cortex-A53: 76.5 MHz with 4 cores,
+//! 97 MHz with 1 core). Given the effective tank inductance
+//! (`PdnParams::effective_tank_inductance`), those two
+//! points pin down the shared-cluster and per-core capacitance slices:
+//!
+//! ```text
+//! f(n) = 1 / (2*pi*sqrt(L_eff * (C_cluster + n * C_core)))
+//! =>  C_total(n) = 1 / (L_eff * (2*pi*f(n))^2)       (linear in n)
+//! ```
+
+use crate::params::DieCapacitance;
+use std::fmt;
+
+/// Error returned when a calibration target is unsolvable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationError {
+    reason: String,
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "calibration failed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// Solves the total die capacitance that puts the first-order resonance at
+/// `f_target` for a given effective tank inductance.
+pub fn capacitance_for_resonance(l_eff: f64, f_target: f64) -> f64 {
+    let w = 2.0 * std::f64::consts::PI * f_target;
+    1.0 / (l_eff * w * w)
+}
+
+/// Calibrates a [`DieCapacitance`] model so the resonance lands at
+/// `f_all_cores` with every core powered and at `f_one_core` with a single
+/// core powered.
+///
+/// # Errors
+///
+/// Returns an error when the inputs are non-physical: non-positive values,
+/// a single-core frequency that is not above the all-cores frequency (the
+/// capacitance removed by gating must be positive), or an implied negative
+/// cluster capacitance (the frequency ratio exceeding `sqrt(n)` would
+/// require one).
+pub fn calibrate_die_capacitance(
+    l_eff: f64,
+    core_count: usize,
+    f_all_cores: f64,
+    f_one_core: f64,
+) -> Result<DieCapacitance, CalibrationError> {
+    if l_eff <= 0.0 || f_all_cores <= 0.0 || f_one_core <= 0.0 {
+        return Err(CalibrationError {
+            reason: format!(
+                "non-positive input (l={l_eff}, f_all={f_all_cores}, f_one={f_one_core})"
+            ),
+        });
+    }
+    if core_count < 2 {
+        return Err(CalibrationError {
+            reason: "need at least 2 cores to calibrate per-core capacitance".into(),
+        });
+    }
+    if f_one_core <= f_all_cores {
+        return Err(CalibrationError {
+            reason: format!(
+                "single-core resonance {f_one_core} must exceed all-cores {f_all_cores}"
+            ),
+        });
+    }
+    let c_all = capacitance_for_resonance(l_eff, f_all_cores);
+    let c_one = capacitance_for_resonance(l_eff, f_one_core);
+    let n = core_count as f64;
+    let per_core = (c_all - c_one) / (n - 1.0);
+    let cluster = c_one - per_core;
+    if cluster <= 0.0 {
+        return Err(CalibrationError {
+            reason: format!(
+                "implied cluster capacitance {cluster:.3e} F is non-positive; \
+                 frequency ratio too large for {core_count} cores"
+            ),
+        });
+    }
+    Ok(DieCapacitance {
+        cluster_farads: cluster,
+        per_core_farads: per_core,
+        core_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resonance(l: f64, c: f64) -> f64 {
+        1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt())
+    }
+
+    #[test]
+    fn round_trips_a53_targets() {
+        // The paper's Cortex-A53 numbers: 76.5 MHz (4 cores), 97 MHz (1).
+        let l = 45e-12;
+        let d = calibrate_die_capacitance(l, 4, 76.5e6, 97e6).unwrap();
+        let f4 = resonance(l, d.effective(4));
+        let f1 = resonance(l, d.effective(1));
+        assert!((f4 - 76.5e6).abs() / 76.5e6 < 1e-9, "f4 {f4:.4e}");
+        assert!((f1 - 97e6).abs() / 97e6 < 1e-9, "f1 {f1:.4e}");
+        assert!(d.cluster_farads > 0.0 && d.per_core_farads > 0.0);
+    }
+
+    #[test]
+    fn round_trips_a72_targets() {
+        // Cortex-A72: ~69 MHz (2 cores), ~83 MHz (1 core).
+        let l = 45e-12;
+        let d = calibrate_die_capacitance(l, 2, 69e6, 83e6).unwrap();
+        let f2 = resonance(l, d.effective(2));
+        let f1 = resonance(l, d.effective(1));
+        assert!((f2 - 69e6).abs() / 69e6 < 1e-9);
+        assert!((f1 - 83e6).abs() / 83e6 < 1e-9);
+    }
+
+    #[test]
+    fn intermediate_core_counts_interpolate_monotonically() {
+        let l = 45e-12;
+        let d = calibrate_die_capacitance(l, 4, 76.5e6, 97e6).unwrap();
+        let freqs: Vec<f64> = (1..=4).map(|n| resonance(l, d.effective(n))).collect();
+        for w in freqs.windows(2) {
+            assert!(w[0] > w[1], "resonance must fall as cores power up");
+        }
+    }
+
+    #[test]
+    fn rejects_inverted_frequencies() {
+        assert!(calibrate_die_capacitance(45e-12, 4, 97e6, 76.5e6).is_err());
+    }
+
+    #[test]
+    fn rejects_excessive_ratio() {
+        // ratio > sqrt(2) for a 2-core cluster implies negative cluster C.
+        assert!(calibrate_die_capacitance(45e-12, 2, 50e6, 90e6).is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(calibrate_die_capacitance(0.0, 4, 1.0, 2.0).is_err());
+        assert!(calibrate_die_capacitance(1e-12, 1, 1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn capacitance_formula_inverts_resonance() {
+        let l = 50e-12;
+        let c = capacitance_for_resonance(l, 80e6);
+        assert!((resonance(l, c) - 80e6).abs() < 1.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # emvolt-pdn
+//!
+//! The paper's die–package–PCB power-delivery-network model (Fig. 1(a))
+//! built on the [`emvolt_circuit`] substrate:
+//!
+//! * [`PdnParams`] / [`DieCapacitance`] — lumped element values, with a
+//!   power-gating-aware die-capacitance model.
+//! * [`Pdn`] — the concrete netlist; impedance sweeps (Fig. 1(b)) and
+//!   transient responses (Fig. 1(c), Fig. 2) with a programmable load.
+//! * [`analysis`] — resonance-peak extraction from impedance sweeps.
+//! * [`calibrate`] — solving capacitance models from measured resonance
+//!   frequencies (how the per-platform models match the paper's numbers).
+//!
+//! # Examples
+//!
+//! ```
+//! use emvolt_pdn::{Pdn, PdnParams};
+//! use emvolt_pdn::analysis::{log_freqs, strongest_peak_in_band};
+//!
+//! # fn main() -> Result<(), emvolt_circuit::CircuitError> {
+//! let params = PdnParams::generic_mobile();
+//! let pdn = Pdn::new(params.clone(), 2);
+//! let sweep = pdn.impedance_sweep(&log_freqs(1e6, 500e6, 400))?;
+//! let peak = strongest_peak_in_band(&sweep, 50e6, 200e6).unwrap();
+//! let analytic = params.first_order_resonance_hz(2);
+//! assert!((peak.frequency_hz - analytic).abs() / analytic < 0.1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod calibrate;
+mod network;
+mod params;
+
+pub use analysis::{find_resonance_peaks, lin_freqs, log_freqs, strongest_peak_in_band, ResonancePeak};
+pub use calibrate::{calibrate_die_capacitance, capacitance_for_resonance, CalibrationError};
+pub use network::Pdn;
+pub use params::{DieCapacitance, PdnParams};

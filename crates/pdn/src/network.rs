@@ -1,0 +1,229 @@
+//! Builds the Fig. 1(a) netlist and runs its analyses.
+
+use crate::params::PdnParams;
+use emvolt_circuit::{
+    Circuit, Complex, ISourceId, InductorId, NodeId, Result, Stimulus, Trace, TransientConfig,
+    VSourceId,
+};
+
+/// A concrete power-delivery network instance: the Fig. 1(a) netlist plus
+/// handles to the die node, the load source and the package inductor
+/// (whose current is the paper's I_DIE).
+#[derive(Debug, Clone)]
+pub struct Pdn {
+    params: PdnParams,
+    active_cores: usize,
+    circuit: Circuit,
+    die_node: NodeId,
+    load: ISourceId,
+    /// Optional second current source for external stimuli (the SCL block
+    /// injects here so workload and SCL excitations can coexist).
+    aux: ISourceId,
+    vrm_source: VSourceId,
+    l_pkg_id: InductorId,
+}
+
+impl Pdn {
+    /// Builds the network with `active_cores` powered up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_cores` is outside the die model's range (the
+    /// netlist construction itself cannot fail for valid parameters).
+    pub fn new(params: PdnParams, active_cores: usize) -> Self {
+        let c_die = params.die_capacitance.effective(active_cores);
+        let mut c = Circuit::new();
+        let n_pcb = c.node("pcb");
+        let n_pkg = c.node("pkg");
+        let n_die = c.node("die");
+        let n_vrm = c.node("vrm");
+
+        // Regulator: ideal source behind its output impedance.
+        let vrm_source = c
+            .voltage_source(n_vrm, NodeId::GROUND, Stimulus::Dc(params.v_nominal))
+            .expect("valid nodes");
+        let vrm_mid = c.node("vrm_mid");
+        c.resistor(n_vrm, vrm_mid, params.r_vrm).expect("valid r_vrm");
+        c.inductor(vrm_mid, n_pcb, params.l_vrm).expect("valid l_vrm");
+
+        // Bulk PCB decap with parasitics.
+        let pcb_c1 = c.node("pcb_c1");
+        let pcb_c2 = c.node("pcb_c2");
+        c.capacitor(n_pcb, pcb_c1, params.c_pcb).expect("valid c_pcb");
+        c.resistor(pcb_c1, pcb_c2, params.esr_pcb).expect("valid esr_pcb");
+        c.inductor(pcb_c2, NodeId::GROUND, params.esl_pcb)
+            .expect("valid esl_pcb");
+
+        // PCB plane to package.
+        let pcb_mid = c.node("pcb_mid");
+        c.resistor(n_pcb, pcb_mid, params.r_pcb).expect("valid r_pcb");
+        c.inductor(pcb_mid, n_pkg, params.l_pcb).expect("valid l_pcb");
+
+        // Package decap with parasitics.
+        let pkg_c1 = c.node("pkg_c1");
+        let pkg_c2 = c.node("pkg_c2");
+        c.capacitor(n_pkg, pkg_c1, params.c_pkg).expect("valid c_pkg");
+        c.resistor(pkg_c1, pkg_c2, params.esr_pkg).expect("valid esr_pkg");
+        c.inductor(pkg_c2, NodeId::GROUND, params.esl_pkg)
+            .expect("valid esl_pkg");
+
+        // Package to die: the first-order tank inductance.
+        let pkg_mid = c.node("pkg_mid");
+        c.resistor(n_pkg, pkg_mid, params.r_pkg).expect("valid r_pkg");
+        let l_pkg_id = c.inductor(pkg_mid, n_die, params.l_pkg).expect("valid l_pkg");
+
+        // Die capacitance with grid resistance.
+        let die_c = c.node("die_c");
+        c.resistor(n_die, die_c, params.r_die).expect("valid r_die");
+        c.capacitor(die_c, NodeId::GROUND, c_die).expect("valid c_die");
+
+        // Load and auxiliary stimulus ports.
+        let load = c
+            .current_source(n_die, NodeId::GROUND, Stimulus::Dc(0.0))
+            .expect("valid load port");
+        let aux = c
+            .current_source(n_die, NodeId::GROUND, Stimulus::Dc(0.0))
+            .expect("valid aux port");
+
+        Pdn {
+            params,
+            active_cores,
+            circuit: c,
+            die_node: n_die,
+            load,
+            aux,
+            vrm_source,
+            l_pkg_id,
+        }
+    }
+
+    /// The parameter set this network was built from.
+    pub fn params(&self) -> &PdnParams {
+        &self.params
+    }
+
+    /// Number of powered cores the die capacitance reflects.
+    pub fn active_cores(&self) -> usize {
+        self.active_cores
+    }
+
+    /// Nominal supply voltage.
+    pub fn v_nominal(&self) -> f64 {
+        self.params.v_nominal
+    }
+
+    /// Sets the CPU load-current waveform (I_LOAD in the paper).
+    pub fn set_load(&mut self, stimulus: Stimulus) {
+        self.circuit.set_current_stimulus(self.load, stimulus);
+    }
+
+    /// Sets the auxiliary stimulus waveform (used by the SCL block).
+    pub fn set_aux(&mut self, stimulus: Stimulus) {
+        self.circuit.set_current_stimulus(self.aux, stimulus);
+    }
+
+    /// Sets the regulator voltage (undervolting for V_MIN tests).
+    pub fn set_supply_voltage(&mut self, volts: f64) {
+        self.params.v_nominal = volts;
+        self.circuit
+            .set_voltage_stimulus(self.vrm_source, Stimulus::Dc(volts));
+    }
+
+    /// Impedance seen by the die across `freqs` (Fig. 1(b)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-analysis errors.
+    pub fn impedance_sweep(&self, freqs: &[f64]) -> Result<Vec<(f64, Complex)>> {
+        self.circuit.driving_point_impedance(self.load, freqs)
+    }
+
+    /// Transient response; returns `(v_die, i_die)` traces, where I_DIE is
+    /// the current through the package inductance as in Fig. 2.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-analysis errors.
+    pub fn transient(&self, config: &TransientConfig) -> Result<(Trace, Trace)> {
+        let res = self.circuit.transient(config)?;
+        Ok((
+            res.voltage(self.die_node),
+            res.inductor_current(self.l_pkg_id),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PdnParams;
+
+    #[test]
+    fn dc_level_is_near_nominal() {
+        let pdn = Pdn::new(PdnParams::generic_mobile(), 2);
+        let cfg = TransientConfig::new(1e-9, 200e-9);
+        let (v, _) = pdn.transient(&cfg).unwrap();
+        assert!((v.mean() - 1.0).abs() < 1e-3, "mean {}", v.mean());
+    }
+
+    #[test]
+    fn impedance_peaks_near_analytic_resonance() {
+        let params = PdnParams::generic_mobile();
+        let f_expected = params.first_order_resonance_hz(2);
+        let pdn = Pdn::new(params, 2);
+        let freqs: Vec<f64> = (10..300).map(|i| i as f64 * 1e6).collect();
+        let z = pdn.impedance_sweep(&freqs).unwrap();
+        let (f_peak, _) = z
+            .iter()
+            .max_by(|a, b| a.1.norm().total_cmp(&b.1.norm()))
+            .copied()
+            .unwrap();
+        assert!(
+            (f_peak - f_expected).abs() / f_expected < 0.10,
+            "peak {f_peak:.3e} vs analytic {f_expected:.3e}"
+        );
+    }
+
+    #[test]
+    fn resonant_square_wave_droops_more_than_off_resonance() {
+        let params = PdnParams::generic_mobile();
+        let f_res = params.first_order_resonance_hz(2);
+        let mut pdn = Pdn::new(params, 2);
+        let cfg = TransientConfig::new(0.2e-9, 4e-6).with_warmup(2e-6);
+
+        pdn.set_load(Stimulus::square(0.0, 1.0, f_res));
+        let (v_res, _) = pdn.transient(&cfg).unwrap();
+
+        pdn.set_load(Stimulus::square(0.0, 1.0, f_res / 3.5));
+        let (v_off, _) = pdn.transient(&cfg).unwrap();
+
+        assert!(
+            v_res.peak_to_peak() > 1.5 * v_off.peak_to_peak(),
+            "resonant p2p {} vs off-resonance {}",
+            v_res.peak_to_peak(),
+            v_off.peak_to_peak()
+        );
+    }
+
+    #[test]
+    fn supply_voltage_change_shifts_dc_level() {
+        let mut pdn = Pdn::new(PdnParams::generic_mobile(), 2);
+        pdn.set_supply_voltage(0.9);
+        let cfg = TransientConfig::new(1e-9, 200e-9);
+        let (v, _) = pdn.transient(&cfg).unwrap();
+        assert!((v.mean() - 0.9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn i_die_oscillates_under_resonant_load() {
+        let params = PdnParams::generic_mobile();
+        let f_res = params.first_order_resonance_hz(2);
+        let mut pdn = Pdn::new(params, 2);
+        pdn.set_load(Stimulus::square(0.0, 0.5, f_res));
+        let cfg = TransientConfig::new(0.2e-9, 3e-6).with_warmup(1.5e-6);
+        let (_, i) = pdn.transient(&cfg).unwrap();
+        // Resonant amplification: the inductor current swing exceeds the
+        // 0.5 A load swing.
+        assert!(i.peak_to_peak() > 0.5, "i_die p2p {}", i.peak_to_peak());
+    }
+}

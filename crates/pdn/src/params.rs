@@ -1,0 +1,195 @@
+//! Power-delivery-network parameters (the element values of Fig. 1(a)).
+
+use serde::{Deserialize, Serialize};
+
+/// Die-capacitance model with power-gating support.
+///
+/// The die capacitance is the sum of a *shared cluster* component (uncore
+/// logic, shared caches and explicit decap that stays powered) and one
+/// *per-core* slice for each powered-up core. Power-gating a core removes
+/// its slice, which lowers C_DIE and therefore **raises** the first-order
+/// resonance frequency — the effect measured in Fig. 13 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DieCapacitance {
+    /// Always-on shared capacitance in farads.
+    pub cluster_farads: f64,
+    /// Capacitance contributed by each powered core, in farads.
+    pub per_core_farads: f64,
+    /// Total cores physically present in the cluster.
+    pub core_count: usize,
+}
+
+impl DieCapacitance {
+    /// Effective die capacitance with `active_cores` powered up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_cores` exceeds the cluster's core count or is 0.
+    pub fn effective(&self, active_cores: usize) -> f64 {
+        assert!(
+            active_cores >= 1 && active_cores <= self.core_count,
+            "active core count {active_cores} outside 1..={}",
+            self.core_count
+        );
+        self.cluster_farads + active_cores as f64 * self.per_core_farads
+    }
+}
+
+/// Lumped-element values of the die–package–PCB power-delivery network
+/// (the paper's Fig. 1(a)).
+///
+/// All values in SI units (ohms, farads, henries, volts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PdnParams {
+    /// Nominal regulator output voltage.
+    pub v_nominal: f64,
+    /// Die capacitance model (supports power gating).
+    pub die_capacitance: DieCapacitance,
+    /// Series resistance of the on-die power grid (in series with C_DIE).
+    pub r_die: f64,
+    /// Package power-trace inductance (forms the 1st-order tank with
+    /// C_DIE).
+    pub l_pkg: f64,
+    /// Package power-trace resistance.
+    pub r_pkg: f64,
+    /// Package decoupling capacitance.
+    pub c_pkg: f64,
+    /// Effective series resistance of the package decap.
+    pub esr_pkg: f64,
+    /// Effective series inductance of the package decap.
+    pub esl_pkg: f64,
+    /// PCB power-plane inductance.
+    pub l_pcb: f64,
+    /// PCB power-plane resistance.
+    pub r_pcb: f64,
+    /// Bulk PCB decoupling capacitance.
+    pub c_pcb: f64,
+    /// Effective series resistance of the bulk decap.
+    pub esr_pcb: f64,
+    /// Effective series inductance of the bulk decap.
+    pub esl_pcb: f64,
+    /// Voltage-regulator output resistance.
+    pub r_vrm: f64,
+    /// Voltage-regulator output inductance.
+    pub l_vrm: f64,
+}
+
+impl PdnParams {
+    /// Effective inductance of the first-order tank as seen by the die
+    /// capacitance.
+    ///
+    /// At the 1st-order resonance (tens of MHz) every downstream capacitor
+    /// is far above its own self-resonance and behaves as its ESL, so the
+    /// loop inductance is `L_PKG` in series with the parallel combination
+    /// of the decap ESLs and plane inductances:
+    ///
+    /// ```text
+    /// L_eff = L_PKG + ESL_PKG || (L_PCB + ESL_PCB || L_VRM)
+    /// ```
+    pub fn effective_tank_inductance(&self) -> f64 {
+        let par = |a: f64, b: f64| a * b / (a + b);
+        let upstream = self.l_pcb + par(self.esl_pcb, self.l_vrm);
+        self.l_pkg + par(self.esl_pkg, upstream)
+    }
+
+    /// Analytic estimate of the first-order resonance frequency
+    /// `1 / (2*pi*sqrt(L_eff * C_DIE))` with `active_cores` powered, where
+    /// `L_eff` is [`PdnParams::effective_tank_inductance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_cores` is out of range for the die model.
+    pub fn first_order_resonance_hz(&self, active_cores: usize) -> f64 {
+        let c = self.die_capacitance.effective(active_cores);
+        1.0 / (2.0 * std::f64::consts::PI * (self.effective_tank_inductance() * c).sqrt())
+    }
+
+    /// Characteristic impedance of the first-order tank,
+    /// `sqrt(L_eff / C_DIE)`.
+    pub fn characteristic_impedance(&self, active_cores: usize) -> f64 {
+        (self.effective_tank_inductance() / self.die_capacitance.effective(active_cores)).sqrt()
+    }
+
+    /// A generic mobile-class PDN used in documentation examples and Fig. 1
+    /// reproductions: first-order resonance near 75 MHz with all cores
+    /// powered, second-order near 2 MHz, third-order near 10 kHz.
+    pub fn generic_mobile() -> Self {
+        PdnParams {
+            v_nominal: 1.0,
+            die_capacitance: DieCapacitance {
+                cluster_farads: 20e-9,
+                per_core_farads: 20e-9,
+                core_count: 2,
+            },
+            r_die: 3e-3,
+            l_pkg: 45e-12,
+            r_pkg: 7e-3,
+            c_pkg: 22e-6,
+            esr_pkg: 2e-3,
+            esl_pkg: 25e-12,
+            l_pcb: 0.3e-9,
+            r_pcb: 1e-3,
+            c_pcb: 2.2e-3,
+            esr_pcb: 5e-3,
+            esl_pcb: 2e-9,
+            r_vrm: 0.4e-3,
+            l_vrm: 120e-9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_capacitance_scales_with_active_cores() {
+        let d = DieCapacitance {
+            cluster_farads: 40e-9,
+            per_core_farads: 30e-9,
+            core_count: 4,
+        };
+        assert!((d.effective(1) - 70e-9).abs() < 1e-15);
+        assert!((d.effective(4) - 160e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "active core count")]
+    fn zero_active_cores_panics() {
+        let d = DieCapacitance {
+            cluster_farads: 1e-9,
+            per_core_farads: 1e-9,
+            core_count: 2,
+        };
+        let _ = d.effective(0);
+    }
+
+    #[test]
+    fn resonance_rises_when_cores_gate_off() {
+        let p = PdnParams::generic_mobile();
+        let f2 = p.first_order_resonance_hz(2);
+        let f1 = p.first_order_resonance_hz(1);
+        assert!(f1 > f2, "one-core {f1} should exceed two-core {f2}");
+        // Ratio follows sqrt of capacitance ratio (60 nF vs 40 nF).
+        let expected = (60.0f64 / 40.0).sqrt();
+        assert!((f1 / f2 - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generic_mobile_resonance_is_in_paper_band() {
+        let p = PdnParams::generic_mobile();
+        let f = p.first_order_resonance_hz(2);
+        assert!(
+            (50e6..200e6).contains(&f),
+            "resonance {f:.3e} outside the paper's 50-200 MHz band"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = PdnParams::generic_mobile();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PdnParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the PDN crate.
+
+use emvolt_pdn::{
+    calibrate_die_capacitance, capacitance_for_resonance, find_resonance_peaks, lin_freqs,
+    DieCapacitance, Pdn, PdnParams,
+};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = PdnParams> {
+    (
+        25e-12..120e-12f64,  // l_pkg (comparable to or above the decap ESL,
+                             // where the analytic L_eff estimate is valid)
+        0.5e-3..20e-3f64,    // r_pkg
+        10e-9..80e-9f64,     // per-core C
+        10e-9..120e-9f64,    // cluster C
+    )
+        .prop_map(|(l_pkg, r_pkg, per_core, cluster)| {
+            let mut p = PdnParams::generic_mobile();
+            p.l_pkg = l_pkg;
+            p.r_pkg = r_pkg;
+            p.die_capacitance = DieCapacitance {
+                cluster_farads: cluster,
+                per_core_farads: per_core,
+                core_count: 4,
+            };
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Resonance falls monotonically as cores power up (more C).
+    #[test]
+    fn resonance_monotone_in_active_cores(p in arb_params()) {
+        let freqs: Vec<f64> = (1..=4).map(|n| p.first_order_resonance_hz(n)).collect();
+        for w in freqs.windows(2) {
+            prop_assert!(w[0] > w[1]);
+        }
+    }
+
+    /// The analytic formula inverts `capacitance_for_resonance`.
+    #[test]
+    fn capacitance_resonance_inverse(l in 5e-12..200e-12f64, f in 30e6..150e6f64) {
+        let c = capacitance_for_resonance(l, f);
+        let back = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt());
+        prop_assert!((back - f).abs() / f < 1e-9);
+    }
+
+    /// Calibration round-trips arbitrary physical targets.
+    #[test]
+    fn calibration_round_trip(
+        l in 10e-12..150e-12f64,
+        f_all in 50e6..90e6f64,
+        ratio in 1.05..1.35f64,
+        cores in 2usize..6,
+    ) {
+        let f_one = f_all * ratio;
+        // Skip unsolvable targets (ratio beyond sqrt(n)).
+        prop_assume!(ratio * ratio < cores as f64 * 0.95);
+        let die = calibrate_die_capacitance(l, cores, f_all, f_one).unwrap();
+        let f = |c: f64| 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt());
+        prop_assert!((f(die.effective(cores)) - f_all).abs() / f_all < 1e-9);
+        prop_assert!((f(die.effective(1)) - f_one).abs() / f_one < 1e-9);
+        prop_assert!(die.cluster_farads > 0.0 && die.per_core_farads > 0.0);
+    }
+
+    /// Passivity: the network's driving-point impedance has non-negative
+    /// real part at any frequency.
+    #[test]
+    fn impedance_is_passive(p in arb_params(), f in 1e4..1e9f64) {
+        let pdn = Pdn::new(p, 2);
+        let z = pdn.impedance_sweep(&[f]).unwrap();
+        prop_assert!(z[0].1.re >= -1e-9, "negative resistance {:?}", z[0].1);
+        prop_assert!(z[0].1.norm().is_finite());
+    }
+
+    /// The strongest peak of a band-limited sweep around the analytic
+    /// resonance is near the analytic value.
+    #[test]
+    fn sweep_peak_matches_analytic(p in arb_params()) {
+        let f_expected = p.first_order_resonance_hz(2);
+        prop_assume!((20e6..400e6).contains(&f_expected));
+        // The undamped analytic estimate only applies to underdamped
+        // tanks (every platform in the paper); skip overdamped corners.
+        let q = p.characteristic_impedance(2) / (p.r_pkg + p.r_die);
+        prop_assume!(q >= 2.0);
+        let pdn = Pdn::new(p, 2);
+        let freqs = lin_freqs(f_expected * 0.5, f_expected * 1.5, f_expected / 100.0);
+        let sweep = pdn.impedance_sweep(&freqs).unwrap();
+        let peaks = find_resonance_peaks(&sweep);
+        prop_assert!(!peaks.is_empty());
+        let top = peaks[0];
+        prop_assert!(
+            (top.frequency_hz - f_expected).abs() / f_expected < 0.20,
+            "peak {:.3e} vs analytic {:.3e}",
+            top.frequency_hz,
+            f_expected
+        );
+    }
+
+    /// Effective tank inductance is bounded by its components.
+    #[test]
+    fn effective_inductance_bounds(p in arb_params()) {
+        let l_eff = p.effective_tank_inductance();
+        prop_assert!(l_eff >= p.l_pkg);
+        prop_assert!(l_eff <= p.l_pkg + p.esl_pkg + 1e-18);
+    }
+}

@@ -1,0 +1,288 @@
+//! Concrete experimental platforms: the ARM Juno R2 board and the AMD
+//! desktop (Table 1 of the paper), with PDNs calibrated so their
+//! first-order resonances land where the paper measured them.
+
+use crate::domain::VoltageDomain;
+use crate::scl::Scl;
+use emvolt_cpu::CoreModel;
+use emvolt_inst::{Oscilloscope, ScopeConfig};
+use emvolt_pdn::{calibrate_die_capacitance, DieCapacitance, PdnParams};
+
+/// Identifies a CPU cluster on the Juno board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JunoCluster {
+    /// The dual-core Cortex-A72 (big) cluster.
+    A72,
+    /// The quad-core Cortex-A53 (LITTLE) cluster.
+    A53,
+}
+
+fn mobile_pdn_base() -> PdnParams {
+    let mut p = PdnParams::generic_mobile();
+    // First-order tank Q of ~8 (peak impedance ~240 mΩ): a pronounced
+    // resonance as in the direct measurements the paper builds on, so
+    // resonant excitation clearly dominates off-resonance harmonics.
+    p.r_pkg = 2.8e-3;
+    p.r_die = 1.0e-3;
+    p
+}
+
+/// PDN for the Cortex-A72 cluster: resonance 69 MHz with both cores
+/// powered, 83 MHz with one (Figs. 8 and 11: 66–72 MHz and 80–86 MHz).
+pub fn a72_pdn() -> PdnParams {
+    let mut p = mobile_pdn_base();
+    let die = calibrate_die_capacitance(p.effective_tank_inductance(), 2, 69e6, 83e6)
+        .expect("A72 targets are solvable");
+    p.die_capacitance = die;
+    p
+}
+
+/// PDN for the Cortex-A53 cluster: resonance 76.5 MHz with four cores
+/// powered, 97 MHz with one (Fig. 13).
+pub fn a53_pdn() -> PdnParams {
+    let mut p = mobile_pdn_base();
+    let die = calibrate_die_capacitance(p.effective_tank_inductance(), 4, 76.5e6, 97e6)
+        .expect("A53 targets are solvable");
+    p.die_capacitance = die;
+    p
+}
+
+/// PDN for the AMD Athlon II desktop: resonance 78 MHz with four cores
+/// powered (Fig. 16); the single-core point is not reported by the paper
+/// and is set to a plausible 90 MHz.
+pub fn amd_pdn() -> PdnParams {
+    let mut p = PdnParams {
+        v_nominal: 1.4,
+        die_capacitance: DieCapacitance {
+            cluster_farads: 1.0, // placeholder, replaced below
+            per_core_farads: 1.0,
+            core_count: 4,
+        },
+        r_die: 0.35e-3,
+        l_pkg: 12e-12,
+        r_pkg: 0.85e-3,
+        c_pkg: 100e-6,
+        esr_pkg: 1e-3,
+        esl_pkg: 8e-12,
+        l_pcb: 0.12e-9,
+        r_pcb: 0.4e-3,
+        c_pcb: 8e-3,
+        esr_pcb: 2e-3,
+        esl_pcb: 1e-9,
+        r_vrm: 0.1e-3,
+        l_vrm: 40e-9,
+    };
+    let die = calibrate_die_capacitance(p.effective_tank_inductance(), 4, 78e6, 90e6)
+        .expect("AMD targets are solvable");
+    p.die_capacitance = die;
+    p
+}
+
+/// PDN for a GPU card (§10 future work): eight SM slices on one rail,
+/// resonance placed at 110 MHz with all SMs powered (GPU PDN studies the
+/// paper cites report first-order behaviour in the same 50–300 MHz
+/// regime), rising to 140 MHz with a single SM.
+pub fn gpu_pdn() -> PdnParams {
+    let mut p = PdnParams {
+        v_nominal: 1.05,
+        die_capacitance: DieCapacitance {
+            cluster_farads: 1.0, // placeholder, replaced below
+            per_core_farads: 1.0,
+            core_count: 8,
+        },
+        r_die: 0.8e-3,
+        l_pkg: 20e-12,
+        r_pkg: 1.8e-3,
+        c_pkg: 47e-6,
+        esr_pkg: 1.2e-3,
+        esl_pkg: 12e-12,
+        l_pcb: 0.2e-9,
+        r_pcb: 0.6e-3,
+        c_pcb: 4e-3,
+        esr_pcb: 3e-3,
+        esl_pcb: 1.5e-9,
+        r_vrm: 0.2e-3,
+        l_vrm: 60e-9,
+    };
+    let die = calibrate_die_capacitance(p.effective_tank_inductance(), 8, 110e6, 140e6)
+        .expect("GPU targets are solvable");
+    p.die_capacitance = die;
+    p
+}
+
+/// A GPU card: eight SM-like cores on a shared rail (§10 future work).
+#[derive(Debug, Clone)]
+pub struct GpuCard {
+    /// The GPU voltage domain (8 SMs, 1.3 GHz shader clock).
+    pub domain: VoltageDomain,
+}
+
+impl GpuCard {
+    /// Builds the card at its stock operating point.
+    pub fn new() -> Self {
+        GpuCard {
+            domain: VoltageDomain::new("GPU", CoreModel::gpu_sm(), gpu_pdn(), 1.3e9),
+        }
+    }
+}
+
+impl Default for GpuCard {
+    fn default() -> Self {
+        GpuCard::new()
+    }
+}
+
+/// The ARM Juno R2 development board: big.LITTLE clusters on separate
+/// voltage domains, an OC-DSO + SCL on the A72 domain, and nothing on the
+/// A53 domain (Table 1: "None").
+#[derive(Debug, Clone)]
+pub struct JunoBoard {
+    /// The Cortex-A72 voltage domain (1.2 GHz, 1 V max point).
+    pub a72: VoltageDomain,
+    /// The Cortex-A53 voltage domain (950 MHz, 1 V max point).
+    pub a53: VoltageDomain,
+    /// On-chip DSO sampling the A72 rail (1.6 GS/s).
+    pub ocdso: Oscilloscope,
+    /// Synthetic current load on the A72 domain.
+    pub scl: Scl,
+}
+
+impl JunoBoard {
+    /// Builds the board at its highest operating point.
+    pub fn new() -> Self {
+        JunoBoard {
+            a72: VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9),
+            a53: VoltageDomain::new("A53", CoreModel::cortex_a53(), a53_pdn(), 950e6),
+            ocdso: Oscilloscope::new(ScopeConfig::oc_dso()),
+            scl: Scl::default(),
+        }
+    }
+
+    /// Access a cluster by id.
+    pub fn cluster(&self, id: JunoCluster) -> &VoltageDomain {
+        match id {
+            JunoCluster::A72 => &self.a72,
+            JunoCluster::A53 => &self.a53,
+        }
+    }
+
+    /// Mutable access to a cluster by id (the SCP control path).
+    pub fn cluster_mut(&mut self, id: JunoCluster) -> &mut VoltageDomain {
+        match id {
+            JunoCluster::A72 => &mut self.a72,
+            JunoCluster::A53 => &mut self.a53,
+        }
+    }
+}
+
+impl Default for JunoBoard {
+    fn default() -> Self {
+        JunoBoard::new()
+    }
+}
+
+/// The AMD desktop: Athlon II X4 645 on an ASUS M5A78L LE with on-package
+/// Kelvin pads probed by a bench scope.
+#[derive(Debug, Clone)]
+pub struct AmdDesktop {
+    /// The CPU voltage domain (3.1 GHz, 1.4 V nominal).
+    pub domain: VoltageDomain,
+    /// Bench scope on the Kelvin measurement pads.
+    pub scope: Oscilloscope,
+}
+
+impl AmdDesktop {
+    /// Builds the desktop at its stock operating point.
+    pub fn new() -> Self {
+        AmdDesktop {
+            domain: VoltageDomain::new("Athlon", CoreModel::athlon_ii(), amd_pdn(), 3.1e9),
+            scope: Oscilloscope::new(ScopeConfig::bench_scope()),
+        }
+    }
+}
+
+impl Default for AmdDesktop {
+    fn default() -> Self {
+        AmdDesktop::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a72_resonances_match_paper_bands() {
+        let p = a72_pdn();
+        let f2 = p.first_order_resonance_hz(2);
+        let f1 = p.first_order_resonance_hz(1);
+        assert!((66e6..72e6).contains(&f2), "two-core {f2:.3e}");
+        assert!((80e6..86e6).contains(&f1), "one-core {f1:.3e}");
+    }
+
+    #[test]
+    fn a53_resonances_match_paper_values() {
+        let p = a53_pdn();
+        let f4 = p.first_order_resonance_hz(4);
+        let f1 = p.first_order_resonance_hz(1);
+        assert!((f4 - 76.5e6).abs() < 1e6, "{f4:.3e}");
+        assert!((f1 - 97e6).abs() < 1.5e6, "{f1:.3e}");
+        // Intermediate configurations fall in between (Fig. 13).
+        let f2 = p.first_order_resonance_hz(2);
+        let f3 = p.first_order_resonance_hz(3);
+        assert!(f4 < f3 && f3 < f2 && f2 < f1);
+    }
+
+    #[test]
+    fn amd_resonance_is_78mhz() {
+        let p = amd_pdn();
+        let f4 = p.first_order_resonance_hz(4);
+        assert!((f4 - 78e6).abs() < 1e6, "{f4:.3e}");
+    }
+
+    #[test]
+    fn juno_has_independent_domains() {
+        let mut board = JunoBoard::new();
+        board.cluster_mut(JunoCluster::A53).power_gate(1);
+        assert_eq!(board.a53.active_cores(), 1);
+        assert_eq!(board.a72.active_cores(), 2);
+        assert_eq!(board.cluster(JunoCluster::A72).name(), "A72");
+    }
+
+    #[test]
+    fn table1_operating_points() {
+        let board = JunoBoard::new();
+        assert_eq!(board.a72.max_frequency(), 1.2e9);
+        assert_eq!(board.a53.max_frequency(), 950e6);
+        assert_eq!(board.a72.voltage(), 1.0);
+        let amd = AmdDesktop::new();
+        assert_eq!(amd.domain.max_frequency(), 3.1e9);
+        assert!((amd.domain.voltage() - 1.4).abs() < 1e-12);
+        assert_eq!(amd.domain.core_count(), 4);
+    }
+
+    #[test]
+    fn gpu_resonances_follow_the_calibration() {
+        let p = gpu_pdn();
+        let f8 = p.first_order_resonance_hz(8);
+        let f1 = p.first_order_resonance_hz(1);
+        assert!((f8 - 110e6).abs() < 1.5e6, "{f8:.3e}");
+        assert!((f1 - 140e6).abs() < 2e6, "{f1:.3e}");
+        let card = GpuCard::new();
+        assert_eq!(card.domain.core_count(), 8);
+        assert!(!card.domain.core_model().out_of_order);
+    }
+
+    #[test]
+    fn mobile_peak_impedance_is_tens_of_milliohms() {
+        use emvolt_pdn::{lin_freqs, strongest_peak_in_band, Pdn};
+        let pdn = Pdn::new(a72_pdn(), 2);
+        let sweep = pdn.impedance_sweep(&lin_freqs(40e6, 120e6, 1e6)).unwrap();
+        let peak = strongest_peak_in_band(&sweep, 50e6, 200e6).unwrap();
+        assert!(
+            peak.impedance_ohms > 0.01 && peak.impedance_ohms < 0.2,
+            "Z_peak {} ohm",
+            peak.impedance_ohms
+        );
+    }
+}

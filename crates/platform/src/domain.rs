@@ -1,0 +1,532 @@
+//! A voltage domain: CPU cores sharing one PDN and one supply rail.
+
+use emvolt_circuit::{Stimulus, Trace, TransientConfig};
+use emvolt_cpu::{Cpu, CoreModel, SimConfig, SimError};
+use emvolt_isa::Kernel;
+use emvolt_pdn::{Pdn, PdnParams};
+use std::fmt;
+use std::sync::Arc;
+
+/// Error running a workload on a domain.
+#[derive(Debug)]
+pub enum DomainError {
+    /// The CPU timing simulation failed.
+    Sim(SimError),
+    /// The PDN circuit analysis failed.
+    Circuit(emvolt_circuit::CircuitError),
+    /// More cores requested than are powered.
+    TooManyLoadedCores {
+        /// Requested loaded cores.
+        requested: usize,
+        /// Currently powered cores.
+        active: usize,
+    },
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::Sim(e) => write!(f, "cpu simulation failed: {e}"),
+            DomainError::Circuit(e) => write!(f, "pdn analysis failed: {e}"),
+            DomainError::TooManyLoadedCores { requested, active } => {
+                write!(f, "cannot load {requested} cores with {active} powered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+impl From<SimError> for DomainError {
+    fn from(e: SimError) -> Self {
+        DomainError::Sim(e)
+    }
+}
+
+impl From<emvolt_circuit::CircuitError> for DomainError {
+    fn from(e: emvolt_circuit::CircuitError) -> Self {
+        DomainError::Circuit(e)
+    }
+}
+
+/// Controls the physics fidelity of a domain run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// CPU timing-simulation settings.
+    pub sim: SimConfig,
+    /// PDN integration step in seconds.
+    pub pdn_dt: f64,
+    /// Recorded PDN window in seconds (after warm-up).
+    pub pdn_window: f64,
+    /// PDN warm-up discarded before recording, in seconds.
+    pub pdn_warmup: f64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            sim: SimConfig {
+                interference_interval_s: 250e-9,
+                ..SimConfig::default()
+            },
+            pdn_dt: 0.25e-9,
+            pdn_window: 4e-6,
+            pdn_warmup: 2e-6,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A faster, lower-resolution configuration for GA inner loops.
+    pub fn fast() -> Self {
+        RunConfig {
+            sim: SimConfig {
+                warmup_iterations: 5,
+                min_duration: 2e-6,
+                interference_interval_s: 250e-9,
+                ..SimConfig::default()
+            },
+            pdn_dt: 0.5e-9,
+            pdn_window: 2e-6,
+            pdn_warmup: 1e-6,
+        }
+    }
+}
+
+/// Result of running a workload on a domain.
+#[derive(Debug, Clone)]
+pub struct DomainRun {
+    /// Die-voltage waveform.
+    pub v_die: Trace,
+    /// Die-current waveform (through the package inductance).
+    pub i_die: Trace,
+    /// Per-core IPC of the workload.
+    pub ipc: f64,
+    /// Cycles per loop iteration.
+    pub cycles_per_iteration: f64,
+    /// Loop frequency in Hz.
+    pub loop_frequency: f64,
+    /// Nominal supply during the run.
+    pub supply_v: f64,
+}
+
+impl DomainRun {
+    /// Maximum droop below the supply, in volts.
+    pub fn max_droop(&self) -> f64 {
+        self.v_die.max_droop_below(self.supply_v)
+    }
+
+    /// Peak-to-peak voltage noise, in volts.
+    pub fn peak_to_peak(&self) -> f64 {
+        self.v_die.peak_to_peak()
+    }
+}
+
+/// One voltage domain: `core_count` identical cores on a shared PDN,
+/// with DVFS, undervolting and per-core power gating — the control
+/// surface the paper drives through the Juno SCP / AMD Overdrive.
+#[derive(Debug, Clone)]
+pub struct VoltageDomain {
+    name: String,
+    core_model: CoreModel,
+    pdn_params: PdnParams,
+    freq_hz: f64,
+    max_freq_hz: f64,
+    supply_v: f64,
+    active_cores: usize,
+}
+
+impl VoltageDomain {
+    /// Creates a domain with every core powered, at maximum frequency and
+    /// nominal voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_freq_hz` is not positive.
+    pub fn new(
+        name: impl Into<String>,
+        core_model: CoreModel,
+        pdn_params: PdnParams,
+        max_freq_hz: f64,
+    ) -> Self {
+        assert!(max_freq_hz > 0.0, "frequency must be positive");
+        let supply_v = pdn_params.v_nominal;
+        let active_cores = pdn_params.die_capacitance.core_count;
+        VoltageDomain {
+            name: name.into(),
+            core_model,
+            pdn_params,
+            freq_hz: max_freq_hz,
+            max_freq_hz,
+            supply_v,
+            active_cores,
+        }
+    }
+
+    /// Domain name (e.g. `"A72"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The core microarchitecture.
+    pub fn core_model(&self) -> &CoreModel {
+        &self.core_model
+    }
+
+    /// The PDN parameter set.
+    pub fn pdn_params(&self) -> &PdnParams {
+        &self.pdn_params
+    }
+
+    /// Current clock frequency in Hz.
+    pub fn frequency(&self) -> f64 {
+        self.freq_hz
+    }
+
+    /// Maximum clock frequency in Hz.
+    pub fn max_frequency(&self) -> f64 {
+        self.max_freq_hz
+    }
+
+    /// Sets the clock (DVFS).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive frequencies or above-maximum requests.
+    pub fn set_frequency(&mut self, hz: f64) {
+        assert!(
+            hz > 0.0 && hz <= self.max_freq_hz,
+            "frequency {hz} outside (0, {}]",
+            self.max_freq_hz
+        );
+        self.freq_hz = hz;
+    }
+
+    /// Supply voltage in volts.
+    pub fn voltage(&self) -> f64 {
+        self.supply_v
+    }
+
+    /// Sets the supply voltage (undervolting for V_MIN tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive voltages.
+    pub fn set_voltage(&mut self, volts: f64) {
+        assert!(volts > 0.0, "voltage must be positive");
+        self.supply_v = volts;
+    }
+
+    /// Number of powered cores.
+    pub fn active_cores(&self) -> usize {
+        self.active_cores
+    }
+
+    /// Total cores in the cluster.
+    pub fn core_count(&self) -> usize {
+        self.pdn_params.die_capacitance.core_count
+    }
+
+    /// Power-gates the cluster down to `active` cores (affects die
+    /// capacitance and therefore the first-order resonance, §6).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `active` is zero or exceeds the cluster size.
+    pub fn power_gate(&mut self, active: usize) {
+        assert!(
+            active >= 1 && active <= self.core_count(),
+            "active cores {active} outside 1..={}",
+            self.core_count()
+        );
+        self.active_cores = active;
+    }
+
+    /// Analytic first-order resonance at the current gating state.
+    pub fn expected_resonance_hz(&self) -> f64 {
+        self.pdn_params.first_order_resonance_hz(self.active_cores)
+    }
+
+    /// Builds the PDN for the current gating/voltage state.
+    pub fn build_pdn(&self) -> Pdn {
+        let mut params = self.pdn_params.clone();
+        params.v_nominal = self.supply_v;
+        Pdn::new(params, self.active_cores)
+    }
+
+    /// Runs `kernel` simultaneously on `loaded_cores` cores (the paper
+    /// runs one instance per core); the remaining powered cores idle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError`] for invalid core counts or failed
+    /// simulations.
+    pub fn run(
+        &self,
+        kernel: &Kernel,
+        loaded_cores: usize,
+        config: &RunConfig,
+    ) -> Result<DomainRun, DomainError> {
+        if loaded_cores > self.active_cores {
+            return Err(DomainError::TooManyLoadedCores {
+                requested: loaded_cores,
+                active: self.active_cores,
+            });
+        }
+        let cpu = Cpu::new(self.core_model.clone(), self.freq_hz);
+        let out = cpu.simulate(kernel, &config.sim)?;
+        let idle_extra = (self.active_cores - loaded_cores) as f64 * self.core_model.idle_current;
+        let total: Vec<f64> = out
+            .current
+            .samples()
+            .iter()
+            .map(|&i| i * loaded_cores as f64 + idle_extra)
+            .collect();
+        let (v_die, i_die) = self.run_pdn_with_load(
+            Stimulus::Samples {
+                dt: out.current.dt(),
+                values: Arc::from(total),
+                repeat: true,
+            },
+            config,
+        )?;
+        Ok(DomainRun {
+            v_die,
+            i_die,
+            ipc: out.ipc,
+            cycles_per_iteration: out.cycles_per_iteration,
+            loop_frequency: out.loop_frequency(),
+            supply_v: self.supply_v,
+        })
+    }
+
+    /// Runs the domain with all powered cores idle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PDN analysis failures.
+    pub fn run_idle(&self, config: &RunConfig) -> Result<DomainRun, DomainError> {
+        let idle = self.active_cores as f64 * self.core_model.idle_current;
+        let (v_die, i_die) = self.run_pdn_with_load(Stimulus::Dc(idle), config)?;
+        Ok(DomainRun {
+            v_die,
+            i_die,
+            ipc: 0.0,
+            cycles_per_iteration: f64::INFINITY,
+            loop_frequency: 0.0,
+            supply_v: self.supply_v,
+        })
+    }
+
+    /// Runs a sequence of phases — e.g. a workload alternating between a
+    /// compute-bound and a memory-bound kernel — and returns one
+    /// concatenated run. Each phase contributes `config.pdn_window`
+    /// seconds of trace; phase boundaries are where time-resolved views
+    /// (spectrograms, emergency rates) show the noise signature change.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-phase failures; fails on an empty phase list.
+    pub fn run_sequence(
+        &self,
+        phases: &[(&Kernel, usize)],
+        config: &RunConfig,
+    ) -> Result<DomainRun, DomainError> {
+        if phases.is_empty() {
+            return Err(DomainError::TooManyLoadedCores {
+                requested: 0,
+                active: self.active_cores,
+            });
+        }
+        let mut v_all: Vec<f64> = Vec::new();
+        let mut i_all: Vec<f64> = Vec::new();
+        let mut ipc_acc = 0.0;
+        let mut last = None;
+        for &(kernel, loaded) in phases {
+            let run = self.run(kernel, loaded, config)?;
+            v_all.extend_from_slice(run.v_die.samples());
+            i_all.extend_from_slice(run.i_die.samples());
+            ipc_acc += run.ipc;
+            last = Some(run);
+        }
+        let last = last.expect("non-empty phases");
+        Ok(DomainRun {
+            v_die: Trace::from_samples(config.pdn_dt, v_all),
+            i_die: Trace::from_samples(config.pdn_dt, i_all),
+            ipc: ipc_acc / phases.len() as f64,
+            cycles_per_iteration: last.cycles_per_iteration,
+            loop_frequency: last.loop_frequency,
+            supply_v: self.supply_v,
+        })
+    }
+
+    /// Drives the PDN with an arbitrary load waveform (used by the SCL
+    /// block and by tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PDN analysis failures.
+    pub fn run_pdn_with_load(
+        &self,
+        load: Stimulus,
+        config: &RunConfig,
+    ) -> Result<(Trace, Trace), DomainError> {
+        let mut pdn = self.build_pdn();
+        pdn.set_load(load);
+        let cfg = TransientConfig::new(config.pdn_dt, config.pdn_warmup + config.pdn_window)
+            .with_warmup(config.pdn_warmup);
+        Ok(pdn.transient(&cfg)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emvolt_isa::{kernels::sweep_kernel, Isa};
+    use emvolt_pdn::PdnParams;
+
+    fn domain() -> VoltageDomain {
+        VoltageDomain::new(
+            "test",
+            CoreModel::cortex_a72(),
+            PdnParams::generic_mobile(),
+            1.2e9,
+        )
+    }
+
+    #[test]
+    fn run_produces_voltage_noise() {
+        let d = domain();
+        let run = d
+            .run(&sweep_kernel(Isa::ArmV8), 2, &RunConfig::fast())
+            .unwrap();
+        assert!(run.max_droop() > 0.0, "droop {}", run.max_droop());
+        assert!(run.peak_to_peak() > 1e-4);
+        assert!(run.ipc > 0.0);
+    }
+
+    #[test]
+    fn more_loaded_cores_more_noise() {
+        let d = domain();
+        let k = sweep_kernel(Isa::ArmV8);
+        let one = d.run(&k, 1, &RunConfig::fast()).unwrap();
+        let two = d.run(&k, 2, &RunConfig::fast()).unwrap();
+        assert!(
+            two.peak_to_peak() > one.peak_to_peak(),
+            "2-core p2p {} vs 1-core {}",
+            two.peak_to_peak(),
+            one.peak_to_peak()
+        );
+    }
+
+    #[test]
+    fn idle_is_quiet() {
+        let d = domain();
+        let idle = d.run_idle(&RunConfig::fast()).unwrap();
+        let busy = d
+            .run(&sweep_kernel(Isa::ArmV8), 2, &RunConfig::fast())
+            .unwrap();
+        assert!(idle.peak_to_peak() < busy.peak_to_peak() / 5.0);
+    }
+
+    #[test]
+    fn power_gating_raises_expected_resonance() {
+        let mut d = domain();
+        let f2 = d.expected_resonance_hz();
+        d.power_gate(1);
+        let f1 = d.expected_resonance_hz();
+        assert!(f1 > f2);
+    }
+
+    #[test]
+    fn loading_more_than_active_fails() {
+        let mut d = domain();
+        d.power_gate(1);
+        let err = d.run(&sweep_kernel(Isa::ArmV8), 2, &RunConfig::fast());
+        assert!(matches!(
+            err,
+            Err(DomainError::TooManyLoadedCores { .. })
+        ));
+    }
+
+    #[test]
+    fn undervolting_shifts_dc_level() {
+        let mut d = domain();
+        d.set_voltage(0.9);
+        let run = d
+            .run(&sweep_kernel(Isa::ArmV8), 1, &RunConfig::fast())
+            .unwrap();
+        assert!((run.v_die.mean() - 0.9).abs() < 0.02);
+        assert_eq!(run.supply_v, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn dvfs_respects_maximum() {
+        let mut d = domain();
+        d.set_frequency(2.0e9);
+    }
+}
+
+#[cfg(test)]
+mod sequence_tests {
+    use super::*;
+    use emvolt_cpu::CoreModel;
+    use emvolt_isa::kernels::{resonant_stress_kernel, sweep_kernel};
+    use emvolt_isa::Isa;
+
+    fn domain() -> VoltageDomain {
+        VoltageDomain::new(
+            "A72",
+            CoreModel::cortex_a72(),
+            crate::boards::a72_pdn(),
+            1.2e9,
+        )
+    }
+
+    #[test]
+    fn sequence_concatenates_phases() {
+        let d = domain();
+        let cfg = RunConfig::fast();
+        let quiet = sweep_kernel(Isa::ArmV8);
+        let loud = resonant_stress_kernel(Isa::ArmV8, 12, 17);
+        let run = d.run_sequence(&[(&quiet, 1), (&loud, 2)], &cfg).unwrap();
+        let single = d.run(&quiet, 1, &cfg).unwrap();
+        assert_eq!(run.v_die.len(), 2 * single.v_die.len());
+        // The loud phase dominates the worst droop of the combined run.
+        let loud_only = d.run(&loud, 2, &cfg).unwrap();
+        assert!((run.max_droop() - loud_only.max_droop()).abs() < 5e-3);
+    }
+
+    #[test]
+    fn phase_change_is_visible_in_the_spectrogram() {
+        use emvolt_dsp::{Spectrogram, Window};
+        let d = domain();
+        let cfg = RunConfig::fast();
+        let quiet = sweep_kernel(Isa::ArmV8);
+        let loud = resonant_stress_kernel(Isa::ArmV8, 12, 17);
+        let run = d.run_sequence(&[(&quiet, 1), (&loud, 2)], &cfg).unwrap();
+        let n = run.i_die.len();
+        let sg = Spectrogram::of_samples(
+            run.i_die.samples(),
+            run.i_die.sample_rate(),
+            n / 8,
+            n / 8,
+            Window::Hann,
+        );
+        let f_res = d.expected_resonance_hz();
+        let track = sg.track(f_res);
+        let early: f64 = track[..track.len() / 2].iter().sum();
+        let late: f64 = track[track.len() / 2..].iter().sum();
+        assert!(
+            late > 3.0 * early,
+            "resonant phase must light up the track: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn empty_sequence_is_rejected() {
+        let d = domain();
+        assert!(d.run_sequence(&[], &RunConfig::fast()).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! The EM measurement rig: antenna + spectrum analyzer aimed at a
+//! platform, plus helpers that run the full physics chain
+//! (kernel -> current -> PDN -> radiation -> analyzer).
+
+use crate::domain::DomainRun;
+use emvolt_dsp::{Spectrum, Window};
+use emvolt_em::EmChannel;
+use emvolt_inst::{AnalyzerConfig, SpectrumAnalyzer, SweepReading};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's first-order search band: 50–200 MHz.
+pub const RESONANCE_BAND: (f64, f64) = (50e6, 200e6);
+
+/// One EM reading of a running workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmReading {
+    /// The GA metric: mean-root-square of the per-sweep band peaks, dBm.
+    pub metric_dbm: f64,
+    /// The frequency at which the peak most often occurred.
+    pub dominant_hz: f64,
+}
+
+/// An antenna + spectrum-analyzer rig pointed at one or more domains.
+#[derive(Debug)]
+pub struct EmBench {
+    /// The radiation channel (antenna, distance, coupling).
+    pub channel: EmChannel,
+    /// The spectrum analyzer at the end of the coax.
+    pub analyzer: SpectrumAnalyzer,
+    rng: StdRng,
+}
+
+impl EmBench {
+    /// Creates a rig with default channel/analyzer and a measurement-noise
+    /// seed.
+    pub fn new(seed: u64) -> Self {
+        EmBench {
+            channel: EmChannel::default(),
+            analyzer: SpectrumAnalyzer::new(AnalyzerConfig::default()),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Received voltage spectrum at the analyzer input for a domain run.
+    pub fn received_spectrum(&self, run: &DomainRun) -> Spectrum {
+        let i_spec = Spectrum::of_trace(&run.i_die, Window::Hann);
+        self.channel.received_spectrum(&i_spec)
+    }
+
+    /// Received spectrum with several domains radiating at once (§6.1).
+    pub fn received_spectrum_multi(&self, runs: &[&DomainRun]) -> Spectrum {
+        let specs: Vec<Spectrum> = runs
+            .iter()
+            .map(|r| Spectrum::of_trace(&r.i_die, Window::Hann))
+            .collect();
+        let refs: Vec<&Spectrum> = specs.iter().collect();
+        self.channel.received_multi(&refs)
+    }
+
+    /// One displayed analyzer sweep of a run.
+    pub fn sweep(&mut self, run: &DomainRun) -> SweepReading {
+        let rx = self.received_spectrum(run);
+        self.analyzer.sweep(&rx, &mut self.rng)
+    }
+
+    /// The paper's GA fitness measurement: `n` sweeps (30 in the paper),
+    /// metric = mean root square of the band-peak amplitudes.
+    pub fn measure(&mut self, run: &DomainRun, n: usize) -> EmReading {
+        let rx = self.received_spectrum(run);
+        let (metric_dbm, dominant_hz) = self.analyzer.peak_metric(
+            &rx,
+            RESONANCE_BAND.0,
+            RESONANCE_BAND.1,
+            n,
+            &mut self.rng,
+        );
+        EmReading {
+            metric_dbm,
+            dominant_hz,
+        }
+    }
+
+    /// Like [`EmBench::measure`] but over an explicit band — used when the
+    /// resonance has already been located and the analyzer span is
+    /// narrowed to speed up the GA (§5.3 motivation (b)).
+    pub fn measure_in_band(&mut self, run: &DomainRun, lo: f64, hi: f64, n: usize) -> EmReading {
+        let rx = self.received_spectrum(run);
+        let (metric_dbm, dominant_hz) = self.analyzer.peak_metric(&rx, lo, hi, n, &mut self.rng);
+        EmReading {
+            metric_dbm,
+            dominant_hz,
+        }
+    }
+
+    /// Total analyzer wall-clock consumed so far (for the paper's
+    /// measurement-latency accounting).
+    pub fn elapsed(&self) -> f64 {
+        self.analyzer.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{RunConfig, VoltageDomain};
+    use emvolt_cpu::CoreModel;
+    use emvolt_isa::{kernels::{padded_sweep_kernel, sweep_kernel}, Isa};
+    use emvolt_pdn::PdnParams;
+
+    fn domain() -> VoltageDomain {
+        VoltageDomain::new(
+            "a72",
+            CoreModel::cortex_a72(),
+            PdnParams::generic_mobile(),
+            1.2e9,
+        )
+    }
+
+    #[test]
+    fn busy_core_reads_above_idle() {
+        let d = domain();
+        let mut bench = EmBench::new(1);
+        let cfg = RunConfig::fast();
+        // A kernel whose loop frequency sits on the PDN resonance: the
+        // busy cluster radiates well above the idle noise floor.
+        let busy = d.run(&padded_sweep_kernel(Isa::ArmV8, 17), 2, &cfg).unwrap();
+        let idle = d.run_idle(&cfg).unwrap();
+        let busy_reading = bench.measure(&busy, 5);
+        let idle_reading = bench.measure(&idle, 5);
+        assert!(
+            busy_reading.metric_dbm > idle_reading.metric_dbm + 10.0,
+            "busy {} vs idle {}",
+            busy_reading.metric_dbm,
+            idle_reading.metric_dbm
+        );
+    }
+
+    #[test]
+    fn dominant_frequency_is_in_band() {
+        let d = domain();
+        let mut bench = EmBench::new(2);
+        let run = d.run(&sweep_kernel(Isa::ArmV8), 2, &RunConfig::fast()).unwrap();
+        let r = bench.measure(&run, 10);
+        assert!(
+            (RESONANCE_BAND.0..=RESONANCE_BAND.1).contains(&r.dominant_hz),
+            "dominant {:.2e}",
+            r.dominant_hz
+        );
+    }
+
+    #[test]
+    fn measurement_time_accumulates_like_the_paper() {
+        let d = domain();
+        let mut bench = EmBench::new(3);
+        let run = d.run(&sweep_kernel(Isa::ArmV8), 1, &RunConfig::fast()).unwrap();
+        let _ = bench.measure(&run, 30);
+        assert!((bench.elapsed() - 18.0).abs() < 1.0, "{}", bench.elapsed());
+    }
+}

@@ -1,0 +1,195 @@
+//! Workstation ↔ target orchestration (§3.2 of the paper).
+//!
+//! The paper's GA framework runs on a separate workstation: it ships each
+//! individual's source over SSH, the target compiles and runs it, the
+//! workstation drives the spectrum analyzer, then kills the binary. This
+//! module reproduces that session protocol in-process — the GA loop is
+//! transport-agnostic, and the session accounts for the wall-clock each
+//! step would cost physically (compilation, deployment, measurement,
+//! teardown), which is how the paper's "~15 hours for 60 generations"
+//! figure arises.
+
+use crate::clock::SessionClock;
+use crate::domain::{DomainError, DomainRun, RunConfig, VoltageDomain};
+use crate::measure::{EmBench, EmReading};
+use emvolt_isa::Kernel;
+
+/// Wall-clock cost model of one orchestration step, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionCosts {
+    /// Shipping source to the target (SSH/scp).
+    pub upload_s: f64,
+    /// Compiling the individual on the target.
+    pub compile_s: f64,
+    /// Launching the binary and letting it reach steady state.
+    pub launch_s: f64,
+    /// One spectrum-analyzer sample.
+    pub sample_s: f64,
+    /// Terminating the binary.
+    pub teardown_s: f64,
+}
+
+impl Default for SessionCosts {
+    fn default() -> Self {
+        SessionCosts {
+            upload_s: 0.3,
+            compile_s: 1.0,
+            launch_s: 0.5,
+            sample_s: 0.6,
+            teardown_s: 0.2,
+        }
+    }
+}
+
+/// A target machine executing kernels: the abstraction the workstation
+/// drives over SSH in the paper.
+pub trait Target {
+    /// Deploys and starts `kernel` on `loaded_cores` cores; returns the
+    /// (simulated) steady-state run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the run cannot be simulated.
+    fn launch(&self, kernel: &Kernel, loaded_cores: usize) -> Result<DomainRun, DomainError>;
+
+    /// Target's display name.
+    fn name(&self) -> &str;
+}
+
+/// Any [`VoltageDomain`] is directly usable as a target.
+impl Target for VoltageDomain {
+    fn launch(&self, kernel: &Kernel, loaded_cores: usize) -> Result<DomainRun, DomainError> {
+        self.run(kernel, loaded_cores, &RunConfig::fast())
+    }
+
+    fn name(&self) -> &str {
+        VoltageDomain::name(self)
+    }
+}
+
+/// A measurement session: a workstation connected to one target and one
+/// EM bench, with wall-clock accounting.
+#[derive(Debug)]
+pub struct MeasurementSession<'a, T: Target> {
+    target: &'a T,
+    bench: EmBench,
+    costs: SessionCosts,
+    clock: SessionClock,
+    individuals_measured: usize,
+}
+
+impl<'a, T: Target> MeasurementSession<'a, T> {
+    /// Opens a session against `target` (the "SSH connection").
+    pub fn open(target: &'a T, bench: EmBench) -> Self {
+        MeasurementSession {
+            target,
+            bench,
+            costs: SessionCosts::default(),
+            clock: SessionClock::new(),
+            individuals_measured: 0,
+        }
+    }
+
+    /// Overrides the cost model.
+    #[must_use]
+    pub fn with_costs(mut self, costs: SessionCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// The full per-individual protocol: upload → compile → launch →
+    /// measure `samples` → kill, returning the EM reading.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures from the target.
+    pub fn measure_individual(
+        &mut self,
+        kernel: &Kernel,
+        loaded_cores: usize,
+        band: (f64, f64),
+        samples: usize,
+    ) -> Result<EmReading, DomainError> {
+        let c = self.costs;
+        self.clock.advance(c.upload_s + c.compile_s + c.launch_s);
+        let run = self.target.launch(kernel, loaded_cores)?;
+        let reading = self.bench.measure_in_band(&run, band.0, band.1, samples);
+        self.clock.advance(samples as f64 * c.sample_s + c.teardown_s);
+        self.individuals_measured += 1;
+        Ok(reading)
+    }
+
+    /// Number of individuals measured so far.
+    pub fn individuals_measured(&self) -> usize {
+        self.individuals_measured
+    }
+
+    /// Accumulated (simulated) campaign wall-clock.
+    pub fn clock(&self) -> SessionClock {
+        self.clock
+    }
+
+    /// Consumes the session, returning the bench for reuse.
+    pub fn close(self) -> EmBench {
+        self.bench
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boards::a72_pdn;
+    use emvolt_cpu::CoreModel;
+    use emvolt_isa::{kernels::padded_sweep_kernel, Isa};
+
+    fn domain() -> VoltageDomain {
+        VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9)
+    }
+
+    #[test]
+    fn per_individual_cost_matches_the_paper() {
+        let d = domain();
+        let mut session = MeasurementSession::open(&d, EmBench::new(1));
+        let kernel = padded_sweep_kernel(Isa::ArmV8, 17);
+        let _ = session
+            .measure_individual(&kernel, 2, (50e6, 200e6), 30)
+            .unwrap();
+        // ~18 s of sampling plus a couple of seconds of orchestration.
+        let t = session.clock().seconds();
+        assert!((19.0..22.0).contains(&t), "per-individual cost {t} s");
+        assert_eq!(session.individuals_measured(), 1);
+    }
+
+    #[test]
+    fn campaign_scale_accounting() {
+        // 60 generations x 50 individuals lands in the paper's ~15 h
+        // ballpark.
+        let d = domain();
+        let mut session = MeasurementSession::open(&d, EmBench::new(2));
+        let kernel = padded_sweep_kernel(Isa::ArmV8, 17);
+        // Measure a handful and extrapolate the cost linearly.
+        for _ in 0..3 {
+            let _ = session
+                .measure_individual(&kernel, 2, (50e6, 200e6), 30)
+                .unwrap();
+        }
+        let per_individual = session.clock().seconds() / 3.0;
+        let campaign_hours = per_individual * 50.0 * 60.0 / 3600.0;
+        assert!(
+            (14.0..20.0).contains(&campaign_hours),
+            "campaign estimate {campaign_hours} h"
+        );
+    }
+
+    #[test]
+    fn measurement_is_live() {
+        let d = domain();
+        let mut session = MeasurementSession::open(&d, EmBench::new(3));
+        let strong = padded_sweep_kernel(Isa::ArmV8, 17);
+        let weak = padded_sweep_kernel(Isa::ArmV8, 0);
+        let rs = session.measure_individual(&strong, 2, (50e6, 200e6), 5).unwrap();
+        let rw = session.measure_individual(&weak, 2, (50e6, 200e6), 5).unwrap();
+        assert!(rs.metric_dbm > rw.metric_dbm, "{} vs {}", rs.metric_dbm, rw.metric_dbm);
+        let _ = session.close();
+    }
+}

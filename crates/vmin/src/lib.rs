@@ -1,0 +1,385 @@
+//! # emvolt-vmin
+//!
+//! The V_MIN test harness of §5.2: starting from a high supply voltage,
+//! step down (10 mV in the paper) until execution deviates from a golden
+//! reference — through silent data corruption, an application crash or a
+//! system crash — and report both the first-failure voltage and the
+//! lowest safe voltage.
+//!
+//! The failure model is a timing wall: a workload fails when its worst
+//! die-voltage excursion dips below a critical voltage `V_crit(f)`.
+//! Within a small band above outright crash the workload suffers SDC
+//! (implemented with real bit-flip fault injection checked against the
+//! golden digest), mirroring the paper's observation that SDC/application
+//! crashes appear ~10 mV above the system-crash voltage.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use emvolt_cpu::{execute, execute_with_faults, FaultModel};
+use emvolt_isa::Kernel;
+use emvolt_platform::{DomainError, RunConfig, VoltageDomain};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The timing-wall failure model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureModel {
+    /// Critical die voltage at the reference frequency: dipping below it
+    /// begins to violate timing.
+    pub v_crit: f64,
+    /// Reference frequency for `v_crit`.
+    pub f_ref: f64,
+    /// Sensitivity of the critical voltage to clock frequency, in volts
+    /// per unit relative frequency (`v_crit(f) = v_crit + k*(f/f_ref-1)`).
+    pub freq_sensitivity: f64,
+    /// Width of the SDC/app-crash band above the system-crash voltage
+    /// (~10 mV in the paper).
+    pub sdc_band: f64,
+    /// Run-to-run variation (sigma, volts) of the worst droop — a short
+    /// observation window underestimates the true worst case, so repeated
+    /// trials scatter (the paper runs 30 V_MIN tests per virus).
+    pub trial_sigma: f64,
+}
+
+impl FailureModel {
+    /// Model for the Juno Cortex-A72 cluster at 1.2 GHz / 1.0 V nominal.
+    pub fn juno_a72() -> Self {
+        FailureModel {
+            v_crit: 0.777,
+            f_ref: 1.2e9,
+            freq_sensitivity: 0.25,
+            sdc_band: 0.010,
+            trial_sigma: 0.0020,
+        }
+    }
+
+    /// Model for the Juno Cortex-A53 cluster at 950 MHz / 1.0 V nominal.
+    pub fn juno_a53() -> Self {
+        FailureModel {
+            v_crit: 0.803,
+            f_ref: 950e6,
+            freq_sensitivity: 0.22,
+            sdc_band: 0.010,
+            trial_sigma: 0.0020,
+        }
+    }
+
+    /// Model for the AMD Athlon II at 3.1 GHz / 1.4 V nominal.
+    pub fn amd() -> Self {
+        FailureModel {
+            v_crit: 1.200,
+            f_ref: 3.1e9,
+            freq_sensitivity: 0.35,
+            sdc_band: 0.010,
+            trial_sigma: 0.0025,
+        }
+    }
+
+    /// Critical voltage at clock `f`.
+    pub fn v_crit_at(&self, f: f64) -> f64 {
+        self.v_crit + self.freq_sensitivity * (f / self.f_ref - 1.0)
+    }
+}
+
+/// Outcome of one undervolted trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Output matched the golden reference.
+    Pass,
+    /// Output deviated silently from the golden reference.
+    Sdc,
+    /// The workload crashed but the system survived.
+    AppCrash,
+    /// The whole system went down.
+    SystemCrash,
+}
+
+impl Outcome {
+    /// `true` for any deviation from nominal execution.
+    pub fn is_failure(self) -> bool {
+        self != Outcome::Pass
+    }
+}
+
+/// V_MIN campaign configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VminConfig {
+    /// First (highest) voltage tested.
+    pub start_v: f64,
+    /// Step size (10 mV in the paper).
+    pub step_v: f64,
+    /// Do not test below this voltage.
+    pub floor_v: f64,
+    /// Trials per voltage (30 for viruses, 2 for SPEC in the paper).
+    pub trials: usize,
+    /// Cores loaded with the workload.
+    pub loaded_cores: usize,
+    /// Physics fidelity of the underlying runs.
+    pub run: RunConfig,
+    /// Loop iterations used for the golden-output comparison.
+    pub golden_iterations: usize,
+    /// Noise seed for trial-to-trial variation and fault injection.
+    pub seed: u64,
+}
+
+impl Default for VminConfig {
+    fn default() -> Self {
+        VminConfig {
+            start_v: 1.0,
+            step_v: 0.010,
+            floor_v: 0.70,
+            trials: 5,
+            loaded_cores: 2,
+            run: RunConfig::fast(),
+            golden_iterations: 200,
+            seed: 0xD00B,
+        }
+    }
+}
+
+/// Result of a V_MIN campaign for one workload.
+#[derive(Debug, Clone)]
+pub struct VminResult {
+    /// Highest voltage at which *any* deviation was observed — the value
+    /// Figs. 10/14/18 report. `NaN` if nothing failed above the floor.
+    pub first_failure_v: f64,
+    /// Lowest voltage at which every trial passed (one step above the
+    /// first failure).
+    pub vmin_v: f64,
+    /// Maximum droop measured at the starting voltage.
+    pub max_droop_v: f64,
+    /// Peak-to-peak voltage noise at the starting voltage.
+    pub peak_to_peak_v: f64,
+    /// Per-voltage outcomes, highest voltage first.
+    pub ladder: Vec<(f64, Vec<Outcome>)>,
+}
+
+/// Runs a V_MIN campaign for `kernel` on a copy of `domain`.
+///
+/// # Errors
+///
+/// Propagates simulation failures from the underlying domain runs.
+pub fn vmin_test(
+    domain: &VoltageDomain,
+    kernel: &Kernel,
+    model: &FailureModel,
+    config: &VminConfig,
+) -> Result<VminResult, DomainError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // The PDN is linear, so the droop waveform is supply-independent:
+    // simulate once at the starting voltage and slide the DC level.
+    let mut dom = domain.clone();
+    dom.set_voltage(config.start_v);
+    let run = dom.run(kernel, config.loaded_cores, &config.run)?;
+    let droop = run.max_droop();
+    let golden = execute(kernel, config.golden_iterations);
+    let v_crit = model.v_crit_at(dom.frequency());
+
+    let mut ladder = Vec::new();
+    let mut first_failure_v = f64::NAN;
+    let mut v = config.start_v;
+    while v >= config.floor_v - 1e-12 {
+        let mut outcomes = Vec::with_capacity(config.trials);
+        let mut saw_system_crash = false;
+        for _ in 0..config.trials {
+            let extra = gumbel(&mut rng, model.trial_sigma);
+            let min_die = v - droop - extra;
+            let margin = min_die - v_crit;
+            let outcome = if margin >= 0.0 {
+                Outcome::Pass
+            } else if -margin > model.sdc_band {
+                Outcome::SystemCrash
+            } else {
+                // Inside the SDC band: inject faults whose rate grows as
+                // the margin shrinks and compare against the golden run.
+                let severity = (-margin / model.sdc_band).clamp(0.0, 1.0);
+                let fault = FaultModel {
+                    per_instr_probability: 1e-4 + severity * 2e-3,
+                };
+                let out =
+                    execute_with_faults(kernel, config.golden_iterations, fault, &mut rng);
+                if out.digest == golden {
+                    Outcome::Pass
+                } else if severity > 0.6 {
+                    Outcome::AppCrash
+                } else {
+                    Outcome::Sdc
+                }
+            };
+            if outcome.is_failure() && first_failure_v.is_nan() {
+                first_failure_v = v;
+            }
+            saw_system_crash |= outcome == Outcome::SystemCrash;
+            outcomes.push(outcome);
+        }
+        ladder.push((v, outcomes));
+        if saw_system_crash {
+            break;
+        }
+        v -= config.step_v;
+    }
+
+    let vmin_v = if first_failure_v.is_nan() {
+        config.floor_v
+    } else {
+        first_failure_v + config.step_v
+    };
+    Ok(VminResult {
+        first_failure_v,
+        vmin_v,
+        max_droop_v: droop,
+        peak_to_peak_v: run.peak_to_peak(),
+        ladder,
+    })
+}
+
+/// Standard-Gumbel-distributed positive excursion scaled by `sigma`,
+/// modelling the tail of the worst droop over a long physical run.
+fn gumbel<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    let g = -(-u.ln()).ln(); // standard Gumbel, mean ~0.577
+    (g + 0.5) * sigma * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emvolt_cpu::CoreModel;
+    use emvolt_isa::{kernels::{resonant_stress_kernel, sweep_kernel}, Isa};
+    use emvolt_platform::a72_pdn;
+
+    fn a72_domain() -> VoltageDomain {
+        VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9)
+    }
+
+    fn quick_cfg() -> VminConfig {
+        VminConfig {
+            trials: 3,
+            golden_iterations: 50,
+            ..VminConfig::default()
+        }
+    }
+
+    #[test]
+    fn ladder_descends_until_crash() {
+        let d = a72_domain();
+        let model = FailureModel::juno_a72();
+        let res = vmin_test(&d, &sweep_kernel(Isa::ArmV8), &model, &quick_cfg()).unwrap();
+        assert!(!res.ladder.is_empty());
+        // Ladder voltages strictly decrease.
+        for w in res.ladder.windows(2) {
+            assert!(w[1].0 < w[0].0);
+        }
+        // The campaign ends in a system crash (virus-class workload).
+        let last = res.ladder.last().unwrap();
+        assert!(last.1.contains(&Outcome::SystemCrash));
+        assert!(res.vmin_v > res.first_failure_v);
+        assert!((res.vmin_v - res.first_failure_v - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisier_workload_has_higher_vmin() {
+        let d = a72_domain();
+        let model = FailureModel::juno_a72();
+        // A resonant stress kernel versus a quiet single-add loop.
+        let arch = std::sync::Arc::new(emvolt_isa::Architecture::armv8());
+        let add = arch.op_by_name("add").unwrap();
+        let quiet = emvolt_isa::Kernel::new(
+            arch,
+            vec![emvolt_isa::Instr {
+                op: add,
+                dst: emvolt_isa::Reg::gpr(1),
+                srcs: [emvolt_isa::Reg::gpr(2), emvolt_isa::Reg::gpr(3)],
+                mem_slot: 0,
+            }],
+        );
+        let noisy_res = vmin_test(
+            &d,
+            &resonant_stress_kernel(Isa::ArmV8, 12, 17),
+            &model,
+            &quick_cfg(),
+        )
+        .unwrap();
+        let quiet_res = vmin_test(&d, &quiet, &model, &quick_cfg()).unwrap();
+        assert!(
+            noisy_res.max_droop_v > quiet_res.max_droop_v,
+            "droops {} vs {}",
+            noisy_res.max_droop_v,
+            quiet_res.max_droop_v
+        );
+        assert!(
+            noisy_res.vmin_v >= quiet_res.vmin_v,
+            "vmin {} vs {}",
+            noisy_res.vmin_v,
+            quiet_res.vmin_v
+        );
+    }
+
+    #[test]
+    fn sdc_band_produces_mixed_outcomes() {
+        let d = a72_domain();
+        let model = FailureModel::juno_a72();
+        let cfg = VminConfig {
+            trials: 10,
+            golden_iterations: 100,
+            ..VminConfig::default()
+        };
+        let res = vmin_test(
+            &d,
+            &resonant_stress_kernel(Isa::ArmV8, 12, 17),
+            &model,
+            &cfg,
+        )
+        .unwrap();
+        let all: Vec<Outcome> = res.ladder.iter().flat_map(|(_, o)| o.clone()).collect();
+        assert!(all.contains(&Outcome::Pass));
+        assert!(all.contains(&Outcome::SystemCrash));
+        // Some deviation short of a full system crash should appear in
+        // the band (SDC or app crash).
+        assert!(
+            all.iter()
+                .any(|o| matches!(o, Outcome::Sdc | Outcome::AppCrash)),
+            "no SDC/app-crash band observed: {all:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = a72_domain();
+        let model = FailureModel::juno_a72();
+        let a = vmin_test(&d, &sweep_kernel(Isa::ArmV8), &model, &quick_cfg()).unwrap();
+        let b = vmin_test(&d, &sweep_kernel(Isa::ArmV8), &model, &quick_cfg()).unwrap();
+        assert_eq!(a.first_failure_v, b.first_failure_v);
+        assert_eq!(a.ladder.len(), b.ladder.len());
+    }
+
+    #[test]
+    fn v_crit_scales_with_frequency() {
+        let m = FailureModel::juno_a72();
+        assert!(m.v_crit_at(1.2e9) > m.v_crit_at(600e6));
+        assert!((m.v_crit_at(1.2e9) - m.v_crit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_failing_workload_reports_floor() {
+        let d = a72_domain();
+        // Absurdly low critical voltage: nothing fails before the floor.
+        let model = FailureModel {
+            v_crit: 0.1,
+            ..FailureModel::juno_a72()
+        };
+        let cfg = VminConfig {
+            floor_v: 0.90,
+            trials: 2,
+            golden_iterations: 20,
+            ..VminConfig::default()
+        };
+        let res = vmin_test(&d, &sweep_kernel(Isa::ArmV8), &model, &cfg).unwrap();
+        assert!(res.first_failure_v.is_nan());
+        assert_eq!(res.vmin_v, 0.90);
+    }
+}

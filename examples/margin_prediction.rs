@@ -1,0 +1,57 @@
+//! Voltage-margin prediction from passive EM readings (§10 future work):
+//! calibrate once with direct measurements, then estimate any workload's
+//! droop and V_MIN with nothing but the antenna.
+//!
+//! ```sh
+//! cargo run --release --example margin_prediction
+//! ```
+
+use emvolt::core::MarginPredictor;
+use emvolt::isa::kernels::resonant_stress_kernel;
+use emvolt::isa::Kernel;
+use emvolt::platform::spec2006_suite;
+use emvolt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let domain = VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9);
+    let mut bench = EmBench::new(2025);
+    let cfg = RunConfig::default();
+    let suite = spec2006_suite(Isa::ArmV8);
+
+    // One-off calibration: a handful of workloads spanning the dynamic
+    // range, with their droops measured directly.
+    let stress = resonant_stress_kernel(Isa::ArmV8, 12, 17);
+    let mut calibration: Vec<(&str, &Kernel)> = suite
+        .iter()
+        .take(6)
+        .map(|w| (w.name.as_str(), &w.kernel))
+        .collect();
+    calibration.push(("stress", &stress));
+    let predictor = MarginPredictor::calibrate(&domain, &mut bench, &calibration, 2, 10, &cfg)?;
+    println!(
+        "calibrated on {} workloads: droop = {:.1} mV/sqrt(W) * A + {:.1} mV   (R² = {:.3})",
+        calibration.len(),
+        predictor.slope() * 1e3,
+        predictor.intercept() * 1e3,
+        predictor.r_squared()
+    );
+
+    // From here on: antenna only.
+    let model = FailureModel::juno_a72();
+    println!("\n{:<12} {:>15} {:>12} {:>15}", "workload", "predicted droop", "actual", "predicted Vmin");
+    for w in suite.iter().skip(6) {
+        let run = domain.run(&w.kernel, 2, &cfg)?;
+        let reading = bench.measure(&run, 10);
+        let predicted = predictor.predict_droop(&reading);
+        let vmin = predictor.predict_vmin(&reading, &model, domain.frequency());
+        println!(
+            "{:<12} {:>12.1} mV {:>9.1} mV {:>13.3} V",
+            w.name,
+            predicted * 1e3,
+            run.max_droop() * 1e3,
+            vmin
+        );
+    }
+    println!("\nno undervolting ladder, no probe: the EM reading alone ranks the margins.");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Explore the power-delivery-network substrate directly: impedance
+//! spectra, resonance calibration and resonant amplification (the physics
+//! of the paper's Figs. 1 and 2).
+//!
+//! ```sh
+//! cargo run --release --example pdn_explorer
+//! ```
+
+use emvolt::circuit::{Stimulus, TransientConfig};
+use emvolt::pdn::{calibrate_die_capacitance, find_resonance_peaks, log_freqs};
+use emvolt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The generic Fig. 1(a) network.
+    let params = PdnParams::generic_mobile();
+    let pdn = Pdn::new(params.clone(), 2);
+
+    println!("impedance seen from the die (log sweep 1 kHz – 1 GHz):");
+    let sweep = pdn.impedance_sweep(&log_freqs(1e3, 1e9, 800))?;
+    for peak in find_resonance_peaks(&sweep).into_iter().take(3) {
+        println!(
+            "  resonance at {:>10.3} MHz  |Z| = {:>7.1} mOhm",
+            peak.frequency_hz / 1e6,
+            peak.impedance_ohms * 1e3
+        );
+    }
+    println!(
+        "  analytic 1st-order estimate: {:.1} MHz",
+        params.first_order_resonance_hz(2) / 1e6
+    );
+
+    // Resonant vs off-resonance excitation (Fig. 2).
+    let f_res = params.first_order_resonance_hz(2);
+    let mut excited = Pdn::new(params.clone(), 2);
+    let cfg = TransientConfig::new(0.25e-9, 4e-6).with_warmup(2e-6);
+    println!("\n1 A square-wave excitation:");
+    for f in [f_res / 3.0, f_res, f_res * 2.5] {
+        excited.set_load(Stimulus::square(0.0, 1.0, f));
+        let (v, i) = excited.transient(&cfg)?;
+        println!(
+            "  {:>6.1} MHz: V_DIE p2p {:>6.1} mV, I_DIE p2p {:>5.2} A{}",
+            f / 1e6,
+            v.peak_to_peak() * 1e3,
+            i.peak_to_peak(),
+            if (f - f_res).abs() < 1.0 { "   <- resonant" } else { "" }
+        );
+    }
+
+    // Calibration: solve the die-capacitance split from two measured
+    // resonances, the way the platform models match the paper's numbers.
+    let die = calibrate_die_capacitance(params.effective_tank_inductance(), 4, 76.5e6, 97e6)?;
+    println!(
+        "\ncalibrated A53-like die capacitance: cluster {:.1} nF + {:.1} nF per core",
+        die.cluster_farads * 1e9,
+        die.per_core_farads * 1e9
+    );
+    for n in (1..=4).rev() {
+        let mut p = params.clone();
+        p.die_capacitance = die;
+        println!(
+            "  {n} core(s) powered -> first-order resonance {:.1} MHz",
+            p.first_order_resonance_hz(n) / 1e6
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Quickstart: characterize a Cortex-A72-class voltage domain with the
+//! EM methodology end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use emvolt::prelude::*;
+use emvolt_ga::GaConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the platform: a dual-core out-of-order cluster on the
+    //    calibrated Juno-like PDN (first-order resonance ~69 MHz).
+    let domain = VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9);
+    println!(
+        "platform: {} x{} @ {:.1} GHz, {:.2} V",
+        domain.core_model().name,
+        domain.core_count(),
+        domain.max_frequency() / 1e9,
+        domain.voltage()
+    );
+    println!(
+        "analytic first-order resonance: {:.1} MHz",
+        domain.expected_resonance_hz() / 1e6
+    );
+
+    let mut session = Characterization::new(domain, 42);
+
+    // 2. §5.3: the fast loop-frequency sweep localizes the resonance in
+    //    simulated minutes instead of a multi-hour GA run.
+    let sweep = session.find_resonance_fast()?;
+    println!(
+        "\nfast sweep: resonance ≈ {:.1} MHz (physical campaign {})",
+        sweep.resonance_hz / 1e6,
+        sweep.campaign.display()
+    );
+
+    // 3. §5.1: evolve a dI/dt virus guided only by EM amplitude. A small
+    //    GA keeps the example quick; raise population/generations to the
+    //    paper's 50x60 for a production-strength virus.
+    let config = VirusGenConfig {
+        ga: GaConfig {
+            population: 16,
+            generations: 12,
+            ..GaConfig::default()
+        },
+        loaded_cores: 2,
+        samples_per_individual: 5,
+        ..VirusGenConfig::default()
+    };
+    let virus = session.generate_virus("a72em-quick", &config)?;
+    println!(
+        "\nvirus after {} generations: {:.1} dBm at {:.1} MHz",
+        virus.history.len(),
+        virus.fitness,
+        virus.dominant_hz / 1e6
+    );
+    println!("generated loop body:\n{}", virus.kernel.render());
+
+    // 4. §5.2: quantify how hard the virus stresses the margin.
+    let report = session.report(
+        &virus,
+        &FailureModel::juno_a72(),
+        &VminConfig {
+            trials: 5,
+            loaded_cores: 2,
+            ..VminConfig::default()
+        },
+    )?;
+    println!(
+        "V_MIN margin below nominal: {:.0} mV (loop {:.1} MHz, dominant {:.1} MHz, IPC {:.2})",
+        report.voltage_margin_v * 1e3,
+        report.loop_freq_hz / 1e6,
+        report.dominant_freq_hz / 1e6,
+        report.ipc
+    );
+    Ok(())
+}

@@ -1,0 +1,280 @@
+//! `emvolt` — command-line front end for the EM voltage-noise
+//! characterization flow.
+//!
+//! ```sh
+//! emvolt platforms
+//! emvolt sweep --platform a72 [--cores 1]
+//! emvolt impedance --platform amd
+//! emvolt virus --platform a53 [--population 20] [--generations 15] [--seed 7]
+//! emvolt vmin --platform a72 [--workload lbm | --stress]
+//! ```
+
+use emvolt::core::{fast_resonance_sweep, generate_em_virus, FastSweepConfig, VirusGenConfig};
+use emvolt::ga::GaConfig;
+use emvolt::isa::kernels::resonant_stress_kernel;
+use emvolt::pdn::{lin_freqs, strongest_peak_in_band};
+use emvolt::platform::spec2006_suite;
+use emvolt::prelude::*;
+use std::collections::HashMap;
+use std::error::Error;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+emvolt — EM-emanation-driven voltage-noise characterization
+
+USAGE:
+    emvolt <COMMAND> [OPTIONS]
+
+COMMANDS:
+    platforms                  list the built-in platforms
+    sweep      --platform P    fast EM loop-frequency resonance sweep (paper §5.3)
+    impedance  --platform P    PDN impedance table around the first-order band
+    virus      --platform P    evolve a dI/dt virus with the EM-driven GA (§5.1)
+    vmin       --platform P    undervolting ladder for a workload (§5.2)
+
+OPTIONS:
+    --platform a72|a53|amd|gpu   target platform (required except for `platforms`)
+    --cores N                    powered cores (default: all)
+    --population N               GA population (default 20)
+    --generations N              GA generations (default 15)
+    --seed S                     GA / measurement seed (default 42)
+    --workload NAME              vmin: SPEC-like workload name (default lbm)
+    --stress                     vmin: use the built-in resonant stress kernel
+";
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else {
+                "true".to_owned()
+            };
+            flags.insert(name.to_owned(), value);
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn build_platform(flags: &HashMap<String, String>) -> Result<VoltageDomain, Box<dyn Error>> {
+    let name = flags
+        .get("platform")
+        .ok_or("missing --platform (a72|a53|amd|gpu)")?;
+    let mut domain = match name.as_str() {
+        "a72" => JunoBoard::new().a72,
+        "a53" => JunoBoard::new().a53,
+        "amd" => AmdDesktop::new().domain,
+        "gpu" => emvolt::platform::GpuCard::new().domain,
+        other => return Err(format!("unknown platform `{other}`").into()),
+    };
+    if let Some(cores) = flags.get("cores") {
+        domain.power_gate(cores.parse()?);
+    }
+    Ok(domain)
+}
+
+fn seed(flags: &HashMap<String, String>) -> u64 {
+    flags
+        .get("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn cmd_platforms() {
+    println!("platform  cores  clock      nominal  analytic resonance");
+    for (tag, domain) in [
+        ("a72", JunoBoard::new().a72),
+        ("a53", JunoBoard::new().a53),
+        ("amd", AmdDesktop::new().domain),
+        ("gpu", emvolt::platform::GpuCard::new().domain),
+    ] {
+        println!(
+            "{tag:<8}  {:<5}  {:>6.2} GHz  {:>5.2} V  {:>6.1} MHz",
+            domain.core_count(),
+            domain.max_frequency() / 1e9,
+            domain.voltage(),
+            domain.expected_resonance_hz() / 1e6
+        );
+    }
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let domain = build_platform(flags)?;
+    let mut bench = EmBench::new(seed(flags));
+    let cfg = FastSweepConfig::for_domain(&domain);
+    eprintln!(
+        "sweeping {} ({} powered cores) ...",
+        domain.name(),
+        domain.active_cores()
+    );
+    let result = fast_resonance_sweep(&domain, &mut bench, &cfg)?;
+    println!("clock (MHz)  loop (MHz)  EM (dBm)");
+    for p in &result.points {
+        println!(
+            "{:>11.1}  {:>10.1}  {:>8.1}",
+            p.cpu_freq_hz / 1e6,
+            p.loop_freq_hz / 1e6,
+            p.amplitude_dbm
+        );
+    }
+    println!(
+        "\nfirst-order resonance ≈ {:.1} MHz (analytic {:.1} MHz); physical sweep {}",
+        result.resonance_hz / 1e6,
+        domain.expected_resonance_hz() / 1e6,
+        result.campaign.display()
+    );
+    Ok(())
+}
+
+fn cmd_impedance(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let domain = build_platform(flags)?;
+    let pdn = domain.build_pdn();
+    let freqs = lin_freqs(20e6, 250e6, 2e6);
+    let sweep = pdn.impedance_sweep(&freqs)?;
+    println!("freq (MHz)  |Z| (mOhm)");
+    for (f, z) in sweep.iter().step_by(5) {
+        println!("{:>10.1}  {:>10.2}", f / 1e6, z.norm() * 1e3);
+    }
+    if let Some(peak) = strongest_peak_in_band(&sweep, 50e6, 200e6) {
+        println!(
+            "\nfirst-order peak: {:.1} MHz at {:.1} mOhm",
+            peak.frequency_hz / 1e6,
+            peak.impedance_ohms * 1e3
+        );
+    }
+    Ok(())
+}
+
+fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let domain = build_platform(flags)?;
+    let population = flags
+        .get("population")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let generations = flags
+        .get("generations")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    let mut bench = EmBench::new(seed(flags));
+    let cfg = VirusGenConfig {
+        ga: GaConfig {
+            population,
+            generations,
+            seed: seed(flags),
+            ..GaConfig::default()
+        },
+        loaded_cores: domain.active_cores(),
+        samples_per_individual: 5,
+        ..VirusGenConfig::default()
+    };
+    eprintln!(
+        "evolving a dI/dt virus on {} ({population} x {generations}) ...",
+        domain.name()
+    );
+    let virus = generate_em_virus("cli", &domain, &mut bench, &cfg)?;
+    println!("gen  best (dBm)  dominant (MHz)");
+    for r in &virus.history {
+        println!(
+            "{:>3}  {:>10.2}  {:>14.2}",
+            r.index,
+            r.best_fitness,
+            r.dominant_hz / 1e6
+        );
+    }
+    println!(
+        "\nfinal: {:.1} dBm at {:.1} MHz; simulated campaign {}",
+        virus.fitness,
+        virus.dominant_hz / 1e6,
+        virus.campaign.display()
+    );
+    println!("\ngenerated loop:\n{}", virus.kernel.render());
+    Ok(())
+}
+
+fn cmd_vmin(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let domain = build_platform(flags)?;
+    let model = match domain.name() {
+        "A72" => FailureModel::juno_a72(),
+        "A53" => FailureModel::juno_a53(),
+        _ => FailureModel::amd(),
+    };
+    let (label, kernel) = if flags.contains_key("stress") {
+        let isa = domain.core_model().isa;
+        ("resonant stress kernel".to_owned(), resonant_stress_kernel(isa, 12, 17))
+    } else {
+        let name = flags
+            .get("workload")
+            .cloned()
+            .unwrap_or_else(|| "lbm".to_owned());
+        let w = spec2006_suite(domain.core_model().isa)
+            .into_iter()
+            .find(|w| w.name == name)
+            .ok_or_else(|| format!("unknown workload `{name}` (try `lbm`)"))?;
+        (w.name, w.kernel)
+    };
+    let cfg = VminConfig {
+        start_v: domain.voltage(),
+        floor_v: domain.voltage() - 0.35,
+        trials: 5,
+        loaded_cores: domain.active_cores(),
+        ..VminConfig::default()
+    };
+    eprintln!("running the V_MIN ladder for `{label}` on {} ...", domain.name());
+    let res = vmin_test(&domain, &kernel, &model, &cfg)?;
+    println!("voltage (V)  outcomes");
+    for (v, outcomes) in &res.ladder {
+        let marks: String = outcomes
+            .iter()
+            .map(|o| match o {
+                emvolt::vmin::Outcome::Pass => '.',
+                emvolt::vmin::Outcome::Sdc => 'S',
+                emvolt::vmin::Outcome::AppCrash => 'A',
+                emvolt::vmin::Outcome::SystemCrash => 'X',
+            })
+            .collect();
+        println!("{v:>11.3}  {marks}");
+    }
+    println!(
+        "\nV_MIN = {:.3} V (droop {:.1} mV, p2p {:.1} mV, margin {:.0} mV)",
+        res.vmin_v,
+        res.max_droop_v * 1e3,
+        res.peak_to_peak_v * 1e3,
+        (domain.voltage() - res.vmin_v) * 1e3
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match command.as_str() {
+        "platforms" => {
+            cmd_platforms();
+            Ok(())
+        }
+        "sweep" => cmd_sweep(&flags),
+        "impedance" => cmd_impedance(&flags),
+        "virus" => cmd_virus(&flags),
+        "vmin" => cmd_vmin(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Integration tests across the whole measurement chain:
+//! kernel -> CPU current -> PDN -> radiation -> antenna -> analyzer.
+
+use emvolt::isa::kernels::{padded_sweep_kernel, sweep_kernel};
+use emvolt::prelude::*;
+
+fn a72() -> VoltageDomain {
+    VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9)
+}
+
+#[test]
+fn resonant_kernel_outshines_off_resonance_kernel() {
+    let domain = a72();
+    let cfg = RunConfig::fast();
+    let mut bench = EmBench::new(1);
+    // ~70 MHz loop (on resonance) vs ~240 MHz loop (far above).
+    let on = domain.run(&padded_sweep_kernel(Isa::ArmV8, 17), 2, &cfg).unwrap();
+    let off = domain.run(&sweep_kernel(Isa::ArmV8), 2, &cfg).unwrap();
+    let on_reading = bench.measure(&on, 5);
+    let off_reading = bench.measure(&off, 5);
+    assert!(
+        on_reading.metric_dbm > off_reading.metric_dbm + 6.0,
+        "resonant {} dBm vs off-resonance {} dBm",
+        on_reading.metric_dbm,
+        off_reading.metric_dbm
+    );
+    // And the dominant frequency sits at the PDN resonance.
+    let f_res = domain.expected_resonance_hz();
+    assert!(
+        (on_reading.dominant_hz - f_res).abs() < 6e6,
+        "dominant {:.1} MHz vs resonance {:.1} MHz",
+        on_reading.dominant_hz / 1e6,
+        f_res / 1e6
+    );
+}
+
+#[test]
+fn em_amplitude_tracks_voltage_noise() {
+    // The paper's central correlation: stronger EM metric <=> more droop.
+    let domain = a72();
+    let cfg = RunConfig::fast();
+    let mut bench = EmBench::new(2);
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for pad in [0usize, 8, 13, 17, 22, 30] {
+        let run = domain
+            .run(&padded_sweep_kernel(Isa::ArmV8, pad), 2, &cfg)
+            .unwrap();
+        let reading = bench.measure(&run, 5);
+        points.push((reading.metric_dbm, run.max_droop()));
+    }
+    // Rank correlation between EM amplitude and droop must be positive.
+    let mut concordant = 0i32;
+    let mut discordant = 0i32;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let em = points[i].0 - points[j].0;
+            let droop = points[i].1 - points[j].1;
+            if em * droop > 0.0 {
+                concordant += 1;
+            } else if em * droop < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    assert!(
+        concordant > discordant,
+        "EM/droop correlation broken: {points:?}"
+    );
+}
+
+#[test]
+fn more_loaded_cores_radiate_more() {
+    let domain = a72();
+    let cfg = RunConfig::fast();
+    let mut bench = EmBench::new(3);
+    let kernel = padded_sweep_kernel(Isa::ArmV8, 17);
+    let one = domain.run(&kernel, 1, &cfg).unwrap();
+    let two = domain.run(&kernel, 2, &cfg).unwrap();
+    let r1 = bench.measure(&one, 5);
+    let r2 = bench.measure(&two, 5);
+    assert!(
+        r2.metric_dbm > r1.metric_dbm + 3.0,
+        "2-core {} dBm vs 1-core {} dBm",
+        r2.metric_dbm,
+        r1.metric_dbm
+    );
+}
+
+#[test]
+fn idle_reads_at_the_noise_floor() {
+    let domain = a72();
+    let mut bench = EmBench::new(4);
+    let idle = domain.run_idle(&RunConfig::fast()).unwrap();
+    let reading = bench.measure(&idle, 5);
+    assert!(
+        reading.metric_dbm < -85.0,
+        "idle should be near the floor, got {} dBm",
+        reading.metric_dbm
+    );
+}
+
+#[test]
+fn chain_is_deterministic_end_to_end() {
+    let domain = a72();
+    let cfg = RunConfig::fast();
+    let kernel = padded_sweep_kernel(Isa::ArmV8, 17);
+    let a = {
+        let run = domain.run(&kernel, 2, &cfg).unwrap();
+        EmBench::new(5).measure(&run, 5)
+    };
+    let b = {
+        let run = domain.run(&kernel, 2, &cfg).unwrap();
+        EmBench::new(5).measure(&run, 5)
+    };
+    assert_eq!(a.metric_dbm, b.metric_dbm);
+    assert_eq!(a.dominant_hz, b.dominant_hz);
+}
+
+#[test]
+fn prelude_api_is_usable() {
+    // Compile-time facade check: the prelude exposes enough to build
+    // every major object.
+    let _ = JunoBoard::new();
+    let _ = AmdDesktop::new();
+    let _ = InstructionPool::default_for(Isa::X86_64);
+    let _ = FailureModel::amd();
+    let _ = VminConfig::default();
+    let _ = Architecture::armv8();
+}

@@ -1,0 +1,126 @@
+//! Integration tests of the V_MIN machinery across crates: the ordering
+//! claims behind Figs. 10, 14 and 18.
+
+use emvolt::isa::kernels::resonant_stress_kernel;
+use emvolt::platform::{desktop_suite, spec2006_suite};
+use emvolt::prelude::*;
+use emvolt::vmin::Outcome;
+
+fn quick(loaded: usize, start: f64) -> VminConfig {
+    VminConfig {
+        start_v: start,
+        floor_v: start - 0.35,
+        trials: 3,
+        loaded_cores: loaded,
+        golden_iterations: 40,
+        ..VminConfig::default()
+    }
+}
+
+/// Fig. 10 shape: a resonant stress kernel fails at a higher voltage than
+/// representative SPEC-like workloads on the A72.
+#[test]
+fn resonant_kernel_has_higher_vmin_than_benchmarks() {
+    let domain = VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9);
+    let model = FailureModel::juno_a72();
+    let stress = resonant_stress_kernel(Isa::ArmV8, 12, 17);
+    let stress_res = vmin_test(&domain, &stress, &model, &quick(2, 1.0)).unwrap();
+
+    for name in ["gcc", "sjeng", "mcf"] {
+        let bench = spec2006_suite(Isa::ArmV8)
+            .into_iter()
+            .find(|w| w.name == name)
+            .expect("workload exists");
+        let res = vmin_test(&domain, &bench.kernel, &model, &quick(2, 1.0)).unwrap();
+        assert!(
+            stress_res.vmin_v >= res.vmin_v,
+            "{name}: stress Vmin {:.3} < benchmark Vmin {:.3}",
+            stress_res.vmin_v,
+            res.vmin_v
+        );
+        assert!(
+            stress_res.max_droop_v > res.max_droop_v,
+            "{name}: stress droop {:.1} mV <= benchmark {:.1} mV",
+            stress_res.max_droop_v * 1e3,
+            res.max_droop_v * 1e3
+        );
+    }
+}
+
+/// Fig. 18 shape: on the AMD platform the stability tests pass at
+/// voltages where a resonant stress kernel already fails.
+#[test]
+fn amd_stability_tests_are_not_worst_case() {
+    let amd = AmdDesktop::new();
+    let model = FailureModel::amd();
+    let stress = resonant_stress_kernel(Isa::X86_64, 16, 40);
+    let stress_res = vmin_test(&amd.domain, &stress, &model, &quick(4, 1.4)).unwrap();
+    for name in ["prime95", "amd_stability"] {
+        let w = desktop_suite()
+            .into_iter()
+            .find(|w| w.name == name)
+            .expect("workload exists");
+        let res = vmin_test(&amd.domain, &w.kernel, &model, &quick(4, 1.4)).unwrap();
+        assert!(
+            stress_res.vmin_v >= res.vmin_v,
+            "{name} should not be worst case: stress {:.3} vs {:.3}",
+            stress_res.vmin_v,
+            res.vmin_v
+        );
+    }
+}
+
+/// §5.2: descending the ladder passes first, then deviates within the
+/// ~10 mV SDC band, then crashes — and the campaign stops at the crash.
+#[test]
+fn ladder_shows_sdc_band_then_crash() {
+    let domain = VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9);
+    let model = FailureModel::juno_a72();
+    let stress = resonant_stress_kernel(Isa::ArmV8, 12, 17);
+    let cfg = VminConfig {
+        trials: 8,
+        golden_iterations: 80,
+        loaded_cores: 2,
+        ..VminConfig::default()
+    };
+    let res = vmin_test(&domain, &stress, &model, &cfg).unwrap();
+    let flat: Vec<Outcome> = res.ladder.iter().flat_map(|(_, o)| o.clone()).collect();
+    assert!(flat.contains(&Outcome::Pass));
+    assert!(flat.contains(&Outcome::SystemCrash));
+    assert!(
+        flat.iter()
+            .any(|o| matches!(o, Outcome::Sdc | Outcome::AppCrash)),
+        "no SDC band observed"
+    );
+    // The ladder terminates at the crash voltage.
+    assert!(res.ladder.last().unwrap().1.contains(&Outcome::SystemCrash));
+}
+
+/// Undervolting the domain moves the failure point consistently: a lower
+/// critical voltage (faster silicon) yields a lower V_MIN.
+#[test]
+fn vmin_tracks_the_critical_voltage() {
+    let domain = VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9);
+    let stress = resonant_stress_kernel(Isa::ArmV8, 12, 17);
+    let slow = FailureModel {
+        v_crit: 0.80,
+        ..FailureModel::juno_a72()
+    };
+    let fast = FailureModel {
+        v_crit: 0.76,
+        ..FailureModel::juno_a72()
+    };
+    let slow_res = vmin_test(&domain, &stress, &slow, &quick(2, 1.0)).unwrap();
+    let fast_res = vmin_test(&domain, &stress, &fast, &quick(2, 1.0)).unwrap();
+    assert!(
+        slow_res.vmin_v > fast_res.vmin_v,
+        "slower silicon must fail earlier: {:.3} vs {:.3}",
+        slow_res.vmin_v,
+        fast_res.vmin_v
+    );
+    let delta = slow_res.vmin_v - fast_res.vmin_v;
+    assert!(
+        (delta - 0.04).abs() <= 0.015,
+        "Vmin shift {delta:.3} V should track the 40 mV v_crit shift"
+    );
+}
