@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use emvolt_bench::fixtures::{a72_domain, arm_kernel, x86_kernel};
 use emvolt_circuit::{Stimulus, TransientConfig};
-use emvolt_cpu::{Cpu, CoreModel, SimConfig};
+use emvolt_cpu::{CoreModel, Cpu, SimConfig};
 use emvolt_dsp::{fft_real, Spectrum, Window};
 use emvolt_ga::{GaConfig, GaEngine, KernelRepresentation};
 use emvolt_isa::{InstructionPool, Isa, OpClass};

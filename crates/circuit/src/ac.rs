@@ -62,24 +62,30 @@ impl Circuit {
         let mut g = Matrix::<Complex>::zeros(dim);
         let mut b = vec![Complex::ZERO; dim];
 
-        let stamp_admittance = |g: &mut Matrix<Complex>, ra: Option<usize>, rb: Option<usize>, y: Complex| {
-            if let Some(a) = ra {
-                g.stamp(a, a, y);
-            }
-            if let Some(bb) = rb {
-                g.stamp(bb, bb, y);
-            }
-            if let (Some(a), Some(bb)) = (ra, rb) {
-                g.stamp(a, bb, -y);
-                g.stamp(bb, a, -y);
-            }
-        };
+        let stamp_admittance =
+            |g: &mut Matrix<Complex>, ra: Option<usize>, rb: Option<usize>, y: Complex| {
+                if let Some(a) = ra {
+                    g.stamp(a, a, y);
+                }
+                if let Some(bb) = rb {
+                    g.stamp(bb, bb, y);
+                }
+                if let (Some(a), Some(bb)) = (ra, rb) {
+                    g.stamp(a, bb, -y);
+                    g.stamp(bb, a, -y);
+                }
+            };
 
         for r in &self.resistors {
             stamp_admittance(&mut g, row(r.a), row(r.b), Complex::from_real(1.0 / r.ohms));
         }
         for c in &self.capacitors {
-            stamp_admittance(&mut g, row(c.a), row(c.b), Complex::new(0.0, omega * c.farads));
+            stamp_admittance(
+                &mut g,
+                row(c.a),
+                row(c.b),
+                Complex::new(0.0, omega * c.farads),
+            );
         }
         for l in &self.inductors {
             // Y = 1/(j*omega*L) = -j/(omega*L)
@@ -191,9 +197,7 @@ mod tests {
     fn resistor_impedance_is_flat() {
         let (mut c, src, n) = port_circuit();
         c.resistor(n, NodeId::GROUND, 42.0).unwrap();
-        let z = c
-            .driving_point_impedance(src, &[1e3, 1e6, 1e9])
-            .unwrap();
+        let z = c.driving_point_impedance(src, &[1e3, 1e6, 1e9]).unwrap();
         for (_, zi) in z {
             assert!((zi.norm() - 42.0).abs() < 1e-9);
             assert!(zi.im.abs() < 1e-9);

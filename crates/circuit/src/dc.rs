@@ -131,7 +131,12 @@ pub(crate) fn stamp_conductance(
 }
 
 /// Stamps a branch-current unknown (ideal voltage source topology).
-pub(crate) fn stamp_branch(g: &mut Matrix<f64>, rpos: Option<usize>, rneg: Option<usize>, br: usize) {
+pub(crate) fn stamp_branch(
+    g: &mut Matrix<f64>,
+    rpos: Option<usize>,
+    rneg: Option<usize>,
+    br: usize,
+) {
     if let Some(p) = rpos {
         g.stamp(p, br, 1.0);
         g.stamp(br, p, 1.0);

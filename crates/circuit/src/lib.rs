@@ -62,9 +62,7 @@ pub use complex::Complex;
 pub use dc::OperatingPoint;
 pub use error::{CircuitError, Result};
 pub use linalg::{LuFactors, Matrix, Scalar};
-pub use netlist::{
-    CapacitorId, Circuit, ISourceId, InductorId, NodeId, ResistorId, VSourceId,
-};
+pub use netlist::{CapacitorId, Circuit, ISourceId, InductorId, NodeId, ResistorId, VSourceId};
 pub use stimulus::Stimulus;
 pub use trace::Trace;
-pub use transient::{TransientConfig, TransientResult};
+pub use transient::{TransientConfig, TransientPlan, TransientResult};

@@ -288,7 +288,9 @@ mod tests {
         // Deterministic pseudo-random fill (LCG) with diagonal dominance.
         let mut state: u64 = 0x9E3779B97F4A7C15;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         for i in 0..n {

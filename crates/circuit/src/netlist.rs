@@ -184,7 +184,11 @@ impl Circuit {
         self.check_node(a)?;
         self.check_node(b)?;
         Self::check_positive("resistor", ohms)?;
-        self.resistors.push(Resistor { a: a.0, b: b.0, ohms });
+        self.resistors.push(Resistor {
+            a: a.0,
+            b: b.0,
+            ohms,
+        });
         Ok(ResistorId(self.resistors.len() - 1))
     }
 
@@ -198,7 +202,11 @@ impl Circuit {
         self.check_node(a)?;
         self.check_node(b)?;
         Self::check_positive("capacitor", farads)?;
-        self.capacitors.push(Capacitor { a: a.0, b: b.0, farads });
+        self.capacitors.push(Capacitor {
+            a: a.0,
+            b: b.0,
+            farads,
+        });
         Ok(CapacitorId(self.capacitors.len() - 1))
     }
 
@@ -212,7 +220,11 @@ impl Circuit {
         self.check_node(a)?;
         self.check_node(b)?;
         Self::check_positive("inductor", henries)?;
-        self.inductors.push(Inductor { a: a.0, b: b.0, henries });
+        self.inductors.push(Inductor {
+            a: a.0,
+            b: b.0,
+            henries,
+        });
         Ok(InductorId(self.inductors.len() - 1))
     }
 
@@ -334,7 +346,8 @@ mod tests {
         let a = c.node("a");
         c.resistor(a, NodeId::GROUND, 1.0).unwrap();
         c.capacitor(a, NodeId::GROUND, 1e-9).unwrap();
-        c.current_source(a, NodeId::GROUND, Stimulus::Dc(1.0)).unwrap();
+        c.current_source(a, NodeId::GROUND, Stimulus::Dc(1.0))
+            .unwrap();
         assert_eq!(c.element_count(), 3);
     }
 }

@@ -229,7 +229,9 @@ mod tests {
 
     #[test]
     fn pwl_interpolates_and_clamps() {
-        let s = Stimulus::Pwl(Arc::from(vec![(0.0, 0.0), (1.0, 2.0), (2.0, 2.0)].as_slice()));
+        let s = Stimulus::Pwl(Arc::from(
+            vec![(0.0, 0.0), (1.0, 2.0), (2.0, 2.0)].as_slice(),
+        ));
         assert_eq!(s.value_at(-1.0), 0.0);
         assert!((s.value_at(0.5) - 1.0).abs() < 1e-12);
         assert_eq!(s.value_at(5.0), 2.0);

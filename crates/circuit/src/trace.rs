@@ -26,7 +26,11 @@ impl Trace {
     /// Panics if `dt` is not strictly positive.
     pub fn from_samples(dt: f64, values: Vec<f64>) -> Self {
         assert!(dt > 0.0, "trace sample spacing must be positive");
-        Trace { dt, t0: 0.0, values }
+        Trace {
+            dt,
+            t0: 0.0,
+            values,
+        }
     }
 
     /// Creates a trace with an explicit start time.

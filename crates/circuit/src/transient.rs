@@ -9,7 +9,7 @@
 
 use crate::dc::{stamp_branch, stamp_conductance};
 use crate::error::{CircuitError, Result};
-use crate::linalg::Matrix;
+use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::{Circuit, InductorId, NodeId};
 use crate::trace::Trace;
 
@@ -55,10 +55,7 @@ impl TransientConfig {
         }
         if self.record_from < 0.0 || self.record_from >= self.duration {
             return Err(CircuitError::InvalidAnalysis {
-                reason: format!(
-                    "record_from {} outside (0, duration)",
-                    self.record_from
-                ),
+                reason: format!("record_from {} outside (0, duration)", self.record_from),
             });
         }
         Ok(())
@@ -105,34 +102,98 @@ impl TransientResult {
     }
 }
 
+/// Precomputed constant part of a fixed-step transient analysis: the
+/// LU-factored MNA system matrix and the trapezoidal companion
+/// conductances for a given step size.
+///
+/// The system matrix depends only on the netlist topology, element values
+/// and the step `dt` — not on stimulus waveforms, which enter through the
+/// right-hand side. A plan can therefore be built once and reused across
+/// many [`Circuit::transient_with_plan`] calls whose stimuli differ (the
+/// hot path of repeated PDN evaluations), skipping the rebuild and
+/// refactorization that [`Circuit::transient`] pays on every call.
+///
+/// A plan is only meaningful for the circuit it was built from; element
+/// counts are checked on use so a topology change is caught, but swapping
+/// element *values* silently yields results for the old values.
+#[derive(Debug, Clone)]
+pub struct TransientPlan {
+    dt: f64,
+    n_nodes: usize,
+    n_vs: usize,
+    lu: LuFactors<f64>,
+    cap_g: Vec<f64>,
+    ind_g: Vec<f64>,
+    n_resistors: usize,
+}
+
+impl TransientPlan {
+    /// The step size this plan was factored for.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    fn check_compatible(&self, circuit: &Circuit, config: &TransientConfig) -> Result<()> {
+        if config.dt != self.dt {
+            return Err(CircuitError::InvalidAnalysis {
+                reason: format!(
+                    "transient plan was built for dt {} but config uses dt {}",
+                    self.dt, config.dt
+                ),
+            });
+        }
+        let same_shape = self.n_nodes == circuit.node_count() - 1
+            && self.n_vs == circuit.vsources.len()
+            && self.cap_g.len() == circuit.capacitors.len()
+            && self.ind_g.len() == circuit.inductors.len()
+            && self.n_resistors == circuit.resistors.len();
+        if !same_shape {
+            return Err(CircuitError::InvalidAnalysis {
+                reason: "transient plan does not match circuit topology".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
 impl Circuit {
-    /// Runs a trapezoidal transient analysis starting from the DC operating
-    /// point.
+    /// Builds the reusable constant part of a transient analysis for step
+    /// `dt`: stamps the MNA system matrix and LU-factors it once.
     ///
     /// # Errors
     ///
-    /// Returns an error for invalid configurations or an ill-posed netlist
+    /// Returns an error for a non-positive step or an ill-posed netlist
     /// (singular MNA matrix).
-    pub fn transient(&self, config: &TransientConfig) -> Result<TransientResult> {
-        config.validate()?;
-        let h = config.dt;
+    pub fn plan_transient(&self, dt: f64) -> Result<TransientPlan> {
+        if dt.is_nan() || dt <= 0.0 || !dt.is_finite() {
+            return Err(CircuitError::InvalidAnalysis {
+                reason: format!("non-positive time step {dt}"),
+            });
+        }
         let n_nodes = self.node_count() - 1;
         let n_vs = self.vsources.len();
         let dim = n_nodes + n_vs;
         let row = |node: usize| -> Option<usize> { node.checked_sub(1) };
 
-        // --- Constant system matrix -------------------------------------
         let mut g = Matrix::<f64>::zeros(dim);
         for r in &self.resistors {
             stamp_conductance(&mut g, row(r.a), row(r.b), 1.0 / r.ohms);
         }
         // Trapezoidal companion conductances.
-        let cap_g: Vec<f64> = self.capacitors.iter().map(|c| 2.0 * c.farads / h).collect();
-        for (c, &gc) in self.capacitors.iter().zip(&cap_g) {
+        let cap_g: Vec<f64> = self
+            .capacitors
+            .iter()
+            .map(|c| 2.0 * c.farads / dt)
+            .collect();
+        for (c, &gc) in self.capacitors.iter().zip(cap_g.iter()) {
             stamp_conductance(&mut g, row(c.a), row(c.b), gc);
         }
-        let ind_g: Vec<f64> = self.inductors.iter().map(|l| h / (2.0 * l.henries)).collect();
-        for (l, &gl) in self.inductors.iter().zip(&ind_g) {
+        let ind_g: Vec<f64> = self
+            .inductors
+            .iter()
+            .map(|l| dt / (2.0 * l.henries))
+            .collect();
+        for (l, &gl) in self.inductors.iter().zip(ind_g.iter()) {
             stamp_conductance(&mut g, row(l.a), row(l.b), gl);
         }
         for (k, vs) in self.vsources.iter().enumerate() {
@@ -140,15 +201,63 @@ impl Circuit {
         }
         let lu = g.lu()?;
 
+        Ok(TransientPlan {
+            dt,
+            n_nodes,
+            n_vs,
+            lu,
+            cap_g,
+            ind_g,
+            n_resistors: self.resistors.len(),
+        })
+    }
+
+    /// Runs a trapezoidal transient analysis starting from the DC operating
+    /// point.
+    ///
+    /// Builds a throwaway [`TransientPlan`] internally; callers running the
+    /// same circuit repeatedly should build one with
+    /// [`Circuit::plan_transient`] and use
+    /// [`Circuit::transient_with_plan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid configurations or an ill-posed netlist
+    /// (singular MNA matrix).
+    pub fn transient(&self, config: &TransientConfig) -> Result<TransientResult> {
+        config.validate()?;
+        let plan = self.plan_transient(config.dt)?;
+        self.transient_with_plan(&plan, config)
+    }
+
+    /// Runs a trapezoidal transient analysis reusing a prebuilt
+    /// [`TransientPlan`] (no matrix stamping or LU refactorization).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid configurations, a plan built for a
+    /// different step size or topology, or an ill-posed DC operating point.
+    pub fn transient_with_plan(
+        &self,
+        plan: &TransientPlan,
+        config: &TransientConfig,
+    ) -> Result<TransientResult> {
+        config.validate()?;
+        plan.check_compatible(self, config)?;
+        let h = config.dt;
+        let n_nodes = plan.n_nodes;
+        let n_vs = plan.n_vs;
+        let dim = n_nodes + n_vs;
+        let row = |node: usize| -> Option<usize> { node.checked_sub(1) };
+        let lu = &plan.lu;
+        let cap_g = &plan.cap_g;
+        let ind_g = &plan.ind_g;
+
         // --- Initial conditions from the DC operating point --------------
         let op = self.dc_operating_point()?;
         let mut v: Vec<f64> = op.node_voltages.clone(); // indexed by raw node id
-        // Capacitor state: (voltage across, current through).
-        let mut cap_v: Vec<f64> = self
-            .capacitors
-            .iter()
-            .map(|c| v[c.a] - v[c.b])
-            .collect();
+                                                        // Capacitor state: (voltage across, current through).
+        let mut cap_v: Vec<f64> = self.capacitors.iter().map(|c| v[c.a] - v[c.b]).collect();
         let mut cap_i: Vec<f64> = vec![0.0; self.capacitors.len()];
         let mut ind_i: Vec<f64> = op.inductor_currents.clone();
         let mut ind_v: Vec<f64> = vec![0.0; self.inductors.len()];
@@ -163,9 +272,9 @@ impl Circuit {
             vec![Vec::with_capacity(capacity); self.inductors.len()];
 
         let record = |v: &[f64],
-                          ind_i: &[f64],
-                          node_voltages: &mut Vec<Vec<f64>>,
-                          inductor_currents: &mut Vec<Vec<f64>>| {
+                      ind_i: &[f64],
+                      node_voltages: &mut Vec<Vec<f64>>,
+                      inductor_currents: &mut Vec<Vec<f64>>| {
             for (store, &val) in node_voltages.iter_mut().zip(v.iter()) {
                 store.push(val);
             }
@@ -187,7 +296,7 @@ impl Circuit {
             for ((c, &gc), (&vc, &ic)) in self
                 .capacitors
                 .iter()
-                .zip(&cap_g)
+                .zip(cap_g)
                 .zip(cap_v.iter().zip(cap_i.iter()))
             {
                 let hist = gc * vc + ic;
@@ -202,7 +311,7 @@ impl Circuit {
             for ((l, &gl), (&vl, &il)) in self
                 .inductors
                 .iter()
-                .zip(&ind_g)
+                .zip(ind_g)
                 .zip(ind_v.iter().zip(ind_i.iter()))
             {
                 let hist = il + gl * vl;
@@ -231,13 +340,13 @@ impl Circuit {
             v[1..=n_nodes].copy_from_slice(&x[..n_nodes]);
 
             // Update element states.
-            for (k, (c, &gc)) in self.capacitors.iter().zip(&cap_g).enumerate() {
+            for (k, (c, &gc)) in self.capacitors.iter().zip(cap_g).enumerate() {
                 let vc_new = v[c.a] - v[c.b];
                 let hist = gc * cap_v[k] + cap_i[k];
                 cap_i[k] = gc * vc_new - hist;
                 cap_v[k] = vc_new;
             }
-            for (k, (l, &gl)) in self.inductors.iter().zip(&ind_g).enumerate() {
+            for (k, (l, &gl)) in self.inductors.iter().zip(ind_g).enumerate() {
                 let vl_new = v[l.a] - v[l.b];
                 let hist = ind_i[k] + gl * ind_v[k];
                 ind_i[k] = gl * vl_new + hist;
@@ -380,7 +489,8 @@ mod tests {
         let mut c = Circuit::new();
         let n = c.node("n");
         c.resistor(n, NodeId::GROUND, 1.0).unwrap();
-        c.current_source(NodeId::GROUND, n, Stimulus::Dc(1.0)).unwrap();
+        c.current_source(NodeId::GROUND, n, Stimulus::Dc(1.0))
+            .unwrap();
         let cfg = TransientConfig::new(1e-9, 100e-9).with_warmup(50e-9);
         let res = c.transient(&cfg).unwrap();
         let trace = res.voltage(n);
@@ -399,12 +509,60 @@ mod tests {
         assert!(c.transient(&bad).is_err());
     }
 
+    /// A reused plan must reproduce `transient` exactly, including across
+    /// stimulus swaps (the repeated-evaluation hot path).
+    #[test]
+    fn plan_reuse_is_bit_identical_across_stimulus_changes() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.voltage_source(vin, NodeId::GROUND, Stimulus::Dc(1.0))
+            .unwrap();
+        c.resistor(vin, out, 1_000.0).unwrap();
+        c.capacitor(out, NodeId::GROUND, 1e-9).unwrap();
+        let load = c
+            .current_source(NodeId::GROUND, out, Stimulus::Dc(0.0))
+            .unwrap();
+
+        let cfg = TransientConfig::new(1e-9, 2e-6).with_warmup(0.5e-6);
+        let plan = c.plan_transient(cfg.dt).unwrap();
+        for amps in [0.0, 0.3, 1.2] {
+            c.set_current_stimulus(load, Stimulus::Dc(amps));
+            let fresh = c.transient(&cfg).unwrap();
+            let planned = c.transient_with_plan(&plan, &cfg).unwrap();
+            assert_eq!(
+                fresh.voltage(out).samples(),
+                planned.voltage(out).samples(),
+                "plan diverged at load {amps}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_rejects_mismatched_dt_and_topology() {
+        let mut c = Circuit::new();
+        let n = c.node("n");
+        c.resistor(n, NodeId::GROUND, 1.0).unwrap();
+        c.current_source(NodeId::GROUND, n, Stimulus::Dc(1.0))
+            .unwrap();
+        let plan = c.plan_transient(1e-9).unwrap();
+        assert!(c
+            .transient_with_plan(&plan, &TransientConfig::new(2e-9, 1e-6))
+            .is_err());
+        c.capacitor(n, NodeId::GROUND, 1e-9).unwrap();
+        assert!(c
+            .transient_with_plan(&plan, &TransientConfig::new(1e-9, 1e-6))
+            .is_err());
+        assert!(c.plan_transient(0.0).is_err());
+    }
+
     #[test]
     fn inductor_current_is_recorded() {
         let mut c = Circuit::new();
         let vin = c.node("vin");
         let out = c.node("out");
-        c.voltage_source(vin, NodeId::GROUND, Stimulus::Dc(1.0)).unwrap();
+        c.voltage_source(vin, NodeId::GROUND, Stimulus::Dc(1.0))
+            .unwrap();
         let l = c.inductor(vin, out, 1e-9).unwrap();
         c.resistor(out, NodeId::GROUND, 1.0).unwrap();
         let cfg = TransientConfig::new(0.05e-9, 50e-9);

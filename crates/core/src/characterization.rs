@@ -89,12 +89,8 @@ mod tests {
 
     #[test]
     fn full_flow_smoke_test() {
-        let domain = emvolt_platform::VoltageDomain::new(
-            "A72",
-            CoreModel::cortex_a72(),
-            a72_pdn(),
-            1.2e9,
-        );
+        let domain =
+            emvolt_platform::VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9);
         let mut session = Characterization::new(domain, 9);
         let sweep = session.find_resonance_fast().unwrap();
         assert!(sweep.resonance_hz > 40e6 && sweep.resonance_hz < 120e6);

@@ -46,10 +46,7 @@ pub fn emergency_stats(run: &DomainRun, depth_below_supply: f64) -> EmergencySta
 /// "emergencies versus margin" profile that tells a designer how much
 /// guardband buys how much quiet.
 pub fn emergency_profile(run: &DomainRun, depths_v: &[f64]) -> Vec<EmergencyStats> {
-    depths_v
-        .iter()
-        .map(|&d| emergency_stats(run, d))
-        .collect()
+    depths_v.iter().map(|&d| emergency_stats(run, d)).collect()
 }
 
 #[cfg(test)]

@@ -8,8 +8,8 @@
 //! resonance. The whole procedure takes ~15 minutes on hardware versus
 //! ~15 hours for a GA run.
 
-use emvolt_platform::{DomainError, EmBench, SessionClock, VoltageDomain};
 use emvolt_isa::kernels::sweep_kernel;
+use emvolt_platform::{DomainError, EmBench, SessionClock, VoltageDomain};
 
 /// One point of a loop-frequency sweep (Figs. 11, 13, 16).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -8,15 +8,19 @@
 //! (OC-DSO / Kelvin-pad driven, used by the paper for validation) is also
 //! provided.
 
-use emvolt_ga::{GaConfig, GaEngine, KernelRepresentation};
+use emvolt_ga::{derive_eval_seed, EvalContext, GaConfig, GaEngine, KernelRepresentation};
 use emvolt_inst::Oscilloscope;
 use emvolt_isa::{InstructionPool, Kernel};
 use emvolt_platform::{
-    DomainError, DomainRun, EmBench, RunConfig, SessionClock, VoltageDomain,
+    DomainError, DomainRun, DomainRunner, EmBench, RunConfig, SessionClock, VoltageDomain,
     INDIVIDUAL_MEASUREMENT_SECONDS, INDIVIDUAL_OVERHEAD_SECONDS, RESONANCE_BAND,
 };
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which scope statistic drives the voltage-feedback GA (§3.1(b): "the
 /// target metric is either maximum voltage droop or peak to peak").
@@ -46,6 +50,20 @@ pub struct VirusGenConfig {
     pub voltage_metric: VoltageMetric,
     /// Physics fidelity per run.
     pub run: RunConfig,
+    /// Worker threads for fitness evaluation: `0` picks the machine's
+    /// available parallelism, `1` evaluates serially. Any value yields
+    /// bit-identical campaigns — per-individual measurement seeds are
+    /// derived from `(ga.seed, generation, index)`, never from a shared
+    /// RNG.
+    pub threads: usize,
+    /// Opt-in genome-keyed fitness cache (off by default). When enabled,
+    /// a kernel already measured in this campaign is not re-simulated or
+    /// re-measured: its recorded reading is reused, and the campaign
+    /// clock only advances for actual measurements. Measurement seeds
+    /// then derive from the genome itself so duplicated individuals read
+    /// identically. This trades the paper's "re-measure everything"
+    /// realism for speed.
+    pub cache_fitness: bool,
 }
 
 impl Default for VirusGenConfig {
@@ -58,7 +76,72 @@ impl Default for VirusGenConfig {
             band: RESONANCE_BAND,
             voltage_metric: VoltageMetric::default(),
             run: RunConfig::fast(),
+            threads: 0,
+            cache_fitness: false,
         }
+    }
+}
+
+/// A stable identity hash for a kernel: ISA plus every instruction's
+/// operation and operand bindings. Two kernels with equal bodies on the
+/// same architecture collapse to the same key regardless of how they were
+/// produced, which is exactly the equivalence the fitness cache and the
+/// dominant-frequency memoization need.
+fn kernel_identity(kernel: &Kernel) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    kernel.arch().isa().hash(&mut h);
+    for i in kernel.body() {
+        i.op.hash(&mut h);
+        i.dst.hash(&mut h);
+        i.srcs.hash(&mut h);
+        i.mem_slot.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Resolves the `threads` knob: `0` means one worker per available core.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// A checkout pool of [`DomainRunner`]s: each worker thread pops a warm
+/// runner (netlist + LU factorization already built) or builds one on
+/// first use, and returns it after the run. At steady state the pool
+/// holds one runner per worker, so per-individual PDN setup cost is paid
+/// `threads` times per campaign instead of `population x generations`
+/// times.
+struct RunnerPool<'a> {
+    domain: &'a VoltageDomain,
+    run_config: &'a RunConfig,
+    idle: Mutex<Vec<DomainRunner>>,
+}
+
+impl<'a> RunnerPool<'a> {
+    fn new(domain: &'a VoltageDomain, run_config: &'a RunConfig) -> Self {
+        RunnerPool {
+            domain,
+            run_config,
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Runs `kernel` on a pooled runner.
+    fn run(&self, kernel: &Kernel, loaded_cores: usize) -> Result<DomainRun, DomainError> {
+        let mut runner = match self.idle.lock().pop() {
+            Some(r) => r,
+            None => DomainRunner::new(self.domain, self.run_config.clone())?,
+        };
+        let result = runner.run(kernel, loaded_cores);
+        // A failed run leaves the runner untouched (plan and netlist are
+        // immutable), so it goes back to the pool either way.
+        self.idle.lock().push(runner);
+        result
     }
 }
 
@@ -102,6 +185,14 @@ pub struct Virus {
 
 /// Runs the EM-driven GA (the paper's §5.1 flow) on `domain`.
 ///
+/// Fitness evaluation fans out over [`VirusGenConfig::threads`] workers,
+/// each drawing a warm [`DomainRunner`] from a pool and measuring through
+/// a [`SharedEmBench`](emvolt_platform::SharedEmBench) with a seed
+/// derived from `(ga.seed, generation, index)` — campaigns are
+/// bit-identical for every thread count. Analyzer sweep time accumulated
+/// by the workers is folded back into `bench`, and the campaign clock
+/// advances exactly as the serial flow did (~18 s + 2 s per individual).
+///
 /// # Errors
 ///
 /// Returns the first simulation error encountered; individuals that fail
@@ -118,41 +209,83 @@ pub fn generate_em_virus(
     let repr = KernelRepresentation::new(pool, config.kernel_len);
     let mut engine = GaEngine::new(repr, config.ga.clone());
     let mut clock = SessionClock::new();
+    let threads = resolve_threads(config.threads);
+
+    let shared = bench.share();
+    let runners = RunnerPool::new(domain, &config.run);
+    let fitness_cache: Mutex<HashMap<u64, f64>> = Mutex::new(HashMap::new());
+    let measured = AtomicUsize::new(0);
+    // 0.6 s per spectrum sample plus orchestration overhead (the paper's
+    // 30-sample measurement costs ~18 s).
+    let per_individual_s = config.samples_per_individual as f64 * INDIVIDUAL_MEASUREMENT_SECONDS
+        / 30.0
+        + INDIVIDUAL_OVERHEAD_SECONDS;
+    let campaign_seed = config.ga.seed;
 
     let result = {
-        let bench_ref: &mut EmBench = bench;
-        let clock_ref = &mut clock;
-        let mut fitness = |kernel: &Kernel| -> f64 {
-            // 0.6 s per spectrum sample plus orchestration overhead (the
-            // paper's 30-sample measurement costs ~18 s).
-            clock_ref.advance(
-                config.samples_per_individual as f64 * INDIVIDUAL_MEASUREMENT_SECONDS / 30.0
-                    + INDIVIDUAL_OVERHEAD_SECONDS,
-            );
-            match domain.run(kernel, config.loaded_cores, &config.run) {
+        let fitness = |kernel: &Kernel, ctx: EvalContext| -> f64 {
+            let key = config.cache_fitness.then(|| kernel_identity(kernel));
+            if let Some(k) = key {
+                if let Some(&cached) = fitness_cache.lock().get(&k) {
+                    return cached;
+                }
+            }
+            measured.fetch_add(1, Ordering::Relaxed);
+            // Cache mode derives the measurement seed from the genome so
+            // a duplicated individual reads identically whether or not
+            // its twin was measured first.
+            let seed = match key {
+                Some(k) => derive_eval_seed(campaign_seed ^ k, 0, 0),
+                None => ctx.seed,
+            };
+            let score = match runners.run(kernel, config.loaded_cores) {
                 Ok(run) => {
-                    bench_ref
-                        .measure_in_band(
+                    shared
+                        .measure_in_band_seeded(
                             &run,
                             config.band.0,
                             config.band.1,
                             config.samples_per_individual,
+                            seed,
                         )
                         .metric_dbm
                 }
                 Err(_) => -200.0,
+            };
+            if let Some(k) = key {
+                fitness_cache.lock().insert(k, score);
             }
+            score
         };
-        engine.run(&mut fitness, |_| {})
+        engine.run_batch(&fitness, threads, |_| {
+            let evaluated = measured.swap(0, Ordering::Relaxed);
+            clock.advance(evaluated as f64 * per_individual_s);
+        })
     };
+    bench.absorb_elapsed(&shared);
 
     // Re-measure each generation's best to record its dominant frequency
-    // (the paper reads this off the analyzer marker per generation).
+    // (the paper reads this off the analyzer marker per generation). The
+    // same champion often survives many generations, so the re-run and
+    // its dominant frequency are memoized by kernel identity.
+    let mut post_runner = match runners.idle.into_inner().pop() {
+        Some(r) => r,
+        None => DomainRunner::new(domain, config.run.clone())?,
+    };
+    let mut dominant_memo: HashMap<u64, f64> = HashMap::new();
     let mut dominant_of_best = Vec::with_capacity(result.generation_best.len());
     for k in &result.generation_best {
-        let run = domain.run(k, config.loaded_cores, &config.run)?;
-        let reading = bench.measure_in_band(&run, config.band.0, config.band.1, 5);
-        dominant_of_best.push(reading.dominant_hz);
+        let key = kernel_identity(k);
+        let dom = match dominant_memo.get(&key) {
+            Some(&d) => d,
+            None => {
+                let run = post_runner.run(k, config.loaded_cores)?;
+                let reading = bench.measure_in_band(&run, config.band.0, config.band.1, 5);
+                dominant_memo.insert(key, reading.dominant_hz);
+                reading.dominant_hz
+            }
+        };
+        dominant_of_best.push(dom);
     }
 
     let history = result
@@ -168,9 +301,13 @@ pub fn generate_em_virus(
         })
         .collect();
 
-    let final_run = domain.run(&result.best, config.loaded_cores, &config.run)?;
-    let final_reading =
-        bench.measure_in_band(&final_run, config.band.0, config.band.1, config.samples_per_individual);
+    let final_run = post_runner.run(&result.best, config.loaded_cores)?;
+    let final_reading = bench.measure_in_band(
+        &final_run,
+        config.band.0,
+        config.band.1,
+        config.samples_per_individual,
+    );
 
     Ok(Virus {
         name: name.to_owned(),
@@ -187,6 +324,11 @@ pub fn generate_em_virus(
 /// maximum voltage droop captured by a scope on the die rail (OC-DSO on
 /// the Juno, Kelvin pads + bench scope on the AMD).
 ///
+/// Evaluation parallelizes exactly like [`generate_em_virus`]; scope
+/// noise for each individual is drawn from a seed derived from
+/// `(scope_seed, generation, index)`, so campaigns are bit-identical for
+/// every [`VirusGenConfig::threads`] value.
+///
 /// # Errors
 ///
 /// As for [`generate_em_virus`].
@@ -201,25 +343,46 @@ pub fn generate_voltage_virus(
     let repr = KernelRepresentation::new(pool, config.kernel_len);
     let mut engine = GaEngine::new(repr, config.ga.clone());
     let mut clock = SessionClock::new();
-    let mut rng = StdRng::seed_from_u64(scope_seed);
+    let threads = resolve_threads(config.threads);
+
+    let runners = RunnerPool::new(domain, &config.run);
+    let fitness_cache: Mutex<HashMap<u64, f64>> = Mutex::new(HashMap::new());
+    let measured = AtomicUsize::new(0);
+    let nominal_v = domain.voltage();
 
     let result = {
-        let clock_ref = &mut clock;
-        let rng_ref = &mut rng;
-        let mut fitness = |kernel: &Kernel| -> f64 {
-            clock_ref.advance(INDIVIDUAL_OVERHEAD_SECONDS + 2.0);
-            match domain.run(kernel, config.loaded_cores, &config.run) {
+        let fitness = |kernel: &Kernel, ctx: EvalContext| -> f64 {
+            let key = config.cache_fitness.then(|| kernel_identity(kernel));
+            if let Some(k) = key {
+                if let Some(&cached) = fitness_cache.lock().get(&k) {
+                    return cached;
+                }
+            }
+            measured.fetch_add(1, Ordering::Relaxed);
+            let seed = match key {
+                Some(k) => derive_eval_seed(scope_seed ^ k, 0, 0),
+                None => derive_eval_seed(scope_seed, ctx.generation, ctx.index),
+            };
+            let score = match runners.run(kernel, config.loaded_cores) {
                 Ok(run) => {
-                    let shot = scope.capture(&run.v_die, rng_ref);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let shot = scope.capture(&run.v_die, &mut rng);
                     match config.voltage_metric {
-                        VoltageMetric::MaxDroop => shot.max_droop_below(domain.voltage()),
+                        VoltageMetric::MaxDroop => shot.max_droop_below(nominal_v),
                         VoltageMetric::PeakToPeak => shot.peak_to_peak(),
                     }
                 }
                 Err(_) => 0.0,
+            };
+            if let Some(k) = key {
+                fitness_cache.lock().insert(k, score);
             }
+            score
         };
-        engine.run(&mut fitness, |_| {})
+        engine.run_batch(&fitness, threads, |_| {
+            let evaluated = measured.swap(0, Ordering::Relaxed);
+            clock.advance(evaluated as f64 * (INDIVIDUAL_OVERHEAD_SECONDS + 2.0));
+        })
     };
 
     let history = result
@@ -234,7 +397,7 @@ pub fn generate_voltage_virus(
         })
         .collect();
 
-    let final_run = domain.run(&result.best, config.loaded_cores, &config.run)?;
+    let final_run = runners.run(&result.best, config.loaded_cores)?;
     let dominant = dominant_from_run(&final_run);
     Ok(Virus {
         name: name.to_owned(),
@@ -308,8 +471,7 @@ mod tests {
     fn em_ga_improves_and_tracks_resonance() {
         let domain = a72();
         let mut bench = EmBench::new(11);
-        let virus =
-            generate_em_virus("a72em-test", &domain, &mut bench, &small_config()).unwrap();
+        let virus = generate_em_virus("a72em-test", &domain, &mut bench, &small_config()).unwrap();
         assert_eq!(virus.history.len(), 6);
         // Fitness improves (or at least does not regress) overall.
         let first = virus.history.first().unwrap().best_fitness;
@@ -343,7 +505,11 @@ mod tests {
         assert!(virus.fitness > 0.0, "p2p {}", virus.fitness);
         // Peak-to-peak is at least the droop for any trace, so the p2p-
         // driven run's fitness should exceed a typical droop figure.
-        assert!(virus.fitness > 0.02, "p2p metric too small: {}", virus.fitness);
+        assert!(
+            virus.fitness > 0.02,
+            "p2p metric too small: {}",
+            virus.fitness
+        );
     }
 
     #[test]

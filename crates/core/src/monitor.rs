@@ -5,8 +5,8 @@
 //! the A72 and A53 viruses together produces a spectrum with both
 //! frequency signatures visible.
 
-use emvolt_platform::{DomainRun, EmBench};
 use emvolt_inst::SweepReading;
+use emvolt_platform::{DomainRun, EmBench};
 
 /// A detected voltage-noise signature.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,8 +77,12 @@ mod tests {
         // Kernels whose loop frequencies sit near each cluster's
         // first-order resonance, so both radiate strongly and at
         // distinct frequencies (69 vs 76.5 MHz).
-        let run72 = a72.run(&padded_sweep_kernel(Isa::ArmV8, 17), 2, &cfg).unwrap();
-        let run53 = a53.run(&padded_sweep_kernel(Isa::ArmV8, 8), 4, &cfg).unwrap();
+        let run72 = a72
+            .run(&padded_sweep_kernel(Isa::ArmV8, 17), 2, &cfg)
+            .unwrap();
+        let run53 = a53
+            .run(&padded_sweep_kernel(Isa::ArmV8, 8), 4, &cfg)
+            .unwrap();
         let mut bench = emvolt_platform::EmBench::new(6);
         let reading = capture_multi_domain(&mut bench, &[&run72, &run53]);
         let sigs = detect_signatures(&reading, -95.0, 4, 4e6, 10.0);

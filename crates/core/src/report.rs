@@ -118,12 +118,8 @@ mod tests {
 
     #[test]
     fn report_has_consistent_metrics() {
-        let domain = emvolt_platform::VoltageDomain::new(
-            "A72",
-            CoreModel::cortex_a72(),
-            a72_pdn(),
-            1.2e9,
-        );
+        let domain =
+            emvolt_platform::VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9);
         let cfg = VminConfig {
             trials: 2,
             golden_iterations: 30,
@@ -148,12 +144,8 @@ mod tests {
 
     #[test]
     fn table_formatting_contains_rows() {
-        let domain = emvolt_platform::VoltageDomain::new(
-            "A72",
-            CoreModel::cortex_a72(),
-            a72_pdn(),
-            1.2e9,
-        );
+        let domain =
+            emvolt_platform::VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9);
         let cfg = VminConfig {
             trials: 2,
             golden_iterations: 30,

@@ -1,0 +1,142 @@
+//! The tentpole guarantee of the batch measurement pipeline: a campaign
+//! is bit-identical no matter how many worker threads evaluate it.
+//!
+//! Per-individual measurement seeds are derived from
+//! `(campaign seed, generation, index)`, so neither thread scheduling nor
+//! evaluation order can leak into fitness, history, or the evolved
+//! winner.
+
+use emvolt_core::{generate_em_virus, generate_voltage_virus, GenerationRecord, VirusGenConfig};
+use emvolt_cpu::CoreModel;
+use emvolt_ga::GaConfig;
+use emvolt_inst::{Oscilloscope, ScopeConfig};
+use emvolt_platform::{a72_pdn, EmBench, VoltageDomain};
+
+fn reduced_config(threads: usize) -> VirusGenConfig {
+    VirusGenConfig {
+        ga: GaConfig {
+            population: 8,
+            generations: 5,
+            seed: 0xD1CE,
+            ..GaConfig::default()
+        },
+        kernel_len: 16,
+        samples_per_individual: 3,
+        threads,
+        ..VirusGenConfig::default()
+    }
+}
+
+fn a72() -> VoltageDomain {
+    VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9)
+}
+
+fn assert_histories_identical(a: &[GenerationRecord], b: &[GenerationRecord], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: history length");
+    for (ra, rb) in a.iter().zip(b) {
+        assert_eq!(ra.index, rb.index, "{what}: generation index");
+        assert_eq!(
+            ra.best_fitness.to_bits(),
+            rb.best_fitness.to_bits(),
+            "{what}: best fitness, generation {}",
+            ra.index
+        );
+        assert_eq!(
+            ra.mean_fitness.to_bits(),
+            rb.mean_fitness.to_bits(),
+            "{what}: mean fitness, generation {}",
+            ra.index
+        );
+        assert_eq!(
+            ra.dominant_hz.to_bits(),
+            rb.dominant_hz.to_bits(),
+            "{what}: dominant frequency, generation {}",
+            ra.index
+        );
+        assert_eq!(
+            ra.droop_v, rb.droop_v,
+            "{what}: droop, generation {}",
+            ra.index
+        );
+    }
+}
+
+#[test]
+fn em_campaign_is_bit_identical_across_thread_counts() {
+    let domain = a72();
+    let run = |threads: usize| {
+        let mut bench = EmBench::new(21);
+        generate_em_virus("det", &domain, &mut bench, &reduced_config(threads)).unwrap()
+    };
+    let serial = run(1);
+    for threads in [2, 8] {
+        let parallel = run(threads);
+        assert_eq!(
+            serial.kernel, parallel.kernel,
+            "{threads} threads: winning kernel"
+        );
+        assert_eq!(
+            serial.fitness.to_bits(),
+            parallel.fitness.to_bits(),
+            "{threads} threads: fitness"
+        );
+        assert_eq!(
+            serial.dominant_hz.to_bits(),
+            parallel.dominant_hz.to_bits(),
+            "{threads} threads: dominant frequency"
+        );
+        assert_eq!(
+            serial.generation_best, parallel.generation_best,
+            "{threads} threads: generation bests"
+        );
+        assert_histories_identical(&serial.history, &parallel.history, "em");
+        // Clock accounting must not depend on thread count either.
+        assert_eq!(
+            serial.campaign.seconds().to_bits(),
+            parallel.campaign.seconds().to_bits(),
+            "{threads} threads: campaign clock"
+        );
+    }
+    // 8 individuals x 5 generations at 3 x 0.6 s + 2 s each.
+    let expected = 8.0 * 5.0 * (3.0 * 0.6 + 2.0);
+    assert!((serial.campaign.seconds() - expected).abs() < 1e-6);
+}
+
+#[test]
+fn voltage_campaign_is_bit_identical_across_thread_counts() {
+    let domain = a72();
+    let scope = Oscilloscope::new(ScopeConfig::oc_dso());
+    let run = |threads: usize| {
+        generate_voltage_virus("det-v", &domain, &scope, &reduced_config(threads), 13).unwrap()
+    };
+    let serial = run(1);
+    for threads in [2, 8] {
+        let parallel = run(threads);
+        assert_eq!(serial.kernel, parallel.kernel);
+        assert_eq!(serial.fitness.to_bits(), parallel.fitness.to_bits());
+        assert_eq!(serial.generation_best, parallel.generation_best);
+        assert_histories_identical(&serial.history, &parallel.history, "voltage");
+    }
+}
+
+#[test]
+fn fitness_cache_changes_seeds_but_not_determinism() {
+    let domain = a72();
+    let run = |threads: usize| {
+        let mut bench = EmBench::new(21);
+        let config = VirusGenConfig {
+            cache_fitness: true,
+            ..reduced_config(threads)
+        };
+        generate_em_virus("det-c", &domain, &mut bench, &config).unwrap()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.kernel, parallel.kernel);
+    assert_eq!(serial.fitness.to_bits(), parallel.fitness.to_bits());
+    assert_histories_identical(&serial.history, &parallel.history, "cached em");
+    // Cached campaigns skip repeat measurements, so the accounted time
+    // can only shrink relative to the measure-everything flow.
+    let full = 8.0 * 5.0 * (3.0 * 0.6 + 2.0);
+    assert!(serial.campaign.seconds() <= full + 1e-6);
+}

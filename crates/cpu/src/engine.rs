@@ -284,7 +284,8 @@ impl Cpu {
         let mut iterations_done: usize = 0;
         let mut record_start: Option<u64> = None;
         let mut issued_since_start: u64 = 0;
-        let mut fu_issues: std::collections::BTreeMap<FuKind, u64> = std::collections::BTreeMap::new();
+        let mut fu_issues: std::collections::BTreeMap<FuKind, u64> =
+            std::collections::BTreeMap::new();
         let mut iter_start_cycle: Option<u64> = None;
         let mut iters_in_window: usize = 0;
 
@@ -324,9 +325,9 @@ impl Cpu {
         };
 
         let fetch = |window: &mut VecDeque<(u64, DynOp, bool)>,
-                         fetched: &mut u64,
-                         last_writer: &mut [u64; REG_SPACE],
-                         completion: &mut Vec<u64>| {
+                     fetched: &mut u64,
+                     last_writer: &mut [u64; REG_SPACE],
+                     completion: &mut Vec<u64>| {
             let slot = (*fetched % slots as u64) as usize;
             let s = &statics[slot];
             let mut deps = [NO_PRODUCER; 2];
@@ -478,8 +479,7 @@ impl Cpu {
                     let window_cycles = (cycle - start) as f64;
                     let ipc = issued_since_start as f64 / window_cycles;
                     let cycles_per_iteration = if iters_in_window > 0 {
-                        (cycle - iter_start_cycle.unwrap_or(start)) as f64
-                            / iters_in_window as f64
+                        (cycle - iter_start_cycle.unwrap_or(start)) as f64 / iters_in_window as f64
                     } else {
                         window_cycles
                     };

@@ -197,7 +197,8 @@ fn run<R: Rng>(
             };
             // Fault injection on the produced value.
             if let Some(fm) = faults {
-                if !matches!(res, Res::None) && rng.gen_bool(fm.per_instr_probability.clamp(0.0, 1.0))
+                if !matches!(res, Res::None)
+                    && rng.gen_bool(fm.per_instr_probability.clamp(0.0, 1.0))
                 {
                     injected += 1;
                     let bit = rng.gen_range(0..52u32); // avoid exponent bits for floats

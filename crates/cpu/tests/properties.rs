@@ -1,6 +1,6 @@
 //! Property-based tests for the CPU timing and functional models.
 
-use emvolt_cpu::{execute, execute_with_faults, Cpu, CoreModel, FaultModel, SimConfig};
+use emvolt_cpu::{execute, execute_with_faults, CoreModel, Cpu, FaultModel, SimConfig};
 use emvolt_isa::{InstructionPool, Isa};
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};

@@ -123,8 +123,7 @@ impl Spectrum {
     /// Strongest `(frequency, amplitude)` within `[lo, hi]` Hz, or `None`
     /// when the band contains no bins.
     pub fn peak_in_band(&self, lo: f64, hi: f64) -> Option<(f64, f64)> {
-        self.band(lo, hi)
-            .max_by(|a, b| a.1.total_cmp(&b.1))
+        self.band(lo, hi).max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Up to `count` strongest local peaks within `[lo, hi]` Hz, separated
@@ -143,7 +142,10 @@ impl Spectrum {
             if picked.len() >= count {
                 break;
             }
-            if picked.iter().all(|&(pf, _)| (pf - f).abs() >= min_separation) {
+            if picked
+                .iter()
+                .all(|&(pf, _)| (pf - f).abs() >= min_separation)
+            {
                 picked.push((f, a));
             }
         }

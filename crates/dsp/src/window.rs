@@ -31,9 +31,7 @@ impl Window {
             Window::Rectangular => 1.0,
             Window::Hann => 0.5 * (1.0 - (tau * x).cos()),
             Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
-            Window::Blackman => {
-                0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos()
-            }
+            Window::Blackman => 0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos(),
         }
     }
 

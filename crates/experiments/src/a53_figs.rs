@@ -78,12 +78,19 @@ pub fn fig13(opts: &Options) -> Result<String, Box<dyn Error>> {
             ]);
         }
     }
-    out.push_str(&table(&["scenario", "resonance (MHz)", "peak EM (dBm)"], &summary));
+    out.push_str(&table(
+        &["scenario", "resonance (MHz)", "peak EM (dBm)"],
+        &summary,
+    ));
     out.push_str(
         "\npaper: 76.5 MHz with four cores powered rising to 97 MHz with one;\n\
          EM amplitude maximized with the least capacitance (C0).\n",
     );
-    write_csv("fig13_sweep_a53.csv", &["scenario", "loop_mhz", "em_dbm"], &all_rows)?;
+    write_csv(
+        "fig13_sweep_a53.csv",
+        &["scenario", "loop_mhz", "em_dbm"],
+        &all_rows,
+    )?;
     Ok(out)
 }
 
@@ -160,10 +167,6 @@ pub fn fig15(opts: &Options) -> Result<String, Box<dyn Error>> {
         mhz(f53),
         sees(f53)
     ));
-    write_csv(
-        "fig15_multidomain.csv",
-        &["freq_mhz", "level_dbm"],
-        &rows,
-    )?;
+    write_csv("fig15_multidomain.csv", &["freq_mhz", "level_dbm"], &rows)?;
     Ok(out)
 }

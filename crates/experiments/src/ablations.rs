@@ -72,12 +72,9 @@ pub fn ablation_samples(_opts: &Options) -> Result<String, Box<dyn Error>> {
     let mut rows = Vec::new();
     for n in [1usize, 5, 30] {
         let mut bench = EmBench::new(0xAB2);
-        let readings: Vec<f64> = (0..12)
-            .map(|_| bench.measure(&run, n).metric_dbm)
-            .collect();
+        let readings: Vec<f64> = (0..12).map(|_| bench.measure(&run, n).metric_dbm).collect();
         let mean = readings.iter().sum::<f64>() / readings.len() as f64;
-        let var = readings.iter().map(|r| (r - mean).powi(2)).sum::<f64>()
-            / readings.len() as f64;
+        let var = readings.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / readings.len() as f64;
         rows.push(vec![
             n.to_string(),
             format!("{mean:.2}"),
@@ -97,7 +94,12 @@ pub fn ablation_samples(_opts: &Options) -> Result<String, Box<dyn Error>> {
 /// lets off-resonance loop harmonics win the GA's metric).
 pub fn ablation_q(opts: &Options) -> Result<String, Box<dyn Error>> {
     let mut rows = Vec::new();
-    for (label, r_scale) in [("Q/4", 4.0), ("Q/2", 2.0), ("baseline (Q~8)", 1.0), ("2Q", 0.5)] {
+    for (label, r_scale) in [
+        ("Q/4", 4.0),
+        ("Q/2", 2.0),
+        ("baseline (Q~8)", 1.0),
+        ("2Q", 0.5),
+    ] {
         let mut params = a72_pdn();
         params.r_pkg *= r_scale;
         params.r_die *= r_scale;
@@ -210,7 +212,12 @@ pub fn ext_margin_prediction(opts: &Options) -> Result<String, Box<dyn Error>> {
             format!("{:.1}", (predicted - run.max_droop()).abs() * 1e3),
         ]);
     }
-    let headers = ["workload", "predicted droop (mV)", "actual (mV)", "abs err (mV)"];
+    let headers = [
+        "workload",
+        "predicted droop (mV)",
+        "actual (mV)",
+        "abs err (mV)",
+    ];
     let mut out = section("Extension: EM-based voltage-margin prediction (paper §10 c)");
     out.push_str(&format!(
         "calibration fit R^2 = {:.3} over {} workloads\n\n",
@@ -232,7 +239,11 @@ pub fn ext_tamper(opts: &Options) -> Result<String, Box<dyn Error>> {
         }
         cfg
     };
-    let golden = fingerprint(&golden_domain, &mut EmBench::new(0xE2), &sparse(&golden_domain))?;
+    let golden = fingerprint(
+        &golden_domain,
+        &mut EmBench::new(0xE2),
+        &sparse(&golden_domain),
+    )?;
 
     let mut rows = Vec::new();
     let mut check = |label: &str, domain: &VoltageDomain| -> Result<(), Box<dyn Error>> {

@@ -1,7 +1,8 @@
 //! Regenerates fig01 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::fig01, "fig01_pdn.csv") {
+    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::fig01, "fig01_pdn.csv")
+    {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

@@ -1,7 +1,10 @@
 //! Regenerates fig02 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::fig02, "fig02_resonant_waveforms.csv") {
+    if let Err(e) = emvolt_experiments::experiment_main(
+        emvolt_experiments::fig02,
+        "fig02_resonant_waveforms.csv",
+    ) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

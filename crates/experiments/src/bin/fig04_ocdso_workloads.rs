@@ -1,7 +1,9 @@
 //! Regenerates fig04 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::fig04, "fig04_ocdso_workloads.csv") {
+    if let Err(e) =
+        emvolt_experiments::experiment_main(emvolt_experiments::fig04, "fig04_ocdso_workloads.csv")
+    {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

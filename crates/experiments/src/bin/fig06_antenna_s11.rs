@@ -1,7 +1,9 @@
 //! Regenerates fig06 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::fig06, "fig06_antenna_s11.csv") {
+    if let Err(e) =
+        emvolt_experiments::experiment_main(emvolt_experiments::fig06, "fig06_antenna_s11.csv")
+    {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

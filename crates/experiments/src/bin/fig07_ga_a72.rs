@@ -1,7 +1,9 @@
 //! Regenerates fig07 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::fig07, "fig07_ga_a72.csv") {
+    if let Err(e) =
+        emvolt_experiments::experiment_main(emvolt_experiments::fig07, "fig07_ga_a72.csv")
+    {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

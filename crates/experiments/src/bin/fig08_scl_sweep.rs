@@ -1,7 +1,9 @@
 //! Regenerates fig08 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::fig08, "fig08_scl_sweep.csv") {
+    if let Err(e) =
+        emvolt_experiments::experiment_main(emvolt_experiments::fig08, "fig08_scl_sweep.csv")
+    {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

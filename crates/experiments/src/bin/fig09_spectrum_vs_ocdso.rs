@@ -1,7 +1,10 @@
 //! Regenerates fig09 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::fig09, "fig09_spectrum_vs_ocdso.csv") {
+    if let Err(e) = emvolt_experiments::experiment_main(
+        emvolt_experiments::fig09,
+        "fig09_spectrum_vs_ocdso.csv",
+    ) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

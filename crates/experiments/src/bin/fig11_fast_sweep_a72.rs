@@ -1,7 +1,9 @@
 //! Regenerates fig11 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::fig11, "fig11_fast_sweep_a72.csv") {
+    if let Err(e) =
+        emvolt_experiments::experiment_main(emvolt_experiments::fig11, "fig11_fast_sweep_a72.csv")
+    {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

@@ -1,7 +1,9 @@
 //! Regenerates fig12 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::fig12, "fig12_ga_a53.csv") {
+    if let Err(e) =
+        emvolt_experiments::experiment_main(emvolt_experiments::fig12, "fig12_ga_a53.csv")
+    {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

@@ -1,7 +1,9 @@
 //! Regenerates fig13 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::fig13, "fig13_fast_sweep_a53.csv") {
+    if let Err(e) =
+        emvolt_experiments::experiment_main(emvolt_experiments::fig13, "fig13_fast_sweep_a53.csv")
+    {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

@@ -1,7 +1,9 @@
 //! Regenerates fig14 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::fig14, "fig14_vmin_a53.csv") {
+    if let Err(e) =
+        emvolt_experiments::experiment_main(emvolt_experiments::fig14, "fig14_vmin_a53.csv")
+    {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

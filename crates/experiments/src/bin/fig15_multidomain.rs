@@ -1,7 +1,9 @@
 //! Regenerates fig15 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::fig15, "fig15_multidomain.csv") {
+    if let Err(e) =
+        emvolt_experiments::experiment_main(emvolt_experiments::fig15, "fig15_multidomain.csv")
+    {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

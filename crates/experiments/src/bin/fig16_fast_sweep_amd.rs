@@ -1,7 +1,9 @@
 //! Regenerates fig16 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::fig16, "fig16_fast_sweep_amd.csv") {
+    if let Err(e) =
+        emvolt_experiments::experiment_main(emvolt_experiments::fig16, "fig16_fast_sweep_amd.csv")
+    {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

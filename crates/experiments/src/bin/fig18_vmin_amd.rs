@@ -1,7 +1,9 @@
 //! Regenerates fig18 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::fig18, "fig18_vmin_amd.csv") {
+    if let Err(e) =
+        emvolt_experiments::experiment_main(emvolt_experiments::fig18, "fig18_vmin_amd.csv")
+    {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

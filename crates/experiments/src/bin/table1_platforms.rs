@@ -1,7 +1,9 @@
 //! Regenerates table1 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::table1, "table1_platforms.csv") {
+    if let Err(e) =
+        emvolt_experiments::experiment_main(emvolt_experiments::table1, "table1_platforms.csv")
+    {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

@@ -1,7 +1,9 @@
 //! Regenerates table2 of the paper. Pass `--quick` for a reduced run.
 
 fn main() {
-    if let Err(e) = emvolt_experiments::experiment_main(emvolt_experiments::table2, "table2_viruses.csv") {
+    if let Err(e) =
+        emvolt_experiments::experiment_main(emvolt_experiments::table2, "table2_viruses.csv")
+    {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

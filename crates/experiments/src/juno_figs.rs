@@ -168,7 +168,9 @@ pub fn fig09(opts: &Options) -> Result<String, Box<dyn Error>> {
     let sa_at_loop = sweep
         .peak_in_band(loop_f * 0.8, loop_f * 1.2)
         .map(|(f, _)| f);
-    let dso_at_loop = vspec.peak_in_band(loop_f * 0.8, loop_f * 1.2).map(|(f, _)| f);
+    let dso_at_loop = vspec
+        .peak_in_band(loop_f * 0.8, loop_f * 1.2)
+        .map(|(f, _)| f);
 
     let mut out = section("Fig. 9: spectrum analyzer vs FFT of OC-DSO voltage samples");
     out.push_str(&format!(
@@ -246,11 +248,14 @@ pub(crate) fn vmin_ladder(
             mv(res.peak_to_peak_v),
         ]);
     }
-    let headers = ["workload", "first fail (V)", "Vmin (V)", "droop (mV)", "p2p (mV)"];
-    Ok((
-        table(&headers, &rows),
-        rows,
-    ))
+    let headers = [
+        "workload",
+        "first fail (V)",
+        "Vmin (V)",
+        "droop (mV)",
+        "p2p (mV)",
+    ];
+    Ok((table(&headers, &rows), rows))
 }
 
 /// A named workload entry for the V_MIN ladders.
@@ -311,7 +316,8 @@ pub fn fig11(opts: &Options) -> Result<String, Box<dyn Error>> {
     let mut bench = EmBench::new(0x1111);
     let mut cfg = FastSweepConfig::for_domain(&board.a72);
     if opts.quick {
-        cfg.cpu_freqs_hz.retain(|f| ((f / 20e6).round() as u64).is_multiple_of(2));
+        cfg.cpu_freqs_hz
+            .retain(|f| ((f / 20e6).round() as u64).is_multiple_of(2));
         cfg.samples_per_point = 3;
     }
     let sweep2 = fast_resonance_sweep(&board.a72, &mut bench, &cfg)?;

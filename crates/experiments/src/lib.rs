@@ -22,8 +22,8 @@ pub mod viruses;
 
 pub use a53_figs::{fig12, fig13, fig14, fig15};
 pub use ablations::{
-    ablation_band, ablation_jitter, ablation_q, ablation_samples, ext_gpu,
-    ext_margin_prediction, ext_tamper,
+    ablation_band, ablation_jitter, ablation_q, ablation_samples, ext_gpu, ext_margin_prediction,
+    ext_tamper,
 };
 pub use amd_figs::{fig16, fig17, fig18};
 pub use juno_figs::{fig04, fig07, fig08, fig09, fig10, fig11};
@@ -51,7 +51,9 @@ impl Options {
     pub fn from_env() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick")
-            || std::env::var("EMVOLT_QUICK").map(|v| v == "1").unwrap_or(false);
+            || std::env::var("EMVOLT_QUICK")
+                .map(|v| v == "1")
+                .unwrap_or(false);
         let refresh = args.iter().any(|a| a == "--refresh");
         Options { quick, refresh }
     }

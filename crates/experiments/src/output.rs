@@ -48,11 +48,7 @@ pub fn results_dir() -> PathBuf {
 /// # Errors
 ///
 /// Propagates I/O errors.
-pub fn write_csv(
-    name: &str,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<PathBuf> {
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     let dir = results_dir();
     fs::create_dir_all(&dir)?;
     let path = dir.join(name);

@@ -48,7 +48,14 @@ pub fn table1(_opts: &Options) -> Result<String, Box<dyn Error>> {
     })
     .collect();
     let headers = [
-        "MB", "CPU", "Cores", "ISA", "uArch", "Top Freq/Volt", "Node", "Noise visibility",
+        "MB",
+        "CPU",
+        "Cores",
+        "ISA",
+        "uArch",
+        "Top Freq/Volt",
+        "Node",
+        "Noise visibility",
     ];
     let mut out = section("Table 1: experimental platform details");
     out.push_str(&table(&headers, &rows));
@@ -146,18 +153,33 @@ pub fn fig02(_opts: &Options) -> Result<String, Box<dyn Error>> {
             format!("{:.1}", v_res * 1e3),
             format!("{:.2}", i_res),
         ],
-        vec![mhz(f_res / 3.0), format!("{:.1}", v_off_lo * 1e3), format!("{:.2}", i_off_lo)],
-        vec![mhz(f_res * 2.5), format!("{:.1}", v_off_hi * 1e3), format!("{:.2}", i_off_hi)],
+        vec![
+            mhz(f_res / 3.0),
+            format!("{:.1}", v_off_lo * 1e3),
+            format!("{:.2}", i_off_lo),
+        ],
+        vec![
+            mhz(f_res * 2.5),
+            format!("{:.1}", v_off_hi * 1e3),
+            format!("{:.2}", i_off_hi),
+        ],
     ];
     let mut out = section("Fig. 2: resonant amplification of V_DIE / I_DIE (1 A square load)");
-    out.push_str(&table(&["pulse freq (MHz)", "V_DIE p2p (mV)", "I_DIE p2p (A)"], &rows));
+    out.push_str(&table(
+        &["pulse freq (MHz)", "V_DIE p2p (mV)", "I_DIE p2p (A)"],
+        &rows,
+    ));
     out.push_str(&format!(
         "\nresonant V amplification vs off-resonance: {:.1}x / {:.1}x; I_DIE swing exceeds the 1 A load: {}\n",
         v_res / v_off_lo,
         v_res / v_off_hi,
         i_res > 1.0
     ));
-    write_csv("fig02_resonance.csv", &["freq_mhz", "v_p2p_mv", "i_p2p_a"], &rows)?;
+    write_csv(
+        "fig02_resonance.csv",
+        &["freq_mhz", "v_p2p_mv", "i_p2p_a"],
+        &rows,
+    )?;
     Ok(out)
 }
 

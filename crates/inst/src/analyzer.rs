@@ -111,6 +111,21 @@ impl SpectrumAnalyzer {
         self.elapsed_s = 0.0;
     }
 
+    /// Adds externally accounted sweep time — used when sweeps ran on a
+    /// detached analyzer clone (e.g. a parallel measurement batch) and
+    /// their wall-clock is folded back into this instrument's total.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite `seconds`.
+    pub fn advance_elapsed(&mut self, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "invalid elapsed advance {seconds}"
+        );
+        self.elapsed_s += seconds;
+    }
+
     /// Performs one sweep over the input voltage spectrum (volts per bin
     /// at the analyzer input).
     pub fn sweep<R: Rng>(&mut self, input: &Spectrum, rng: &mut R) -> SweepReading {
@@ -167,7 +182,8 @@ impl SpectrumAnalyzer {
         rng: &mut R,
     ) -> (f64, f64) {
         let mut acc = 0.0;
-        let mut freq_votes: std::collections::BTreeMap<i64, usize> = std::collections::BTreeMap::new();
+        let mut freq_votes: std::collections::BTreeMap<i64, usize> =
+            std::collections::BTreeMap::new();
         let mut best_freq = lo;
         let mut hits = 0usize;
         for _ in 0..n.max(1) {
@@ -259,7 +275,11 @@ mod tests {
         let s = tone_spectrum(80e6, 1e-3);
         let _ = sa.peak_metric(&s, 50e6, 200e6, 30, &mut rng);
         // ~18 s for 30 samples, as the paper reports.
-        assert!((sa.elapsed() - 18.0).abs() < 1.0, "elapsed {}", sa.elapsed());
+        assert!(
+            (sa.elapsed() - 18.0).abs() < 1.0,
+            "elapsed {}",
+            sa.elapsed()
+        );
         sa.reset_elapsed();
         assert_eq!(sa.elapsed(), 0.0);
     }

@@ -143,7 +143,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let analog = sine_trace(67e6, 0.02, 1.0, 8e9, 8000);
         let shot = scope.capture(&analog, &mut rng);
-        assert!((shot.peak_to_peak() - 0.04).abs() < 0.005, "p2p {}", shot.peak_to_peak());
+        assert!(
+            (shot.peak_to_peak() - 0.04).abs() < 0.005,
+            "p2p {}",
+            shot.peak_to_peak()
+        );
         assert!((shot.mean() - 1.0).abs() < 0.002);
     }
 

@@ -6,8 +6,8 @@
 //! spike over a workload's lifetime. Both modes are used by the V_MIN
 //! and monitoring flows.
 
-use emvolt_circuit::Trace;
 use crate::SweepReading;
+use emvolt_circuit::Trace;
 
 /// Edge polarity for the scope trigger.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,11 +36,12 @@ impl Trigger {
     /// index.
     pub fn find(&self, trace: &Trace) -> Option<usize> {
         let s = trace.samples();
-        s.windows(2).position(|w| match self.edge {
-            Edge::Falling => w[0] >= self.level_v && w[1] < self.level_v,
-            Edge::Rising => w[0] <= self.level_v && w[1] > self.level_v,
-        })
-        .map(|i| i + 1)
+        s.windows(2)
+            .position(|w| match self.edge {
+                Edge::Falling => w[0] >= self.level_v && w[1] < self.level_v,
+                Edge::Rising => w[0] <= self.level_v && w[1] > self.level_v,
+            })
+            .map(|i| i + 1)
     }
 
     /// Returns the triggered window around the first crossing, or `None`
@@ -141,7 +142,12 @@ impl TraceAccumulator {
     /// The accumulated display in dBm per point.
     pub fn display(&self) -> Vec<(f64, f64)> {
         match self.mode {
-            TraceMode::MaxHold => self.freqs.iter().copied().zip(self.acc.iter().copied()).collect(),
+            TraceMode::MaxHold => self
+                .freqs
+                .iter()
+                .copied()
+                .zip(self.acc.iter().copied())
+                .collect(),
             TraceMode::Average => self
                 .freqs
                 .iter()

@@ -239,22 +239,198 @@ impl Architecture {
         use OpClass::*;
         use Semantics::*;
         let ops = vec![
-            Op { name: "mov",   class: IntShort, fu: Alu,       latency: 1,  unpipelined: false, issue_current: 0.30, active_current: 0.0,  src_count: 1, has_dst: true,  semantics: Move },
-            Op { name: "add",   class: IntShort, fu: Alu,       latency: 1,  unpipelined: false, issue_current: 0.35, active_current: 0.0,  src_count: 2, has_dst: true,  semantics: IntAdd },
-            Op { name: "sub",   class: IntShort, fu: Alu,       latency: 1,  unpipelined: false, issue_current: 0.35, active_current: 0.0,  src_count: 2, has_dst: true,  semantics: IntSub },
-            Op { name: "eor",   class: IntShort, fu: Alu,       latency: 1,  unpipelined: false, issue_current: 0.33, active_current: 0.0,  src_count: 2, has_dst: true,  semantics: IntXor },
-            Op { name: "mul",   class: IntLong,  fu: Mul,       latency: 3,  unpipelined: false, issue_current: 0.45, active_current: 0.10, src_count: 2, has_dst: true,  semantics: IntMul },
-            Op { name: "sdiv",  class: IntLong,  fu: Div,       latency: 4,  unpipelined: true,  issue_current: 0.20, active_current: 0.04, src_count: 2, has_dst: true,  semantics: IntDiv },
-            Op { name: "fadd",  class: FloatShort, fu: Fpu,     latency: 3,  unpipelined: false, issue_current: 0.45, active_current: 0.08, src_count: 2, has_dst: true,  semantics: FloatAdd },
-            Op { name: "fmul",  class: FloatShort, fu: Fpu,     latency: 4,  unpipelined: false, issue_current: 0.50, active_current: 0.10, src_count: 2, has_dst: true,  semantics: FloatMul },
-            Op { name: "fdiv",  class: FloatLong, fu: FpDiv,    latency: 18, unpipelined: true,  issue_current: 0.22, active_current: 0.03, src_count: 2, has_dst: true,  semantics: FloatDiv },
-            Op { name: "fsqrt", class: FloatLong, fu: FpDiv,    latency: 22, unpipelined: true,  issue_current: 0.20, active_current: 0.03, src_count: 1, has_dst: true,  semantics: FloatSqrt },
-            Op { name: "add.4s",   class: Simd,     fu: SimdUnit, latency: 3,  unpipelined: false, issue_current: 0.60, active_current: 0.12, src_count: 2, has_dst: true, semantics: IntAdd },
-            Op { name: "fmul.4s",  class: Simd,     fu: SimdUnit, latency: 4,  unpipelined: false, issue_current: 0.70, active_current: 0.15, src_count: 2, has_dst: true, semantics: FloatMul },
-            Op { name: "fsqrt.4s", class: SimdLong, fu: SimdUnit, latency: 26, unpipelined: true,  issue_current: 0.25, active_current: 0.04, src_count: 1, has_dst: true, semantics: FloatSqrt },
-            Op { name: "ldr",   class: Load,     fu: LoadStore, latency: 4,  unpipelined: false, issue_current: 0.50, active_current: 0.06, src_count: 0, has_dst: true,  semantics: LoadMem },
-            Op { name: "str",   class: Store,    fu: LoadStore, latency: 1,  unpipelined: false, issue_current: 0.45, active_current: 0.0,  src_count: 1, has_dst: false, semantics: StoreMem },
-            Op { name: "b",     class: Branch,   fu: BranchUnit, latency: 1, unpipelined: false, issue_current: 0.15, active_current: 0.0,  src_count: 0, has_dst: false, semantics: Nop },
+            Op {
+                name: "mov",
+                class: IntShort,
+                fu: Alu,
+                latency: 1,
+                unpipelined: false,
+                issue_current: 0.30,
+                active_current: 0.0,
+                src_count: 1,
+                has_dst: true,
+                semantics: Move,
+            },
+            Op {
+                name: "add",
+                class: IntShort,
+                fu: Alu,
+                latency: 1,
+                unpipelined: false,
+                issue_current: 0.35,
+                active_current: 0.0,
+                src_count: 2,
+                has_dst: true,
+                semantics: IntAdd,
+            },
+            Op {
+                name: "sub",
+                class: IntShort,
+                fu: Alu,
+                latency: 1,
+                unpipelined: false,
+                issue_current: 0.35,
+                active_current: 0.0,
+                src_count: 2,
+                has_dst: true,
+                semantics: IntSub,
+            },
+            Op {
+                name: "eor",
+                class: IntShort,
+                fu: Alu,
+                latency: 1,
+                unpipelined: false,
+                issue_current: 0.33,
+                active_current: 0.0,
+                src_count: 2,
+                has_dst: true,
+                semantics: IntXor,
+            },
+            Op {
+                name: "mul",
+                class: IntLong,
+                fu: Mul,
+                latency: 3,
+                unpipelined: false,
+                issue_current: 0.45,
+                active_current: 0.10,
+                src_count: 2,
+                has_dst: true,
+                semantics: IntMul,
+            },
+            Op {
+                name: "sdiv",
+                class: IntLong,
+                fu: Div,
+                latency: 4,
+                unpipelined: true,
+                issue_current: 0.20,
+                active_current: 0.04,
+                src_count: 2,
+                has_dst: true,
+                semantics: IntDiv,
+            },
+            Op {
+                name: "fadd",
+                class: FloatShort,
+                fu: Fpu,
+                latency: 3,
+                unpipelined: false,
+                issue_current: 0.45,
+                active_current: 0.08,
+                src_count: 2,
+                has_dst: true,
+                semantics: FloatAdd,
+            },
+            Op {
+                name: "fmul",
+                class: FloatShort,
+                fu: Fpu,
+                latency: 4,
+                unpipelined: false,
+                issue_current: 0.50,
+                active_current: 0.10,
+                src_count: 2,
+                has_dst: true,
+                semantics: FloatMul,
+            },
+            Op {
+                name: "fdiv",
+                class: FloatLong,
+                fu: FpDiv,
+                latency: 18,
+                unpipelined: true,
+                issue_current: 0.22,
+                active_current: 0.03,
+                src_count: 2,
+                has_dst: true,
+                semantics: FloatDiv,
+            },
+            Op {
+                name: "fsqrt",
+                class: FloatLong,
+                fu: FpDiv,
+                latency: 22,
+                unpipelined: true,
+                issue_current: 0.20,
+                active_current: 0.03,
+                src_count: 1,
+                has_dst: true,
+                semantics: FloatSqrt,
+            },
+            Op {
+                name: "add.4s",
+                class: Simd,
+                fu: SimdUnit,
+                latency: 3,
+                unpipelined: false,
+                issue_current: 0.60,
+                active_current: 0.12,
+                src_count: 2,
+                has_dst: true,
+                semantics: IntAdd,
+            },
+            Op {
+                name: "fmul.4s",
+                class: Simd,
+                fu: SimdUnit,
+                latency: 4,
+                unpipelined: false,
+                issue_current: 0.70,
+                active_current: 0.15,
+                src_count: 2,
+                has_dst: true,
+                semantics: FloatMul,
+            },
+            Op {
+                name: "fsqrt.4s",
+                class: SimdLong,
+                fu: SimdUnit,
+                latency: 26,
+                unpipelined: true,
+                issue_current: 0.25,
+                active_current: 0.04,
+                src_count: 1,
+                has_dst: true,
+                semantics: FloatSqrt,
+            },
+            Op {
+                name: "ldr",
+                class: Load,
+                fu: LoadStore,
+                latency: 4,
+                unpipelined: false,
+                issue_current: 0.50,
+                active_current: 0.06,
+                src_count: 0,
+                has_dst: true,
+                semantics: LoadMem,
+            },
+            Op {
+                name: "str",
+                class: Store,
+                fu: LoadStore,
+                latency: 1,
+                unpipelined: false,
+                issue_current: 0.45,
+                active_current: 0.0,
+                src_count: 1,
+                has_dst: false,
+                semantics: StoreMem,
+            },
+            Op {
+                name: "b",
+                class: Branch,
+                fu: BranchUnit,
+                latency: 1,
+                unpipelined: false,
+                issue_current: 0.15,
+                active_current: 0.0,
+                src_count: 0,
+                has_dst: false,
+                semantics: Nop,
+            },
         ];
         Architecture {
             isa: Isa::ArmV8,
@@ -274,23 +450,210 @@ impl Architecture {
         use OpClass::*;
         use Semantics::*;
         let ops = vec![
-            Op { name: "mov",    class: IntShort,    fu: Alu,       latency: 1,  unpipelined: false, issue_current: 0.8,  active_current: 0.0,  src_count: 1, has_dst: true, semantics: Move },
-            Op { name: "add",    class: IntShort,    fu: Alu,       latency: 1,  unpipelined: false, issue_current: 1.0,  active_current: 0.0,  src_count: 2, has_dst: true, semantics: IntAdd },
-            Op { name: "sub",    class: IntShort,    fu: Alu,       latency: 1,  unpipelined: false, issue_current: 1.0,  active_current: 0.0,  src_count: 2, has_dst: true, semantics: IntSub },
-            Op { name: "xor",    class: IntShort,    fu: Alu,       latency: 1,  unpipelined: false, issue_current: 0.95, active_current: 0.0,  src_count: 2, has_dst: true, semantics: IntXor },
-            Op { name: "addmem", class: IntShortMem, fu: LoadStore, latency: 5,  unpipelined: false, issue_current: 1.5,  active_current: 0.20, src_count: 1, has_dst: true, semantics: IntAdd },
-            Op { name: "movmem", class: IntShortMem, fu: LoadStore, latency: 4,  unpipelined: false, issue_current: 1.3,  active_current: 0.18, src_count: 0, has_dst: true, semantics: LoadMem },
-            Op { name: "imul",   class: IntLong,     fu: Mul,       latency: 3,  unpipelined: false, issue_current: 1.3,  active_current: 0.30, src_count: 2, has_dst: true, semantics: IntMul },
-            Op { name: "idiv",   class: IntLong,     fu: Div,       latency: 20, unpipelined: true,  issue_current: 0.6,  active_current: 0.10, src_count: 2, has_dst: true, semantics: IntDiv },
-            Op { name: "imulmem", class: IntLongMem, fu: Mul,       latency: 8,  unpipelined: false, issue_current: 1.5,  active_current: 0.25, src_count: 1, has_dst: true, semantics: IntMul },
-            Op { name: "addsd",  class: FloatShort,  fu: Fpu,       latency: 3,  unpipelined: false, issue_current: 1.3,  active_current: 0.25, src_count: 2, has_dst: true, semantics: FloatAdd },
-            Op { name: "mulsd",  class: FloatShort,  fu: Fpu,       latency: 5,  unpipelined: false, issue_current: 1.4,  active_current: 0.28, src_count: 2, has_dst: true, semantics: FloatMul },
-            Op { name: "divsd",  class: FloatLong,   fu: FpDiv,     latency: 14, unpipelined: true,  issue_current: 0.6,  active_current: 0.10, src_count: 2, has_dst: true, semantics: FloatDiv },
-            Op { name: "sqrtsd", class: FloatLong,   fu: FpDiv,     latency: 16, unpipelined: true,  issue_current: 0.55, active_current: 0.09, src_count: 1, has_dst: true, semantics: FloatSqrt },
-            Op { name: "addpd",  class: Simd,        fu: SimdUnit,  latency: 3,  unpipelined: false, issue_current: 1.8,  active_current: 0.35, src_count: 2, has_dst: true, semantics: FloatAdd },
-            Op { name: "mulpd",  class: Simd,        fu: SimdUnit,  latency: 5,  unpipelined: false, issue_current: 2.0,  active_current: 0.40, src_count: 2, has_dst: true, semantics: FloatMul },
-            Op { name: "sqrtpd", class: SimdLong,    fu: SimdUnit,  latency: 20, unpipelined: true,  issue_current: 0.7,  active_current: 0.12, src_count: 1, has_dst: true, semantics: FloatSqrt },
-            Op { name: "jmp",    class: Branch,      fu: BranchUnit, latency: 1, unpipelined: false, issue_current: 0.4,  active_current: 0.0,  src_count: 0, has_dst: false, semantics: Nop },
+            Op {
+                name: "mov",
+                class: IntShort,
+                fu: Alu,
+                latency: 1,
+                unpipelined: false,
+                issue_current: 0.8,
+                active_current: 0.0,
+                src_count: 1,
+                has_dst: true,
+                semantics: Move,
+            },
+            Op {
+                name: "add",
+                class: IntShort,
+                fu: Alu,
+                latency: 1,
+                unpipelined: false,
+                issue_current: 1.0,
+                active_current: 0.0,
+                src_count: 2,
+                has_dst: true,
+                semantics: IntAdd,
+            },
+            Op {
+                name: "sub",
+                class: IntShort,
+                fu: Alu,
+                latency: 1,
+                unpipelined: false,
+                issue_current: 1.0,
+                active_current: 0.0,
+                src_count: 2,
+                has_dst: true,
+                semantics: IntSub,
+            },
+            Op {
+                name: "xor",
+                class: IntShort,
+                fu: Alu,
+                latency: 1,
+                unpipelined: false,
+                issue_current: 0.95,
+                active_current: 0.0,
+                src_count: 2,
+                has_dst: true,
+                semantics: IntXor,
+            },
+            Op {
+                name: "addmem",
+                class: IntShortMem,
+                fu: LoadStore,
+                latency: 5,
+                unpipelined: false,
+                issue_current: 1.5,
+                active_current: 0.20,
+                src_count: 1,
+                has_dst: true,
+                semantics: IntAdd,
+            },
+            Op {
+                name: "movmem",
+                class: IntShortMem,
+                fu: LoadStore,
+                latency: 4,
+                unpipelined: false,
+                issue_current: 1.3,
+                active_current: 0.18,
+                src_count: 0,
+                has_dst: true,
+                semantics: LoadMem,
+            },
+            Op {
+                name: "imul",
+                class: IntLong,
+                fu: Mul,
+                latency: 3,
+                unpipelined: false,
+                issue_current: 1.3,
+                active_current: 0.30,
+                src_count: 2,
+                has_dst: true,
+                semantics: IntMul,
+            },
+            Op {
+                name: "idiv",
+                class: IntLong,
+                fu: Div,
+                latency: 20,
+                unpipelined: true,
+                issue_current: 0.6,
+                active_current: 0.10,
+                src_count: 2,
+                has_dst: true,
+                semantics: IntDiv,
+            },
+            Op {
+                name: "imulmem",
+                class: IntLongMem,
+                fu: Mul,
+                latency: 8,
+                unpipelined: false,
+                issue_current: 1.5,
+                active_current: 0.25,
+                src_count: 1,
+                has_dst: true,
+                semantics: IntMul,
+            },
+            Op {
+                name: "addsd",
+                class: FloatShort,
+                fu: Fpu,
+                latency: 3,
+                unpipelined: false,
+                issue_current: 1.3,
+                active_current: 0.25,
+                src_count: 2,
+                has_dst: true,
+                semantics: FloatAdd,
+            },
+            Op {
+                name: "mulsd",
+                class: FloatShort,
+                fu: Fpu,
+                latency: 5,
+                unpipelined: false,
+                issue_current: 1.4,
+                active_current: 0.28,
+                src_count: 2,
+                has_dst: true,
+                semantics: FloatMul,
+            },
+            Op {
+                name: "divsd",
+                class: FloatLong,
+                fu: FpDiv,
+                latency: 14,
+                unpipelined: true,
+                issue_current: 0.6,
+                active_current: 0.10,
+                src_count: 2,
+                has_dst: true,
+                semantics: FloatDiv,
+            },
+            Op {
+                name: "sqrtsd",
+                class: FloatLong,
+                fu: FpDiv,
+                latency: 16,
+                unpipelined: true,
+                issue_current: 0.55,
+                active_current: 0.09,
+                src_count: 1,
+                has_dst: true,
+                semantics: FloatSqrt,
+            },
+            Op {
+                name: "addpd",
+                class: Simd,
+                fu: SimdUnit,
+                latency: 3,
+                unpipelined: false,
+                issue_current: 1.8,
+                active_current: 0.35,
+                src_count: 2,
+                has_dst: true,
+                semantics: FloatAdd,
+            },
+            Op {
+                name: "mulpd",
+                class: Simd,
+                fu: SimdUnit,
+                latency: 5,
+                unpipelined: false,
+                issue_current: 2.0,
+                active_current: 0.40,
+                src_count: 2,
+                has_dst: true,
+                semantics: FloatMul,
+            },
+            Op {
+                name: "sqrtpd",
+                class: SimdLong,
+                fu: SimdUnit,
+                latency: 20,
+                unpipelined: true,
+                issue_current: 0.7,
+                active_current: 0.12,
+                src_count: 1,
+                has_dst: true,
+                semantics: FloatSqrt,
+            },
+            Op {
+                name: "jmp",
+                class: Branch,
+                fu: BranchUnit,
+                latency: 1,
+                unpipelined: false,
+                issue_current: 0.4,
+                active_current: 0.0,
+                src_count: 0,
+                has_dst: false,
+                semantics: Nop,
+            },
         ];
         Architecture {
             isa: Isa::X86_64,

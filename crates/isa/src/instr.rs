@@ -195,7 +195,12 @@ impl Kernel {
                 if op.src_count == 0 {
                     format!("mov {}, {}", self.reg_name(i.dst), mem(i.mem_slot))
                 } else {
-                    format!("{} {}, {}", base_mnemonic(op.name), self.reg_name(i.dst), mem(i.mem_slot))
+                    format!(
+                        "{} {}, {}",
+                        base_mnemonic(op.name),
+                        self.reg_name(i.dst),
+                        mem(i.mem_slot)
+                    )
                 }
             }
             (Isa::X86_64, _) => {
@@ -244,9 +249,24 @@ mod tests {
         let ldr = arch.op_by_name("ldr").unwrap();
         let fsqrt = arch.op_by_name("fsqrt").unwrap();
         let body = vec![
-            Instr { op: add, dst: Reg::gpr(1), srcs: [Reg::gpr(2), Reg::gpr(3)], mem_slot: 0 },
-            Instr { op: ldr, dst: Reg::gpr(4), srcs: [Reg::gpr(0), Reg::gpr(0)], mem_slot: 3 },
-            Instr { op: fsqrt, dst: Reg::fpr(1), srcs: [Reg::fpr(2), Reg::fpr(0)], mem_slot: 0 },
+            Instr {
+                op: add,
+                dst: Reg::gpr(1),
+                srcs: [Reg::gpr(2), Reg::gpr(3)],
+                mem_slot: 0,
+            },
+            Instr {
+                op: ldr,
+                dst: Reg::gpr(4),
+                srcs: [Reg::gpr(0), Reg::gpr(0)],
+                mem_slot: 3,
+            },
+            Instr {
+                op: fsqrt,
+                dst: Reg::fpr(1),
+                srcs: [Reg::fpr(2), Reg::fpr(0)],
+                mem_slot: 0,
+            },
         ];
         Kernel::new(arch, body)
     }
@@ -266,8 +286,18 @@ mod tests {
         let addmem = arch.op_by_name("addmem").unwrap();
         let mulpd = arch.op_by_name("mulpd").unwrap();
         let body = vec![
-            Instr { op: addmem, dst: Reg::gpr(0), srcs: [Reg::gpr(0), Reg::gpr(0)], mem_slot: 2 },
-            Instr { op: mulpd, dst: Reg::fpr(3), srcs: [Reg::fpr(3), Reg::fpr(4)], mem_slot: 0 },
+            Instr {
+                op: addmem,
+                dst: Reg::gpr(0),
+                srcs: [Reg::gpr(0), Reg::gpr(0)],
+                mem_slot: 2,
+            },
+            Instr {
+                op: mulpd,
+                dst: Reg::fpr(3),
+                srcs: [Reg::fpr(3), Reg::fpr(4)],
+                mem_slot: 0,
+            },
         ];
         let k = Kernel::new(arch, body);
         let text = k.render();

@@ -45,7 +45,11 @@ pub fn sweep_kernel(isa: Isa) -> Kernel {
         op: div,
         dst: div_dst,
         srcs: [
-            if isa == Isa::X86_64 { div_dst } else { Reg::gpr(9) },
+            if isa == Isa::X86_64 {
+                div_dst
+            } else {
+                Reg::gpr(9)
+            },
             Reg::gpr(10),
         ],
         mem_slot: 0,

@@ -99,14 +99,19 @@ fn parse_mem(isa: Isa, token: &str, line: usize) -> Result<u16, ParseError> {
                 line,
                 reason: format!("x86 memory operand must use rbp base, got `{inner}`"),
             })?;
-            rest.trim_start_matches('+').parse().map_err(|_| ParseError {
-                line,
-                reason: format!("bad memory offset in `{inner}`"),
-            })?
+            rest.trim_start_matches('+')
+                .parse()
+                .map_err(|_| ParseError {
+                    line,
+                    reason: format!("bad memory offset in `{inner}`"),
+                })?
         }
     };
     if offset < 0 || offset % 8 != 0 {
-        return err(line, format!("memory offset {offset} is not an 8-byte slot"));
+        return err(
+            line,
+            format!("memory offset {offset} is not an 8-byte slot"),
+        );
     }
     Ok((offset / 8) as u16)
 }
@@ -172,7 +177,11 @@ fn parse_instr(arch: &Architecture, raw: &str, line: usize) -> Result<Instr, Par
     // Resolve the op: memory forms of x86 integer ops use the `mem`
     // suffix internally (`add rax, [rbp+8]` -> `addmem`).
     let op_idx = if isa == Isa::X86_64 && has_mem {
-        let candidate = if mnemonic == "mov" { "movmem".to_owned() } else { format!("{mnemonic}mem") };
+        let candidate = if mnemonic == "mov" {
+            "movmem".to_owned()
+        } else {
+            format!("{mnemonic}mem")
+        };
         arch.op_by_name(&candidate)
             .or_else(|| arch.op_by_name(mnemonic))
     } else {
@@ -217,44 +226,66 @@ fn parse_instr(arch: &Architecture, raw: &str, line: usize) -> Result<Instr, Par
             // Two-operand form: dst doubles as the first source.
             let mut it = operands.iter();
             if op.has_dst {
-                dst = parse_reg(isa, it.next().ok_or_else(|| ParseError {
+                dst = parse_reg(
+                    isa,
+                    it.next().ok_or_else(|| ParseError {
+                        line,
+                        reason: "missing destination".into(),
+                    })?,
                     line,
-                    reason: "missing destination".into(),
-                })?, line)?;
+                )?;
             }
             if op.src_count == 2 {
                 srcs[0] = dst;
-                srcs[1] = parse_reg(isa, it.next().ok_or_else(|| ParseError {
+                srcs[1] = parse_reg(
+                    isa,
+                    it.next().ok_or_else(|| ParseError {
+                        line,
+                        reason: "missing source".into(),
+                    })?,
                     line,
-                    reason: "missing source".into(),
-                })?, line)?;
+                )?;
             } else if op.src_count == 1 {
-                srcs[0] = parse_reg(isa, it.next().ok_or_else(|| ParseError {
+                srcs[0] = parse_reg(
+                    isa,
+                    it.next().ok_or_else(|| ParseError {
+                        line,
+                        reason: "missing source".into(),
+                    })?,
                     line,
-                    reason: "missing source".into(),
-                })?, line)?;
+                )?;
             }
         }
         _ => {
             // Generic ARM form: dst then src_count sources.
             let mut it = operands.iter();
             if op.has_dst {
-                dst = parse_reg(isa, it.next().ok_or_else(|| ParseError {
+                dst = parse_reg(
+                    isa,
+                    it.next().ok_or_else(|| ParseError {
+                        line,
+                        reason: "missing destination".into(),
+                    })?,
                     line,
-                    reason: "missing destination".into(),
-                })?, line)?;
+                )?;
             }
             for (k, slot) in srcs.iter_mut().enumerate().take(op.src_count as usize) {
-                *slot = parse_reg(isa, it.next().ok_or_else(|| ParseError {
+                *slot = parse_reg(
+                    isa,
+                    it.next().ok_or_else(|| ParseError {
+                        line,
+                        reason: format!("missing source operand {k}"),
+                    })?,
                     line,
-                    reason: format!("missing source operand {k}"),
-                })?, line)?;
+                )?;
             }
         }
     }
     // Destination register file must match the op's class.
     if op.has_dst {
-        let want = if op.class.uses_fp_registers() || matches!(op.semantics, crate::arch::Semantics::LoadMem if dst.class == RegClass::Fpr) {
+        let want = if op.class.uses_fp_registers()
+            || matches!(op.semantics, crate::arch::Semantics::LoadMem if dst.class == RegClass::Fpr)
+        {
             RegClass::Fpr
         } else {
             dst.class
@@ -346,8 +377,8 @@ mod tests {
             for _ in 0..10 {
                 let k = pool.random_kernel(40, &mut rng);
                 let text = k.render();
-                let parsed = parse_kernel(isa, &text)
-                    .unwrap_or_else(|e| panic!("{isa}: {e}\n{text}"));
+                let parsed =
+                    parse_kernel(isa, &text).unwrap_or_else(|e| panic!("{isa}: {e}\n{text}"));
                 assert_eq!(parsed.render(), text, "{isa} round-trip diverged");
             }
         }

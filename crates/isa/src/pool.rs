@@ -57,8 +57,8 @@ impl PoolSpec {
         PoolSpec {
             isa: Isa::X86_64,
             op_names: [
-                "mov", "add", "sub", "xor", "addmem", "movmem", "imul", "idiv", "imulmem",
-                "addsd", "mulsd", "divsd", "sqrtsd", "addpd", "mulpd", "sqrtpd", "jmp",
+                "mov", "add", "sub", "xor", "addmem", "movmem", "imul", "idiv", "imulmem", "addsd",
+                "mulsd", "divsd", "sqrtsd", "addpd", "mulpd", "sqrtpd", "jmp",
             ]
             .iter()
             .map(|s| (*s).to_owned())
@@ -199,7 +199,10 @@ impl InstructionPool {
         let op_idx = *self.ops.choose(rng).expect("non-empty ops");
         let op = self.arch.op(op_idx);
         let dst = self.random_operand(op_idx, rng);
-        let mut srcs = [self.random_operand(op_idx, rng), self.random_operand(op_idx, rng)];
+        let mut srcs = [
+            self.random_operand(op_idx, rng),
+            self.random_operand(op_idx, rng),
+        ];
         // x86 two-operand encoding: dst is also the first source.
         if self.arch.isa() == Isa::X86_64 && op.src_count == 2 {
             srcs[0] = dst;

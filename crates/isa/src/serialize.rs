@@ -156,10 +156,19 @@ mod tests {
             isa: Isa::ArmV8,
             body: vec![InstrSpec {
                 op: "bogus".into(),
-                dst: RegSpec { file: "gpr".into(), index: 0 },
+                dst: RegSpec {
+                    file: "gpr".into(),
+                    index: 0,
+                },
                 srcs: [
-                    RegSpec { file: "gpr".into(), index: 0 },
-                    RegSpec { file: "gpr".into(), index: 0 },
+                    RegSpec {
+                        file: "gpr".into(),
+                        index: 0,
+                    },
+                    RegSpec {
+                        file: "gpr".into(),
+                        index: 0,
+                    },
                 ],
                 mem_slot: 0,
             }],
@@ -173,10 +182,19 @@ mod tests {
             isa: Isa::ArmV8,
             body: vec![InstrSpec {
                 op: "add".into(),
-                dst: RegSpec { file: "vector".into(), index: 0 },
+                dst: RegSpec {
+                    file: "vector".into(),
+                    index: 0,
+                },
                 srcs: [
-                    RegSpec { file: "gpr".into(), index: 0 },
-                    RegSpec { file: "gpr".into(), index: 0 },
+                    RegSpec {
+                        file: "gpr".into(),
+                        index: 0,
+                    },
+                    RegSpec {
+                        file: "gpr".into(),
+                        index: 0,
+                    },
                 ],
                 mem_slot: 0,
             }],

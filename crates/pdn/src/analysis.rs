@@ -44,11 +44,7 @@ pub fn find_resonance_peaks(sweep: &[(f64, Complex)]) -> Vec<ResonancePeak> {
 
 /// The strongest peak within `[lo, hi]` Hz, if any — used to isolate the
 /// first-order resonance in the 50–200 MHz band the paper searches.
-pub fn strongest_peak_in_band(
-    sweep: &[(f64, Complex)],
-    lo: f64,
-    hi: f64,
-) -> Option<ResonancePeak> {
+pub fn strongest_peak_in_band(sweep: &[(f64, Complex)], lo: f64, hi: f64) -> Option<ResonancePeak> {
     find_resonance_peaks(sweep)
         .into_iter()
         .find(|p| p.frequency_hz >= lo && p.frequency_hz <= hi)

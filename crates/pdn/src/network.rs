@@ -3,7 +3,7 @@
 use crate::params::PdnParams;
 use emvolt_circuit::{
     Circuit, Complex, ISourceId, InductorId, NodeId, Result, Stimulus, Trace, TransientConfig,
-    VSourceId,
+    TransientPlan, VSourceId,
 };
 
 /// A concrete power-delivery network instance: the Fig. 1(a) netlist plus
@@ -43,39 +43,51 @@ impl Pdn {
             .voltage_source(n_vrm, NodeId::GROUND, Stimulus::Dc(params.v_nominal))
             .expect("valid nodes");
         let vrm_mid = c.node("vrm_mid");
-        c.resistor(n_vrm, vrm_mid, params.r_vrm).expect("valid r_vrm");
-        c.inductor(vrm_mid, n_pcb, params.l_vrm).expect("valid l_vrm");
+        c.resistor(n_vrm, vrm_mid, params.r_vrm)
+            .expect("valid r_vrm");
+        c.inductor(vrm_mid, n_pcb, params.l_vrm)
+            .expect("valid l_vrm");
 
         // Bulk PCB decap with parasitics.
         let pcb_c1 = c.node("pcb_c1");
         let pcb_c2 = c.node("pcb_c2");
-        c.capacitor(n_pcb, pcb_c1, params.c_pcb).expect("valid c_pcb");
-        c.resistor(pcb_c1, pcb_c2, params.esr_pcb).expect("valid esr_pcb");
+        c.capacitor(n_pcb, pcb_c1, params.c_pcb)
+            .expect("valid c_pcb");
+        c.resistor(pcb_c1, pcb_c2, params.esr_pcb)
+            .expect("valid esr_pcb");
         c.inductor(pcb_c2, NodeId::GROUND, params.esl_pcb)
             .expect("valid esl_pcb");
 
         // PCB plane to package.
         let pcb_mid = c.node("pcb_mid");
-        c.resistor(n_pcb, pcb_mid, params.r_pcb).expect("valid r_pcb");
-        c.inductor(pcb_mid, n_pkg, params.l_pcb).expect("valid l_pcb");
+        c.resistor(n_pcb, pcb_mid, params.r_pcb)
+            .expect("valid r_pcb");
+        c.inductor(pcb_mid, n_pkg, params.l_pcb)
+            .expect("valid l_pcb");
 
         // Package decap with parasitics.
         let pkg_c1 = c.node("pkg_c1");
         let pkg_c2 = c.node("pkg_c2");
-        c.capacitor(n_pkg, pkg_c1, params.c_pkg).expect("valid c_pkg");
-        c.resistor(pkg_c1, pkg_c2, params.esr_pkg).expect("valid esr_pkg");
+        c.capacitor(n_pkg, pkg_c1, params.c_pkg)
+            .expect("valid c_pkg");
+        c.resistor(pkg_c1, pkg_c2, params.esr_pkg)
+            .expect("valid esr_pkg");
         c.inductor(pkg_c2, NodeId::GROUND, params.esl_pkg)
             .expect("valid esl_pkg");
 
         // Package to die: the first-order tank inductance.
         let pkg_mid = c.node("pkg_mid");
-        c.resistor(n_pkg, pkg_mid, params.r_pkg).expect("valid r_pkg");
-        let l_pkg_id = c.inductor(pkg_mid, n_die, params.l_pkg).expect("valid l_pkg");
+        c.resistor(n_pkg, pkg_mid, params.r_pkg)
+            .expect("valid r_pkg");
+        let l_pkg_id = c
+            .inductor(pkg_mid, n_die, params.l_pkg)
+            .expect("valid l_pkg");
 
         // Die capacitance with grid resistance.
         let die_c = c.node("die_c");
         c.resistor(n_die, die_c, params.r_die).expect("valid r_die");
-        c.capacitor(die_c, NodeId::GROUND, c_die).expect("valid c_die");
+        c.capacitor(die_c, NodeId::GROUND, c_die)
+            .expect("valid c_die");
 
         // Load and auxiliary stimulus ports.
         let load = c
@@ -151,6 +163,38 @@ impl Pdn {
             res.inductor_current(self.l_pkg_id),
         ))
     }
+
+    /// Builds a reusable [`TransientPlan`] for this network at step `dt`.
+    ///
+    /// The plan stays valid across [`Pdn::set_load`], [`Pdn::set_aux`] and
+    /// [`Pdn::set_supply_voltage`] — those only change stimulus waveforms,
+    /// which enter through the right-hand side, not the system matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-analysis errors.
+    pub fn plan_transient(&self, dt: f64) -> Result<TransientPlan> {
+        self.circuit.plan_transient(dt)
+    }
+
+    /// Transient response reusing a prebuilt plan (skips netlist stamping
+    /// and LU refactorization); returns `(v_die, i_die)` like
+    /// [`Pdn::transient`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-analysis errors.
+    pub fn transient_with_plan(
+        &self,
+        plan: &TransientPlan,
+        config: &TransientConfig,
+    ) -> Result<(Trace, Trace)> {
+        let res = self.circuit.transient_with_plan(plan, config)?;
+        Ok((
+            res.voltage(self.die_node),
+            res.inductor_current(self.l_pkg_id),
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +256,22 @@ mod tests {
         let cfg = TransientConfig::new(1e-9, 200e-9);
         let (v, _) = pdn.transient(&cfg).unwrap();
         assert!((v.mean() - 0.9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn planned_transient_matches_fresh_transient() {
+        let params = PdnParams::generic_mobile();
+        let f_res = params.first_order_resonance_hz(2);
+        let mut pdn = Pdn::new(params, 2);
+        let cfg = TransientConfig::new(0.5e-9, 2e-6).with_warmup(1e-6);
+        let plan = pdn.plan_transient(cfg.dt).unwrap();
+        for scale in [0.25, 1.0] {
+            pdn.set_load(Stimulus::square(0.0, scale, f_res));
+            let (v_fresh, i_fresh) = pdn.transient(&cfg).unwrap();
+            let (v_plan, i_plan) = pdn.transient_with_plan(&plan, &cfg).unwrap();
+            assert_eq!(v_fresh.samples(), v_plan.samples());
+            assert_eq!(i_fresh.samples(), i_plan.samples());
+        }
     }
 
     #[test]

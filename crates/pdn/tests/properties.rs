@@ -8,11 +8,11 @@ use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = PdnParams> {
     (
-        25e-12..120e-12f64,  // l_pkg (comparable to or above the decap ESL,
-                             // where the analytic L_eff estimate is valid)
-        0.5e-3..20e-3f64,    // r_pkg
-        10e-9..80e-9f64,     // per-core C
-        10e-9..120e-9f64,    // cluster C
+        25e-12..120e-12f64, // l_pkg (comparable to or above the decap ESL,
+        // where the analytic L_eff estimate is valid)
+        0.5e-3..20e-3f64, // r_pkg
+        10e-9..80e-9f64,  // per-core C
+        10e-9..120e-9f64, // cluster C
     )
         .prop_map(|(l_pkg, r_pkg, per_core, cluster)| {
             let mut p = PdnParams::generic_mobile();

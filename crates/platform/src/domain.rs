@@ -1,7 +1,7 @@
 //! A voltage domain: CPU cores sharing one PDN and one supply rail.
 
-use emvolt_circuit::{Stimulus, Trace, TransientConfig};
-use emvolt_cpu::{Cpu, CoreModel, SimConfig, SimError};
+use emvolt_circuit::{Stimulus, Trace, TransientConfig, TransientPlan};
+use emvolt_cpu::{CoreModel, Cpu, SimConfig, SimError};
 use emvolt_isa::Kernel;
 use emvolt_pdn::{Pdn, PdnParams};
 use std::fmt;
@@ -267,37 +267,7 @@ impl VoltageDomain {
         loaded_cores: usize,
         config: &RunConfig,
     ) -> Result<DomainRun, DomainError> {
-        if loaded_cores > self.active_cores {
-            return Err(DomainError::TooManyLoadedCores {
-                requested: loaded_cores,
-                active: self.active_cores,
-            });
-        }
-        let cpu = Cpu::new(self.core_model.clone(), self.freq_hz);
-        let out = cpu.simulate(kernel, &config.sim)?;
-        let idle_extra = (self.active_cores - loaded_cores) as f64 * self.core_model.idle_current;
-        let total: Vec<f64> = out
-            .current
-            .samples()
-            .iter()
-            .map(|&i| i * loaded_cores as f64 + idle_extra)
-            .collect();
-        let (v_die, i_die) = self.run_pdn_with_load(
-            Stimulus::Samples {
-                dt: out.current.dt(),
-                values: Arc::from(total),
-                repeat: true,
-            },
-            config,
-        )?;
-        Ok(DomainRun {
-            v_die,
-            i_die,
-            ipc: out.ipc,
-            cycles_per_iteration: out.cycles_per_iteration,
-            loop_frequency: out.loop_frequency(),
-            supply_v: self.supply_v,
-        })
+        DomainRunner::new(self, config.clone())?.run(kernel, loaded_cores)
     }
 
     /// Runs the domain with all powered cores idle.
@@ -306,16 +276,7 @@ impl VoltageDomain {
     ///
     /// Propagates PDN analysis failures.
     pub fn run_idle(&self, config: &RunConfig) -> Result<DomainRun, DomainError> {
-        let idle = self.active_cores as f64 * self.core_model.idle_current;
-        let (v_die, i_die) = self.run_pdn_with_load(Stimulus::Dc(idle), config)?;
-        Ok(DomainRun {
-            v_die,
-            i_die,
-            ipc: 0.0,
-            cycles_per_iteration: f64::INFINITY,
-            loop_frequency: 0.0,
-            supply_v: self.supply_v,
-        })
+        DomainRunner::new(self, config.clone())?.run_idle()
     }
 
     /// Runs a sequence of phases — e.g. a workload alternating between a
@@ -371,11 +332,133 @@ impl VoltageDomain {
         load: Stimulus,
         config: &RunConfig,
     ) -> Result<(Trace, Trace), DomainError> {
-        let mut pdn = self.build_pdn();
-        pdn.set_load(load);
-        let cfg = TransientConfig::new(config.pdn_dt, config.pdn_warmup + config.pdn_window)
-            .with_warmup(config.pdn_warmup);
-        Ok(pdn.transient(&cfg)?)
+        DomainRunner::new(self, config.clone())?.run_pdn_with_load(load)
+    }
+}
+
+/// Reusable execution context for repeated runs of one [`VoltageDomain`]
+/// under one [`RunConfig`] — the hot path of a GA campaign, where the same
+/// domain is evaluated thousands of times with different kernels.
+///
+/// [`VoltageDomain::run`] pays per call for a fresh [`Cpu`], a rebuilt PDN
+/// netlist and an LU refactorization of the MNA system matrix. A runner
+/// does that setup once at construction and reuses it, producing
+/// bit-identical results (the cached plan holds the same factorization a
+/// fresh run would compute).
+///
+/// The runner snapshots the domain's control state (frequency, voltage,
+/// gating) at construction; build a new runner after changing any of
+/// them. Each runner is independently usable from its own thread.
+#[derive(Debug, Clone)]
+pub struct DomainRunner {
+    domain: VoltageDomain,
+    config: RunConfig,
+    cpu: Cpu,
+    pdn: Pdn,
+    plan: TransientPlan,
+    transient_cfg: TransientConfig,
+}
+
+impl DomainRunner {
+    /// Builds the runner: constructs the PDN once, LU-factors its MNA
+    /// matrix once and instantiates the CPU timing model once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PDN analysis failures (e.g. an invalid `pdn_dt`).
+    pub fn new(domain: &VoltageDomain, config: RunConfig) -> Result<Self, DomainError> {
+        let pdn = domain.build_pdn();
+        let plan = pdn.plan_transient(config.pdn_dt)?;
+        let transient_cfg =
+            TransientConfig::new(config.pdn_dt, config.pdn_warmup + config.pdn_window)
+                .with_warmup(config.pdn_warmup);
+        let cpu = Cpu::new(domain.core_model.clone(), domain.freq_hz);
+        Ok(DomainRunner {
+            domain: domain.clone(),
+            config,
+            cpu,
+            pdn,
+            plan,
+            transient_cfg,
+        })
+    }
+
+    /// The domain state this runner was built from.
+    pub fn domain(&self) -> &VoltageDomain {
+        &self.domain
+    }
+
+    /// The run configuration this runner was built for.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Runs `kernel` on `loaded_cores` cores; see [`VoltageDomain::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError`] for invalid core counts or failed
+    /// simulations.
+    pub fn run(&mut self, kernel: &Kernel, loaded_cores: usize) -> Result<DomainRun, DomainError> {
+        let active = self.domain.active_cores;
+        if loaded_cores > active {
+            return Err(DomainError::TooManyLoadedCores {
+                requested: loaded_cores,
+                active,
+            });
+        }
+        let out = self.cpu.simulate(kernel, &self.config.sim)?;
+        let idle_extra = (active - loaded_cores) as f64 * self.domain.core_model.idle_current;
+        let total: Vec<f64> = out
+            .current
+            .samples()
+            .iter()
+            .map(|&i| i * loaded_cores as f64 + idle_extra)
+            .collect();
+        let (v_die, i_die) = self.run_pdn_with_load(Stimulus::Samples {
+            dt: out.current.dt(),
+            values: Arc::from(total),
+            repeat: true,
+        })?;
+        Ok(DomainRun {
+            v_die,
+            i_die,
+            ipc: out.ipc,
+            cycles_per_iteration: out.cycles_per_iteration,
+            loop_frequency: out.loop_frequency(),
+            supply_v: self.domain.supply_v,
+        })
+    }
+
+    /// Runs with all powered cores idle; see [`VoltageDomain::run_idle`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates PDN analysis failures.
+    pub fn run_idle(&mut self) -> Result<DomainRun, DomainError> {
+        let idle = self.domain.active_cores as f64 * self.domain.core_model.idle_current;
+        let (v_die, i_die) = self.run_pdn_with_load(Stimulus::Dc(idle))?;
+        Ok(DomainRun {
+            v_die,
+            i_die,
+            ipc: 0.0,
+            cycles_per_iteration: f64::INFINITY,
+            loop_frequency: 0.0,
+            supply_v: self.domain.supply_v,
+        })
+    }
+
+    /// Drives the cached PDN with an arbitrary load waveform, reusing the
+    /// prebuilt transient plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PDN analysis failures.
+    pub fn run_pdn_with_load(&mut self, load: Stimulus) -> Result<(Trace, Trace), DomainError> {
+        self.pdn.set_load(load);
+        Ok(self
+            .pdn
+            .transient_with_plan(&self.plan, &self.transient_cfg)?)
     }
 }
 
@@ -443,10 +526,7 @@ mod tests {
         let mut d = domain();
         d.power_gate(1);
         let err = d.run(&sweep_kernel(Isa::ArmV8), 2, &RunConfig::fast());
-        assert!(matches!(
-            err,
-            Err(DomainError::TooManyLoadedCores { .. })
-        ));
+        assert!(matches!(err, Err(DomainError::TooManyLoadedCores { .. })));
     }
 
     #[test]
@@ -465,6 +545,42 @@ mod tests {
     fn dvfs_respects_maximum() {
         let mut d = domain();
         d.set_frequency(2.0e9);
+    }
+
+    /// A reused runner must reproduce per-call `VoltageDomain::run`
+    /// bit-for-bit across different kernels — this equality is what lets
+    /// the GA batch path share one runner per thread.
+    #[test]
+    fn runner_reuse_is_bit_identical_to_fresh_runs() {
+        use emvolt_isa::kernels::resonant_stress_kernel;
+        let d = domain();
+        let cfg = RunConfig::fast();
+        let mut runner = DomainRunner::new(&d, cfg.clone()).unwrap();
+        let kernels = [
+            sweep_kernel(Isa::ArmV8),
+            resonant_stress_kernel(Isa::ArmV8, 12, 17),
+            sweep_kernel(Isa::ArmV8),
+        ];
+        for k in &kernels {
+            let fresh = d.run(k, 2, &cfg).unwrap();
+            let reused = runner.run(k, 2).unwrap();
+            assert_eq!(fresh.v_die.samples(), reused.v_die.samples());
+            assert_eq!(fresh.i_die.samples(), reused.i_die.samples());
+            assert_eq!(fresh.ipc, reused.ipc);
+        }
+        let fresh_idle = d.run_idle(&cfg).unwrap();
+        let reused_idle = runner.run_idle().unwrap();
+        assert_eq!(fresh_idle.v_die.samples(), reused_idle.v_die.samples());
+    }
+
+    #[test]
+    fn runner_snapshots_domain_control_state() {
+        let mut d = domain();
+        let runner = DomainRunner::new(&d, RunConfig::fast()).unwrap();
+        d.set_voltage(0.9);
+        // The runner keeps the state it was built from.
+        assert_eq!(runner.domain().voltage(), 1.0);
+        assert_eq!(d.voltage(), 0.9);
     }
 }
 

@@ -6,6 +6,7 @@ use crate::domain::DomainRun;
 use emvolt_dsp::{Spectrum, Window};
 use emvolt_em::EmChannel;
 use emvolt_inst::{AnalyzerConfig, SpectrumAnalyzer, SweepReading};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -68,13 +69,9 @@ impl EmBench {
     /// metric = mean root square of the band-peak amplitudes.
     pub fn measure(&mut self, run: &DomainRun, n: usize) -> EmReading {
         let rx = self.received_spectrum(run);
-        let (metric_dbm, dominant_hz) = self.analyzer.peak_metric(
-            &rx,
-            RESONANCE_BAND.0,
-            RESONANCE_BAND.1,
-            n,
-            &mut self.rng,
-        );
+        let (metric_dbm, dominant_hz) =
+            self.analyzer
+                .peak_metric(&rx, RESONANCE_BAND.0, RESONANCE_BAND.1, n, &mut self.rng);
         EmReading {
             metric_dbm,
             dominant_hz,
@@ -98,6 +95,83 @@ impl EmBench {
     pub fn elapsed(&self) -> f64 {
         self.analyzer.elapsed()
     }
+
+    /// Splits off the immutable measurement chain for concurrent use; see
+    /// [`SharedEmBench`]. Accumulated sweep time is folded back with
+    /// [`EmBench::absorb_elapsed`].
+    pub fn share(&self) -> SharedEmBench {
+        SharedEmBench {
+            channel: self.channel.clone(),
+            analyzer_config: self.analyzer.config().clone(),
+            elapsed_s: Mutex::new(0.0),
+        }
+    }
+
+    /// Folds the sweep time accumulated by a [`SharedEmBench`] batch back
+    /// into this rig's analyzer, keeping [`EmBench::elapsed`] equal to
+    /// what a serial measurement sequence would have reported.
+    pub fn absorb_elapsed(&mut self, shared: &SharedEmBench) {
+        self.analyzer.advance_elapsed(shared.take_elapsed());
+    }
+}
+
+/// The thread-shareable half of an [`EmBench`]: the radiation channel and
+/// the analyzer configuration, both immutable, plus a locked running total
+/// of sweep time.
+///
+/// The mutable per-measurement state (analyzer noise RNG, elapsed-time
+/// counter) is what stops `EmBench::measure_in_band` being called from
+/// several threads. Here each measurement instead builds a throwaway
+/// analyzer from the shared config and draws its noise from a caller-
+/// provided seed, so results depend only on `(run, band, n, seed)` — not
+/// on which thread or in which order the measurement executed. That is
+/// the property the parallel GA path relies on for thread-count-invariant
+/// fitness.
+#[derive(Debug)]
+pub struct SharedEmBench {
+    channel: EmChannel,
+    analyzer_config: AnalyzerConfig,
+    elapsed_s: Mutex<f64>,
+}
+
+impl SharedEmBench {
+    /// Received voltage spectrum at the analyzer input for a domain run.
+    pub fn received_spectrum(&self, run: &DomainRun) -> Spectrum {
+        let i_spec = Spectrum::of_trace(&run.i_die, Window::Hann);
+        self.channel.received_spectrum(&i_spec)
+    }
+
+    /// Seeded counterpart of [`EmBench::measure_in_band`]: `n` sweeps over
+    /// `[lo, hi]` Hz with measurement noise drawn from `seed`.
+    pub fn measure_in_band_seeded(
+        &self,
+        run: &DomainRun,
+        lo: f64,
+        hi: f64,
+        n: usize,
+        seed: u64,
+    ) -> EmReading {
+        let rx = self.received_spectrum(run);
+        let mut analyzer = SpectrumAnalyzer::new(self.analyzer_config.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (metric_dbm, dominant_hz) = analyzer.peak_metric(&rx, lo, hi, n, &mut rng);
+        *self.elapsed_s.lock() += analyzer.elapsed();
+        EmReading {
+            metric_dbm,
+            dominant_hz,
+        }
+    }
+
+    /// Sweep time accumulated since creation (or the last
+    /// [`SharedEmBench::take_elapsed`]).
+    pub fn elapsed(&self) -> f64 {
+        *self.elapsed_s.lock()
+    }
+
+    /// Returns the accumulated sweep time and resets the total.
+    pub fn take_elapsed(&self) -> f64 {
+        std::mem::take(&mut *self.elapsed_s.lock())
+    }
 }
 
 #[cfg(test)]
@@ -105,7 +179,10 @@ mod tests {
     use super::*;
     use crate::domain::{RunConfig, VoltageDomain};
     use emvolt_cpu::CoreModel;
-    use emvolt_isa::{kernels::{padded_sweep_kernel, sweep_kernel}, Isa};
+    use emvolt_isa::{
+        kernels::{padded_sweep_kernel, sweep_kernel},
+        Isa,
+    };
     use emvolt_pdn::PdnParams;
 
     fn domain() -> VoltageDomain {
@@ -124,7 +201,9 @@ mod tests {
         let cfg = RunConfig::fast();
         // A kernel whose loop frequency sits on the PDN resonance: the
         // busy cluster radiates well above the idle noise floor.
-        let busy = d.run(&padded_sweep_kernel(Isa::ArmV8, 17), 2, &cfg).unwrap();
+        let busy = d
+            .run(&padded_sweep_kernel(Isa::ArmV8, 17), 2, &cfg)
+            .unwrap();
         let idle = d.run_idle(&cfg).unwrap();
         let busy_reading = bench.measure(&busy, 5);
         let idle_reading = bench.measure(&idle, 5);
@@ -140,7 +219,9 @@ mod tests {
     fn dominant_frequency_is_in_band() {
         let d = domain();
         let mut bench = EmBench::new(2);
-        let run = d.run(&sweep_kernel(Isa::ArmV8), 2, &RunConfig::fast()).unwrap();
+        let run = d
+            .run(&sweep_kernel(Isa::ArmV8), 2, &RunConfig::fast())
+            .unwrap();
         let r = bench.measure(&run, 10);
         assert!(
             (RESONANCE_BAND.0..=RESONANCE_BAND.1).contains(&r.dominant_hz),
@@ -149,11 +230,58 @@ mod tests {
         );
     }
 
+    /// Seeded shared measurements must not depend on call order — the
+    /// property the parallel GA evaluation path rests on.
+    #[test]
+    fn shared_measurements_are_order_invariant() {
+        let d = domain();
+        let bench = EmBench::new(7);
+        let shared = bench.share();
+        let cfg = RunConfig::fast();
+        let run_a = d.run(&sweep_kernel(Isa::ArmV8), 2, &cfg).unwrap();
+        let run_b = d
+            .run(&padded_sweep_kernel(Isa::ArmV8, 17), 2, &cfg)
+            .unwrap();
+
+        let a_first = shared.measure_in_band_seeded(&run_a, 50e6, 200e6, 5, 11);
+        let b_second = shared.measure_in_band_seeded(&run_b, 50e6, 200e6, 5, 12);
+        // Reversed order, fresh shared bench: identical readings.
+        let shared2 = bench.share();
+        let b_first = shared2.measure_in_band_seeded(&run_b, 50e6, 200e6, 5, 12);
+        let a_second = shared2.measure_in_band_seeded(&run_a, 50e6, 200e6, 5, 11);
+        assert_eq!(a_first, a_second);
+        assert_eq!(b_first, b_second);
+    }
+
+    #[test]
+    fn shared_elapsed_folds_back_into_the_bench() {
+        let d = domain();
+        let mut bench = EmBench::new(9);
+        let run = d
+            .run(&sweep_kernel(Isa::ArmV8), 1, &RunConfig::fast())
+            .unwrap();
+        let shared = bench.share();
+        let _ = shared.measure_in_band_seeded(&run, 50e6, 200e6, 30, 1);
+        assert!(
+            (shared.elapsed() - 18.0).abs() < 1.0,
+            "{}",
+            shared.elapsed()
+        );
+        let before = bench.elapsed();
+        bench.absorb_elapsed(&shared);
+        assert!((bench.elapsed() - before - 18.0).abs() < 1.0);
+        // The total was taken: absorbing twice adds nothing.
+        bench.absorb_elapsed(&shared);
+        assert!((bench.elapsed() - before - 18.0).abs() < 1.0);
+    }
+
     #[test]
     fn measurement_time_accumulates_like_the_paper() {
         let d = domain();
         let mut bench = EmBench::new(3);
-        let run = d.run(&sweep_kernel(Isa::ArmV8), 1, &RunConfig::fast()).unwrap();
+        let run = d
+            .run(&sweep_kernel(Isa::ArmV8), 1, &RunConfig::fast())
+            .unwrap();
         let _ = bench.measure(&run, 30);
         assert!((bench.elapsed() - 18.0).abs() < 1.0, "{}", bench.elapsed());
     }

@@ -114,7 +114,8 @@ impl<'a, T: Target> MeasurementSession<'a, T> {
         self.clock.advance(c.upload_s + c.compile_s + c.launch_s);
         let run = self.target.launch(kernel, loaded_cores)?;
         let reading = self.bench.measure_in_band(&run, band.0, band.1, samples);
-        self.clock.advance(samples as f64 * c.sample_s + c.teardown_s);
+        self.clock
+            .advance(samples as f64 * c.sample_s + c.teardown_s);
         self.individuals_measured += 1;
         Ok(reading)
     }
@@ -187,9 +188,18 @@ mod tests {
         let mut session = MeasurementSession::open(&d, EmBench::new(3));
         let strong = padded_sweep_kernel(Isa::ArmV8, 17);
         let weak = padded_sweep_kernel(Isa::ArmV8, 0);
-        let rs = session.measure_individual(&strong, 2, (50e6, 200e6), 5).unwrap();
-        let rw = session.measure_individual(&weak, 2, (50e6, 200e6), 5).unwrap();
-        assert!(rs.metric_dbm > rw.metric_dbm, "{} vs {}", rs.metric_dbm, rw.metric_dbm);
+        let rs = session
+            .measure_individual(&strong, 2, (50e6, 200e6), 5)
+            .unwrap();
+        let rw = session
+            .measure_individual(&weak, 2, (50e6, 200e6), 5)
+            .unwrap();
+        assert!(
+            rs.metric_dbm > rw.metric_dbm,
+            "{} vs {}",
+            rs.metric_dbm,
+            rw.metric_dbm
+        );
         let _ = session.close();
     }
 }

@@ -110,12 +110,19 @@ pub fn lbm_kernel(pool: &InstructionPool, seed: u64) -> Kernel {
     let div_dst = Reg::fpr(11);
     for _ in 0..40 {
         for _ in 0..2 {
-            body.push(pool.random_instr_of_class(OpClass::Load, &mut rng).expect("load"));
+            body.push(
+                pool.random_instr_of_class(OpClass::Load, &mut rng)
+                    .expect("load"),
+            );
         }
         for k in 0..5u8 {
             // First multiply consumes the previous phase's divide result,
             // serialising the phases; the rest are independent.
-            let s0 = if k == 0 { div_dst } else { Reg::fpr(6 + (k % 4)) };
+            let s0 = if k == 0 {
+                div_dst
+            } else {
+                Reg::fpr(6 + (k % 4))
+            };
             body.push(Instr {
                 op: fmul,
                 dst: Reg::fpr(k % 5),
@@ -132,7 +139,10 @@ pub fn lbm_kernel(pool: &InstructionPool, seed: u64) -> Kernel {
             });
         }
         for _ in 0..2 {
-            body.push(pool.random_instr_of_class(OpClass::Store, &mut rng).expect("store"));
+            body.push(
+                pool.random_instr_of_class(OpClass::Store, &mut rng)
+                    .expect("store"),
+            );
         }
         body.push(Instr {
             op: fdiv,
@@ -158,19 +168,135 @@ pub fn spec2006_suite(isa: Isa) -> Vec<Workload> {
         )
     };
     vec![
-        mk("perlbench", &[(IntShort, 0.45), (IntLong, 0.10), (Load, 0.20), (Store, 0.10), (Branch, 0.05), (FloatShort, 0.05), (Simd, 0.05)], 101),
-        mk("bzip2", &[(IntShort, 0.40), (Load, 0.25), (Store, 0.15), (IntLong, 0.10), (Branch, 0.10)], 102),
-        mk("gcc", &[(IntShort, 0.45), (Load, 0.20), (Store, 0.10), (IntLong, 0.10), (Branch, 0.15)], 103),
-        mk("mcf", &[(Load, 0.35), (IntShort, 0.35), (Store, 0.10), (IntLong, 0.05), (Branch, 0.15)], 104),
-        mk("milc", &[(FloatShort, 0.40), (Simd, 0.20), (Load, 0.20), (IntShort, 0.15), (Store, 0.05)], 105),
-        mk("namd", &[(FloatShort, 0.50), (Simd, 0.25), (IntShort, 0.15), (Load, 0.10)], 106),
-        mk("gobmk", &[(IntShort, 0.50), (Branch, 0.20), (Load, 0.20), (Store, 0.10)], 107),
-        mk("soplex", &[(FloatShort, 0.35), (Load, 0.25), (IntShort, 0.25), (IntLong, 0.05), (Store, 0.10)], 108),
-        mk("hmmer", &[(IntShort, 0.50), (Load, 0.25), (Simd, 0.10), (Store, 0.10), (IntLong, 0.05)], 109),
-        mk("sjeng", &[(IntShort, 0.45), (Branch, 0.25), (Load, 0.20), (Store, 0.10)], 110),
-        mk("libquantum", &[(IntShort, 0.30), (Simd, 0.30), (Load, 0.25), (Store, 0.15)], 111),
-        mk("h264ref", &[(Simd, 0.35), (IntShort, 0.30), (Load, 0.25), (Store, 0.10)], 112),
-        mk("astar", &[(Load, 0.30), (IntShort, 0.40), (Branch, 0.20), (Store, 0.10)], 113),
+        mk(
+            "perlbench",
+            &[
+                (IntShort, 0.45),
+                (IntLong, 0.10),
+                (Load, 0.20),
+                (Store, 0.10),
+                (Branch, 0.05),
+                (FloatShort, 0.05),
+                (Simd, 0.05),
+            ],
+            101,
+        ),
+        mk(
+            "bzip2",
+            &[
+                (IntShort, 0.40),
+                (Load, 0.25),
+                (Store, 0.15),
+                (IntLong, 0.10),
+                (Branch, 0.10),
+            ],
+            102,
+        ),
+        mk(
+            "gcc",
+            &[
+                (IntShort, 0.45),
+                (Load, 0.20),
+                (Store, 0.10),
+                (IntLong, 0.10),
+                (Branch, 0.15),
+            ],
+            103,
+        ),
+        mk(
+            "mcf",
+            &[
+                (Load, 0.35),
+                (IntShort, 0.35),
+                (Store, 0.10),
+                (IntLong, 0.05),
+                (Branch, 0.15),
+            ],
+            104,
+        ),
+        mk(
+            "milc",
+            &[
+                (FloatShort, 0.40),
+                (Simd, 0.20),
+                (Load, 0.20),
+                (IntShort, 0.15),
+                (Store, 0.05),
+            ],
+            105,
+        ),
+        mk(
+            "namd",
+            &[
+                (FloatShort, 0.50),
+                (Simd, 0.25),
+                (IntShort, 0.15),
+                (Load, 0.10),
+            ],
+            106,
+        ),
+        mk(
+            "gobmk",
+            &[
+                (IntShort, 0.50),
+                (Branch, 0.20),
+                (Load, 0.20),
+                (Store, 0.10),
+            ],
+            107,
+        ),
+        mk(
+            "soplex",
+            &[
+                (FloatShort, 0.35),
+                (Load, 0.25),
+                (IntShort, 0.25),
+                (IntLong, 0.05),
+                (Store, 0.10),
+            ],
+            108,
+        ),
+        mk(
+            "hmmer",
+            &[
+                (IntShort, 0.50),
+                (Load, 0.25),
+                (Simd, 0.10),
+                (Store, 0.10),
+                (IntLong, 0.05),
+            ],
+            109,
+        ),
+        mk(
+            "sjeng",
+            &[
+                (IntShort, 0.45),
+                (Branch, 0.25),
+                (Load, 0.20),
+                (Store, 0.10),
+            ],
+            110,
+        ),
+        mk(
+            "libquantum",
+            &[(IntShort, 0.30), (Simd, 0.30), (Load, 0.25), (Store, 0.15)],
+            111,
+        ),
+        mk(
+            "h264ref",
+            &[(Simd, 0.35), (IntShort, 0.30), (Load, 0.25), (Store, 0.10)],
+            112,
+        ),
+        mk(
+            "astar",
+            &[
+                (Load, 0.30),
+                (IntShort, 0.40),
+                (Branch, 0.20),
+                (Store, 0.10),
+            ],
+            113,
+        ),
         Workload::new("lbm", Suite::Spec2006, lbm_kernel(&pool, 114)),
     ]
 }
@@ -183,13 +309,85 @@ pub fn desktop_suite() -> Vec<Workload> {
         Workload::new(name, suite, mix_kernel(&pool, BENCH_LEN, weights, seed))
     };
     vec![
-        mk("blender", Suite::Desktop, &[(Simd, 0.35), (FloatShort, 0.25), (IntShortMem, 0.20), (IntShort, 0.20)], 201),
-        mk("cinebench", Suite::Desktop, &[(Simd, 0.40), (FloatShort, 0.20), (IntShortMem, 0.20), (IntShort, 0.15), (IntLong, 0.05)], 202),
-        mk("euler3d", Suite::Desktop, &[(FloatShort, 0.45), (Simd, 0.20), (IntShortMem, 0.25), (IntShort, 0.10)], 203),
-        mk("webxprt", Suite::Desktop, &[(IntShort, 0.50), (IntShortMem, 0.30), (IntLong, 0.10), (Simd, 0.10)], 204),
-        mk("geekbench", Suite::Desktop, &[(IntShort, 0.30), (IntShortMem, 0.20), (FloatShort, 0.20), (Simd, 0.20), (IntLong, 0.10)], 205),
-        mk("prime95", Suite::Stability, &[(Simd, 0.55), (FloatShort, 0.20), (IntShortMem, 0.15), (IntShort, 0.10)], 206),
-        mk("amd_stability", Suite::Stability, &[(Simd, 0.40), (FloatShort, 0.30), (IntShort, 0.20), (IntShortMem, 0.10)], 207),
+        mk(
+            "blender",
+            Suite::Desktop,
+            &[
+                (Simd, 0.35),
+                (FloatShort, 0.25),
+                (IntShortMem, 0.20),
+                (IntShort, 0.20),
+            ],
+            201,
+        ),
+        mk(
+            "cinebench",
+            Suite::Desktop,
+            &[
+                (Simd, 0.40),
+                (FloatShort, 0.20),
+                (IntShortMem, 0.20),
+                (IntShort, 0.15),
+                (IntLong, 0.05),
+            ],
+            202,
+        ),
+        mk(
+            "euler3d",
+            Suite::Desktop,
+            &[
+                (FloatShort, 0.45),
+                (Simd, 0.20),
+                (IntShortMem, 0.25),
+                (IntShort, 0.10),
+            ],
+            203,
+        ),
+        mk(
+            "webxprt",
+            Suite::Desktop,
+            &[
+                (IntShort, 0.50),
+                (IntShortMem, 0.30),
+                (IntLong, 0.10),
+                (Simd, 0.10),
+            ],
+            204,
+        ),
+        mk(
+            "geekbench",
+            Suite::Desktop,
+            &[
+                (IntShort, 0.30),
+                (IntShortMem, 0.20),
+                (FloatShort, 0.20),
+                (Simd, 0.20),
+                (IntLong, 0.10),
+            ],
+            205,
+        ),
+        mk(
+            "prime95",
+            Suite::Stability,
+            &[
+                (Simd, 0.55),
+                (FloatShort, 0.20),
+                (IntShortMem, 0.15),
+                (IntShort, 0.10),
+            ],
+            206,
+        ),
+        mk(
+            "amd_stability",
+            Suite::Stability,
+            &[
+                (Simd, 0.40),
+                (FloatShort, 0.30),
+                (IntShort, 0.20),
+                (IntShortMem, 0.10),
+            ],
+            207,
+        ),
     ]
 }
 
@@ -249,7 +447,7 @@ mod tests {
 
     #[test]
     fn benchmarks_execute_on_their_cores() {
-        use emvolt_cpu::{Cpu, CoreModel, SimConfig};
+        use emvolt_cpu::{CoreModel, Cpu, SimConfig};
         let cfg = SimConfig {
             min_duration: 1e-6,
             ..SimConfig::default()

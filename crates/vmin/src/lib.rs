@@ -197,8 +197,7 @@ pub fn vmin_test(
                 let fault = FaultModel {
                     per_instr_probability: 1e-4 + severity * 2e-3,
                 };
-                let out =
-                    execute_with_faults(kernel, config.golden_iterations, fault, &mut rng);
+                let out = execute_with_faults(kernel, config.golden_iterations, fault, &mut rng);
                 if out.digest == golden {
                     Outcome::Pass
                 } else if severity > 0.6 {
@@ -249,7 +248,10 @@ fn gumbel<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
 mod tests {
     use super::*;
     use emvolt_cpu::CoreModel;
-    use emvolt_isa::{kernels::{resonant_stress_kernel, sweep_kernel}, Isa};
+    use emvolt_isa::{
+        kernels::{resonant_stress_kernel, sweep_kernel},
+        Isa,
+    };
     use emvolt_platform::a72_pdn;
 
     fn a72_domain() -> VoltageDomain {

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // From here on: antenna only.
     let model = FailureModel::juno_a72();
-    println!("\n{:<12} {:>15} {:>12} {:>15}", "workload", "predicted droop", "actual", "predicted Vmin");
+    println!(
+        "\n{:<12} {:>15} {:>12} {:>15}",
+        "workload", "predicted droop", "actual", "predicted Vmin"
+    );
     for w in suite.iter().skip(6) {
         let run = domain.run(&w.kernel, 2, &cfg)?;
         let reading = bench.measure(&run, 10);

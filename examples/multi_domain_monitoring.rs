@@ -17,8 +17,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run a resonant kernel on each cluster simultaneously. Their PDNs
     // resonate at different frequencies (69 vs 76.5 MHz), so their EM
     // signatures are separable in one spectrum.
-    let run_a72 = board.a72.run(&padded_sweep_kernel(Isa::ArmV8, 17), 2, &cfg)?;
-    let run_a53 = board.a53.run(&padded_sweep_kernel(Isa::ArmV8, 8), 4, &cfg)?;
+    let run_a72 = board
+        .a72
+        .run(&padded_sweep_kernel(Isa::ArmV8, 17), 2, &cfg)?;
+    let run_a53 = board
+        .a53
+        .run(&padded_sweep_kernel(Isa::ArmV8, 8), 4, &cfg)?;
     println!(
         "A72 loop at {:.1} MHz; A53 loop at {:.1} MHz",
         run_a72.loop_frequency / 1e6,

@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             f / 1e6,
             v.peak_to_peak() * 1e3,
             i.peak_to_peak(),
-            if (f - f_res).abs() < 1.0 { "   <- resonant" } else { "" }
+            if (f - f_res).abs() < 1.0 {
+                "   <- resonant"
+            } else {
+                ""
+            }
         );
     }
 

@@ -6,9 +6,9 @@
 //! cargo run --release --example vmin_characterization
 //! ```
 
-use emvolt::prelude::*;
 use emvolt::isa::kernels::resonant_stress_kernel;
 use emvolt::platform::spec2006_suite;
+use emvolt::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let domain = VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9);
@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         domain.core_model().name,
         domain.voltage()
     );
-    println!("{:<22} {:>9} {:>11} {:>9}", "workload", "Vmin (V)", "droop (mV)", "margin");
+    println!(
+        "{:<22} {:>9} {:>11} {:>9}",
+        "workload", "Vmin (V)", "droop (mV)", "margin"
+    );
 
     let mut entries: Vec<(String, emvolt::isa::Kernel)> = spec2006_suite(Isa::ArmV8)
         .into_iter()

@@ -78,10 +78,7 @@ fn build_platform(flags: &HashMap<String, String>) -> Result<VoltageDomain, Box<
 }
 
 fn seed(flags: &HashMap<String, String>) -> u64 {
-    flags
-        .get("seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42)
+    flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42)
 }
 
 fn cmd_platforms() {
@@ -204,7 +201,10 @@ fn cmd_vmin(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     };
     let (label, kernel) = if flags.contains_key("stress") {
         let isa = domain.core_model().isa;
-        ("resonant stress kernel".to_owned(), resonant_stress_kernel(isa, 12, 17))
+        (
+            "resonant stress kernel".to_owned(),
+            resonant_stress_kernel(isa, 12, 17),
+        )
     } else {
         let name = flags
             .get("workload")
@@ -223,7 +223,10 @@ fn cmd_vmin(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         loaded_cores: domain.active_cores(),
         ..VminConfig::default()
     };
-    eprintln!("running the V_MIN ladder for `{label}` on {} ...", domain.name());
+    eprintln!(
+        "running the V_MIN ladder for `{label}` on {} ...",
+        domain.name()
+    );
     let res = vmin_test(&domain, &kernel, &model, &cfg)?;
     println!("voltage (V)  outcomes");
     for (v, outcomes) in &res.ladder {

@@ -14,7 +14,9 @@ fn resonant_kernel_outshines_off_resonance_kernel() {
     let cfg = RunConfig::fast();
     let mut bench = EmBench::new(1);
     // ~70 MHz loop (on resonance) vs ~240 MHz loop (far above).
-    let on = domain.run(&padded_sweep_kernel(Isa::ArmV8, 17), 2, &cfg).unwrap();
+    let on = domain
+        .run(&padded_sweep_kernel(Isa::ArmV8, 17), 2, &cfg)
+        .unwrap();
     let off = domain.run(&sweep_kernel(Isa::ArmV8), 2, &cfg).unwrap();
     let on_reading = bench.measure(&on, 5);
     let off_reading = bench.measure(&off, 5);

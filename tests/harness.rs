@@ -15,7 +15,10 @@ fn quick() -> Options {
 /// the sections their figures require.
 #[test]
 fn cheap_experiments_run_through_the_registry() {
-    std::env::set_var("EMVOLT_RESULTS", std::env::temp_dir().join("emvolt_test_results"));
+    std::env::set_var(
+        "EMVOLT_RESULTS",
+        std::env::temp_dir().join("emvolt_test_results"),
+    );
     let table1 = run_experiment("table1", &quick()).expect("table1 runs");
     assert!(table1.contains("Cortex-A72"));
     assert!(table1.contains("Athlon II"));

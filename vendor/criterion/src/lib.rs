@@ -1,0 +1,233 @@
+//! Offline subset of `criterion`: same macro and builder surface
+//! (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `iter`, `iter_batched`), backed by a simple
+//! wall-clock timer instead of the statistical engine. Reports
+//! mean/min/max per benchmark on stdout. Vendored because the build
+//! environment has no network access.
+
+use std::time::{Duration, Instant};
+
+/// Hint for how expensive `iter_batched` setup output is to hold.
+/// Accepted for API parity; the simple harness runs one setup per
+/// measured invocation regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per measurement batch.
+    PerIteration,
+}
+
+/// Opaque black box preventing the optimizer from deleting benchmarked
+/// work. Same contract as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mirror criterion's CLI just enough for `cargo bench -- <filter>`;
+        // flags (leading '-') are accepted and ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Returns a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Registers a benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let filter = self.filter.clone();
+        run_benchmark(&filter, id, 100, Duration::from_secs(1), f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named group sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time (caps total sampling time).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            let filter = None; // group already applied the filter
+            run_benchmark(&filter, &full, self.sample_size, self.measurement_time, f);
+        }
+        self
+    }
+
+    /// Ends the group (stdout reporting happens per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    filter: &Option<String>,
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    if let Some(fil) = filter {
+        if !id.contains(fil.as_str()) {
+            return;
+        }
+    }
+    let mut samples = Vec::with_capacity(sample_size);
+    let started = Instant::now();
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher {
+            per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.per_iter);
+        if started.elapsed() > measurement_time * 4 {
+            break; // keep `cargo bench` bounded even for slow benchmarks
+        }
+    }
+    let n = samples.len() as u32;
+    let mean = samples.iter().sum::<Duration>() / n.max(1);
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{id:<50} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        n
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then a single timed call per sample: the
+        // statistical engine upstream would auto-tune iteration counts.
+        black_box(routine());
+        let t = Instant::now();
+        black_box(routine());
+        self.per_iter = t.elapsed();
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t = Instant::now();
+        black_box(routine(input));
+        self.per_iter = t.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(10);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke_benches, trivial);
+
+    #[test]
+    fn harness_runs_groups() {
+        smoke_benches();
+    }
+}

@@ -1,0 +1,70 @@
+//! Offline subset of `crossbeam`: scoped threads only, implemented as a
+//! thin shim over `std::thread::scope` (stable since Rust 1.63). The build
+//! environment has no network access, so the workspace vendors the one
+//! API it uses.
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention.
+
+    use std::any::Any;
+
+    /// Result of a scope: `Err` carries the payload of a panicked child.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle to a scope; passed to the closure and to every spawned child.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it can
+        /// spawn further children, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope; all spawned threads are joined before it returns.
+    /// Unlike `std::thread::scope`, child panics are returned as `Err`
+    /// rather than propagated — matching crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn spawned_threads_write_disjoint_chunks() {
+            let mut out = vec![0usize; 16];
+            super::scope(|s| {
+                for (i, chunk) in out.chunks_mut(4).enumerate() {
+                    s.spawn(move |_| {
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            *slot = i * 4 + j;
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(out, (0..16).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn child_panic_is_an_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

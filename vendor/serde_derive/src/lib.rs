@@ -1,0 +1,308 @@
+//! Derive macros for the vendored `serde` subset. Supports exactly the
+//! type shapes this workspace serializes:
+//!
+//! - structs with named fields  -> JSON objects
+//! - tuple structs (newtypes)   -> transparent (single field) or arrays
+//! - enums with unit variants   -> variant-name strings
+//!
+//! Implemented with hand-rolled `proc_macro::TokenTree` walking because
+//! `syn`/`quote` are unavailable offline. Generics and `#[serde(...)]`
+//! attributes are rejected with a compile error rather than silently
+//! mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored trait) for supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (the vendored trait) for supported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    NamedStruct(Vec<String>),
+    /// Tuple struct with N fields.
+    TupleStruct(usize),
+    /// Enum whose variants are all unit variants.
+    UnitEnum(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => generate(&name, &shape, mode).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Parses the derive input down to (type name, shape).
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde derive does not support generics (on `{name}`)"
+        ));
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Ok((name, Shape::NamedStruct(parse_named_fields(&body)?)))
+            } else {
+                Ok((name, Shape::UnitEnum(parse_unit_variants(&body)?)))
+            }
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            let n = count_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>());
+            Ok((name, Shape::TupleStruct(n)))
+        }
+        other => Err(format!("unsupported shape for `{name}`: {other:?}")),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and visibility (`pub`,
+/// `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` bodies, returning the field names.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{name}`, found {other:?}")),
+        }
+        // Skip the type: consume until a top-level `,` (angle brackets track
+        // nesting; `->` never appears in field position in this workspace).
+        let mut depth = 0i32;
+        while let Some(tt) = body.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Parses `VariantA, VariantB, ...` bodies; rejects data-carrying variants.
+fn parse_unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => {
+                return Err(format!(
+                    "vendored serde derive supports unit enum variants only; `{name}` is followed by {other:?}"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+/// Counts the fields of a tuple struct body (`Type, Type, ...`).
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut depth = 0i32;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => n += 1,
+            _ => {}
+        }
+    }
+    n
+}
+
+fn generate(name: &str, shape: &Shape, mode: Mode) -> String {
+    match (shape, mode) {
+        (Shape::NamedStruct(fields), Mode::Serialize) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Obj(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::NamedStruct(fields), Mode::Deserialize) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.field_value({f:?})?)?,")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         Ok({name} {{ {entries} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::TupleStruct(1), Mode::Serialize) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        (Shape::TupleStruct(1), Mode::Deserialize) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        (Shape::TupleStruct(n), Mode::Serialize) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Arr(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::TupleStruct(n), Mode::Deserialize) => {
+            let entries: String = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                         ::serde::DeError::new(\"tuple struct arity mismatch\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Arr(items) => Ok({name}({entries})),\n\
+                             other => Err(::serde::DeError::new(format!(\n\
+                                 \"expected array for {name}, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::UnitEnum(variants), Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::UnitEnum(variants), Mode::Deserialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::DeError::new(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => Err(::serde::DeError::new(format!(\n\
+                                 \"expected string for {name}, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
