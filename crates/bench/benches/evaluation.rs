@@ -1,0 +1,105 @@
+//! Single-evaluation benchmarks: the per-individual cost the GA pays
+//! `population x generations` times per campaign.
+//!
+//! Three levels are timed: the solver alone (one PDN transient), one
+//! full `DomainRunner` evaluation (CPU sim + transient), and the full
+//! measurement chain (evaluation + spectrum + analyzer metric). Record
+//! before/after numbers in EXPERIMENTS.md when they move.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use emvolt_bench::fixtures::{a72_domain, arm_kernel};
+use emvolt_circuit::TransientScratch;
+use emvolt_platform::{DomainRun, DomainRunner, EmBench, MeasureScratch, RunConfig};
+
+fn bench_solver(c: &mut Criterion) {
+    let domain = a72_domain();
+    let pdn = domain.build_pdn();
+    let cfg = RunConfig::fast();
+    let transient_cfg =
+        emvolt_circuit::TransientConfig::new(cfg.pdn_dt, cfg.pdn_warmup + cfg.pdn_window)
+            .with_warmup(cfg.pdn_warmup);
+    let plan = pdn.plan_transient(cfg.pdn_dt).unwrap();
+
+    let mut g = c.benchmark_group("solver");
+    // Allocating path: records every node and branch into fresh Vecs.
+    g.bench_function("transient_with_plan_full_record", |b| {
+        b.iter(|| {
+            let (v, i) = pdn.transient_with_plan(&plan, &transient_cfg).unwrap();
+            black_box((v.len(), i.len()))
+        })
+    });
+    // Zero-allocation path: probes only the die node and package branch
+    // and reuses one scratch across iterations.
+    let mut scratch = TransientScratch::new();
+    g.bench_function("transient_scoped_reused_scratch", |b| {
+        b.iter(|| {
+            let die = pdn
+                .transient_scoped(&plan, &transient_cfg, &mut scratch)
+                .unwrap();
+            black_box((die.len(), die.v_die()[die.len() - 1]))
+        })
+    });
+    g.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let domain = a72_domain();
+    let cfg = RunConfig::fast();
+    let kernel = arm_kernel();
+    let mut runner = DomainRunner::new(&domain, cfg.clone()).unwrap();
+
+    let mut g = c.benchmark_group("evaluation");
+    // Allocating path: every run returns freshly allocated traces.
+    g.bench_function("runner_run", |b| {
+        b.iter(|| black_box(runner.run(&kernel, 1).unwrap().peak_to_peak()))
+    });
+    // Reuse path: one DomainRun recycled across evaluations.
+    let mut run = DomainRun::empty();
+    g.bench_function("runner_run_into_reused", |b| {
+        b.iter(|| {
+            runner.run_into(&kernel, 1, &mut run).unwrap();
+            black_box(run.peak_to_peak())
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_chain(c: &mut Criterion) {
+    let domain = a72_domain();
+    let cfg = RunConfig::fast();
+    let kernel = arm_kernel();
+    let mut runner = DomainRunner::new(&domain, cfg.clone()).unwrap();
+    let bench = EmBench::new(0xBE7C);
+    let shared = bench.share();
+
+    let mut g = c.benchmark_group("full_chain");
+    // Allocating path: fresh traces and spectra per measurement.
+    g.bench_function("run_and_measure", |b| {
+        b.iter(|| {
+            let run = runner.run(&kernel, 1).unwrap();
+            black_box(
+                shared
+                    .measure_in_band_seeded(&run, 50e6, 200e6, 3, 7)
+                    .metric_dbm,
+            )
+        })
+    });
+    // Reuse path: the exact per-individual loop the GA runs — one
+    // DomainRun plus one MeasureScratch checked out for every evaluation.
+    let mut run = DomainRun::empty();
+    let mut measure = MeasureScratch::new();
+    g.bench_function("run_and_measure_reused_scratch", |b| {
+        b.iter(|| {
+            runner.run_into(&kernel, 1, &mut run).unwrap();
+            black_box(
+                shared
+                    .measure_in_band_seeded_with(&run, 50e6, 200e6, 3, 7, &mut measure)
+                    .metric_dbm,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_evaluation, bench_full_chain);
+criterion_main!(benches);

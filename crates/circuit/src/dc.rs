@@ -7,7 +7,7 @@
 //! load starts from the settled supply voltage rather than from zero.
 
 use crate::error::Result;
-use crate::linalg::Matrix;
+use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::{Circuit, InductorId, NodeId, VSourceId};
 
 /// Solution of a DC operating-point analysis.
@@ -49,17 +49,38 @@ impl OperatingPoint {
     }
 }
 
+/// The stimulus-independent half of a DC operating-point analysis: the
+/// LU-factored DC MNA matrix. Capacitors are open at DC, so the matrix
+/// holds only resistor conductances and source/inductor branch stamps —
+/// none of which depend on stimulus waveforms. A plan built once can
+/// therefore solve the operating point for any stimulus assignment by
+/// refilling the right-hand side.
+#[derive(Debug, Clone)]
+pub struct DcPlan {
+    pub(crate) n_nodes: usize,
+    pub(crate) n_vs: usize,
+    pub(crate) n_ind: usize,
+    pub(crate) lu: LuFactors<f64>,
+}
+
+impl DcPlan {
+    /// Dimension of the DC system: nodes (excluding ground) plus voltage
+    /// source and inductor branch currents.
+    pub fn dim(&self) -> usize {
+        self.n_nodes + self.n_vs + self.n_ind
+    }
+
+    pub(crate) fn matches(&self, circuit: &Circuit) -> bool {
+        self.n_nodes == circuit.node_count() - 1
+            && self.n_vs == circuit.vsources.len()
+            && self.n_ind == circuit.inductors.len()
+    }
+}
+
 impl Circuit {
-    /// Computes the DC operating point.
-    ///
-    /// All sources take their [`crate::Stimulus::dc_value`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`crate::CircuitError::SingularMatrix`] if the network has a
-    /// floating node once capacitors are opened, or another ill-posed
-    /// topology.
-    pub fn dc_operating_point(&self) -> Result<OperatingPoint> {
+    /// Stamps the DC MNA matrix. Shared by the fresh and planned paths so
+    /// both factor the exact same matrix (bit-identical results).
+    fn stamp_dc_matrix(&self) -> Matrix<f64> {
         let n_nodes = self.node_count() - 1; // excluding ground
         let n_vs = self.vsources.len();
         let n_ind = self.inductors.len();
@@ -67,7 +88,6 @@ impl Circuit {
 
         // Unknown layout: [node voltages (1..), vsource currents, inductor currents]
         let mut g = Matrix::<f64>::zeros(dim);
-        let mut b = vec![0.0; dim];
 
         // Map node index -> matrix row (ground drops out).
         let row = |node: usize| -> Option<usize> { node.checked_sub(1) };
@@ -77,15 +97,26 @@ impl Circuit {
             stamp_conductance(&mut g, row(r.a), row(r.b), cond);
         }
         for (k, vs) in self.vsources.iter().enumerate() {
-            let br = n_nodes + k;
-            stamp_branch(&mut g, row(vs.pos), row(vs.neg), br);
-            b[br] = vs.stimulus.dc_value();
+            stamp_branch(&mut g, row(vs.pos), row(vs.neg), n_nodes + k);
         }
         for (k, l) in self.inductors.iter().enumerate() {
             // 0 V source between a and b.
-            let br = n_nodes + n_vs + k;
-            stamp_branch(&mut g, row(l.a), row(l.b), br);
-            b[br] = 0.0;
+            stamp_branch(&mut g, row(l.a), row(l.b), n_nodes + n_vs + k);
+        }
+        g
+    }
+
+    /// Fills the DC right-hand side from the current stimulus values.
+    /// `b` must be zeroed and sized to the plan dimension.
+    pub(crate) fn dc_rhs_into(&self, b: &mut [f64]) {
+        let n_nodes = self.node_count() - 1;
+        let n_vs = self.vsources.len();
+        let row = |node: usize| -> Option<usize> { node.checked_sub(1) };
+        for (k, vs) in self.vsources.iter().enumerate() {
+            b[n_nodes + k] = vs.stimulus.dc_value();
+        }
+        for k in 0..self.inductors.len() {
+            b[n_nodes + n_vs + k] = 0.0;
         }
         for is in &self.isources {
             let i = is.stimulus.dc_value();
@@ -96,18 +127,68 @@ impl Circuit {
                 b[rt] += i;
             }
         }
+    }
 
-        let x = g.solve(&b)?;
+    /// Factors the stimulus-independent DC MNA matrix once for repeated
+    /// operating-point solves via [`Circuit::dc_operating_point_with_plan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CircuitError::SingularMatrix`] for an ill-posed DC
+    /// topology (e.g. a node floating once capacitors are opened).
+    pub fn plan_dc(&self) -> Result<DcPlan> {
+        let lu = self.stamp_dc_matrix().lu()?;
+        Ok(DcPlan {
+            n_nodes: self.node_count() - 1,
+            n_vs: self.vsources.len(),
+            n_ind: self.inductors.len(),
+            lu,
+        })
+    }
+
+    /// Computes the DC operating point.
+    ///
+    /// All sources take their [`crate::Stimulus::dc_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CircuitError::SingularMatrix`] if the network has a
+    /// floating node once capacitors are opened, or another ill-posed
+    /// topology.
+    pub fn dc_operating_point(&self) -> Result<OperatingPoint> {
+        let plan = self.plan_dc()?;
+        Ok(self.dc_operating_point_with_plan(&plan))
+    }
+
+    /// Computes the DC operating point through a prebuilt [`DcPlan`],
+    /// skipping the matrix stamp and LU factorization. Bit-identical to
+    /// [`Circuit::dc_operating_point`]: both solve the same factorization
+    /// with the same right-hand side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was built for a different topology.
+    pub fn dc_operating_point_with_plan(&self, plan: &DcPlan) -> OperatingPoint {
+        assert!(
+            plan.matches(self),
+            "DC plan does not match circuit topology"
+        );
+        let n_nodes = plan.n_nodes;
+        let mut b = vec![0.0; plan.dim()];
+        self.dc_rhs_into(&mut b);
+        let x = plan.lu.solve(&b);
 
         let mut node_voltages = vec![0.0; self.node_count()];
         node_voltages[1..=n_nodes].copy_from_slice(&x[..n_nodes]);
-        let vsource_currents = (0..n_vs).map(|k| x[n_nodes + k]).collect();
-        let inductor_currents = (0..n_ind).map(|k| x[n_nodes + n_vs + k]).collect();
-        Ok(OperatingPoint {
+        let vsource_currents = (0..plan.n_vs).map(|k| x[n_nodes + k]).collect();
+        let inductor_currents = (0..plan.n_ind)
+            .map(|k| x[n_nodes + plan.n_vs + k])
+            .collect();
+        OperatingPoint {
             node_voltages,
             vsource_currents,
             inductor_currents,
-        })
+        }
     }
 }
 
@@ -208,6 +289,37 @@ mod tests {
         c.capacitor(out, NodeId::GROUND, 1e-6).unwrap();
         let op = c.dc_operating_point().unwrap();
         assert!((op.voltage(out) - 3.0).abs() < 1e-6);
+    }
+
+    /// A cached DC plan must reproduce the fresh operating point
+    /// bit-for-bit across stimulus swaps — only the right-hand side
+    /// changes, and both paths factor the same matrix.
+    #[test]
+    fn dc_plan_is_bit_identical_across_stimulus_swaps() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        let src = c
+            .voltage_source(vin, NodeId::GROUND, Stimulus::Dc(1.0))
+            .unwrap();
+        c.resistor(vin, out, 10.0).unwrap();
+        let l = c.inductor(out, NodeId::GROUND, 1e-9).unwrap();
+        let load = c
+            .current_source(NodeId::GROUND, out, Stimulus::Dc(0.0))
+            .unwrap();
+        let plan = c.plan_dc().unwrap();
+        for (v, i) in [(1.0, 0.0), (0.8, 0.25), (1.2, -0.5)] {
+            c.set_voltage_stimulus(src, Stimulus::Dc(v));
+            c.set_current_stimulus(load, Stimulus::Dc(i));
+            let fresh = c.dc_operating_point().unwrap();
+            let planned = c.dc_operating_point_with_plan(&plan);
+            assert_eq!(fresh.node_voltages, planned.node_voltages);
+            assert_eq!(fresh.vsource_currents, planned.vsource_currents);
+            assert_eq!(
+                fresh.inductor_current(l).to_bits(),
+                planned.inductor_current(l).to_bits()
+            );
+        }
     }
 
     #[test]

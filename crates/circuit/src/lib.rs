@@ -59,10 +59,13 @@ pub mod transient;
 pub use ac::{AcExcitation, AcSolution};
 pub use adaptive::{converge_transient, ConvergenceReport};
 pub use complex::Complex;
-pub use dc::OperatingPoint;
+pub use dc::{DcPlan, OperatingPoint};
 pub use error::{CircuitError, Result};
 pub use linalg::{LuFactors, Matrix, Scalar};
 pub use netlist::{CapacitorId, Circuit, ISourceId, InductorId, NodeId, ResistorId, VSourceId};
 pub use stimulus::Stimulus;
 pub use trace::Trace;
-pub use transient::{TransientConfig, TransientPlan, TransientResult};
+pub use transient::{
+    TransientConfig, TransientPlan, TransientProbes, TransientResult, TransientScratch,
+    TransientView,
+};

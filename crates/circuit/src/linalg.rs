@@ -201,10 +201,28 @@ impl<T: Scalar> LuFactors<T> {
     ///
     /// Panics if `b.len()` differs from the factored dimension.
     pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let mut x = vec![T::zero(); self.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solves `A*x = b` into a caller-provided buffer — the allocation-free
+    /// form used by the transient step loop. Performs the same arithmetic
+    /// in the same order as [`LuFactors::solve`], so results are
+    /// bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `x.len()` differs from the factored
+    /// dimension.
+    pub fn solve_into(&self, b: &[T], x: &mut [T]) {
         assert_eq!(b.len(), self.n, "dimension mismatch in solve");
+        assert_eq!(x.len(), self.n, "output dimension mismatch in solve");
         let n = self.n;
-        // Apply permutation.
-        let mut x: Vec<T> = (0..n).map(|i| b[self.perm[i]]).collect();
+        // Apply the row permutation while loading the right-hand side.
+        for (xi, &p) in x.iter_mut().zip(self.perm.iter()) {
+            *xi = b[p];
+        }
         // Forward substitution (L has implicit unit diagonal).
         for i in 1..n {
             let mut acc = x[i];
@@ -221,7 +239,6 @@ impl<T: Scalar> LuFactors<T> {
             }
             x[i] = acc / self.lu[i * n + i];
         }
-        x
     }
 
     /// Dimension of the factored system.
@@ -304,6 +321,33 @@ mod tests {
         let r = a.mul_vec(&x);
         for i in 0..n {
             assert!((r[i] - b[i]).abs() < 1e-9, "residual too large at {i}");
+        }
+    }
+
+    #[test]
+    fn solve_into_is_bit_identical_to_solve() {
+        let n = 6;
+        let mut a = Matrix::zeros(n);
+        let mut state: u64 = 0xDEADBEEFCAFE;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 3.0;
+        }
+        let lu = a.lu().unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let owned = lu.solve(&b);
+        let mut buf = vec![7.0; n]; // stale contents must not matter
+        lu.solve_into(&b, &mut buf);
+        for (o, r) in owned.iter().zip(buf.iter()) {
+            assert_eq!(o.to_bits(), r.to_bits());
         }
     }
 

@@ -43,6 +43,21 @@ impl Trace {
         Trace { dt, t0, values }
     }
 
+    /// Overwrites this trace in place, reusing its sample buffer's
+    /// capacity — the allocation-free counterpart of
+    /// [`Trace::with_start`] for hot loops that recycle traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn refill(&mut self, dt: f64, t0: f64, samples: &[f64]) {
+        assert!(dt > 0.0, "trace sample spacing must be positive");
+        self.dt = dt;
+        self.t0 = t0;
+        self.values.clear();
+        self.values.extend_from_slice(samples);
+    }
+
     /// Sample spacing in seconds.
     pub fn dt(&self) -> f64 {
         self.dt

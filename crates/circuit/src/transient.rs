@@ -7,7 +7,7 @@
 //! measures. The system matrix is constant for a fixed step, so it is
 //! LU-factored once and only the right-hand side is rebuilt each step.
 
-use crate::dc::{stamp_branch, stamp_conductance};
+use crate::dc::{stamp_branch, stamp_conductance, DcPlan};
 use crate::error::{CircuitError, Result};
 use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::{Circuit, InductorId, NodeId};
@@ -55,19 +55,22 @@ impl TransientConfig {
         }
         if self.record_from < 0.0 || self.record_from >= self.duration {
             return Err(CircuitError::InvalidAnalysis {
-                reason: format!("record_from {} outside (0, duration)", self.record_from),
+                reason: format!("record_from {} outside [0, duration)", self.record_from),
             });
         }
         Ok(())
     }
 }
 
-/// Result of a transient analysis: one [`Trace`] per node voltage and per
-/// inductor current.
+/// Result of a transient analysis: one recorded waveform per probed node
+/// voltage and inductor current (all of them by default).
 #[derive(Debug, Clone)]
 pub struct TransientResult {
     dt: f64,
     t0: f64,
+    len: usize,
+    node_slots: Vec<usize>,
+    ind_slots: Vec<usize>,
     node_voltages: Vec<Vec<f64>>,
     inductor_currents: Vec<Vec<f64>>,
 }
@@ -77,29 +80,244 @@ impl TransientResult {
     ///
     /// # Panics
     ///
-    /// Panics if the node does not belong to the analysed circuit.
+    /// Panics if the node was not recorded by this analysis.
     pub fn voltage(&self, node: NodeId) -> Trace {
-        Trace::with_start(self.dt, self.t0, self.node_voltages[node.index()].clone())
+        Trace::with_start(self.dt, self.t0, self.voltage_samples(node).to_vec())
+    }
+
+    /// Borrowed voltage samples at `node` — no copy, unlike
+    /// [`TransientResult::voltage`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not recorded by this analysis.
+    pub fn voltage_samples(&self, node: NodeId) -> &[f64] {
+        let slot = self
+            .node_slots
+            .iter()
+            .position(|&i| i == node.index())
+            .expect("node was not recorded by this transient analysis");
+        &self.node_voltages[slot]
     }
 
     /// Current waveform through inductor `id` (positive `a -> b`).
     ///
     /// # Panics
     ///
-    /// Panics if `id` does not belong to the analysed circuit.
+    /// Panics if the inductor was not recorded by this analysis.
     pub fn inductor_current(&self, id: InductorId) -> Trace {
-        Trace::with_start(self.dt, self.t0, self.inductor_currents[id.index()].clone())
+        Trace::with_start(self.dt, self.t0, self.inductor_current_samples(id).to_vec())
+    }
+
+    /// Borrowed current samples through inductor `id` — no copy, unlike
+    /// [`TransientResult::inductor_current`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inductor was not recorded by this analysis.
+    pub fn inductor_current_samples(&self, id: InductorId) -> &[f64] {
+        let slot = self
+            .ind_slots
+            .iter()
+            .position(|&i| i == id.index())
+            .expect("inductor was not recorded by this transient analysis");
+        &self.inductor_currents[slot]
     }
 
     /// Number of recorded samples.
     pub fn len(&self) -> usize {
-        self.node_voltages.first().map_or(0, Vec::len)
+        self.len
     }
 
     /// `true` when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
     }
+}
+
+/// Selects which waveforms a transient run records.
+///
+/// The default ([`TransientProbes::all`]) records every node voltage —
+/// including ground — and every inductor current, matching the historic
+/// behaviour of [`Circuit::transient_with_plan`]. A scoped selection
+/// records only the requested waveforms, skipping the per-step stores
+/// for everything the caller never reads; adding the first explicit
+/// probe switches the corresponding category from "everything" to "only
+/// the listed ones".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransientProbes {
+    nodes: Option<Vec<NodeId>>,
+    inductors: Option<Vec<InductorId>>,
+}
+
+impl TransientProbes {
+    /// Records everything: all node voltages (including ground) and all
+    /// inductor currents.
+    pub fn all() -> Self {
+        TransientProbes::default()
+    }
+
+    /// Records nothing until probes are added with
+    /// [`TransientProbes::with_node`] / [`TransientProbes::with_inductor`].
+    pub fn none() -> Self {
+        TransientProbes {
+            nodes: Some(Vec::new()),
+            inductors: Some(Vec::new()),
+        }
+    }
+
+    /// Adds a node-voltage probe (restricting the node selection to the
+    /// explicitly listed nodes).
+    #[must_use]
+    pub fn with_node(mut self, node: NodeId) -> Self {
+        self.nodes.get_or_insert_with(Vec::new).push(node);
+        self
+    }
+
+    /// Adds an inductor-current probe (restricting the inductor selection
+    /// to the explicitly listed inductors).
+    #[must_use]
+    pub fn with_inductor(mut self, id: InductorId) -> Self {
+        self.inductors.get_or_insert_with(Vec::new).push(id);
+        self
+    }
+}
+
+/// Reusable working memory for transient runs: solver vectors, element
+/// state and recorded-output buffers.
+///
+/// A scratch checked out across repeated [`Circuit::transient_scoped`]
+/// calls makes the steady-state evaluation path allocation-free — every
+/// buffer is cleared and refilled in place, keeping its capacity. The
+/// scratch carries no results of its own; a [`TransientView`] borrows it
+/// to expose the recorded samples, which the next run overwrites.
+///
+/// Buffer contents never leak between runs: everything the engine reads
+/// is re-derived from the circuit, plan and stimulus before the step
+/// loop starts.
+#[derive(Debug, Clone, Default)]
+pub struct TransientScratch {
+    b: Vec<f64>,
+    x: Vec<f64>,
+    dc_b: Vec<f64>,
+    dc_x: Vec<f64>,
+    v: Vec<f64>,
+    cap_v: Vec<f64>,
+    cap_i: Vec<f64>,
+    ind_i: Vec<f64>,
+    ind_v: Vec<f64>,
+    node_slots: Vec<usize>,
+    ind_slots: Vec<usize>,
+    node_bufs: Vec<Vec<f64>>,
+    ind_bufs: Vec<Vec<f64>>,
+    dt: f64,
+    t0: f64,
+    len: usize,
+}
+
+impl TransientScratch {
+    /// Creates an empty scratch; buffers are sized on first use and
+    /// reused afterwards.
+    pub fn new() -> Self {
+        TransientScratch::default()
+    }
+}
+
+/// Borrowing view over the waveforms recorded by
+/// [`Circuit::transient_scoped`].
+///
+/// The samples live inside the [`TransientScratch`] the run was given;
+/// copy out (e.g. via [`TransientView::voltage`]) anything that must
+/// outlive the next run reusing that scratch.
+#[derive(Debug)]
+pub struct TransientView<'a> {
+    scratch: &'a TransientScratch,
+}
+
+impl TransientView<'_> {
+    /// Integration step of the recorded samples.
+    pub fn dt(&self) -> f64 {
+        self.scratch.dt
+    }
+
+    /// Time of the first recorded sample.
+    pub fn start_time(&self) -> f64 {
+        self.scratch.t0
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.scratch.len
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.scratch.len == 0
+    }
+
+    /// Borrowed voltage samples at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not probed by this run.
+    pub fn voltage_samples(&self, node: NodeId) -> &[f64] {
+        let slot = self
+            .scratch
+            .node_slots
+            .iter()
+            .position(|&i| i == node.index())
+            .expect("node was not probed by this transient run");
+        &self.scratch.node_bufs[slot]
+    }
+
+    /// Borrowed current samples through inductor `id` (positive `a -> b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inductor was not probed by this run.
+    pub fn inductor_current_samples(&self, id: InductorId) -> &[f64] {
+        let slot = self
+            .scratch
+            .ind_slots
+            .iter()
+            .position(|&i| i == id.index())
+            .expect("inductor was not probed by this transient run");
+        &self.scratch.ind_bufs[slot]
+    }
+
+    /// Owned voltage trace at `node` (copies the samples out of the
+    /// scratch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not probed by this run.
+    pub fn voltage(&self, node: NodeId) -> Trace {
+        Trace::with_start(
+            self.scratch.dt,
+            self.scratch.t0,
+            self.voltage_samples(node).to_vec(),
+        )
+    }
+
+    /// Owned current trace through inductor `id` (copies the samples out
+    /// of the scratch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inductor was not probed by this run.
+    pub fn inductor_current(&self, id: InductorId) -> Trace {
+        Trace::with_start(
+            self.scratch.dt,
+            self.scratch.t0,
+            self.inductor_current_samples(id).to_vec(),
+        )
+    }
+}
+
+/// Clears and re-zeroes a buffer in place, keeping its capacity.
+fn resize_zeroed(buf: &mut Vec<f64>, n: usize) {
+    buf.clear();
+    buf.resize(n, 0.0);
 }
 
 /// Precomputed constant part of a fixed-step transient analysis: the
@@ -122,6 +340,11 @@ pub struct TransientPlan {
     n_nodes: usize,
     n_vs: usize,
     lu: LuFactors<f64>,
+    /// Pre-factored DC system for the operating-point solve that seeds
+    /// every run. The DC matrix is stimulus-independent (only its
+    /// right-hand side changes), so it is factored once with the
+    /// transient matrix instead of from scratch on every run.
+    dc: DcPlan,
     cap_g: Vec<f64>,
     ind_g: Vec<f64>,
     n_resistors: usize,
@@ -200,12 +423,14 @@ impl Circuit {
             stamp_branch(&mut g, row(vs.pos), row(vs.neg), n_nodes + k);
         }
         let lu = g.lu()?;
+        let dc = self.plan_dc()?;
 
         Ok(TransientPlan {
             dt,
             n_nodes,
             n_vs,
             lu,
+            dc,
             cap_g,
             ind_g,
             n_resistors: self.resistors.len(),
@@ -231,17 +456,66 @@ impl Circuit {
     }
 
     /// Runs a trapezoidal transient analysis reusing a prebuilt
-    /// [`TransientPlan`] (no matrix stamping or LU refactorization).
+    /// [`TransientPlan`] (no matrix stamping or LU refactorization),
+    /// recording every node voltage and inductor current.
     ///
     /// # Errors
     ///
-    /// Returns an error for invalid configurations, a plan built for a
-    /// different step size or topology, or an ill-posed DC operating point.
+    /// Returns an error for invalid configurations or a plan built for a
+    /// different step size or topology.
     pub fn transient_with_plan(
         &self,
         plan: &TransientPlan,
         config: &TransientConfig,
     ) -> Result<TransientResult> {
+        let mut scratch = TransientScratch::new();
+        self.transient_into(plan, config, &TransientProbes::all(), &mut scratch)?;
+        Ok(TransientResult {
+            dt: scratch.dt,
+            t0: scratch.t0,
+            len: scratch.len,
+            node_slots: scratch.node_slots,
+            ind_slots: scratch.ind_slots,
+            node_voltages: scratch.node_bufs,
+            inductor_currents: scratch.ind_bufs,
+        })
+    }
+
+    /// Runs a trapezoidal transient analysis reusing a prebuilt
+    /// [`TransientPlan`] and a caller-owned [`TransientScratch`],
+    /// recording only the waveforms selected by `probes`.
+    ///
+    /// This is the allocation-free hot path: at steady state (scratch
+    /// reused across runs of the same circuit shape) no heap allocation
+    /// happens anywhere in the run, and the step loop performs none by
+    /// construction. Results are bit-identical to
+    /// [`Circuit::transient_with_plan`] for the probed waveforms.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid configurations, a plan built for a
+    /// different step size or topology, or probes that do not belong to
+    /// this circuit.
+    pub fn transient_scoped<'s>(
+        &self,
+        plan: &TransientPlan,
+        config: &TransientConfig,
+        probes: &TransientProbes,
+        scratch: &'s mut TransientScratch,
+    ) -> Result<TransientView<'s>> {
+        self.transient_into(plan, config, probes, scratch)?;
+        Ok(TransientView { scratch })
+    }
+
+    /// The transient engine: integrates into `scratch`, reusing every
+    /// buffer it holds. All public transient entry points funnel here.
+    fn transient_into(
+        &self,
+        plan: &TransientPlan,
+        config: &TransientConfig,
+        probes: &TransientProbes,
+        scratch: &mut TransientScratch,
+    ) -> Result<()> {
         config.validate()?;
         plan.check_compatible(self, config)?;
         let h = config.dt;
@@ -253,44 +527,126 @@ impl Circuit {
         let cap_g = &plan.cap_g;
         let ind_g = &plan.ind_g;
 
-        // --- Initial conditions from the DC operating point --------------
-        let op = self.dc_operating_point()?;
-        let mut v: Vec<f64> = op.node_voltages.clone(); // indexed by raw node id
-                                                        // Capacitor state: (voltage across, current through).
-        let mut cap_v: Vec<f64> = self.capacitors.iter().map(|c| v[c.a] - v[c.b]).collect();
-        let mut cap_i: Vec<f64> = vec![0.0; self.capacitors.len()];
-        let mut ind_i: Vec<f64> = op.inductor_currents.clone();
-        let mut ind_v: Vec<f64> = vec![0.0; self.inductors.len()];
+        // Resolve probe selections to raw storage indices.
+        scratch.node_slots.clear();
+        match &probes.nodes {
+            None => scratch.node_slots.extend(0..self.node_count()),
+            Some(list) => {
+                for n in list {
+                    if n.index() >= self.node_count() {
+                        return Err(CircuitError::InvalidAnalysis {
+                            reason: format!("probed node {} outside circuit", n.index()),
+                        });
+                    }
+                    scratch.node_slots.push(n.index());
+                }
+            }
+        }
+        scratch.ind_slots.clear();
+        match &probes.inductors {
+            None => scratch.ind_slots.extend(0..self.inductors.len()),
+            Some(list) => {
+                for id in list {
+                    if id.index() >= self.inductors.len() {
+                        return Err(CircuitError::InvalidAnalysis {
+                            reason: format!("probed inductor {} outside circuit", id.index()),
+                        });
+                    }
+                    scratch.ind_slots.push(id.index());
+                }
+            }
+        }
+
+        // --- Initial conditions via the plan's cached DC factorization ---
+        // Same matrix, same LU, same solve arithmetic as a fresh
+        // `dc_operating_point`, so the seeded state is bit-identical.
+        let dc_dim = plan.dc.dim();
+        resize_zeroed(&mut scratch.dc_b, dc_dim);
+        self.dc_rhs_into(&mut scratch.dc_b);
+        resize_zeroed(&mut scratch.dc_x, dc_dim);
+        plan.dc.lu.solve_into(&scratch.dc_b, &mut scratch.dc_x);
+
+        resize_zeroed(&mut scratch.v, self.node_count());
+        scratch.v[1..=n_nodes].copy_from_slice(&scratch.dc_x[..n_nodes]);
+        scratch.ind_i.clear();
+        scratch
+            .ind_i
+            .extend_from_slice(&scratch.dc_x[n_nodes + n_vs..]);
+
+        let TransientScratch {
+            b,
+            x,
+            v,
+            cap_v,
+            cap_i,
+            ind_i,
+            ind_v,
+            node_slots,
+            ind_slots,
+            node_bufs,
+            ind_bufs,
+            dt,
+            t0,
+            len,
+            ..
+        } = scratch;
+
+        // Capacitor state: (voltage across, current through).
+        cap_v.clear();
+        cap_v.extend(self.capacitors.iter().map(|c| v[c.a] - v[c.b]));
+        resize_zeroed(cap_i, self.capacitors.len());
+        resize_zeroed(ind_v, self.inductors.len());
+        resize_zeroed(b, dim);
+        resize_zeroed(x, dim);
 
         let n_steps = (config.duration / h).round() as usize;
         let record_start_idx = (config.record_from / h).ceil() as usize;
         let capacity = n_steps.saturating_sub(record_start_idx) + 1;
 
-        let mut node_voltages: Vec<Vec<f64>> =
-            vec![Vec::with_capacity(capacity); self.node_count()];
-        let mut inductor_currents: Vec<Vec<f64>> =
-            vec![Vec::with_capacity(capacity); self.inductors.len()];
-
-        let record = |v: &[f64],
-                      ind_i: &[f64],
-                      node_voltages: &mut Vec<Vec<f64>>,
-                      inductor_currents: &mut Vec<Vec<f64>>| {
-            for (store, &val) in node_voltages.iter_mut().zip(v.iter()) {
-                store.push(val);
-            }
-            for (store, &val) in inductor_currents.iter_mut().zip(ind_i.iter()) {
-                store.push(val);
-            }
-        };
-
-        if record_start_idx == 0 {
-            record(&v, &ind_i, &mut node_voltages, &mut inductor_currents);
+        // Recycle output buffers: the outer list is resized to the probe
+        // count; inner sample buffers keep their capacity across runs.
+        node_bufs.resize_with(node_slots.len(), Vec::new);
+        for buf in node_bufs.iter_mut() {
+            buf.clear();
+            buf.reserve(capacity);
+        }
+        ind_bufs.resize_with(ind_slots.len(), Vec::new);
+        for buf in ind_bufs.iter_mut() {
+            buf.clear();
+            buf.reserve(capacity);
         }
 
-        let mut b = vec![0.0; dim];
+        *dt = h;
+        *t0 = record_start_idx as f64 * h;
+        *len = 0;
+
+        fn record_into(
+            v: &[f64],
+            ind_i: &[f64],
+            node_slots: &[usize],
+            ind_slots: &[usize],
+            node_bufs: &mut [Vec<f64>],
+            ind_bufs: &mut [Vec<f64>],
+        ) {
+            for (buf, &idx) in node_bufs.iter_mut().zip(node_slots) {
+                buf.push(v[idx]);
+            }
+            for (buf, &idx) in ind_bufs.iter_mut().zip(ind_slots) {
+                buf.push(ind_i[idx]);
+            }
+        }
+
+        if record_start_idx == 0 {
+            record_into(v, ind_i, node_slots, ind_slots, node_bufs, ind_bufs);
+            *len += 1;
+        }
+
+        // The step loop: no heap allocation from here to the end of the
+        // run — `b`/`x` are reused, and the output buffers were reserved
+        // to their final length above.
         for step in 1..=n_steps {
             let t_next = step as f64 * h;
-            b.iter_mut().for_each(|x| *x = 0.0);
+            b.iter_mut().for_each(|e| *e = 0.0);
 
             // Capacitor history sources: i_{n+1} = g*v_{n+1} - (g*v_n + i_n).
             for ((c, &gc), (&vc, &ic)) in self
@@ -336,7 +692,7 @@ impl Circuit {
                 b[n_nodes + k] = vs.stimulus.value_at(t_next);
             }
 
-            let x = lu.solve(&b);
+            lu.solve_into(b, x);
             v[1..=n_nodes].copy_from_slice(&x[..n_nodes]);
 
             // Update element states.
@@ -354,16 +710,12 @@ impl Circuit {
             }
 
             if step >= record_start_idx {
-                record(&v, &ind_i, &mut node_voltages, &mut inductor_currents);
+                record_into(v, ind_i, node_slots, ind_slots, node_bufs, ind_bufs);
+                *len += 1;
             }
         }
 
-        Ok(TransientResult {
-            dt: h,
-            t0: record_start_idx as f64 * h,
-            node_voltages,
-            inductor_currents,
-        })
+        Ok(())
     }
 }
 
@@ -571,5 +923,127 @@ mod tests {
         // Settles to 1 A through the 1 ohm resistor.
         let tail = i.window(40e-9, 50e-9);
         assert!((tail.mean() - 1.0).abs() < 1e-3);
+    }
+
+    /// An RLC circuit with every element type, used by the probe/scratch
+    /// bit-identity tests below.
+    fn probe_test_circuit() -> (
+        Circuit,
+        NodeId,
+        NodeId,
+        InductorId,
+        crate::netlist::ISourceId,
+    ) {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.voltage_source(vin, NodeId::GROUND, Stimulus::Dc(1.0))
+            .unwrap();
+        let l = c.inductor(vin, out, 2e-9).unwrap();
+        c.resistor(out, NodeId::GROUND, 0.5).unwrap();
+        c.capacitor(out, NodeId::GROUND, 5e-9).unwrap();
+        let load = c
+            .current_source(
+                NodeId::GROUND,
+                out,
+                Stimulus::Sine {
+                    offset: 0.1,
+                    amplitude: 0.2,
+                    freq: 80e6,
+                    phase: 0.0,
+                },
+            )
+            .unwrap();
+        (c, vin, out, l, load)
+    }
+
+    /// Probe-scoped runs must reproduce full-record runs bit-for-bit on
+    /// the probed waveforms, even while the scratch is reused.
+    #[test]
+    fn probe_scoped_matches_full_record_bit_for_bit() {
+        let (c, _vin, out, l, _load) = probe_test_circuit();
+        let cfg = TransientConfig::new(0.1e-9, 1e-6).with_warmup(0.2e-6);
+        let plan = c.plan_transient(cfg.dt).unwrap();
+        let full = c.transient_with_plan(&plan, &cfg).unwrap();
+
+        let probes = TransientProbes::none().with_node(out).with_inductor(l);
+        let mut scratch = TransientScratch::new();
+        for _ in 0..3 {
+            let view = c
+                .transient_scoped(&plan, &cfg, &probes, &mut scratch)
+                .unwrap();
+            assert_eq!(view.len(), full.len());
+            assert_eq!(view.dt(), full.voltage(out).dt());
+            let fv = full.voltage_samples(out);
+            let sv = view.voltage_samples(out);
+            for (a, b) in fv.iter().zip(sv.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            let fi = full.inductor_current_samples(l);
+            let si = view.inductor_current_samples(l);
+            for (a, b) in fi.iter().zip(si.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// A scratch carried across runs with differing stimuli must never
+    /// leak state: each reused run matches a fresh-scratch run exactly.
+    #[test]
+    fn scratch_reuse_across_stimulus_swaps_is_bit_identical() {
+        let (mut c, _vin, out, l, load) = probe_test_circuit();
+        let cfg = TransientConfig::new(0.1e-9, 0.5e-6);
+        let plan = c.plan_transient(cfg.dt).unwrap();
+        let probes = TransientProbes::none().with_node(out).with_inductor(l);
+        let mut reused = TransientScratch::new();
+        for amps in [0.0, 0.45, -0.2, 1.3] {
+            c.set_current_stimulus(load, Stimulus::Dc(amps));
+            let mut fresh = TransientScratch::new();
+            let a = c
+                .transient_scoped(&plan, &cfg, &probes, &mut fresh)
+                .unwrap();
+            let (av, ai): (Vec<f64>, Vec<f64>) = (
+                a.voltage_samples(out).to_vec(),
+                a.inductor_current_samples(l).to_vec(),
+            );
+            let b = c
+                .transient_scoped(&plan, &cfg, &probes, &mut reused)
+                .unwrap();
+            assert_eq!(av, b.voltage_samples(out), "leak at load {amps}");
+            assert_eq!(ai, b.inductor_current_samples(l), "leak at load {amps}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_probes_are_rejected() {
+        let (c, _vin, out, _l, _load) = probe_test_circuit();
+        let cfg = TransientConfig::new(0.1e-9, 0.1e-6);
+        let plan = c.plan_transient(cfg.dt).unwrap();
+        let mut other = Circuit::new();
+        let far = (0..9).map(|i| other.node(format!("n{i}"))).last().unwrap();
+        let mut scratch = TransientScratch::new();
+        let probes = TransientProbes::none().with_node(far);
+        assert!(c
+            .transient_scoped(&plan, &cfg, &probes, &mut scratch)
+            .is_err());
+        // A valid probe still works afterwards.
+        let probes = TransientProbes::none().with_node(out);
+        assert!(c
+            .transient_scoped(&plan, &cfg, &probes, &mut scratch)
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "not probed")]
+    fn view_panics_on_unprobed_node() {
+        let (c, vin, out, _l, _load) = probe_test_circuit();
+        let cfg = TransientConfig::new(0.1e-9, 0.1e-6);
+        let plan = c.plan_transient(cfg.dt).unwrap();
+        let mut scratch = TransientScratch::new();
+        let probes = TransientProbes::none().with_node(out);
+        let view = c
+            .transient_scoped(&plan, &cfg, &probes, &mut scratch)
+            .unwrap();
+        let _ = view.voltage_samples(vin);
     }
 }

@@ -9,7 +9,7 @@
 //! ~15 hours for a GA run.
 
 use emvolt_isa::kernels::sweep_kernel;
-use emvolt_platform::{DomainError, EmBench, SessionClock, VoltageDomain};
+use emvolt_platform::{DomainError, DomainRun, DomainRunner, EmBench, SessionClock, VoltageDomain};
 
 /// One point of a loop-frequency sweep (Figs. 11, 13, 16).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,13 +84,17 @@ pub fn fast_resonance_sweep(
     config: &FastSweepConfig,
 ) -> Result<FastSweepResult, DomainError> {
     let kernel = sweep_kernel(domain.core_model().isa);
-    let mut dom = domain.clone();
+    // One runner for the whole sweep: DVFS only retunes the CPU timing
+    // model, so the PDN netlist, its factorizations and the transient
+    // scratch are built once and reused across every point.
+    let mut runner = DomainRunner::new(domain, config.run.clone())?;
+    let mut run = DomainRun::empty();
     let mut points = Vec::with_capacity(config.cpu_freqs_hz.len());
     let mut campaign = SessionClock::new();
 
     for &f_cpu in &config.cpu_freqs_hz {
-        dom.set_frequency(f_cpu.min(dom.max_frequency()));
-        let run = dom.run(&kernel, config.loaded_cores, &config.run)?;
+        runner.set_frequency(f_cpu.min(domain.max_frequency()));
+        runner.run_into(&kernel, config.loaded_cores, &mut run)?;
         let loop_freq = run.loop_frequency;
         let reading = bench.measure_in_band(
             &run,

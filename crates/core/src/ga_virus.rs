@@ -12,8 +12,8 @@ use emvolt_ga::{derive_eval_seed, EvalContext, GaConfig, GaEngine, KernelReprese
 use emvolt_inst::Oscilloscope;
 use emvolt_isa::{InstructionPool, Kernel};
 use emvolt_platform::{
-    DomainError, DomainRun, DomainRunner, EmBench, RunConfig, SessionClock, VoltageDomain,
-    INDIVIDUAL_MEASUREMENT_SECONDS, INDIVIDUAL_OVERHEAD_SECONDS, RESONANCE_BAND,
+    DomainError, DomainRun, DomainRunner, EmBench, MeasureScratch, RunConfig, SessionClock,
+    VoltageDomain, INDIVIDUAL_MEASUREMENT_SECONDS, INDIVIDUAL_OVERHEAD_SECONDS, RESONANCE_BAND,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -110,16 +110,36 @@ fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-/// A checkout pool of [`DomainRunner`]s: each worker thread pops a warm
-/// runner (netlist + LU factorization already built) or builds one on
-/// first use, and returns it after the run. At steady state the pool
-/// holds one runner per worker, so per-individual PDN setup cost is paid
-/// `threads` times per campaign instead of `population x generations`
-/// times.
+/// One worker's reusable evaluation state: a warm [`DomainRunner`]
+/// (netlist + LU factorizations already built), a recycled [`DomainRun`]
+/// and the spectrum [`MeasureScratch`]. Holding all three together means
+/// a steady-state evaluation allocates nothing transient-sized anywhere
+/// in the kernel → current → PDN → spectrum → metric chain.
+struct EvalSlot {
+    runner: DomainRunner,
+    run: DomainRun,
+    measure: MeasureScratch,
+}
+
+impl EvalSlot {
+    fn new(domain: &VoltageDomain, run_config: &RunConfig) -> Result<Self, DomainError> {
+        Ok(EvalSlot {
+            runner: DomainRunner::new(domain, run_config.clone())?,
+            run: DomainRun::empty(),
+            measure: MeasureScratch::new(),
+        })
+    }
+}
+
+/// A checkout pool of [`EvalSlot`]s: each worker thread pops a warm slot
+/// or builds one on first use, and returns it after the evaluation. At
+/// steady state the pool holds one slot per worker, so per-individual
+/// setup cost is paid `threads` times per campaign instead of
+/// `population x generations` times.
 struct RunnerPool<'a> {
     domain: &'a VoltageDomain,
     run_config: &'a RunConfig,
-    idle: Mutex<Vec<DomainRunner>>,
+    idle: Mutex<Vec<EvalSlot>>,
 }
 
 impl<'a> RunnerPool<'a> {
@@ -131,16 +151,20 @@ impl<'a> RunnerPool<'a> {
         }
     }
 
-    /// Runs `kernel` on a pooled runner.
-    fn run(&self, kernel: &Kernel, loaded_cores: usize) -> Result<DomainRun, DomainError> {
-        let mut runner = match self.idle.lock().pop() {
-            Some(r) => r,
-            None => DomainRunner::new(self.domain, self.run_config.clone())?,
+    /// Runs `f` with a pooled slot checked out. The slot goes back to the
+    /// pool whatever `f` returns — a failed run leaves the runner's plan
+    /// and netlist untouched, and the scratch buffers carry no state
+    /// between evaluations.
+    fn with<T>(
+        &self,
+        f: impl FnOnce(&mut EvalSlot) -> Result<T, DomainError>,
+    ) -> Result<T, DomainError> {
+        let mut slot = match self.idle.lock().pop() {
+            Some(s) => s,
+            None => EvalSlot::new(self.domain, self.run_config)?,
         };
-        let result = runner.run(kernel, loaded_cores);
-        // A failed run leaves the runner untouched (plan and netlist are
-        // immutable), so it goes back to the pool either way.
-        self.idle.lock().push(runner);
+        let result = f(&mut slot);
+        self.idle.lock().push(slot);
         result
     }
 }
@@ -238,20 +262,22 @@ pub fn generate_em_virus(
                 Some(k) => derive_eval_seed(campaign_seed ^ k, 0, 0),
                 None => ctx.seed,
             };
-            let score = match runners.run(kernel, config.loaded_cores) {
-                Ok(run) => {
-                    shared
-                        .measure_in_band_seeded(
-                            &run,
+            let score = runners
+                .with(|slot| {
+                    slot.runner
+                        .run_into(kernel, config.loaded_cores, &mut slot.run)?;
+                    Ok(shared
+                        .measure_in_band_seeded_with(
+                            &slot.run,
                             config.band.0,
                             config.band.1,
                             config.samples_per_individual,
                             seed,
+                            &mut slot.measure,
                         )
-                        .metric_dbm
-                }
-                Err(_) => -200.0,
-            };
+                        .metric_dbm)
+                })
+                .unwrap_or(-200.0);
             if let Some(k) = key {
                 fitness_cache.lock().insert(k, score);
             }
@@ -269,7 +295,7 @@ pub fn generate_em_virus(
     // same champion often survives many generations, so the re-run and
     // its dominant frequency are memoized by kernel identity.
     let mut post_runner = match runners.idle.into_inner().pop() {
-        Some(r) => r,
+        Some(slot) => slot.runner,
         None => DomainRunner::new(domain, config.run.clone())?,
     };
     let mut dominant_memo: HashMap<u64, f64> = HashMap::new();
@@ -363,17 +389,18 @@ pub fn generate_voltage_virus(
                 Some(k) => derive_eval_seed(scope_seed ^ k, 0, 0),
                 None => derive_eval_seed(scope_seed, ctx.generation, ctx.index),
             };
-            let score = match runners.run(kernel, config.loaded_cores) {
-                Ok(run) => {
+            let score = runners
+                .with(|slot| {
+                    slot.runner
+                        .run_into(kernel, config.loaded_cores, &mut slot.run)?;
                     let mut rng = StdRng::seed_from_u64(seed);
-                    let shot = scope.capture(&run.v_die, &mut rng);
-                    match config.voltage_metric {
+                    let shot = scope.capture(&slot.run.v_die, &mut rng);
+                    Ok(match config.voltage_metric {
                         VoltageMetric::MaxDroop => shot.max_droop_below(nominal_v),
                         VoltageMetric::PeakToPeak => shot.peak_to_peak(),
-                    }
-                }
-                Err(_) => 0.0,
-            };
+                    })
+                })
+                .unwrap_or(0.0);
             if let Some(k) = key {
                 fitness_cache.lock().insert(k, score);
             }
@@ -397,8 +424,13 @@ pub fn generate_voltage_virus(
         })
         .collect();
 
-    let final_run = runners.run(&result.best, config.loaded_cores)?;
-    let dominant = dominant_from_run(&final_run);
+    let mut post = match runners.idle.into_inner().pop() {
+        Some(slot) => slot,
+        None => EvalSlot::new(domain, &config.run)?,
+    };
+    post.runner
+        .run_into(&result.best, config.loaded_cores, &mut post.run)?;
+    let dominant = dominant_from_run(&post.run);
     Ok(Virus {
         name: name.to_owned(),
         kernel: result.best,

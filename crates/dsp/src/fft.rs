@@ -47,6 +47,55 @@ pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
     data
 }
 
+/// Reusable state for repeated real-signal DFTs: the complex working
+/// buffer plus the cached Bluestein kernel (chirp sequence and
+/// pre-transformed convolution filter) for non-power-of-two lengths.
+///
+/// At steady state — same record length across calls, which is how the
+/// measurement chain uses it — [`FftScratch::fft_real`] performs no heap
+/// allocation and skips the kernel recomputation entirely. Results are
+/// bit-identical to the free [`fft_real`] function.
+#[derive(Debug, Clone, Default)]
+pub struct FftScratch {
+    data: Vec<Complex>,
+    conv: Vec<Complex>,
+    chirp: Vec<Complex>,
+    bfft: Vec<Complex>,
+    cached_n: usize,
+    kernel_valid: bool,
+}
+
+impl FftScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward DFT of a real signal into the scratch's internal buffer,
+    /// returning the full complex spectrum as a borrow. Bit-identical to
+    /// [`fft_real`], without its per-call allocations.
+    pub fn fft_real(&mut self, signal: &[f64]) -> &[Complex] {
+        let n = signal.len();
+        self.data.clear();
+        self.data
+            .extend(signal.iter().map(|&x| Complex::from_real(x)));
+        if n <= 1 {
+            return &self.data;
+        }
+        if n.is_power_of_two() {
+            fft_pow2(&mut self.data, false);
+        } else {
+            if !self.kernel_valid || self.cached_n != n {
+                bluestein_kernel(n, false, &mut self.chirp, &mut self.bfft);
+                self.cached_n = n;
+                self.kernel_valid = true;
+            }
+            bluestein_with_kernel(&mut self.data, &self.chirp, &self.bfft, &mut self.conv);
+        }
+        &self.data
+    }
+}
+
 /// Radix-2 iterative FFT; `data.len()` must be a power of two.
 fn fft_pow2(data: &mut [Complex], inverse: bool) {
     let n = data.len();
@@ -87,42 +136,66 @@ fn fft_pow2(data: &mut [Complex], inverse: bool) {
     }
 }
 
-/// Bluestein chirp-z transform for arbitrary lengths.
-fn bluestein(data: &[Complex], inverse: bool) -> Vec<Complex> {
-    let n = data.len();
+/// Precomputes the Bluestein kernel for length `n`: the chirp sequence
+/// `w_k = exp(sign * -j*pi*k^2/n)` and the forward FFT of the
+/// chirp-conjugate convolution filter. The kernel depends only on
+/// `(n, inverse)`, so it is cacheable across transforms.
+fn bluestein_kernel(n: usize, inverse: bool, chirp: &mut Vec<Complex>, bfft: &mut Vec<Complex>) {
     let sign = if inverse { 1.0 } else { -1.0 };
     let m = (2 * n - 1).next_power_of_two();
 
-    // Chirp: w_k = exp(sign * -j*pi*k^2/n); we use the identity
-    // nk = (n^2 + k^2 - (k-n)^2) / 2 to turn the DFT into a convolution.
-    let chirp: Vec<Complex> = (0..n)
-        .map(|k| {
-            let angle = sign * std::f64::consts::PI * (k as f64) * (k as f64) / n as f64;
-            Complex::from_polar(1.0, angle)
-        })
-        .collect();
+    // Chirp: we use the identity nk = (n^2 + k^2 - (k-n)^2) / 2 to turn
+    // the DFT into a convolution.
+    chirp.clear();
+    chirp.extend((0..n).map(|k| {
+        let angle = sign * std::f64::consts::PI * (k as f64) * (k as f64) / n as f64;
+        Complex::from_polar(1.0, angle)
+    }));
 
-    let mut a = vec![Complex::ZERO; m];
-    for k in 0..n {
-        a[k] = data[k] * chirp[k];
-    }
-    let mut b = vec![Complex::ZERO; m];
-    b[0] = chirp[0].conj();
+    bfft.clear();
+    bfft.resize(m, Complex::ZERO);
+    bfft[0] = chirp[0].conj();
     for k in 1..n {
         let c = chirp[k].conj();
-        b[k] = c;
-        b[m - k] = c;
+        bfft[k] = c;
+        bfft[m - k] = c;
     }
+    fft_pow2(bfft, false);
+}
 
-    fft_pow2(&mut a, false);
-    fft_pow2(&mut b, false);
-    for k in 0..m {
-        a[k] *= b[k];
+/// Runs the Bluestein convolution in place over `data` using a
+/// precomputed kernel and a reusable convolution buffer.
+fn bluestein_with_kernel(
+    data: &mut [Complex],
+    chirp: &[Complex],
+    bfft: &[Complex],
+    conv: &mut Vec<Complex>,
+) {
+    let n = data.len();
+    let m = bfft.len();
+    conv.clear();
+    conv.resize(m, Complex::ZERO);
+    for k in 0..n {
+        conv[k] = data[k] * chirp[k];
     }
-    fft_pow2(&mut a, true);
+    fft_pow2(conv, false);
+    for (c, &b) in conv.iter_mut().zip(bfft.iter()) {
+        *c *= b;
+    }
+    fft_pow2(conv, true);
     let scale = 1.0 / m as f64;
+    for k in 0..n {
+        data[k] = conv[k].scale(scale) * chirp[k];
+    }
+}
 
-    (0..n).map(|k| a[k].scale(scale) * chirp[k]).collect()
+/// Bluestein chirp-z transform for arbitrary lengths.
+fn bluestein(data: &[Complex], inverse: bool) -> Vec<Complex> {
+    let mut out = data.to_vec();
+    let (mut chirp, mut bfft, mut conv) = (Vec::new(), Vec::new(), Vec::new());
+    bluestein_kernel(data.len(), inverse, &mut chirp, &mut bfft);
+    bluestein_with_kernel(&mut out, &chirp, &bfft, &mut conv);
+    out
 }
 
 /// Returns the frequency (Hz) of bin `i` for an `n`-point DFT of a signal
@@ -218,6 +291,23 @@ mod tests {
         let spec = fft_real(&signal);
         let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
         assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    fn scratch_fft_is_bit_identical_to_fft_real() {
+        let mut scratch = FftScratch::new();
+        // Mixed pow2 / non-pow2 lengths, revisiting each to exercise both
+        // the cached-kernel and recompute paths.
+        for n in [64usize, 100, 64, 100, 7, 100] {
+            let signal: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.013).sin()).collect();
+            let fresh = fft_real(&signal);
+            let reused = scratch.fft_real(&signal);
+            assert_eq!(fresh.len(), reused.len());
+            for (a, b) in fresh.iter().zip(reused.iter()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "n={n}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "n={n}");
+            }
+        }
     }
 
     #[test]

@@ -27,9 +27,9 @@ pub mod spectrum;
 pub mod stft;
 pub mod window;
 
-pub use fft::{bin_frequency, fft, fft_real, ifft};
+pub use fft::{bin_frequency, fft, fft_real, ifft, FftScratch};
 pub use spectrum::{
-    amplitude_db, dbm_to_watts, power_db, sine_power_watts, watts_to_dbm, Spectrum,
+    amplitude_db, dbm_to_watts, power_db, sine_power_watts, watts_to_dbm, Spectrum, SpectrumScratch,
 };
 pub use stft::Spectrogram;
 pub use window::Window;

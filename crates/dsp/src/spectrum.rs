@@ -1,8 +1,25 @@
 //! One-sided amplitude spectra and peak extraction.
 
-use crate::fft::fft_real;
+use crate::fft::FftScratch;
 use crate::window::Window;
 use emvolt_circuit::Trace;
+
+/// Reusable buffers for repeated spectrum computation: the windowed copy
+/// of the input plus an [`FftScratch`]. At steady state (same record
+/// length across calls) [`Spectrum::of_samples_into`] performs no heap
+/// allocation beyond growing the output's bin vector once.
+#[derive(Debug, Clone, Default)]
+pub struct SpectrumScratch {
+    fft: FftScratch,
+    windowed: Vec<f64>,
+}
+
+impl SpectrumScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// One-sided amplitude spectrum of a real signal.
 ///
@@ -15,6 +32,17 @@ pub struct Spectrum {
     bins: Vec<f64>,
 }
 
+impl Default for Spectrum {
+    /// An empty spectrum with a unit frequency step, intended as the
+    /// starting state for the `_into` refill APIs.
+    fn default() -> Self {
+        Spectrum {
+            freq_step: 1.0,
+            bins: Vec::new(),
+        }
+    }
+}
+
 impl Spectrum {
     /// Computes the spectrum of raw samples taken at `sample_rate`.
     ///
@@ -22,41 +50,68 @@ impl Spectrum {
     ///
     /// Panics if `sample_rate` is not strictly positive.
     pub fn of_samples(samples: &[f64], sample_rate: f64, window: Window) -> Spectrum {
+        let mut scratch = SpectrumScratch::new();
+        let mut out = Spectrum::default();
+        Spectrum::of_samples_into(samples, sample_rate, window, &mut scratch, &mut out);
+        out
+    }
+
+    /// Computes the spectrum of raw samples into an existing `Spectrum`,
+    /// reusing both the scratch buffers and the output's bin storage.
+    /// Bit-identical to [`Spectrum::of_samples`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not strictly positive.
+    pub fn of_samples_into(
+        samples: &[f64],
+        sample_rate: f64,
+        window: Window,
+        scratch: &mut SpectrumScratch,
+        out: &mut Spectrum,
+    ) {
         assert!(sample_rate > 0.0, "sample rate must be positive");
         let n = samples.len();
+        out.bins.clear();
         if n == 0 {
-            return Spectrum {
-                freq_step: sample_rate,
-                bins: Vec::new(),
-            };
+            out.freq_step = sample_rate;
+            return;
         }
-        let mut buf = samples.to_vec();
-        window.apply(&mut buf);
+        scratch.windowed.clear();
+        scratch.windowed.extend_from_slice(samples);
+        window.apply(&mut scratch.windowed);
         let gain = window.coherent_gain(n).max(1e-12);
-        let spec = fft_real(&buf);
+        let spec = scratch.fft.fft_real(&scratch.windowed);
         let half = n / 2 + 1;
         let scale = 1.0 / (n as f64 * gain);
-        let bins = (0..half)
-            .map(|k| {
-                let mag = spec[k].norm() * scale;
-                // One-sided: double everything except DC (and Nyquist for
-                // even N, where the doubling would overcount).
-                if k == 0 || (n.is_multiple_of(2) && k == n / 2) {
-                    mag
-                } else {
-                    2.0 * mag
-                }
-            })
-            .collect();
-        Spectrum {
-            freq_step: sample_rate / n as f64,
-            bins,
-        }
+        out.bins.extend((0..half).map(|k| {
+            let mag = spec[k].norm() * scale;
+            // One-sided: double everything except DC (and Nyquist for
+            // even N, where the doubling would overcount).
+            if k == 0 || (n.is_multiple_of(2) && k == n / 2) {
+                mag
+            } else {
+                2.0 * mag
+            }
+        }));
+        out.freq_step = sample_rate / n as f64;
     }
 
     /// Computes the spectrum of a [`Trace`].
     pub fn of_trace(trace: &Trace, window: Window) -> Spectrum {
         Spectrum::of_samples(trace.samples(), trace.sample_rate(), window)
+    }
+
+    /// Computes the spectrum of a [`Trace`] into an existing `Spectrum`,
+    /// reusing scratch and output storage. Bit-identical to
+    /// [`Spectrum::of_trace`].
+    pub fn of_trace_into(
+        trace: &Trace,
+        window: Window,
+        scratch: &mut SpectrumScratch,
+        out: &mut Spectrum,
+    ) {
+        Spectrum::of_samples_into(trace.samples(), trace.sample_rate(), window, scratch, out);
     }
 
     /// Builds a spectrum directly from per-bin amplitudes — used by
@@ -68,6 +123,20 @@ impl Spectrum {
     pub fn from_bins(freq_step: f64, bins: Vec<f64>) -> Spectrum {
         assert!(freq_step > 0.0, "frequency step must be positive");
         Spectrum { freq_step, bins }
+    }
+
+    /// Overwrites this spectrum in place from per-bin amplitudes, reusing
+    /// the bin storage — the allocation-free counterpart of
+    /// [`Spectrum::from_bins`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_step` is not strictly positive.
+    pub fn refill_from_bins(&mut self, freq_step: f64, bins: impl Iterator<Item = f64>) {
+        assert!(freq_step > 0.0, "frequency step must be positive");
+        self.freq_step = freq_step;
+        self.bins.clear();
+        self.bins.extend(bins);
     }
 
     /// Frequency resolution (Hz per bin).
@@ -262,6 +331,24 @@ mod tests {
         let spec = Spectrum::of_samples(&[], 1.0, Window::Hann);
         assert!(spec.is_empty());
         assert!(spec.amplitude_near(1.0).is_none());
+    }
+
+    #[test]
+    fn of_samples_into_is_bit_identical_across_reuse() {
+        let fs = 1000.0;
+        let mut scratch = SpectrumScratch::new();
+        let mut out = Spectrum::default();
+        // Varying non-pow2/pow2 lengths through the same scratch/output.
+        for (n, f0) in [(1000usize, 50.0), (512, 120.0), (1000, 75.0), (333, 40.0)] {
+            let s = tone(n, fs, f0, 1.7);
+            let fresh = Spectrum::of_samples(&s, fs, Window::Hann);
+            Spectrum::of_samples_into(&s, fs, Window::Hann, &mut scratch, &mut out);
+            assert_eq!(fresh.freq_step(), out.freq_step());
+            assert_eq!(fresh.len(), out.len());
+            for (a, b) in fresh.amplitudes().iter().zip(out.amplitudes()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n}");
+            }
+        }
     }
 
     #[test]

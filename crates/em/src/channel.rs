@@ -58,26 +58,41 @@ impl EmChannel {
     /// received voltage amplitude spectrum (volts per bin) at the analyzer
     /// input.
     pub fn received_spectrum(&self, die_current: &Spectrum) -> Spectrum {
-        let amps: Vec<f64> = (0..die_current.len())
-            .map(|k| die_current.amplitude_at(k) * self.transfer(die_current.freq_at(k)))
-            .collect();
-        Spectrum::from_bins(die_current.freq_step(), amps)
+        let mut out = Spectrum::default();
+        self.received_spectrum_into(die_current, &mut out);
+        out
+    }
+
+    /// Maps a die-current amplitude spectrum into an existing `Spectrum`,
+    /// reusing its bin storage. Bit-identical to
+    /// [`EmChannel::received_spectrum`].
+    pub fn received_spectrum_into(&self, die_current: &Spectrum, out: &mut Spectrum) {
+        out.refill_from_bins(
+            die_current.freq_step(),
+            (0..die_current.len())
+                .map(|k| die_current.amplitude_at(k) * self.transfer(die_current.freq_at(k))),
+        );
     }
 
     /// Combines several simultaneously radiating sources (e.g. the two
     /// voltage domains of §6.1) incoherently: received power adds, so
     /// amplitudes combine root-sum-square per bin.
     ///
+    /// Accepts any slice of owned spectra or references, so callers need
+    /// not build an intermediate `Vec<&Spectrum>`.
+    ///
     /// # Panics
     ///
     /// Panics if the spectra have different bin widths or lengths.
-    pub fn received_multi(&self, sources: &[&Spectrum]) -> Spectrum {
+    pub fn received_multi<S: std::borrow::Borrow<Spectrum>>(&self, sources: &[S]) -> Spectrum {
         if sources.is_empty() {
             return Spectrum::from_bins(1.0, Vec::new());
         }
-        let step = sources[0].freq_step();
-        let len = sources[0].len();
+        let first = sources[0].borrow();
+        let step = first.freq_step();
+        let len = first.len();
         for s in sources {
+            let s = s.borrow();
             assert!(
                 (s.freq_step() - step).abs() < 1e-9 * step && s.len() == len,
                 "source spectra must share the same grid"
@@ -85,12 +100,12 @@ impl EmChannel {
         }
         let amps: Vec<f64> = (0..len)
             .map(|k| {
-                let f = sources[0].freq_at(k);
+                let f = first.freq_at(k);
                 let h = self.transfer(f);
                 let p: f64 = sources
                     .iter()
                     .map(|s| {
-                        let a = s.amplitude_at(k) * h;
+                        let a = s.borrow().amplitude_at(k) * h;
                         a * a
                     })
                     .sum();

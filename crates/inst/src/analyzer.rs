@@ -63,12 +63,17 @@ pub struct SweepReading {
 impl SweepReading {
     /// The marker peak: highest-level point within `[lo, hi]` Hz.
     pub fn peak_in_band(&self, lo: f64, hi: f64) -> Option<(f64, f64)> {
-        self.points
-            .iter()
-            .filter(|(f, _)| *f >= lo && *f <= hi)
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .copied()
+        peak_in_band_points(&self.points, lo, hi)
     }
+}
+
+/// Highest-level `(frequency, level)` point within `[lo, hi]` Hz.
+fn peak_in_band_points(points: &[(f64, f64)], lo: f64, hi: f64) -> Option<(f64, f64)> {
+    points
+        .iter()
+        .filter(|(f, _)| *f >= lo && *f <= hi)
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .copied()
 }
 
 /// A swept spectrum analyzer measuring the voltage spectrum at its input.
@@ -129,6 +134,15 @@ impl SpectrumAnalyzer {
     /// Performs one sweep over the input voltage spectrum (volts per bin
     /// at the analyzer input).
     pub fn sweep<R: Rng>(&mut self, input: &Spectrum, rng: &mut R) -> SweepReading {
+        let mut points = Vec::with_capacity(self.config.points);
+        self.sweep_into(input, rng, &mut points);
+        SweepReading { points }
+    }
+
+    /// Fills `points` with one displayed sweep, reusing the buffer's
+    /// capacity — lets [`SpectrumAnalyzer::peak_metric`] run its `n`
+    /// sweeps through one buffer instead of allocating per sweep.
+    fn sweep_into<R: Rng>(&mut self, input: &Spectrum, rng: &mut R, points: &mut Vec<(f64, f64)>) {
         self.elapsed_s += self.config.sweep_time_s;
         let c = &self.config;
         let n = c.points;
@@ -136,7 +150,8 @@ impl SpectrumAnalyzer {
         let sigma = c.rbw_hz / 2.355; // FWHM -> sigma
         let floor_w = dbm_to_watts(c.noise_floor_dbm);
 
-        let mut points = Vec::with_capacity(n);
+        points.clear();
+        points.reserve(n);
         for i in 0..n {
             let f_center = c.start_hz + span * i as f64 / (n - 1) as f64;
             // Positive-peak detector through the Gaussian RBW filter: the
@@ -164,7 +179,6 @@ impl SpectrumAnalyzer {
             let level = watts_to_dbm(total_w) + sample_normal(rng, c.noise_sigma_db);
             points.push((f_center, level));
         }
-        SweepReading { points }
     }
 
     /// The paper's GA fitness metric: the *mean root square* of `n`
@@ -186,9 +200,10 @@ impl SpectrumAnalyzer {
             std::collections::BTreeMap::new();
         let mut best_freq = lo;
         let mut hits = 0usize;
+        let mut points: Vec<(f64, f64)> = Vec::with_capacity(self.config.points);
         for _ in 0..n.max(1) {
-            let sweep = self.sweep(input, rng);
-            if let Some((f, dbm)) = sweep.peak_in_band(lo, hi) {
+            self.sweep_into(input, rng, &mut points);
+            if let Some((f, dbm)) = peak_in_band_points(&points, lo, hi) {
                 let p = dbm_to_watts(dbm);
                 acc += p * p;
                 hits += 1;

@@ -40,5 +40,5 @@ pub use analysis::{
     find_resonance_peaks, lin_freqs, log_freqs, strongest_peak_in_band, ResonancePeak,
 };
 pub use calibrate::{calibrate_die_capacitance, capacitance_for_resonance, CalibrationError};
-pub use network::Pdn;
+pub use network::{DieTransient, Pdn};
 pub use params::{DieCapacitance, PdnParams};

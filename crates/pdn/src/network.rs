@@ -3,8 +3,50 @@
 use crate::params::PdnParams;
 use emvolt_circuit::{
     Circuit, Complex, ISourceId, InductorId, NodeId, Result, Stimulus, Trace, TransientConfig,
-    TransientPlan, VSourceId,
+    TransientPlan, TransientProbes, TransientScratch, VSourceId,
 };
+
+/// Borrowed view of one probe-scoped PDN transient: the die-node voltage
+/// and package-inductor current samples, alive until the owning
+/// [`TransientScratch`] is reused.
+#[derive(Debug)]
+pub struct DieTransient<'a> {
+    view: emvolt_circuit::TransientView<'a>,
+    die_node: NodeId,
+    l_pkg_id: InductorId,
+}
+
+impl DieTransient<'_> {
+    /// Sample spacing in seconds.
+    pub fn dt(&self) -> f64 {
+        self.view.dt()
+    }
+
+    /// Time of the first recorded sample.
+    pub fn start_time(&self) -> f64 {
+        self.view.start_time()
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.view.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.view.is_empty()
+    }
+
+    /// Die-node voltage samples (V_DIE).
+    pub fn v_die(&self) -> &[f64] {
+        self.view.voltage_samples(self.die_node)
+    }
+
+    /// Package-inductor current samples (I_DIE, Fig. 2).
+    pub fn i_die(&self) -> &[f64] {
+        self.view.inductor_current_samples(self.l_pkg_id)
+    }
+}
 
 /// A concrete power-delivery network instance: the Fig. 1(a) netlist plus
 /// handles to the die node, the load source and the package inductor
@@ -21,6 +63,8 @@ pub struct Pdn {
     aux: ISourceId,
     vrm_source: VSourceId,
     l_pkg_id: InductorId,
+    /// Cached die-scoped probe selection so the hot path never rebuilds it.
+    die_probes: TransientProbes,
 }
 
 impl Pdn {
@@ -106,6 +150,9 @@ impl Pdn {
             aux,
             vrm_source,
             l_pkg_id,
+            die_probes: TransientProbes::none()
+                .with_node(n_die)
+                .with_inductor(l_pkg_id),
         }
     }
 
@@ -195,6 +242,35 @@ impl Pdn {
             res.inductor_current(self.l_pkg_id),
         ))
     }
+
+    /// Probe selection covering exactly the die node and the package
+    /// inductor — the two waveforms the measurement chain consumes.
+    pub fn die_probes(&self) -> &TransientProbes {
+        &self.die_probes
+    }
+
+    /// Allocation-free transient: reuses a prebuilt plan and a
+    /// caller-owned scratch, recording only V_DIE and I_DIE. Samples are
+    /// bit-identical to [`Pdn::transient_with_plan`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-analysis errors.
+    pub fn transient_scoped<'s>(
+        &self,
+        plan: &TransientPlan,
+        config: &TransientConfig,
+        scratch: &'s mut TransientScratch,
+    ) -> Result<DieTransient<'s>> {
+        let view = self
+            .circuit
+            .transient_scoped(plan, config, &self.die_probes, scratch)?;
+        Ok(DieTransient {
+            view,
+            die_node: self.die_node,
+            l_pkg_id: self.l_pkg_id,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +347,25 @@ mod tests {
             let (v_plan, i_plan) = pdn.transient_with_plan(&plan, &cfg).unwrap();
             assert_eq!(v_fresh.samples(), v_plan.samples());
             assert_eq!(i_fresh.samples(), i_plan.samples());
+        }
+    }
+
+    #[test]
+    fn scoped_transient_matches_planned_bit_for_bit() {
+        let params = PdnParams::generic_mobile();
+        let f_res = params.first_order_resonance_hz(2);
+        let mut pdn = Pdn::new(params, 2);
+        let cfg = TransientConfig::new(0.5e-9, 2e-6).with_warmup(1e-6);
+        let plan = pdn.plan_transient(cfg.dt).unwrap();
+        let mut scratch = TransientScratch::new();
+        for scale in [0.25, 1.0] {
+            pdn.set_load(Stimulus::square(0.0, scale, f_res));
+            let (v_full, i_full) = pdn.transient_with_plan(&plan, &cfg).unwrap();
+            let die = pdn.transient_scoped(&plan, &cfg, &mut scratch).unwrap();
+            assert_eq!(v_full.samples(), die.v_die());
+            assert_eq!(i_full.samples(), die.i_die());
+            assert_eq!(v_full.dt(), die.dt());
+            assert_eq!(v_full.start_time(), die.start_time());
         }
     }
 

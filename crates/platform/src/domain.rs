@@ -1,6 +1,6 @@
 //! A voltage domain: CPU cores sharing one PDN and one supply rail.
 
-use emvolt_circuit::{Stimulus, Trace, TransientConfig, TransientPlan};
+use emvolt_circuit::{Stimulus, Trace, TransientConfig, TransientPlan, TransientScratch};
 use emvolt_cpu::{CoreModel, Cpu, SimConfig, SimError};
 use emvolt_isa::Kernel;
 use emvolt_pdn::{Pdn, PdnParams};
@@ -111,6 +111,19 @@ pub struct DomainRun {
 }
 
 impl DomainRun {
+    /// A placeholder run for [`DomainRunner::run_into`] to fill; reusing
+    /// one across evaluations keeps the trace buffers' capacity.
+    pub fn empty() -> Self {
+        DomainRun {
+            v_die: Trace::from_samples(1.0, Vec::new()),
+            i_die: Trace::from_samples(1.0, Vec::new()),
+            ipc: 0.0,
+            cycles_per_iteration: 0.0,
+            loop_frequency: 0.0,
+            supply_v: 0.0,
+        }
+    }
+
     /// Maximum droop below the supply, in volts.
     pub fn max_droop(&self) -> f64 {
         self.v_die.max_droop_below(self.supply_v)
@@ -357,6 +370,7 @@ pub struct DomainRunner {
     pdn: Pdn,
     plan: TransientPlan,
     transient_cfg: TransientConfig,
+    scratch: TransientScratch,
 }
 
 impl DomainRunner {
@@ -380,6 +394,7 @@ impl DomainRunner {
             pdn,
             plan,
             transient_cfg,
+            scratch: TransientScratch::new(),
         })
     }
 
@@ -393,6 +408,19 @@ impl DomainRunner {
         &self.config
     }
 
+    /// Retunes the runner's clock (DVFS) without rebuilding the PDN or
+    /// refactoring its matrices — frequency only enters through the CPU
+    /// timing model, so results stay bit-identical to a runner freshly
+    /// built at the new frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive frequencies or above-maximum requests.
+    pub fn set_frequency(&mut self, hz: f64) {
+        self.domain.set_frequency(hz);
+        self.cpu = Cpu::new(self.domain.core_model.clone(), hz);
+    }
+
     /// Runs `kernel` on `loaded_cores` cores; see [`VoltageDomain::run`].
     ///
     /// # Errors
@@ -400,6 +428,25 @@ impl DomainRunner {
     /// Returns [`DomainError`] for invalid core counts or failed
     /// simulations.
     pub fn run(&mut self, kernel: &Kernel, loaded_cores: usize) -> Result<DomainRun, DomainError> {
+        let mut out = DomainRun::empty();
+        self.run_into(kernel, loaded_cores, &mut out)?;
+        Ok(out)
+    }
+
+    /// Runs `kernel` into an existing [`DomainRun`], reusing its trace
+    /// buffers and the runner's transient scratch — the allocation-lean
+    /// GA hot path. Bit-identical to [`DomainRunner::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError`] for invalid core counts or failed
+    /// simulations; on error `out` is left unchanged.
+    pub fn run_into(
+        &mut self,
+        kernel: &Kernel,
+        loaded_cores: usize,
+        out: &mut DomainRun,
+    ) -> Result<(), DomainError> {
         let active = self.domain.active_cores;
         if loaded_cores > active {
             return Err(DomainError::TooManyLoadedCores {
@@ -407,27 +454,29 @@ impl DomainRunner {
                 active,
             });
         }
-        let out = self.cpu.simulate(kernel, &self.config.sim)?;
+        let sim = self.cpu.simulate(kernel, &self.config.sim)?;
         let idle_extra = (active - loaded_cores) as f64 * self.domain.core_model.idle_current;
-        let total: Vec<f64> = out
+        let total: Vec<f64> = sim
             .current
             .samples()
             .iter()
             .map(|&i| i * loaded_cores as f64 + idle_extra)
             .collect();
-        let (v_die, i_die) = self.run_pdn_with_load(Stimulus::Samples {
-            dt: out.current.dt(),
+        self.pdn.set_load(Stimulus::Samples {
+            dt: sim.current.dt(),
             values: Arc::from(total),
             repeat: true,
-        })?;
-        Ok(DomainRun {
-            v_die,
-            i_die,
-            ipc: out.ipc,
-            cycles_per_iteration: out.cycles_per_iteration,
-            loop_frequency: out.loop_frequency(),
-            supply_v: self.domain.supply_v,
-        })
+        });
+        let die = self
+            .pdn
+            .transient_scoped(&self.plan, &self.transient_cfg, &mut self.scratch)?;
+        out.v_die.refill(die.dt(), die.start_time(), die.v_die());
+        out.i_die.refill(die.dt(), die.start_time(), die.i_die());
+        out.ipc = sim.ipc;
+        out.cycles_per_iteration = sim.cycles_per_iteration;
+        out.loop_frequency = sim.loop_frequency();
+        out.supply_v = self.domain.supply_v;
+        Ok(())
     }
 
     /// Runs with all powered cores idle; see [`VoltageDomain::run_idle`].
@@ -449,16 +498,20 @@ impl DomainRunner {
     }
 
     /// Drives the cached PDN with an arbitrary load waveform, reusing the
-    /// prebuilt transient plan.
+    /// prebuilt transient plan and scratch.
     ///
     /// # Errors
     ///
     /// Propagates PDN analysis failures.
     pub fn run_pdn_with_load(&mut self, load: Stimulus) -> Result<(Trace, Trace), DomainError> {
         self.pdn.set_load(load);
-        Ok(self
+        let die = self
             .pdn
-            .transient_with_plan(&self.plan, &self.transient_cfg)?)
+            .transient_scoped(&self.plan, &self.transient_cfg, &mut self.scratch)?;
+        Ok((
+            Trace::with_start(die.dt(), die.start_time(), die.v_die().to_vec()),
+            Trace::with_start(die.dt(), die.start_time(), die.i_die().to_vec()),
+        ))
     }
 }
 

@@ -41,7 +41,7 @@ pub mod workloads;
 pub use boards::{a53_pdn, a72_pdn, amd_pdn, gpu_pdn, AmdDesktop, GpuCard, JunoBoard, JunoCluster};
 pub use clock::{SessionClock, INDIVIDUAL_MEASUREMENT_SECONDS, INDIVIDUAL_OVERHEAD_SECONDS};
 pub use domain::{DomainError, DomainRun, DomainRunner, RunConfig, VoltageDomain};
-pub use measure::{EmBench, EmReading, SharedEmBench, RESONANCE_BAND};
+pub use measure::{EmBench, EmReading, MeasureScratch, SharedEmBench, RESONANCE_BAND};
 pub use scl::{Scl, SclPoint};
 pub use session::{MeasurementSession, SessionCosts, Target};
 pub use workloads::{desktop_suite, lbm_kernel, mix_kernel, spec2006_suite, Suite, Workload};

@@ -3,7 +3,7 @@
 //! (kernel -> current -> PDN -> radiation -> analyzer).
 
 use crate::domain::DomainRun;
-use emvolt_dsp::{Spectrum, Window};
+use emvolt_dsp::{Spectrum, SpectrumScratch, Window};
 use emvolt_em::EmChannel;
 use emvolt_inst::{AnalyzerConfig, SpectrumAnalyzer, SweepReading};
 use parking_lot::Mutex;
@@ -12,6 +12,31 @@ use rand::SeedableRng;
 
 /// The paper's first-order search band: 50–200 MHz.
 pub const RESONANCE_BAND: (f64, f64) = (50e6, 200e6);
+
+/// Reusable buffers for the spectrum half of a measurement: the FFT
+/// scratch plus the die-current and received spectra. Checking one out
+/// per evaluation slot makes repeated measurements allocation-free at
+/// steady state.
+#[derive(Debug, Clone, Default)]
+pub struct MeasureScratch {
+    spec: SpectrumScratch,
+    i_spec: Spectrum,
+    rx: Spectrum,
+}
+
+impl MeasureScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fills `self.rx` with the received spectrum of `run` through
+    /// `channel`, reusing every buffer.
+    fn refresh_rx(&mut self, channel: &EmChannel, run: &DomainRun) {
+        Spectrum::of_trace_into(&run.i_die, Window::Hann, &mut self.spec, &mut self.i_spec);
+        channel.received_spectrum_into(&self.i_spec, &mut self.rx);
+    }
+}
 
 /// One EM reading of a running workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,6 +55,7 @@ pub struct EmBench {
     /// The spectrum analyzer at the end of the coax.
     pub analyzer: SpectrumAnalyzer,
     rng: StdRng,
+    scratch: MeasureScratch,
 }
 
 impl EmBench {
@@ -40,6 +66,7 @@ impl EmBench {
             channel: EmChannel::default(),
             analyzer: SpectrumAnalyzer::new(AnalyzerConfig::default()),
             rng: StdRng::seed_from_u64(seed),
+            scratch: MeasureScratch::new(),
         }
     }
 
@@ -55,35 +82,29 @@ impl EmBench {
             .iter()
             .map(|r| Spectrum::of_trace(&r.i_die, Window::Hann))
             .collect();
-        let refs: Vec<&Spectrum> = specs.iter().collect();
-        self.channel.received_multi(&refs)
+        self.channel.received_multi(&specs)
     }
 
     /// One displayed analyzer sweep of a run.
     pub fn sweep(&mut self, run: &DomainRun) -> SweepReading {
-        let rx = self.received_spectrum(run);
-        self.analyzer.sweep(&rx, &mut self.rng)
+        self.scratch.refresh_rx(&self.channel, run);
+        self.analyzer.sweep(&self.scratch.rx, &mut self.rng)
     }
 
     /// The paper's GA fitness measurement: `n` sweeps (30 in the paper),
     /// metric = mean root square of the band-peak amplitudes.
     pub fn measure(&mut self, run: &DomainRun, n: usize) -> EmReading {
-        let rx = self.received_spectrum(run);
-        let (metric_dbm, dominant_hz) =
-            self.analyzer
-                .peak_metric(&rx, RESONANCE_BAND.0, RESONANCE_BAND.1, n, &mut self.rng);
-        EmReading {
-            metric_dbm,
-            dominant_hz,
-        }
+        self.measure_in_band(run, RESONANCE_BAND.0, RESONANCE_BAND.1, n)
     }
 
     /// Like [`EmBench::measure`] but over an explicit band — used when the
     /// resonance has already been located and the analyzer span is
     /// narrowed to speed up the GA (§5.3 motivation (b)).
     pub fn measure_in_band(&mut self, run: &DomainRun, lo: f64, hi: f64, n: usize) -> EmReading {
-        let rx = self.received_spectrum(run);
-        let (metric_dbm, dominant_hz) = self.analyzer.peak_metric(&rx, lo, hi, n, &mut self.rng);
+        self.scratch.refresh_rx(&self.channel, run);
+        let (metric_dbm, dominant_hz) =
+            self.analyzer
+                .peak_metric(&self.scratch.rx, lo, hi, n, &mut self.rng);
         EmReading {
             metric_dbm,
             dominant_hz,
@@ -151,10 +172,26 @@ impl SharedEmBench {
         n: usize,
         seed: u64,
     ) -> EmReading {
-        let rx = self.received_spectrum(run);
+        let mut scratch = MeasureScratch::new();
+        self.measure_in_band_seeded_with(run, lo, hi, n, seed, &mut scratch)
+    }
+
+    /// Like [`SharedEmBench::measure_in_band_seeded`], but reusing a
+    /// caller-owned [`MeasureScratch`] so repeated measurements allocate
+    /// nothing at steady state. Bit-identical results.
+    pub fn measure_in_band_seeded_with(
+        &self,
+        run: &DomainRun,
+        lo: f64,
+        hi: f64,
+        n: usize,
+        seed: u64,
+        scratch: &mut MeasureScratch,
+    ) -> EmReading {
+        scratch.refresh_rx(&self.channel, run);
         let mut analyzer = SpectrumAnalyzer::new(self.analyzer_config.clone());
         let mut rng = StdRng::seed_from_u64(seed);
-        let (metric_dbm, dominant_hz) = analyzer.peak_metric(&rx, lo, hi, n, &mut rng);
+        let (metric_dbm, dominant_hz) = analyzer.peak_metric(&scratch.rx, lo, hi, n, &mut rng);
         *self.elapsed_s.lock() += analyzer.elapsed();
         EmReading {
             metric_dbm,

@@ -1,0 +1,104 @@
+//! Property tests for the reusable-scratch evaluation path.
+//!
+//! A [`DomainRunner`] carries its transient scratch across evaluations, so
+//! a run's output must depend only on the kernel and load — never on
+//! whatever the scratch held from the previous run. These properties pit a
+//! reused runner against a fresh one over arbitrary kernel pairs and
+//! demand bit-identical waveforms.
+
+use emvolt_cpu::CoreModel;
+use emvolt_isa::kernels::{burst_kernel, padded_sweep_kernel, resonant_stress_kernel};
+use emvolt_isa::{Isa, Kernel};
+use emvolt_platform::{a72_pdn, DomainRun, DomainRunner, RunConfig, VoltageDomain};
+use proptest::prelude::*;
+
+fn a72_domain() -> VoltageDomain {
+    VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9)
+}
+
+/// A small family of real kernels with varying loop length and current
+/// profile, so consecutive runs differ in step count and amplitude.
+#[derive(Debug, Clone, Copy)]
+enum KernelSpec {
+    Padded { extra_adds: usize },
+    Burst { bursts: usize },
+    Stress { simd_ops: usize, pad: usize },
+}
+
+impl KernelSpec {
+    fn build(self) -> Kernel {
+        match self {
+            KernelSpec::Padded { extra_adds } => padded_sweep_kernel(Isa::ArmV8, extra_adds),
+            KernelSpec::Burst { bursts } => burst_kernel(Isa::ArmV8, bursts),
+            KernelSpec::Stress { simd_ops, pad } => {
+                resonant_stress_kernel(Isa::ArmV8, simd_ops, pad)
+            }
+        }
+    }
+}
+
+fn arb_kernel() -> impl Strategy<Value = KernelSpec> {
+    prop_oneof![
+        (0usize..24).prop_map(|extra_adds| KernelSpec::Padded { extra_adds }),
+        (1usize..5).prop_map(|bursts| KernelSpec::Burst { bursts }),
+        ((1usize..12), (1usize..20))
+            .prop_map(|(simd_ops, pad)| KernelSpec::Stress { simd_ops, pad }),
+    ]
+}
+
+fn assert_runs_bit_identical(a: &DomainRun, b: &DomainRun) {
+    assert_eq!(a.v_die.len(), b.v_die.len());
+    assert_eq!(a.i_die.len(), b.i_die.len());
+    for (x, y) in a.v_die.samples().iter().zip(b.v_die.samples()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "v_die diverged");
+    }
+    for (x, y) in a.i_die.samples().iter().zip(b.i_die.samples()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "i_die diverged");
+    }
+    assert_eq!(a.ipc.to_bits(), b.ipc.to_bits());
+    assert_eq!(a.loop_frequency.to_bits(), b.loop_frequency.to_bits());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Running kernel B after kernel A on a reused runner gives exactly
+    /// the result a fresh runner gives for B: no state leaks through the
+    /// transient scratch, the reused `DomainRun`, or the plan.
+    #[test]
+    fn reused_runner_matches_fresh_over_kernel_pairs(
+        first in arb_kernel(),
+        second in arb_kernel(),
+    ) {
+        let domain = a72_domain();
+        let config = RunConfig::fast();
+        let ka = first.build();
+        let kb = second.build();
+
+        // Reused path: one runner, one output buffer, A then B.
+        let mut reused = DomainRunner::new(&domain, config.clone()).unwrap();
+        let mut run = DomainRun::empty();
+        reused.run_into(&ka, 1, &mut run).unwrap();
+        reused.run_into(&kb, 1, &mut run).unwrap();
+
+        // Fresh path: a brand-new runner sees only B.
+        let mut fresh = DomainRunner::new(&domain, config).unwrap();
+        let baseline = fresh.run(&kb, 1).unwrap();
+
+        assert_runs_bit_identical(&run, &baseline);
+    }
+
+    /// Re-running the same kernel on the same runner is idempotent:
+    /// evaluation N and evaluation N+1 are bit-identical.
+    #[test]
+    fn repeated_evaluation_is_idempotent(spec in arb_kernel()) {
+        let domain = a72_domain();
+        let kernel = spec.build();
+        let mut runner = DomainRunner::new(&domain, RunConfig::fast()).unwrap();
+        let mut first = DomainRun::empty();
+        let mut second = DomainRun::empty();
+        runner.run_into(&kernel, 1, &mut first).unwrap();
+        runner.run_into(&kernel, 1, &mut second).unwrap();
+        assert_runs_bit_identical(&first, &second);
+    }
+}
