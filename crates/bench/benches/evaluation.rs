@@ -101,5 +101,66 @@ fn bench_full_chain(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_solver, bench_evaluation, bench_full_chain);
+/// The tentpole acceptance bench: the full per-individual chain with the
+/// default [`NoopRecorder`](emvolt_obs::NoopRecorder) handle attached
+/// must stay within 1% of the un-instrumented baseline
+/// (`full_chain/run_and_measure_reused_scratch`), and the JSONL-enabled
+/// path shows what tracing actually costs.
+fn bench_telemetry(c: &mut Criterion) {
+    use emvolt_obs::{JsonlRecorder, Telemetry};
+    use std::sync::Arc;
+
+    let domain = a72_domain();
+    let cfg = RunConfig::fast();
+    let kernel = arm_kernel();
+
+    let mut g = c.benchmark_group("telemetry");
+
+    // Disabled path: every hook present, every emission gated off. This
+    // is exactly what un-flagged campaigns run.
+    let noop = Telemetry::noop();
+    let mut runner = DomainRunner::new_with(&domain, cfg.clone(), noop.clone()).unwrap();
+    let bench = EmBench::new(0xBE7C);
+    let shared = bench.share();
+    let mut run = DomainRun::empty();
+    let mut measure = MeasureScratch::new();
+    measure.set_telemetry(noop);
+    g.bench_function("full_chain_noop_recorder", |b| {
+        b.iter(|| {
+            runner.run_into(&kernel, 1, &mut run).unwrap();
+            black_box(
+                shared
+                    .measure_in_band_seeded_with(&run, 50e6, 200e6, 3, 7, &mut measure)
+                    .metric_dbm,
+            )
+        })
+    });
+
+    // Enabled path: spans serialized per measurement into an in-memory
+    // sink — the upper bound a `--telemetry` campaign pays per eval.
+    let tel = Telemetry::new(Arc::new(JsonlRecorder::new(std::io::sink())));
+    let mut runner = DomainRunner::new_with(&domain, cfg.clone(), tel.clone()).unwrap();
+    let mut run = DomainRun::empty();
+    let mut measure = MeasureScratch::new();
+    measure.set_telemetry(tel);
+    g.bench_function("full_chain_jsonl_to_sink", |b| {
+        b.iter(|| {
+            runner.run_into(&kernel, 1, &mut run).unwrap();
+            black_box(
+                shared
+                    .measure_in_band_seeded_with(&run, 50e6, 200e6, 3, 7, &mut measure)
+                    .metric_dbm,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solver,
+    bench_evaluation,
+    bench_full_chain,
+    bench_telemetry
+);
 criterion_main!(benches);

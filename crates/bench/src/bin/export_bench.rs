@@ -1,0 +1,226 @@
+//! Exports machine-readable benchmark numbers to `BENCH_eval.json` and
+//! `BENCH_ga.json` at the repository root.
+//!
+//! The criterion benches print to stdout only; CI and EXPERIMENTS.md
+//! want stable JSON artifacts, so this binary re-times the same
+//! workloads with `std::time::Instant` and writes
+//! `{name, samples, min_ms, mean_ms, max_ms}` records. The headline
+//! comparison is `full_chain_noop_recorder` (telemetry hooks present,
+//! everything gated off) against `full_chain_baseline` — the tentpole
+//! requires the noop path within 1% of the baseline.
+//!
+//! Usage: `export_bench [output_dir]` (default `.`).
+
+use emvolt_bench::fixtures::{a72_domain, arm_kernel};
+use emvolt_core::{generate_em_virus, VirusGenConfig};
+use emvolt_ga::GaConfig;
+use emvolt_obs::{JsonlRecorder, Telemetry};
+use emvolt_platform::{DomainRun, DomainRunner, EmBench, MeasureScratch, RunConfig};
+use serde::Value;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Stats {
+    name: &'static str,
+    samples: usize,
+    min_ms: f64,
+    mean_ms: f64,
+    max_ms: f64,
+}
+
+/// Times `f` over `samples` iterations after `warmup` discarded ones.
+fn time_ms(name: &'static str, warmup: usize, samples: usize, mut f: impl FnMut()) -> Stats {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    Stats {
+        name,
+        samples,
+        min_ms: min,
+        mean_ms: mean,
+        max_ms: max,
+    }
+}
+
+fn to_value(records: &[Stats]) -> Value {
+    Value::Arr(
+        records
+            .iter()
+            .map(|s| {
+                Value::Obj(vec![
+                    ("name".to_owned(), Value::Str(s.name.to_owned())),
+                    ("samples".to_owned(), Value::Num(s.samples as f64)),
+                    ("min_ms".to_owned(), Value::Num(s.min_ms)),
+                    ("mean_ms".to_owned(), Value::Num(s.mean_ms)),
+                    ("max_ms".to_owned(), Value::Num(s.max_ms)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The vendored `Value` has no blanket `Serialize` impl; this newtype
+/// hands a prebuilt tree to the serializer.
+struct Raw(Value);
+
+impl serde::Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+fn write_json(dir: &str, file: &str, records: &[Stats]) {
+    let path = format!("{dir}/{file}");
+    let json =
+        serde_json::to_string_pretty(&Raw(to_value(records))).expect("serialize bench records");
+    std::fs::write(&path, json + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+/// One full-chain evaluation closure over reusable scratch: the exact
+/// per-individual loop the GA pays.
+fn eval_records() -> Vec<Stats> {
+    let domain = a72_domain();
+    let cfg = RunConfig::fast();
+    let kernel = arm_kernel();
+    let bench = EmBench::new(0xBE7C);
+    let shared = bench.share();
+    const WARMUP: usize = 5;
+    const SAMPLES: usize = 40;
+
+    let mut records = Vec::new();
+
+    // Baseline: plain constructors, no telemetry argument anywhere.
+    {
+        let mut runner = DomainRunner::new(&domain, cfg.clone()).unwrap();
+        let mut run = DomainRun::empty();
+        let mut measure = MeasureScratch::new();
+        records.push(time_ms("full_chain_baseline", WARMUP, SAMPLES, || {
+            runner.run_into(&kernel, 1, &mut run).unwrap();
+            std::hint::black_box(
+                shared
+                    .measure_in_band_seeded_with(&run, 50e6, 200e6, 3, 7, &mut measure)
+                    .metric_dbm,
+            );
+        }));
+    }
+
+    // Noop recorder: hooks live, emission gated off.
+    {
+        let noop = Telemetry::noop();
+        let mut runner = DomainRunner::new_with(&domain, cfg.clone(), noop.clone()).unwrap();
+        let mut run = DomainRun::empty();
+        let mut measure = MeasureScratch::new();
+        measure.set_telemetry(noop);
+        records.push(time_ms("full_chain_noop_recorder", WARMUP, SAMPLES, || {
+            runner.run_into(&kernel, 1, &mut run).unwrap();
+            std::hint::black_box(
+                shared
+                    .measure_in_band_seeded_with(&run, 50e6, 200e6, 3, 7, &mut measure)
+                    .metric_dbm,
+            );
+        }));
+    }
+
+    // JSONL recorder to an in-memory sink: the enabled-path upper bound.
+    {
+        let tel = Telemetry::new(Arc::new(JsonlRecorder::new(std::io::sink())));
+        let mut runner = DomainRunner::new_with(&domain, cfg.clone(), tel.clone()).unwrap();
+        let mut run = DomainRun::empty();
+        let mut measure = MeasureScratch::new();
+        measure.set_telemetry(tel);
+        records.push(time_ms("full_chain_jsonl_to_sink", WARMUP, SAMPLES, || {
+            runner.run_into(&kernel, 1, &mut run).unwrap();
+            std::hint::black_box(
+                shared
+                    .measure_in_band_seeded_with(&run, 50e6, 200e6, 3, 7, &mut measure)
+                    .metric_dbm,
+            );
+        }));
+    }
+
+    records
+}
+
+fn ga_config(telemetry: Telemetry) -> VirusGenConfig {
+    VirusGenConfig {
+        ga: GaConfig {
+            population: 6,
+            generations: 3,
+            ..GaConfig::default()
+        },
+        kernel_len: 16,
+        samples_per_individual: 3,
+        threads: 1,
+        telemetry,
+        ..VirusGenConfig::default()
+    }
+}
+
+fn ga_records() -> Vec<Stats> {
+    let domain = a72_domain();
+    const WARMUP: usize = 1;
+    const SAMPLES: usize = 5;
+
+    let mut records = Vec::new();
+    records.push(time_ms(
+        "ga_campaign_noop_recorder",
+        WARMUP,
+        SAMPLES,
+        || {
+            let mut bench = EmBench::new(11);
+            let cfg = ga_config(Telemetry::noop());
+            std::hint::black_box(
+                generate_em_virus("bench", &domain, &mut bench, &cfg)
+                    .unwrap()
+                    .fitness,
+            );
+        },
+    ));
+    records.push(time_ms(
+        "ga_campaign_jsonl_to_sink",
+        WARMUP,
+        SAMPLES,
+        || {
+            let mut bench = EmBench::new(11);
+            let tel = Telemetry::new(Arc::new(JsonlRecorder::new(std::io::sink())));
+            let cfg = ga_config(tel);
+            std::hint::black_box(
+                generate_em_virus("bench", &domain, &mut bench, &cfg)
+                    .unwrap()
+                    .fitness,
+            );
+        },
+    ));
+    records
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+    let eval = eval_records();
+    for s in &eval {
+        eprintln!(
+            "{:<28} min {:.3} ms  mean {:.3} ms  max {:.3} ms",
+            s.name, s.min_ms, s.mean_ms, s.max_ms
+        );
+    }
+    write_json(&dir, "BENCH_eval.json", &eval);
+
+    let ga = ga_records();
+    for s in &ga {
+        eprintln!(
+            "{:<28} min {:.3} ms  mean {:.3} ms  max {:.3} ms",
+            s.name, s.min_ms, s.mean_ms, s.max_ms
+        );
+    }
+    write_json(&dir, "BENCH_ga.json", &ga);
+}

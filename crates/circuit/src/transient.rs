@@ -12,6 +12,7 @@ use crate::error::{CircuitError, Result};
 use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::{Circuit, InductorId, NodeId};
 use crate::trace::Trace;
+use emvolt_obs::{CounterId, Layer, Telemetry};
 
 /// Configuration for a transient run.
 #[derive(Debug, Clone, PartialEq)]
@@ -213,6 +214,7 @@ pub struct TransientScratch {
     dt: f64,
     t0: f64,
     len: usize,
+    telemetry: Telemetry,
 }
 
 impl TransientScratch {
@@ -220,6 +222,18 @@ impl TransientScratch {
     /// reused afterwards.
     pub fn new() -> Self {
         TransientScratch::default()
+    }
+
+    /// Attaches a telemetry handle; every run through this scratch then
+    /// charges solver counters and (for emitting handles) a
+    /// `transient_solve` span. The default handle is inert.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 }
 
@@ -435,6 +449,20 @@ impl Circuit {
             ind_g,
             n_resistors: self.resistors.len(),
         })
+    }
+
+    /// Like [`Circuit::plan_transient`], additionally charging the two LU
+    /// factorizations it performs (transient system matrix + DC operating
+    /// point) to `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive step or an ill-posed netlist
+    /// (singular MNA matrix).
+    pub fn plan_transient_with(&self, dt: f64, telemetry: &Telemetry) -> Result<TransientPlan> {
+        let plan = self.plan_transient(dt)?;
+        telemetry.count(CounterId::LuFactorizations, 2);
+        Ok(plan)
     }
 
     /// Runs a trapezoidal transient analysis starting from the DC operating
@@ -714,6 +742,20 @@ impl Circuit {
                 *len += 1;
             }
         }
+        let recorded = *len;
+
+        let tel = &scratch.telemetry;
+        tel.count(CounterId::TransientRuns, 1);
+        tel.count(CounterId::SolverSteps, n_steps as u64);
+        tel.span(
+            "transient_solve",
+            Layer::Circuit,
+            &[
+                ("steps", n_steps as f64),
+                ("dim", dim as f64),
+                ("recorded", recorded as f64),
+            ],
+        );
 
         Ok(())
     }

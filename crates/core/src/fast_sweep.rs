@@ -9,6 +9,7 @@
 //! ~15 hours for a GA run.
 
 use emvolt_isa::kernels::sweep_kernel;
+use emvolt_obs::{Layer, Telemetry};
 use emvolt_platform::{DomainError, DomainRun, DomainRunner, EmBench, SessionClock, VoltageDomain};
 
 /// One point of a loop-frequency sweep (Figs. 11, 13, 16).
@@ -50,6 +51,10 @@ pub struct FastSweepConfig {
     pub marker_halfwidth_hz: f64,
     /// Physics fidelity per point.
     pub run: emvolt_platform::RunConfig,
+    /// Telemetry handle: the sweep is serial, so one `sweep` span per
+    /// DVFS point is emitted in visit order, stamped with the simulated
+    /// campaign clock. Defaults to the inert handle.
+    pub telemetry: Telemetry,
 }
 
 impl FastSweepConfig {
@@ -69,6 +74,7 @@ impl FastSweepConfig {
             samples_per_point: 5,
             marker_halfwidth_hz: 3e6,
             run: emvolt_platform::RunConfig::fast(),
+            telemetry: Telemetry::noop(),
         }
     }
 }
@@ -84,10 +90,12 @@ pub fn fast_resonance_sweep(
     config: &FastSweepConfig,
 ) -> Result<FastSweepResult, DomainError> {
     let kernel = sweep_kernel(domain.core_model().isa);
+    let tel = &config.telemetry;
     // One runner for the whole sweep: DVFS only retunes the CPU timing
     // model, so the PDN netlist, its factorizations and the transient
     // scratch are built once and reused across every point.
-    let mut runner = DomainRunner::new(domain, config.run.clone())?;
+    let mut runner = DomainRunner::new_with(domain, config.run.clone(), tel.clone())?;
+    bench.set_telemetry(tel.clone());
     let mut run = DomainRun::empty();
     let mut points = Vec::with_capacity(config.cpu_freqs_hz.len());
     let mut campaign = SessionClock::new();
@@ -103,6 +111,16 @@ pub fn fast_resonance_sweep(
             config.samples_per_point,
         );
         campaign.advance(config.samples_per_point as f64 * 0.6 + 2.0);
+        tel.set_sim_time(campaign.seconds());
+        tel.span(
+            "sweep",
+            Layer::Core,
+            &[
+                ("cpu_mhz", f_cpu / 1e6),
+                ("loop_mhz", loop_freq / 1e6),
+                ("amplitude_dbm", reading.metric_dbm),
+            ],
+        );
         points.push(SweepPoint {
             cpu_freq_hz: f_cpu,
             loop_freq_hz: loop_freq,
@@ -115,6 +133,10 @@ pub fn fast_resonance_sweep(
         .max_by(|a, b| a.amplitude_dbm.total_cmp(&b.amplitude_dbm))
         .map(|p| p.loop_freq_hz)
         .unwrap_or(0.0);
+
+    tel.emit_counters();
+    tel.emit_histograms();
+    tel.flush();
 
     Ok(FastSweepResult {
         points,

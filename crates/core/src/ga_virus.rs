@@ -11,6 +11,7 @@
 use emvolt_ga::{derive_eval_seed, EvalContext, GaConfig, GaEngine, KernelRepresentation};
 use emvolt_inst::Oscilloscope;
 use emvolt_isa::{InstructionPool, Kernel};
+use emvolt_obs::{CounterId, HistId, Layer, Telemetry};
 use emvolt_platform::{
     DomainError, DomainRun, DomainRunner, EmBench, MeasureScratch, RunConfig, SessionClock,
     VoltageDomain, INDIVIDUAL_MEASUREMENT_SECONDS, INDIVIDUAL_OVERHEAD_SECONDS, RESONANCE_BAND,
@@ -64,6 +65,13 @@ pub struct VirusGenConfig {
     /// identically. This trades the paper's "re-measure everything"
     /// realism for speed.
     pub cache_fitness: bool,
+    /// Telemetry handle charged across the whole campaign: counters and
+    /// histogram values accumulate from worker threads (order-independent
+    /// atomics), while span events are emitted only from the
+    /// single-threaded generation barrier and the post-campaign
+    /// re-measurement — traces are byte-identical for every `threads`
+    /// value. Defaults to the inert [`Telemetry::noop`] handle.
+    pub telemetry: Telemetry,
 }
 
 impl Default for VirusGenConfig {
@@ -78,6 +86,7 @@ impl Default for VirusGenConfig {
             run: RunConfig::fast(),
             threads: 0,
             cache_fitness: false,
+            telemetry: Telemetry::noop(),
         }
     }
 }
@@ -122,11 +131,18 @@ struct EvalSlot {
 }
 
 impl EvalSlot {
-    fn new(domain: &VoltageDomain, run_config: &RunConfig) -> Result<Self, DomainError> {
+    fn new(
+        domain: &VoltageDomain,
+        run_config: &RunConfig,
+        telemetry: &Telemetry,
+    ) -> Result<Self, DomainError> {
+        let runner = DomainRunner::new_with(domain, run_config.clone(), telemetry.clone())?;
+        let mut measure = MeasureScratch::new();
+        measure.set_telemetry(telemetry.clone());
         Ok(EvalSlot {
-            runner: DomainRunner::new(domain, run_config.clone())?,
+            runner,
             run: DomainRun::empty(),
-            measure: MeasureScratch::new(),
+            measure,
         })
     }
 }
@@ -139,14 +155,18 @@ impl EvalSlot {
 struct RunnerPool<'a> {
     domain: &'a VoltageDomain,
     run_config: &'a RunConfig,
+    /// Quiet handle shared with every slot: worker-side emissions are
+    /// counter/histogram updates only, never events.
+    telemetry: Telemetry,
     idle: Mutex<Vec<EvalSlot>>,
 }
 
 impl<'a> RunnerPool<'a> {
-    fn new(domain: &'a VoltageDomain, run_config: &'a RunConfig) -> Self {
+    fn new(domain: &'a VoltageDomain, run_config: &'a RunConfig, telemetry: Telemetry) -> Self {
         RunnerPool {
             domain,
             run_config,
+            telemetry,
             idle: Mutex::new(Vec::new()),
         }
     }
@@ -154,14 +174,20 @@ impl<'a> RunnerPool<'a> {
     /// Runs `f` with a pooled slot checked out. The slot goes back to the
     /// pool whatever `f` returns — a failed run leaves the runner's plan
     /// and netlist untouched, and the scratch buffers carry no state
-    /// between evaluations.
+    /// between evaluations. Each checkout charges the scratch-pool
+    /// counters: a miss means a cold slot (netlist + LU factorization)
+    /// had to be built.
     fn with<T>(
         &self,
         f: impl FnOnce(&mut EvalSlot) -> Result<T, DomainError>,
     ) -> Result<T, DomainError> {
+        self.telemetry.count(CounterId::ScratchCheckouts, 1);
         let mut slot = match self.idle.lock().pop() {
             Some(s) => s,
-            None => EvalSlot::new(self.domain, self.run_config)?,
+            None => {
+                self.telemetry.count(CounterId::ScratchMisses, 1);
+                EvalSlot::new(self.domain, self.run_config, &self.telemetry)?
+            }
         };
         let result = f(&mut slot);
         self.idle.lock().push(slot);
@@ -185,6 +211,46 @@ pub struct GenerationRecord {
     /// Maximum droop of the strongest individual in volts, when measured
     /// (the paper re-runs each generation's best against the OC-DSO).
     pub droop_v: Option<f64>,
+}
+
+/// Per-generation progress snapshot handed to the observer callback of
+/// [`generate_em_virus_observed`] (and printed by `emvolt virus
+/// --progress`). All figures describe the generation that just finished.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationProgress {
+    /// Generation index, starting at 0.
+    pub index: usize,
+    /// Best EM metric of the generation, dBm.
+    pub best_dbm: f64,
+    /// Mean EM metric of the generation, dBm.
+    pub mean_dbm: f64,
+    /// Worst EM metric of the generation, dBm.
+    pub worst_dbm: f64,
+    /// Individuals evaluated this generation (measured + cache hits).
+    pub evaluated: usize,
+    /// Evaluations served from the fitness cache.
+    pub cache_hits: usize,
+    /// Simulated campaign seconds elapsed so far.
+    pub sim_seconds: f64,
+}
+
+impl GenerationProgress {
+    /// Fitness-cache hit rate for this generation, percent.
+    pub fn cache_hit_pct(&self) -> f64 {
+        if self.evaluated == 0 {
+            0.0
+        } else {
+            100.0 * self.cache_hits as f64 / self.evaluated as f64
+        }
+    }
+}
+
+/// One worker-side fitness evaluation, logged for deterministic span
+/// emission at the generation barrier.
+struct EvalRecord {
+    index: usize,
+    score: f64,
+    cached: bool,
 }
 
 /// The product of a virus-generation campaign.
@@ -229,16 +295,42 @@ pub fn generate_em_virus(
     bench: &mut EmBench,
     config: &VirusGenConfig,
 ) -> Result<Virus, DomainError> {
+    generate_em_virus_observed(name, domain, bench, config, |_| {})
+}
+
+/// [`generate_em_virus`] with a per-generation observer: `on_generation`
+/// receives a [`GenerationProgress`] at every generation barrier (after
+/// telemetry for that generation has been emitted). The observer runs on
+/// the coordinator thread, in generation order.
+///
+/// # Errors
+///
+/// As for [`generate_em_virus`].
+pub fn generate_em_virus_observed(
+    name: &str,
+    domain: &VoltageDomain,
+    bench: &mut EmBench,
+    config: &VirusGenConfig,
+    mut on_generation: impl FnMut(&GenerationProgress),
+) -> Result<Virus, DomainError> {
     let pool = InstructionPool::default_for(domain.core_model().isa);
     let repr = KernelRepresentation::new(pool, config.kernel_len);
     let mut engine = GaEngine::new(repr, config.ga.clone());
     let mut clock = SessionClock::new();
     let threads = resolve_threads(config.threads);
 
+    // Full handle for the single-threaded coordinator (emits spans),
+    // quiet clone for the worker pool (counters and histograms only).
+    let tel = config.telemetry.clone();
+    engine.set_telemetry(tel.clone());
+    bench.set_telemetry(tel.clone());
+
     let shared = bench.share();
-    let runners = RunnerPool::new(domain, &config.run);
+    let runners = RunnerPool::new(domain, &config.run, tel.quiet());
     let fitness_cache: Mutex<HashMap<u64, f64>> = Mutex::new(HashMap::new());
     let measured = AtomicUsize::new(0);
+    let cache_hit_count = AtomicUsize::new(0);
+    let eval_log: Mutex<Vec<EvalRecord>> = Mutex::new(Vec::new());
     // 0.6 s per spectrum sample plus orchestration overhead (the paper's
     // 30-sample measurement costs ~18 s).
     let per_individual_s = config.samples_per_individual as f64 * INDIVIDUAL_MEASUREMENT_SECONDS
@@ -247,12 +339,26 @@ pub fn generate_em_virus(
     let campaign_seed = config.ga.seed;
 
     let result = {
+        let quiet = tel.quiet();
+        let log_eval = |index: usize, score: f64, cached: bool| {
+            if quiet.sink_enabled() {
+                eval_log.lock().push(EvalRecord {
+                    index,
+                    score,
+                    cached,
+                });
+            }
+        };
         let fitness = |kernel: &Kernel, ctx: EvalContext| -> f64 {
             let key = config.cache_fitness.then(|| kernel_identity(kernel));
             if let Some(k) = key {
                 if let Some(&cached) = fitness_cache.lock().get(&k) {
+                    quiet.count(CounterId::FitnessCacheHits, 1);
+                    cache_hit_count.fetch_add(1, Ordering::Relaxed);
+                    log_eval(ctx.index, cached, true);
                     return cached;
                 }
+                quiet.count(CounterId::FitnessCacheMisses, 1);
             }
             measured.fetch_add(1, Ordering::Relaxed);
             // Cache mode derives the measurement seed from the genome so
@@ -281,11 +387,69 @@ pub fn generate_em_virus(
             if let Some(k) = key {
                 fitness_cache.lock().insert(k, score);
             }
+            log_eval(ctx.index, score, false);
             score
         };
-        engine.run_batch(&fitness, threads, |_| {
-            let evaluated = measured.swap(0, Ordering::Relaxed);
-            clock.advance(evaluated as f64 * per_individual_s);
+        engine.run_batch(&fitness, threads, |stats| {
+            let measured_now = measured.swap(0, Ordering::Relaxed);
+            let hits = cache_hit_count.swap(0, Ordering::Relaxed);
+            clock.advance(measured_now as f64 * per_individual_s);
+            tel.set_sim_time(clock.seconds());
+
+            // Drain the worker-side eval log and emit spans in population
+            // order — the barrier makes this independent of how threads
+            // interleaved during evaluation.
+            let mut records = std::mem::take(&mut *eval_log.lock());
+            records.sort_by_key(|r| r.index);
+            let mut worst = f64::INFINITY;
+            for r in &records {
+                worst = worst.min(r.score);
+                tel.record_value(
+                    HistId::EvalSeconds,
+                    if r.cached { 0.0 } else { per_individual_s },
+                );
+                tel.span(
+                    "eval",
+                    Layer::Core,
+                    &[
+                        ("generation", stats.index as f64),
+                        ("individual", r.index as f64),
+                        ("fitness_dbm", r.score),
+                        ("cached", if r.cached { 1.0 } else { 0.0 }),
+                    ],
+                );
+            }
+            if !records.is_empty() {
+                tel.record_value(HistId::FitnessBest, stats.best_fitness);
+                tel.record_value(HistId::FitnessMean, stats.mean_fitness);
+                tel.record_value(HistId::FitnessWorst, worst);
+            }
+            let worst_dbm = if worst.is_finite() {
+                worst
+            } else {
+                stats.best_fitness
+            };
+            tel.span(
+                "generation",
+                Layer::Ga,
+                &[
+                    ("index", stats.index as f64),
+                    ("best_dbm", stats.best_fitness),
+                    ("mean_dbm", stats.mean_fitness),
+                    ("worst_dbm", worst_dbm),
+                    ("evaluated", (measured_now + hits) as f64),
+                    ("cache_hits", hits as f64),
+                ],
+            );
+            on_generation(&GenerationProgress {
+                index: stats.index,
+                best_dbm: stats.best_fitness,
+                mean_dbm: stats.mean_fitness,
+                worst_dbm,
+                evaluated: measured_now + hits,
+                cache_hits: hits,
+                sim_seconds: clock.seconds(),
+            });
         })
     };
     bench.absorb_elapsed(&shared);
@@ -298,6 +462,10 @@ pub fn generate_em_virus(
         Some(slot) => slot.runner,
         None => DomainRunner::new(domain, config.run.clone())?,
     };
+    // The re-measurement runs serially on the coordinator: give it the
+    // full handle so circuit/dsp/platform spans are emitted here, in a
+    // deterministic order, regardless of the campaign thread count.
+    post_runner.set_telemetry(tel.clone());
     let mut dominant_memo: HashMap<u64, f64> = HashMap::new();
     let mut dominant_of_best = Vec::with_capacity(result.generation_best.len());
     for k in &result.generation_best {
@@ -335,6 +503,20 @@ pub fn generate_em_virus(
         config.samples_per_individual,
     );
 
+    tel.span(
+        "campaign",
+        Layer::Core,
+        &[
+            ("generations", result.history.len() as f64),
+            ("best_dbm", result.best_fitness),
+            ("dominant_mhz", final_reading.dominant_hz / 1e6),
+            ("sim_seconds", clock.seconds()),
+        ],
+    );
+    tel.emit_counters();
+    tel.emit_histograms();
+    tel.flush();
+
     Ok(Virus {
         name: name.to_owned(),
         kernel: result.best,
@@ -368,10 +550,12 @@ pub fn generate_voltage_virus(
     let pool = InstructionPool::default_for(domain.core_model().isa);
     let repr = KernelRepresentation::new(pool, config.kernel_len);
     let mut engine = GaEngine::new(repr, config.ga.clone());
+    engine.set_telemetry(config.telemetry.clone());
     let mut clock = SessionClock::new();
     let threads = resolve_threads(config.threads);
 
-    let runners = RunnerPool::new(domain, &config.run);
+    let quiet = config.telemetry.quiet();
+    let runners = RunnerPool::new(domain, &config.run, quiet.clone());
     let fitness_cache: Mutex<HashMap<u64, f64>> = Mutex::new(HashMap::new());
     let measured = AtomicUsize::new(0);
     let nominal_v = domain.voltage();
@@ -381,8 +565,10 @@ pub fn generate_voltage_virus(
             let key = config.cache_fitness.then(|| kernel_identity(kernel));
             if let Some(k) = key {
                 if let Some(&cached) = fitness_cache.lock().get(&k) {
+                    quiet.count(CounterId::FitnessCacheHits, 1);
                     return cached;
                 }
+                quiet.count(CounterId::FitnessCacheMisses, 1);
             }
             measured.fetch_add(1, Ordering::Relaxed);
             let seed = match key {
@@ -426,7 +612,7 @@ pub fn generate_voltage_virus(
 
     let mut post = match runners.idle.into_inner().pop() {
         Some(slot) => slot,
-        None => EvalSlot::new(domain, &config.run)?,
+        None => EvalSlot::new(domain, &config.run, &quiet)?,
     };
     post.runner
         .run_into(&result.best, config.loaded_cores, &mut post.run)?;

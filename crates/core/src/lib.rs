@@ -51,8 +51,9 @@ pub mod tamper;
 pub use characterization::Characterization;
 pub use fast_sweep::{fast_resonance_sweep, FastSweepConfig, FastSweepResult, SweepPoint};
 pub use ga_virus::{
-    annotate_droop, dominant_from_run, generate_em_virus, generate_voltage_virus, GenerationRecord,
-    Virus, VirusGenConfig, VoltageMetric,
+    annotate_droop, dominant_from_run, generate_em_virus, generate_em_virus_observed,
+    generate_voltage_virus, GenerationProgress, GenerationRecord, Virus, VirusGenConfig,
+    VoltageMetric,
 };
 pub use predictor::MarginPredictor;
 pub use report::{analyze_virus, format_table2, VirusReport};

@@ -30,6 +30,11 @@ use rand::SeedableRng;
 
 /// Extracts up to `count` signatures at least `min_separation_hz` apart
 /// and at least `min_above_floor_db` above the analyzer noise floor.
+///
+/// Candidates are considered strongest-first; two spikes at exactly the
+/// same level are tie-broken by ascending frequency, so the selection is
+/// a pure function of the reading rather than of the analyzer's point
+/// order. The returned signatures are sorted by ascending frequency.
 pub fn detect_signatures(
     reading: &SweepReading,
     noise_floor_dbm: f64,
@@ -43,7 +48,7 @@ pub fn detect_signatures(
         .copied()
         .filter(|(_, dbm)| *dbm > noise_floor_dbm + min_above_floor_db)
         .collect();
-    candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
+    candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.total_cmp(&b.0)));
     let mut picked: Vec<Signature> = Vec::new();
     for (f, dbm) in candidates {
         if picked.len() >= count {
@@ -59,6 +64,7 @@ pub fn detect_signatures(
             });
         }
     }
+    picked.sort_by(|a, b| a.freq_hz.total_cmp(&b.freq_hz));
     picked
 }
 
@@ -90,6 +96,43 @@ mod tests {
             sigs.len() >= 2,
             "expected at least two signatures, got {sigs:?}"
         );
+        assert!(
+            sigs.windows(2).all(|w| w[0].freq_hz < w[1].freq_hz),
+            "signatures must come back frequency-sorted: {sigs:?}"
+        );
+    }
+
+    fn reading_of(points: Vec<(f64, f64)>) -> SweepReading {
+        SweepReading { points }
+    }
+
+    #[test]
+    fn equal_levels_tie_break_toward_lower_frequency() {
+        // Three equal-level spikes: with room for two picks separated by
+        // 10 MHz, the selection must prefer the lower frequencies rather
+        // than depend on input order.
+        let reading = reading_of(vec![(90e6, -50.0), (70e6, -50.0), (110e6, -50.0)]);
+        let sigs = detect_signatures(&reading, -95.0, 2, 10e6, 10.0);
+        assert_eq!(sigs.len(), 2);
+        assert_eq!(sigs[0].freq_hz, 70e6);
+        assert_eq!(sigs[1].freq_hz, 90e6);
+
+        // Input order must not matter.
+        let shuffled = reading_of(vec![(110e6, -50.0), (90e6, -50.0), (70e6, -50.0)]);
+        assert_eq!(detect_signatures(&shuffled, -95.0, 2, 10e6, 10.0), sigs);
+    }
+
+    #[test]
+    fn signatures_return_sorted_by_frequency() {
+        // Strongest spike sits at the highest frequency; output must
+        // still be frequency-ascending.
+        let reading = reading_of(vec![(150e6, -40.0), (60e6, -55.0), (100e6, -45.0)]);
+        let sigs = detect_signatures(&reading, -95.0, 3, 5e6, 10.0);
+        assert_eq!(sigs.len(), 3);
+        let freqs: Vec<f64> = sigs.iter().map(|s| s.freq_hz).collect();
+        assert_eq!(freqs, vec![60e6, 100e6, 150e6]);
+        // The strongest level survives selection untouched.
+        assert_eq!(sigs[2].level_dbm, -40.0);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Telemetry acceptance tests: a seeded campaign produces a parseable
+//! JSONL trace with events from every instrumented layer, and two
+//! identical campaigns produce byte-identical traces — at any thread
+//! count.
+
+use emvolt_core::{generate_em_virus, VirusGenConfig};
+use emvolt_cpu::CoreModel;
+use emvolt_ga::GaConfig;
+use emvolt_obs::{Event, EventKind, JsonlRecorder, Layer, Telemetry};
+use emvolt_platform::{a72_pdn, EmBench, VoltageDomain};
+use parking_lot::Mutex;
+use std::io::{self, Write};
+use std::sync::Arc;
+
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn a72() -> VoltageDomain {
+    VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9)
+}
+
+fn campaign_config(telemetry: Telemetry, threads: usize) -> VirusGenConfig {
+    VirusGenConfig {
+        ga: GaConfig {
+            population: 6,
+            generations: 4,
+            ..GaConfig::default()
+        },
+        kernel_len: 16,
+        samples_per_individual: 3,
+        threads,
+        cache_fitness: true,
+        telemetry,
+        ..VirusGenConfig::default()
+    }
+}
+
+/// Runs one seeded campaign and returns the raw trace bytes.
+fn traced_campaign(threads: usize) -> Vec<u8> {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let tel = Telemetry::new(Arc::new(JsonlRecorder::new(SharedBuf(buf.clone()))));
+    let domain = a72();
+    let mut bench = EmBench::new(11);
+    generate_em_virus(
+        "det-test",
+        &domain,
+        &mut bench,
+        &campaign_config(tel, threads),
+    )
+    .unwrap();
+    let bytes = buf.lock().clone();
+    bytes
+}
+
+#[test]
+fn seeded_campaign_trace_covers_all_layers_and_kinds() {
+    let bytes = traced_campaign(1);
+    let text = String::from_utf8(bytes).unwrap();
+    assert!(!text.is_empty(), "campaign emitted no telemetry");
+
+    let events: Vec<Event> = text
+        .lines()
+        .map(|l| {
+            let e: Event = serde_json::from_str(l)
+                .unwrap_or_else(|err| panic!("unparseable line {l:?}: {err:?}"));
+            e.validate()
+                .unwrap_or_else(|err| panic!("invalid {l:?}: {err}"));
+            e
+        })
+        .collect();
+
+    for layer in [
+        Layer::Circuit,
+        Layer::Dsp,
+        Layer::Platform,
+        Layer::Core,
+        Layer::Ga,
+    ] {
+        assert!(
+            events.iter().any(|e| e.layer == layer),
+            "no event from layer {layer}"
+        );
+    }
+    for kind in EventKind::ALL {
+        assert!(
+            events.iter().any(|e| e.kind == kind),
+            "no event of kind {kind:?}"
+        );
+    }
+    for span in [
+        "transient_solve",
+        "fft",
+        "measure",
+        "eval",
+        "generation",
+        "campaign",
+    ] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::Span && e.name == span),
+            "missing span {span:?}"
+        );
+    }
+    // Deterministic traces carry no wall-clock stamps.
+    assert!(events.iter().all(|e| e.wall_s.is_none()));
+}
+
+#[test]
+fn identical_seeded_campaigns_trace_byte_identical() {
+    let a = traced_campaign(1);
+    let b = traced_campaign(1);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same-seed campaigns must trace identically");
+}
+
+#[test]
+fn trace_is_independent_of_thread_count() {
+    let serial = traced_campaign(1);
+    let threaded = traced_campaign(4);
+    assert_eq!(
+        serial, threaded,
+        "thread count must not leak into the trace"
+    );
+}

@@ -3,6 +3,7 @@
 use crate::fft::FftScratch;
 use crate::window::Window;
 use emvolt_circuit::Trace;
+use emvolt_obs::{CounterId, Layer, Telemetry};
 
 /// Reusable buffers for repeated spectrum computation: the windowed copy
 /// of the input plus an [`FftScratch`]. At steady state (same record
@@ -12,12 +13,25 @@ use emvolt_circuit::Trace;
 pub struct SpectrumScratch {
     fft: FftScratch,
     windowed: Vec<f64>,
+    telemetry: Telemetry,
 }
 
 impl SpectrumScratch {
     /// Creates an empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a telemetry handle; spectra computed through this scratch
+    /// then charge the FFT counter and (for emitting handles) an `fft`
+    /// span. The default handle is inert.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 }
 
@@ -95,6 +109,13 @@ impl Spectrum {
             }
         }));
         out.freq_step = sample_rate / n as f64;
+
+        scratch.telemetry.count(CounterId::FftInvocations, 1);
+        scratch.telemetry.span(
+            "fft",
+            Layer::Dsp,
+            &[("n", n as f64), ("freq_step", out.freq_step)],
+        );
     }
 
     /// Computes the spectrum of a [`Trace`].

@@ -67,11 +67,23 @@ impl EmChannel {
     /// reusing its bin storage. Bit-identical to
     /// [`EmChannel::received_spectrum`].
     pub fn received_spectrum_into(&self, die_current: &Spectrum, out: &mut Spectrum) {
+        self.received_spectrum_into_with(die_current, out, &emvolt_obs::Telemetry::noop());
+    }
+
+    /// Like [`EmChannel::received_spectrum_into`], additionally charging
+    /// the propagation to `telemetry`'s received-spectrum counter.
+    pub fn received_spectrum_into_with(
+        &self,
+        die_current: &Spectrum,
+        out: &mut Spectrum,
+        telemetry: &emvolt_obs::Telemetry,
+    ) {
         out.refill_from_bins(
             die_current.freq_step(),
             (0..die_current.len())
                 .map(|k| die_current.amplitude_at(k) * self.transfer(die_current.freq_at(k))),
         );
+        telemetry.count(emvolt_obs::CounterId::RxSpectra, 1);
     }
 
     /// Combines several simultaneously radiating sources (e.g. the two

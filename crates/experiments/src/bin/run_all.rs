@@ -1,27 +1,75 @@
 //! Regenerates every table and figure of the paper in order, writing the
 //! combined report to `results/all_experiments.txt`.
+//!
+//! `--telemetry PATH` writes a JSONL trace with one wall-clock-stamped
+//! span per experiment (name, duration, outcome) and appends a campaign
+//! summary to `results/campaign_summaries.jsonl`. Wall-clock stamps make
+//! these traces non-reproducible by design; use the `emvolt` subcommand
+//! flags for deterministic traces.
 
 use emvolt_experiments::{all_experiments, output, Options};
+use emvolt_obs::{JsonlRecorder, Layer, Telemetry};
+use std::sync::Arc;
+use std::time::Instant;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let telemetry_path = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let started = Instant::now();
+    let tel = match &telemetry_path {
+        Some(path) => match JsonlRecorder::create(path) {
+            Ok(recorder) => Telemetry::with_wall_clock(Arc::new(recorder), move || {
+                started.elapsed().as_secs_f64()
+            }),
+            Err(e) => {
+                eprintln!("--telemetry {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => Telemetry::noop(),
+    };
+
     let opts = Options::from_env();
     let mut combined = String::new();
     let mut failures = 0usize;
     for (name, f) in all_experiments() {
         eprintln!(">> running {name} ...");
-        match f(&opts) {
+        let t0 = Instant::now();
+        let ok = match f(&opts) {
             Ok(report) => {
                 println!("{report}");
                 combined.push_str(&report);
+                true
             }
             Err(e) => {
                 eprintln!("{name} FAILED: {e}");
                 failures += 1;
+                false
             }
-        }
+        };
+        tel.span(
+            name,
+            Layer::Cli,
+            &[
+                ("seconds", t0.elapsed().as_secs_f64()),
+                ("ok", if ok { 1.0 } else { 0.0 }),
+            ],
+        );
     }
     if let Err(e) = output::write_report("all_experiments.txt", &combined) {
         eprintln!("could not write combined report: {e}");
+    }
+    if tel.sink_enabled() {
+        tel.flush();
+        let summary = tel.summary("run_all");
+        let _ = std::fs::create_dir_all("results");
+        if let Err(e) = summary.append_to("results/campaign_summaries.jsonl") {
+            eprintln!("could not append campaign summary: {e}");
+        }
     }
     if failures > 0 {
         eprintln!("{failures} experiment(s) failed");

@@ -126,6 +126,7 @@ pub struct GaResult<G> {
 pub struct GaEngine<R: Representation> {
     repr: R,
     config: GaConfig,
+    telemetry: emvolt_obs::Telemetry,
 }
 
 impl<R: Representation> GaEngine<R> {
@@ -142,12 +143,24 @@ impl<R: Representation> GaEngine<R> {
             config.elitism < config.population,
             "elitism must leave room for offspring"
         );
-        GaEngine { repr, config }
+        GaEngine {
+            repr,
+            config,
+            telemetry: emvolt_obs::Telemetry::noop(),
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &GaConfig {
         &self.config
+    }
+
+    /// Attaches a telemetry handle; the engine then charges the
+    /// evaluation and generation counters as it runs. Counter updates
+    /// are order-independent atomics, so this is safe for batch runs at
+    /// any thread count. The default handle is inert.
+    pub fn set_telemetry(&mut self, telemetry: emvolt_obs::Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Runs the GA to completion.
@@ -249,6 +262,9 @@ impl<R: Representation> GaEngine<R> {
                 population.len(),
                 "evaluator must score every individual"
             );
+            self.telemetry
+                .count(emvolt_obs::CounterId::Evaluations, scores.len() as u64);
+            self.telemetry.count(emvolt_obs::CounterId::Generations, 1);
 
             // Rank indices by descending fitness.
             let mut order: Vec<usize> = (0..population.len()).collect();

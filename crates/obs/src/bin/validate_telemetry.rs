@@ -1,0 +1,79 @@
+//! Validates a JSONL telemetry trace against the documented schema.
+//!
+//! Usage: `validate_telemetry <trace.jsonl> [more traces...]`
+//!
+//! Every line must parse as an [`Event`] and pass [`Event::validate`].
+//! Prints per-kind and per-layer tallies; exits non-zero on the first
+//! malformed file so CI can gate on it.
+
+use std::process::ExitCode;
+
+use emvolt_obs::{Event, EventKind, Layer};
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_telemetry <trace.jsonl> [more traces...]");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match validate_file(path) {
+            Ok(report) => println!("{path}: {report}"),
+            Err(err) => {
+                eprintln!("{path}: INVALID: {err}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn validate_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let mut kind_counts = [0usize; EventKind::ALL.len()];
+    let mut layer_counts = [0usize; Layer::ALL.len()];
+    let mut total = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: Event = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: parse error: {e}", lineno + 1))?;
+        event
+            .validate()
+            .map_err(|e| format!("line {}: schema violation: {e}", lineno + 1))?;
+        let k = EventKind::ALL
+            .iter()
+            .position(|k| *k == event.kind)
+            .unwrap();
+        let l = Layer::ALL.iter().position(|l| *l == event.layer).unwrap();
+        kind_counts[k] += 1;
+        layer_counts[l] += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return Err("trace contains no events".to_string());
+    }
+    let kinds: Vec<String> = EventKind::ALL
+        .iter()
+        .zip(kind_counts)
+        .filter(|(_, n)| *n > 0)
+        .map(|(k, n)| format!("{}={n}", k.as_str()))
+        .collect();
+    let layers: Vec<String> = Layer::ALL
+        .iter()
+        .zip(layer_counts)
+        .filter(|(_, n)| *n > 0)
+        .map(|(l, n)| format!("{}={n}", l.as_str()))
+        .collect();
+    Ok(format!(
+        "{total} events ok ({}; layers: {})",
+        kinds.join(" "),
+        layers.join(" ")
+    ))
+}

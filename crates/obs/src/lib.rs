@@ -1,0 +1,39 @@
+//! Campaign telemetry: deterministic spans, counters and JSONL traces.
+//!
+//! The measurement chain simulates multi-hour physical campaigns (§5.1,
+//! §5.3 of the paper), and this crate is how those campaigns stop running
+//! dark. It is deliberately dependency-free beyond the vendored offline
+//! subsets: counters are plain atomics, histograms sit behind
+//! `parking_lot` mutexes, and the sink renders through the vendored
+//! `serde_json`.
+//!
+//! Three pieces:
+//!
+//! - [`Recorder`]: the sink trait. [`NoopRecorder`] is the zero-cost
+//!   default; [`JsonlRecorder`] writes one [`Event`] per line.
+//! - [`Telemetry`]: the cheap cloneable handle threaded through the
+//!   measurement chain. Counters accumulate from any thread; span and
+//!   histogram *emission* happens only from single-threaded coordinator
+//!   contexts so traces are byte-identical regardless of worker count
+//!   (see [`Telemetry::quiet`]).
+//! - [`CampaignSummary`]: end-of-run aggregation (counter totals +
+//!   histogram percentiles) appended to `results/`.
+//!
+//! Timestamps come from the simulated `SessionClock` (propagated via
+//! [`Telemetry::set_sim_time`]); an optional caller-injected wall-clock
+//! closure adds a `wall` field when real-time latencies are wanted. The
+//! deterministic path never reads the host clock.
+
+#![forbid(unsafe_code)]
+
+mod event;
+mod metrics;
+mod recorder;
+mod summary;
+mod telemetry;
+
+pub use event::{Event, EventKind, Layer};
+pub use metrics::{CounterId, HistId, HistSummary};
+pub use recorder::{JsonlRecorder, NoopRecorder, Recorder};
+pub use summary::{CampaignSummary, CounterTotal, HistTotal};
+pub use telemetry::Telemetry;

@@ -1,0 +1,153 @@
+//! Event sinks: the [`Recorder`] trait, the zero-cost [`NoopRecorder`]
+//! and the line-per-event [`JsonlRecorder`].
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use crate::event::Event;
+
+/// A telemetry sink.
+///
+/// Implementations must be callable from any thread; the deterministic
+/// emission discipline (only coordinator contexts emit) lives above this
+/// trait, in [`crate::Telemetry`].
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// Whether events will actually be persisted. Instrumentation gates
+    /// all allocation and formatting work on this, so the disabled path
+    /// costs one virtual call per *emission site*, not per sample.
+    fn is_enabled(&self) -> bool;
+
+    /// Persists one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes buffered output, if any.
+    fn flush(&self) {}
+}
+
+/// Discards everything; the default sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: &Event) {}
+}
+
+/// Writes one compact JSON object per line to any `Write` target.
+///
+/// Write errors are swallowed after the sink is constructed: a full disk
+/// must not abort a multi-hour campaign. `flush` surfaces nothing either;
+/// callers that need hard guarantees should wrap their own writer.
+pub struct JsonlRecorder<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl JsonlRecorder<BufWriter<File>> {
+    /// Creates (truncates) `path` and buffers writes to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlRecorder::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlRecorder<W> {
+    /// Wraps an arbitrary writer (e.g. a shared buffer in tests).
+    pub fn new(out: W) -> Self {
+        JsonlRecorder {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl<W: Write + Send> std::fmt::Debug for JsonlRecorder<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlRecorder")
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonlRecorder<W> {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: &Event) {
+        if let Ok(mut line) = serde_json::to_string(event) {
+            line.push('\n');
+            let _ = self.out.lock().write_all(line.as_bytes());
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Layer};
+    use std::sync::Arc;
+
+    /// Shared in-memory sink for asserting on emitted bytes.
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writes_one_parseable_line_per_event() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let rec = JsonlRecorder::new(SharedBuf(buf.clone()));
+        for i in 0..3 {
+            rec.record(&Event {
+                kind: EventKind::Span,
+                name: "fft".to_string(),
+                layer: Layer::Dsp,
+                t_s: i as f64,
+                wall_s: None,
+                fields: vec![("n".to_string(), 4096.0)],
+            });
+        }
+        rec.flush();
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let event: Event = serde_json::from_str(line).unwrap();
+            assert_eq!(event.t_s, i as f64);
+            event.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn noop_recorder_reports_disabled() {
+        let rec = NoopRecorder;
+        assert!(!rec.is_enabled());
+        rec.record(&Event {
+            kind: EventKind::Counter,
+            name: "x".to_string(),
+            layer: Layer::Core,
+            t_s: 0.0,
+            wall_s: None,
+            fields: vec![("value".to_string(), 1.0)],
+        });
+    }
+}

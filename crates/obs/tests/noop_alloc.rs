@@ -1,0 +1,61 @@
+//! Proves the disabled telemetry path is free: no events, and no heap
+//! allocations on the hot path (counter adds, span emission attempts,
+//! histogram recording) once the shared noop handle exists.
+//!
+//! Lives in an integration test because the counting allocator needs
+//! `unsafe impl GlobalAlloc`, which the library forbids for itself.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use emvolt_obs::{CounterId, HistId, Layer, Telemetry};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn noop_hot_path_allocates_nothing() {
+    // Constructing the shared handle may allocate once; do it first.
+    let tel = Telemetry::noop();
+    let quiet = tel.quiet();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        tel.count(CounterId::SolverSteps, 17);
+        tel.count(CounterId::FftInvocations, 1);
+        tel.span(
+            "transient_solve",
+            Layer::Circuit,
+            &[("steps", 17.0), ("dim", 24.0)],
+        );
+        tel.record_value(HistId::EvalSeconds, i as f64);
+        tel.set_sim_time(i as f64);
+        quiet.count(CounterId::Evaluations, 1);
+        quiet.span("eval", Layer::Core, &[("idx", i as f64)]);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "noop telemetry hot path performed heap allocations"
+    );
+    // And no events were buffered anywhere: the sink reports disabled.
+    assert!(!tel.enabled());
+    assert!(!tel.sink_enabled());
+}

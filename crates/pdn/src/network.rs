@@ -224,6 +224,20 @@ impl Pdn {
         self.circuit.plan_transient(dt)
     }
 
+    /// Like [`Pdn::plan_transient`], additionally charging the LU
+    /// factorizations to `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-analysis errors.
+    pub fn plan_transient_with(
+        &self,
+        dt: f64,
+        telemetry: &emvolt_obs::Telemetry,
+    ) -> Result<TransientPlan> {
+        self.circuit.plan_transient_with(dt, telemetry)
+    }
+
     /// Transient response reusing a prebuilt plan (skips netlist stamping
     /// and LU refactorization); returns `(v_die, i_die)` like
     /// [`Pdn::transient`].

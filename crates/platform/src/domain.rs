@@ -381,12 +381,29 @@ impl DomainRunner {
     ///
     /// Propagates PDN analysis failures (e.g. an invalid `pdn_dt`).
     pub fn new(domain: &VoltageDomain, config: RunConfig) -> Result<Self, DomainError> {
+        DomainRunner::new_with(domain, config, emvolt_obs::Telemetry::noop())
+    }
+
+    /// Like [`DomainRunner::new`], charging setup and every subsequent
+    /// run through this runner to `telemetry` (LU factorizations at
+    /// construction, solver counters and spans per transient).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PDN analysis failures (e.g. an invalid `pdn_dt`).
+    pub fn new_with(
+        domain: &VoltageDomain,
+        config: RunConfig,
+        telemetry: emvolt_obs::Telemetry,
+    ) -> Result<Self, DomainError> {
         let pdn = domain.build_pdn();
-        let plan = pdn.plan_transient(config.pdn_dt)?;
+        let plan = pdn.plan_transient_with(config.pdn_dt, &telemetry)?;
         let transient_cfg =
             TransientConfig::new(config.pdn_dt, config.pdn_warmup + config.pdn_window)
                 .with_warmup(config.pdn_warmup);
         let cpu = Cpu::new(domain.core_model.clone(), domain.freq_hz);
+        let mut scratch = TransientScratch::new();
+        scratch.set_telemetry(telemetry);
         Ok(DomainRunner {
             domain: domain.clone(),
             config,
@@ -394,8 +411,13 @@ impl DomainRunner {
             pdn,
             plan,
             transient_cfg,
-            scratch: TransientScratch::new(),
+            scratch,
         })
+    }
+
+    /// Swaps the telemetry handle charged by subsequent runs.
+    pub fn set_telemetry(&mut self, telemetry: emvolt_obs::Telemetry) {
+        self.scratch.set_telemetry(telemetry);
     }
 
     /// The domain state this runner was built from.

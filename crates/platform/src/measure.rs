@@ -6,6 +6,7 @@ use crate::domain::DomainRun;
 use emvolt_dsp::{Spectrum, SpectrumScratch, Window};
 use emvolt_em::EmChannel;
 use emvolt_inst::{AnalyzerConfig, SpectrumAnalyzer, SweepReading};
+use emvolt_obs::{CounterId, HistId, Layer, Telemetry};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,6 +23,7 @@ pub struct MeasureScratch {
     spec: SpectrumScratch,
     i_spec: Spectrum,
     rx: Spectrum,
+    telemetry: Telemetry,
 }
 
 impl MeasureScratch {
@@ -30,11 +32,24 @@ impl MeasureScratch {
         Self::default()
     }
 
+    /// Attaches a telemetry handle, propagating it to the spectrum
+    /// scratch so FFT and channel-propagation work is charged too. The
+    /// default handle is inert.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.spec.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Fills `self.rx` with the received spectrum of `run` through
     /// `channel`, reusing every buffer.
     fn refresh_rx(&mut self, channel: &EmChannel, run: &DomainRun) {
         Spectrum::of_trace_into(&run.i_die, Window::Hann, &mut self.spec, &mut self.i_spec);
-        channel.received_spectrum_into(&self.i_spec, &mut self.rx);
+        channel.received_spectrum_into_with(&self.i_spec, &mut self.rx, &self.telemetry);
     }
 }
 
@@ -85,9 +100,17 @@ impl EmBench {
         self.channel.received_multi(&specs)
     }
 
+    /// Attaches a telemetry handle: measurements through this rig then
+    /// charge analyzer counters, the band-amplitude histogram and (for
+    /// emitting handles) `measure` spans.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.scratch.set_telemetry(telemetry);
+    }
+
     /// One displayed analyzer sweep of a run.
     pub fn sweep(&mut self, run: &DomainRun) -> SweepReading {
         self.scratch.refresh_rx(&self.channel, run);
+        self.scratch.telemetry.count(CounterId::AnalyzerSweeps, 1);
         self.analyzer.sweep(&self.scratch.rx, &mut self.rng)
     }
 
@@ -105,6 +128,7 @@ impl EmBench {
         let (metric_dbm, dominant_hz) =
             self.analyzer
                 .peak_metric(&self.scratch.rx, lo, hi, n, &mut self.rng);
+        record_measurement(&self.scratch.telemetry, lo, hi, n, metric_dbm, dominant_hz);
         EmReading {
             metric_dbm,
             dominant_hz,
@@ -193,6 +217,7 @@ impl SharedEmBench {
         let mut rng = StdRng::seed_from_u64(seed);
         let (metric_dbm, dominant_hz) = analyzer.peak_metric(&scratch.rx, lo, hi, n, &mut rng);
         *self.elapsed_s.lock() += analyzer.elapsed();
+        record_measurement(&scratch.telemetry, lo, hi, n, metric_dbm, dominant_hz);
         EmReading {
             metric_dbm,
             dominant_hz,
@@ -209,6 +234,32 @@ impl SharedEmBench {
     pub fn take_elapsed(&self) -> f64 {
         std::mem::take(&mut *self.elapsed_s.lock())
     }
+}
+
+/// Shared accounting for one in-band measurement: counters, the
+/// band-amplitude histogram and (for emitting handles) a `measure` span.
+fn record_measurement(
+    telemetry: &Telemetry,
+    lo: f64,
+    hi: f64,
+    n: usize,
+    metric_dbm: f64,
+    dominant_hz: f64,
+) {
+    telemetry.count(CounterId::Measurements, 1);
+    telemetry.count(CounterId::AnalyzerSweeps, n as u64);
+    telemetry.record_value(HistId::BandAmplitudeDbm, metric_dbm);
+    telemetry.span(
+        "measure",
+        Layer::Platform,
+        &[
+            ("lo_mhz", lo / 1e6),
+            ("hi_mhz", hi / 1e6),
+            ("sweeps", n as f64),
+            ("metric_dbm", metric_dbm),
+            ("dominant_mhz", dominant_hz / 1e6),
+        ],
+    );
 }
 
 #[cfg(test)]

@@ -9,15 +9,19 @@
 //! emvolt vmin --platform a72 [--workload lbm | --stress]
 //! ```
 
-use emvolt::core::{fast_resonance_sweep, generate_em_virus, FastSweepConfig, VirusGenConfig};
+use emvolt::core::{
+    fast_resonance_sweep, generate_em_virus_observed, FastSweepConfig, VirusGenConfig,
+};
 use emvolt::ga::GaConfig;
 use emvolt::isa::kernels::resonant_stress_kernel;
+use emvolt::obs::{JsonlRecorder, Layer, Telemetry};
 use emvolt::pdn::{lin_freqs, strongest_peak_in_band};
 use emvolt::platform::spec2006_suite;
 use emvolt::prelude::*;
 use std::collections::HashMap;
 use std::error::Error;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 emvolt — EM-emanation-driven voltage-noise characterization
@@ -40,24 +44,135 @@ OPTIONS:
     --seed S                     GA / measurement seed (default 42)
     --workload NAME              vmin: SPEC-like workload name (default lbm)
     --stress                     vmin: use the built-in resonant stress kernel
+    --telemetry PATH             write a JSONL trace of the run to PATH and
+                                 append a summary to results/campaign_summaries.jsonl
+    --progress                   virus: print one line per GA generation
 ";
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+/// Which flags a subcommand accepts: `valued` take the next argument,
+/// `boolean` stand alone.
+struct FlagSpec {
+    valued: &'static [&'static str],
+    boolean: &'static [&'static str],
+}
+
+impl FlagSpec {
+    fn for_command(command: &str) -> Option<FlagSpec> {
+        let spec = match command {
+            "platforms" => FlagSpec {
+                valued: &[],
+                boolean: &[],
+            },
+            "sweep" => FlagSpec {
+                valued: &["platform", "cores", "seed", "telemetry"],
+                boolean: &[],
+            },
+            "impedance" => FlagSpec {
+                valued: &["platform", "cores", "telemetry"],
+                boolean: &[],
+            },
+            "virus" => FlagSpec {
+                valued: &[
+                    "platform",
+                    "cores",
+                    "population",
+                    "generations",
+                    "seed",
+                    "telemetry",
+                ],
+                boolean: &["progress"],
+            },
+            "vmin" => FlagSpec {
+                valued: &["platform", "cores", "workload", "telemetry"],
+                boolean: &["stress"],
+            },
+            _ => return None,
+        };
+        Some(spec)
+    }
+
+    fn describe(&self) -> String {
+        self.valued
+            .iter()
+            .map(|f| format!("--{f} <value>"))
+            .chain(self.boolean.iter().map(|f| format!("--{f}")))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Strict flag parsing: every argument must be a flag the subcommand
+/// declares; unknown flags, stray positionals and valued flags missing
+/// their value are all hard errors rather than silently ignored.
+fn parse_flags(
+    command: &str,
+    args: &[String],
+    spec: &FlagSpec,
+) -> Result<HashMap<String, String>, Box<dyn Error>> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
-        if let Some(name) = args[i].strip_prefix("--") {
-            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
-                i += 1;
-                args[i].clone()
-            } else {
-                "true".to_owned()
+        let Some(name) = args[i].strip_prefix("--") else {
+            return Err(format!(
+                "unexpected argument `{}` — `emvolt {command}` takes flags only",
+                args[i]
+            )
+            .into());
+        };
+        if spec.valued.contains(&name) {
+            i += 1;
+            let Some(value) = args.get(i) else {
+                return Err(format!("flag `--{name}` requires a value").into());
             };
-            flags.insert(name.to_owned(), value);
+            flags.insert(name.to_owned(), value.clone());
+        } else if spec.boolean.contains(&name) {
+            flags.insert(name.to_owned(), "true".to_owned());
+        } else {
+            let accepted = spec.describe();
+            let hint = if accepted.is_empty() {
+                format!("`emvolt {command}` takes no flags")
+            } else {
+                format!("`emvolt {command}` accepts: {accepted}")
+            };
+            return Err(format!("unknown flag `--{name}` — {hint}").into());
         }
         i += 1;
     }
-    flags
+    Ok(flags)
+}
+
+/// Builds the telemetry handle for `--telemetry PATH`, or the inert
+/// handle when the flag is absent.
+fn telemetry_from(flags: &HashMap<String, String>) -> Result<Telemetry, Box<dyn Error>> {
+    match flags.get("telemetry") {
+        Some(path) => {
+            let recorder =
+                JsonlRecorder::create(path).map_err(|e| format!("--telemetry {path}: {e}"))?;
+            Ok(Telemetry::new(Arc::new(recorder)))
+        }
+        None => Ok(Telemetry::noop()),
+    }
+}
+
+/// Flushes the trace and appends the campaign summary to
+/// `results/campaign_summaries.jsonl`. No-op without `--telemetry`.
+fn finish_telemetry(
+    tel: &Telemetry,
+    flags: &HashMap<String, String>,
+    label: &str,
+) -> Result<(), Box<dyn Error>> {
+    if !tel.sink_enabled() {
+        return Ok(());
+    }
+    tel.flush();
+    let summary = tel.summary(label);
+    std::fs::create_dir_all("results")?;
+    summary.append_to("results/campaign_summaries.jsonl")?;
+    eprintln!("{}", summary.render());
+    if let Some(path) = flags.get("telemetry") {
+        eprintln!("telemetry trace: {path}; summary appended to results/campaign_summaries.jsonl");
+    }
+    Ok(())
 }
 
 fn build_platform(flags: &HashMap<String, String>) -> Result<VoltageDomain, Box<dyn Error>> {
@@ -101,8 +216,12 @@ fn cmd_platforms() {
 
 fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let domain = build_platform(flags)?;
+    let tel = telemetry_from(flags)?;
     let mut bench = EmBench::new(seed(flags));
-    let cfg = FastSweepConfig::for_domain(&domain);
+    let cfg = FastSweepConfig {
+        telemetry: tel.clone(),
+        ..FastSweepConfig::for_domain(&domain)
+    };
     eprintln!(
         "sweeping {} ({} powered cores) ...",
         domain.name(),
@@ -124,11 +243,13 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         domain.expected_resonance_hz() / 1e6,
         result.campaign.display()
     );
+    finish_telemetry(&tel, flags, "sweep")?;
     Ok(())
 }
 
 fn cmd_impedance(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let domain = build_platform(flags)?;
+    let tel = telemetry_from(flags)?;
     let pdn = domain.build_pdn();
     let freqs = lin_freqs(20e6, 250e6, 2e6);
     let sweep = pdn.impedance_sweep(&freqs)?;
@@ -142,7 +263,17 @@ fn cmd_impedance(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> 
             peak.frequency_hz / 1e6,
             peak.impedance_ohms * 1e3
         );
+        tel.span(
+            "impedance",
+            Layer::Cli,
+            &[
+                ("points", sweep.len() as f64),
+                ("peak_mhz", peak.frequency_hz / 1e6),
+                ("peak_mohm", peak.impedance_ohms * 1e3),
+            ],
+        );
     }
+    finish_telemetry(&tel, flags, "impedance")?;
     Ok(())
 }
 
@@ -156,6 +287,8 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         .get("generations")
         .and_then(|s| s.parse().ok())
         .unwrap_or(15);
+    let tel = telemetry_from(flags)?;
+    let progress = flags.contains_key("progress");
     let mut bench = EmBench::new(seed(flags));
     let cfg = VirusGenConfig {
         ga: GaConfig {
@@ -166,13 +299,24 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         },
         loaded_cores: domain.active_cores(),
         samples_per_individual: 5,
+        telemetry: tel.clone(),
         ..VirusGenConfig::default()
     };
     eprintln!(
         "evolving a dI/dt virus on {} ({population} x {generations}) ...",
         domain.name()
     );
-    let virus = generate_em_virus("cli", &domain, &mut bench, &cfg)?;
+    let virus = generate_em_virus_observed("cli", &domain, &mut bench, &cfg, |p| {
+        if progress {
+            eprintln!(
+                "gen {:>3}  best {:>8.2} dBm  mean {:>8.2} dBm  cache {:>3.0}%",
+                p.index,
+                p.best_dbm,
+                p.mean_dbm,
+                p.cache_hit_pct()
+            );
+        }
+    })?;
     println!("gen  best (dBm)  dominant (MHz)");
     for r in &virus.history {
         println!(
@@ -189,11 +333,13 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         virus.campaign.display()
     );
     println!("\ngenerated loop:\n{}", virus.kernel.render());
+    finish_telemetry(&tel, flags, "virus")?;
     Ok(())
 }
 
 fn cmd_vmin(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let domain = build_platform(flags)?;
+    let tel = telemetry_from(flags)?;
     let model = match domain.name() {
         "A72" => FailureModel::juno_a72(),
         "A53" => FailureModel::juno_a53(),
@@ -248,17 +394,30 @@ fn cmd_vmin(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         res.peak_to_peak_v * 1e3,
         (domain.voltage() - res.vmin_v) * 1e3
     );
+    tel.span(
+        "vmin",
+        Layer::Cli,
+        &[
+            ("vmin_v", res.vmin_v),
+            ("droop_mv", res.max_droop_v * 1e3),
+            ("p2p_mv", res.peak_to_peak_v * 1e3),
+            ("margin_mv", (domain.voltage() - res.vmin_v) * 1e3),
+        ],
+    );
+    finish_telemetry(&tel, flags, "vmin")?;
     Ok(())
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first() else {
-        eprint!("{USAGE}");
-        return ExitCode::FAILURE;
+fn run(command: &str, rest: &[String]) -> Result<(), Box<dyn Error>> {
+    if matches!(command, "help" | "--help" | "-h") {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let Some(spec) = FlagSpec::for_command(command) else {
+        return Err(format!("unknown command `{command}`\n\n{USAGE}").into());
     };
-    let flags = parse_flags(&args[1..]);
-    let result = match command.as_str() {
+    let flags = parse_flags(command, rest, &spec)?;
+    match command {
         "platforms" => {
             cmd_platforms();
             Ok(())
@@ -267,17 +426,97 @@ fn main() -> ExitCode {
         "impedance" => cmd_impedance(&flags),
         "virus" => cmd_virus(&flags),
         "vmin" => cmd_vmin(&flags),
-        "help" | "--help" | "-h" => {
-            print!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command `{other}`\n\n{USAGE}").into()),
+        _ => unreachable!("spec resolved above"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
     };
-    match result {
+    match run(command, &args[1..]) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn known_flags_parse_with_values() {
+        let spec = FlagSpec::for_command("virus").unwrap();
+        let flags = parse_flags(
+            "virus",
+            &argv(&["--platform", "a72", "--seed", "7", "--progress"]),
+            &spec,
+        )
+        .unwrap();
+        assert_eq!(flags.get("platform").unwrap(), "a72");
+        assert_eq!(flags.get("seed").unwrap(), "7");
+        assert_eq!(flags.get("progress").unwrap(), "true");
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_with_accepted_list() {
+        let spec = FlagSpec::for_command("sweep").unwrap();
+        let err = parse_flags("sweep", &argv(&["--platfrom", "a72"]), &spec)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown flag `--platfrom`"), "{err}");
+        assert!(err.contains("--platform"), "should list accepted: {err}");
+    }
+
+    #[test]
+    fn boolean_flag_of_other_command_is_rejected() {
+        // `--stress` belongs to vmin, not virus.
+        let spec = FlagSpec::for_command("virus").unwrap();
+        let err = parse_flags("virus", &argv(&["--stress"]), &spec)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown flag `--stress`"), "{err}");
+    }
+
+    #[test]
+    fn stray_positional_is_rejected() {
+        let spec = FlagSpec::for_command("vmin").unwrap();
+        let err = parse_flags("vmin", &argv(&["a72"]), &spec)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unexpected argument `a72`"), "{err}");
+    }
+
+    #[test]
+    fn valued_flag_missing_value_is_rejected() {
+        let spec = FlagSpec::for_command("virus").unwrap();
+        let err = parse_flags("virus", &argv(&["--telemetry"]), &spec)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("`--telemetry` requires a value"), "{err}");
+    }
+
+    #[test]
+    fn platforms_takes_no_flags() {
+        let spec = FlagSpec::for_command("platforms").unwrap();
+        let err = parse_flags("platforms", &argv(&["--platform", "a72"]), &spec)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("takes no flags"), "{err}");
+        assert!(parse_flags("platforms", &[], &spec).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_command_has_no_spec() {
+        assert!(FlagSpec::for_command("viurs").is_none());
     }
 }

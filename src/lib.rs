@@ -38,6 +38,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`obs`] | `emvolt-obs` | telemetry: spans, counters, JSONL traces |
 //! | [`circuit`] | `emvolt-circuit` | MNA netlists, AC + transient analysis |
 //! | [`dsp`] | `emvolt-dsp` | FFT, windows, spectra |
 //! | [`pdn`] | `emvolt-pdn` | die–package–PCB network, resonance math |
@@ -61,6 +62,7 @@ pub use emvolt_em as em;
 pub use emvolt_ga as ga;
 pub use emvolt_inst as inst;
 pub use emvolt_isa as isa;
+pub use emvolt_obs as obs;
 pub use emvolt_pdn as pdn;
 pub use emvolt_platform as platform;
 pub use emvolt_vmin as vmin;
