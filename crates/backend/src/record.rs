@@ -1,0 +1,264 @@
+//! Recording wrapper: measure live, persist every call to a JSONL trace.
+//!
+//! Each backend call runs against a fresh *capture* [`Telemetry`] handle,
+//! so the call's counter deltas, histogram values and events are known
+//! exactly even when worker threads interleave. Everything captured is
+//! (a) forwarded to the caller's handle — quiet worker handles drop the
+//! events, full handles emit them, exactly as the live path would — and
+//! (b) stored in the trace entry, so replay can forward the identical
+//! emissions later.
+//!
+//! Parallel `measure` calls append entries in completion order, so two
+//! recordings of one campaign at different thread counts may order lines
+//! differently; replay keys entries by request, not by line number, and
+//! only same-key (serial `rig`) entries rely on relative order — those
+//! are written from the coordinator thread, in call order.
+
+use crate::fingerprint::run_config_fingerprint;
+use crate::request::{CombinedSource, DomainInfo, EmObservation, MeasureRequest};
+use crate::trace::{combined_key, request_key, TraceEntry, TraceHeader, TracePayload};
+use crate::{BackendError, MeasurementBackend};
+use emvolt_inst::SweepReading;
+use emvolt_obs::{CounterId, Event, HistId, Recorder, Telemetry};
+use emvolt_platform::{RunConfig, SessionCosts};
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// In-memory recorder behind the per-call capture handle.
+#[derive(Debug, Default)]
+struct CaptureRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Recorder for CaptureRecorder {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// What one inner call charged, observed through a capture handle.
+struct Captured {
+    counters: Vec<(CounterId, u64)>,
+    hists: Vec<(HistId, Vec<f64>)>,
+    events: Vec<Event>,
+}
+
+/// Runs `f` against a fresh capture handle, forwards everything captured
+/// to `tel`, and returns the capture for storage.
+fn capture_call<T>(tel: &Telemetry, f: impl FnOnce(&Telemetry) -> T) -> (T, Captured) {
+    let recorder = Arc::new(CaptureRecorder::default());
+    let cap = Telemetry::new(recorder.clone());
+    cap.set_sim_time(tel.sim_time());
+    let out = f(&cap);
+    let counters: Vec<(CounterId, u64)> = CounterId::ALL
+        .into_iter()
+        .filter_map(|id| {
+            let n = cap.counter(id);
+            (n > 0).then_some((id, n))
+        })
+        .collect();
+    let hists: Vec<(HistId, Vec<f64>)> = HistId::ALL
+        .into_iter()
+        .filter_map(|id| {
+            let vs = cap.hist_values(id);
+            (!vs.is_empty()).then_some((id, vs))
+        })
+        .collect();
+    let events = std::mem::take(&mut *recorder.events.lock());
+    for &(id, n) in &counters {
+        tel.count(id, n);
+    }
+    for (id, vs) in &hists {
+        for &v in vs {
+            tel.record_value(*id, v);
+        }
+    }
+    for event in &events {
+        tel.emit_event(event);
+    }
+    (
+        out,
+        Captured {
+            counters,
+            hists,
+            events,
+        },
+    )
+}
+
+/// [`MeasurementBackend`] wrapper that persists every call of an inner
+/// backend to a JSONL trace for later [`ReplayBackend`](crate::ReplayBackend) use.
+#[derive(Debug)]
+pub struct RecordBackend<B> {
+    inner: B,
+    writer: Mutex<BufWriter<File>>,
+    write_error: Mutex<Option<String>>,
+    cfg_fp: AtomicU64,
+}
+
+impl<B: MeasurementBackend> RecordBackend<B> {
+    /// Wraps `inner`, truncating/creating the trace at `path` and writing
+    /// the header line (inner label, cost model, domain descriptions).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::Store`] on file-creation or header-write failure.
+    pub fn create(inner: B, path: impl AsRef<Path>) -> Result<Self, BackendError> {
+        let path = path.as_ref();
+        let file = File::create(path)
+            .map_err(|e| BackendError::Store(format!("create {}: {e}", path.display())))?;
+        let mut writer = BufWriter::new(file);
+        let header = TraceHeader {
+            backend: inner.label().to_string(),
+            costs: inner.costs(),
+            domains: inner.domains(),
+        };
+        writeln!(writer, "{}", header.to_line())
+            .map_err(|e| BackendError::Store(format!("write header: {e}")))?;
+        Ok(RecordBackend {
+            inner,
+            writer: Mutex::new(writer),
+            write_error: Mutex::new(None),
+            cfg_fp: AtomicU64::new(0),
+        })
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Unwraps, dropping the trace writer (flushing it first).
+    pub fn into_inner(self) -> B {
+        let _ = self.writer.lock().flush();
+        self.inner
+    }
+
+    /// Appends one entry; failures are remembered and surfaced by
+    /// [`MeasurementBackend::finish`] so the (possibly parallel) hot path
+    /// never aborts mid-campaign on disk trouble.
+    fn append(&self, key: String, payload: TracePayload, captured: Captured, elapsed_s: f64) {
+        let entry = TraceEntry {
+            key,
+            payload,
+            counters: captured.counters,
+            hists: captured.hists,
+            events: captured.events,
+            elapsed_s,
+        };
+        if let Err(e) = writeln!(self.writer.lock(), "{}", entry.to_line()) {
+            self.write_error
+                .lock()
+                .get_or_insert_with(|| format!("append entry: {e}"));
+        }
+    }
+
+    fn payload_of(result: &Result<EmObservation, BackendError>) -> TracePayload {
+        match result {
+            Ok(obs) => TracePayload::Observation(*obs),
+            Err(e) => TracePayload::Failed(e.to_string()),
+        }
+    }
+
+    /// Analyzer occupancy attributed to one parallel call: sweeps charged
+    /// times the per-sample cost. Exact for the stock analyzer (0.6 s per
+    /// sweep); an approximation if the cost model and analyzer sweep time
+    /// are configured apart.
+    fn elapsed_estimate(&self, captured: &Captured) -> f64 {
+        let sweeps = captured
+            .counters
+            .iter()
+            .find(|(id, _)| *id == CounterId::AnalyzerSweeps)
+            .map_or(0, |&(_, n)| n);
+        sweeps as f64 * self.inner.costs().sample_s
+    }
+}
+
+impl<B: MeasurementBackend> MeasurementBackend for RecordBackend<B> {
+    fn label(&self) -> &'static str {
+        "record"
+    }
+
+    fn domains(&self) -> Vec<DomainInfo> {
+        self.inner.domains()
+    }
+
+    fn configure_run(&mut self, config: &RunConfig) -> Result<(), BackendError> {
+        self.cfg_fp
+            .store(run_config_fingerprint(config), Ordering::Relaxed);
+        self.inner.configure_run(config)
+    }
+
+    fn measure(
+        &self,
+        req: &MeasureRequest<'_>,
+        telemetry: &Telemetry,
+    ) -> Result<EmObservation, BackendError> {
+        let key = request_key(req, self.cfg_fp.load(Ordering::Relaxed));
+        let (result, captured) = capture_call(telemetry, |cap| self.inner.measure(req, cap));
+        let elapsed = self.elapsed_estimate(&captured);
+        self.append(key, Self::payload_of(&result), captured, elapsed);
+        result
+    }
+
+    fn measure_serial(
+        &mut self,
+        req: &MeasureRequest<'_>,
+        telemetry: &Telemetry,
+    ) -> Result<EmObservation, BackendError> {
+        let key = request_key(req, self.cfg_fp.load(Ordering::Relaxed));
+        let before = self.inner.elapsed_seconds();
+        let (result, captured) = capture_call(telemetry, |cap| self.inner.measure_serial(req, cap));
+        let elapsed = self.inner.elapsed_seconds() - before;
+        self.append(key, Self::payload_of(&result), captured, elapsed);
+        result
+    }
+
+    fn capture_combined(
+        &mut self,
+        sources: &[CombinedSource<'_>],
+        seed: u64,
+        telemetry: &Telemetry,
+    ) -> Result<SweepReading, BackendError> {
+        let key = combined_key(sources, seed, self.cfg_fp.load(Ordering::Relaxed));
+        let before = self.inner.elapsed_seconds();
+        let (result, captured) = capture_call(telemetry, |cap| {
+            self.inner.capture_combined(sources, seed, cap)
+        });
+        let elapsed = self.inner.elapsed_seconds() - before;
+        let payload = match &result {
+            Ok(reading) => TracePayload::Points(reading.points.clone()),
+            Err(e) => TracePayload::Failed(e.to_string()),
+        };
+        self.append(key, payload, captured, elapsed);
+        result
+    }
+
+    fn elapsed_seconds(&self) -> f64 {
+        self.inner.elapsed_seconds()
+    }
+
+    fn costs(&self) -> SessionCosts {
+        self.inner.costs()
+    }
+
+    fn finish(&mut self) -> Result<(), BackendError> {
+        self.inner.finish()?;
+        self.writer
+            .lock()
+            .flush()
+            .map_err(|e| BackendError::Store(format!("flush trace: {e}")))?;
+        match self.write_error.lock().take() {
+            Some(e) => Err(BackendError::Store(e)),
+            None => Ok(()),
+        }
+    }
+}

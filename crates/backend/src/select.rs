@@ -1,0 +1,108 @@
+//! CLI-facing backend selection: `live`, `record:PATH`, `replay:PATH`.
+
+use crate::{BackendError, LiveBackend, MeasurementBackend, RecordBackend, ReplayBackend};
+use emvolt_platform::{EmBench, RunConfig, VoltageDomain};
+use std::path::PathBuf;
+use std::str::FromStr;
+
+/// Parsed `--backend` argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// Full simulated measurement chain.
+    Live,
+    /// Live chain plus a JSONL trace recording at the given path.
+    Record(PathBuf),
+    /// Serve a recorded trace; the simulation chain is never invoked.
+    Replay(PathBuf),
+}
+
+impl FromStr for BackendSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once(':') {
+            None if s == "live" => Ok(BackendSpec::Live),
+            Some(("record", path)) if !path.is_empty() => {
+                Ok(BackendSpec::Record(PathBuf::from(path)))
+            }
+            Some(("replay", path)) if !path.is_empty() => {
+                Ok(BackendSpec::Replay(PathBuf::from(path)))
+            }
+            _ => Err(format!(
+                "bad backend `{s}`: expected live, record:PATH or replay:PATH"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendSpec::Live => write!(f, "live"),
+            BackendSpec::Record(p) => write!(f, "record:{}", p.display()),
+            BackendSpec::Replay(p) => write!(f, "replay:{}", p.display()),
+        }
+    }
+}
+
+impl BackendSpec {
+    /// Builds the backend this spec names. `domains`, `bench` and
+    /// `run_config` feed the live chain; replay ignores them and answers
+    /// from its trace alone.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::Store`] when the record target cannot be created
+    /// or the replay trace cannot be read.
+    pub fn build(
+        &self,
+        domains: Vec<VoltageDomain>,
+        bench: EmBench,
+        run_config: RunConfig,
+    ) -> Result<Box<dyn MeasurementBackend>, BackendError> {
+        match self {
+            BackendSpec::Live => Ok(Box::new(LiveBackend::new(domains, bench, run_config))),
+            BackendSpec::Record(path) => Ok(Box::new(RecordBackend::create(
+                LiveBackend::new(domains, bench, run_config),
+                path,
+            )?)),
+            BackendSpec::Replay(path) => Ok(Box::new(ReplayBackend::open(path)?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_forms() {
+        assert_eq!("live".parse::<BackendSpec>().unwrap(), BackendSpec::Live);
+        assert_eq!(
+            "record:/tmp/t.jsonl".parse::<BackendSpec>().unwrap(),
+            BackendSpec::Record(PathBuf::from("/tmp/t.jsonl"))
+        );
+        assert_eq!(
+            "replay:trace.jsonl".parse::<BackendSpec>().unwrap(),
+            BackendSpec::Replay(PathBuf::from("trace.jsonl"))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in ["", "liv", "record:", "replay:", "tape:/x", "live:extra"] {
+            assert!(bad.parse::<BackendSpec>().is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for spec in [
+            BackendSpec::Live,
+            BackendSpec::Record(PathBuf::from("a.jsonl")),
+            BackendSpec::Replay(PathBuf::from("b.jsonl")),
+        ] {
+            assert_eq!(spec.to_string().parse::<BackendSpec>().unwrap(), spec);
+        }
+    }
+}

@@ -1,0 +1,745 @@
+//! The JSONL trace format behind [`RecordBackend`] / [`ReplayBackend`].
+//!
+//! A trace is one header line followed by one line per backend call:
+//!
+//! ```json
+//! {"k":"header","version":1,"backend":"live","costs":{...},"domains":[...]}
+//! {"k":"entry","key":"A72|k9c5a…x1|default|b…:…|n3|s00…2a|c41…","ok":true,"obs":{...},...}
+//! ```
+//!
+//! Entries are looked up by [`request_key`] — a pipe-delimited string of
+//! every input that determines the observation: domain name, kernel
+//! fingerprint and core count, frequency override, band, sample count,
+//! seed, and the run-config fingerprint. Serial calls with no seed key as
+//! `rig` and are replayed *in recording order* per key, which reproduces
+//! the stateful analyzer-RNG sequence.
+//!
+//! ## Bit-exact floats
+//!
+//! The vendored JSON number path cannot round-trip every `f64` (`-0.0`
+//! and integers above 2^53 lose their bit pattern), and replay promises
+//! `to_bits()`-level equality with the recorded run. All floats in the
+//! trace are therefore stored as 16-hex-digit `f64::to_bits` strings;
+//! only human-auxiliary numbers (sample counts, counter deltas) use JSON
+//! numbers.
+
+use crate::fingerprint::{kernel_fingerprint, Fnv};
+use crate::request::{BandSpec, CombinedSource, DomainInfo, EmObservation, Load, MeasureRequest};
+use emvolt_isa::Isa;
+use emvolt_obs::{CounterId, Event, HistId};
+use emvolt_platform::{EmReading, SessionCosts};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Version stamp written to (and required in) the trace header.
+pub const TRACE_FORMAT_VERSION: u64 = 1;
+
+/// Lookup key for one `measure`/`measure_serial` call.
+///
+/// `cfg_fp` is [`run_config_fingerprint`](crate::run_config_fingerprint)
+/// of the campaign's pinned [`RunConfig`](emvolt_platform::RunConfig).
+pub fn request_key(req: &MeasureRequest<'_>, cfg_fp: u64) -> String {
+    let load = match req.load {
+        Load::Kernel {
+            kernel,
+            loaded_cores,
+        } => format!("k{:016x}x{loaded_cores}", kernel_fingerprint(kernel)),
+        Load::Idle => "idle".to_string(),
+    };
+    let freq = match req.freq_hz {
+        Some(hz) => format!("{:016x}", hz.to_bits()),
+        None => "default".to_string(),
+    };
+    let band = match req.band {
+        BandSpec::Explicit { lo_hz, hi_hz } => {
+            format!("b{:016x}:{:016x}", lo_hz.to_bits(), hi_hz.to_bits())
+        }
+        BandSpec::AroundLoop { halfwidth_hz } => format!("l{:016x}", halfwidth_hz.to_bits()),
+    };
+    let seed = match req.seed {
+        Some(s) => format!("s{s:016x}"),
+        None => "rig".to_string(),
+    };
+    format!(
+        "{}|{load}|{freq}|{band}|n{}|{seed}|c{cfg_fp:016x}",
+        req.domain, req.samples
+    )
+}
+
+/// Lookup key for one `capture_combined` call.
+pub fn combined_key(sources: &[CombinedSource<'_>], seed: u64, cfg_fp: u64) -> String {
+    let mut h = Fnv::new();
+    for src in sources {
+        h.write(src.domain.as_bytes());
+        h.write(b"|");
+        match src.kernel {
+            Some(k) => {
+                h.write_u64(kernel_fingerprint(k));
+                h.write_u64(src.loaded_cores as u64);
+            }
+            None => h.write(b"idle"),
+        }
+        h.write(b";");
+    }
+    format!("combined|{:016x}|s{seed:016x}|c{cfg_fp:016x}", h.finish())
+}
+
+/// Wraps a hand-built [`Value`] so the vendored `serde_json::to_string`
+/// (which takes `T: Serialize`) can print it.
+struct Raw(Value);
+
+impl Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+fn hex(v: f64) -> Value {
+    Value::Str(format!("{:016x}", v.to_bits()))
+}
+
+fn unhex(v: &Value) -> Result<f64, DeError> {
+    let s = String::from_value(v)?;
+    let bits = u64::from_str_radix(&s, 16)
+        .map_err(|e| DeError::new(format!("bad f64 bit string `{s}`: {e}")))?;
+    Ok(f64::from_bits(bits))
+}
+
+fn isa_str(isa: Isa) -> &'static str {
+    match isa {
+        Isa::ArmV8 => "armv8",
+        Isa::X86_64 => "x86_64",
+    }
+}
+
+fn isa_parse(s: &str) -> Result<Isa, DeError> {
+    match s {
+        "armv8" => Ok(Isa::ArmV8),
+        "x86_64" => Ok(Isa::X86_64),
+        other => Err(DeError::new(format!("unknown isa `{other}`"))),
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn domain_info_value(d: &DomainInfo) -> Value {
+    obj(vec![
+        ("name", Value::Str(d.name.clone())),
+        ("isa", Value::Str(isa_str(d.isa).to_string())),
+        ("max_freq", hex(d.max_frequency_hz)),
+        ("freq", hex(d.frequency_hz)),
+        ("voltage", hex(d.voltage_v)),
+        ("active_cores", Value::Num(d.active_cores as f64)),
+        ("resonance", hex(d.expected_resonance_hz)),
+    ])
+}
+
+fn domain_info_from(v: &Value) -> Result<DomainInfo, DeError> {
+    Ok(DomainInfo {
+        name: String::from_value(v.field_value("name")?)?,
+        isa: isa_parse(&String::from_value(v.field_value("isa")?)?)?,
+        max_frequency_hz: unhex(v.field_value("max_freq")?)?,
+        frequency_hz: unhex(v.field_value("freq")?)?,
+        voltage_v: unhex(v.field_value("voltage")?)?,
+        active_cores: usize::from_value(v.field_value("active_cores")?)?,
+        expected_resonance_hz: unhex(v.field_value("resonance")?)?,
+    })
+}
+
+/// The trace's first line: who recorded, with what cost model, over
+/// which domains.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TraceHeader {
+    pub(crate) backend: String,
+    pub(crate) costs: SessionCosts,
+    pub(crate) domains: Vec<DomainInfo>,
+}
+
+impl TraceHeader {
+    pub(crate) fn to_line(&self) -> String {
+        let c = &self.costs;
+        let v = obj(vec![
+            ("k", Value::Str("header".to_string())),
+            ("version", Value::Num(TRACE_FORMAT_VERSION as f64)),
+            ("backend", Value::Str(self.backend.clone())),
+            (
+                "costs",
+                obj(vec![
+                    ("upload", hex(c.upload_s)),
+                    ("compile", hex(c.compile_s)),
+                    ("launch", hex(c.launch_s)),
+                    ("sample", hex(c.sample_s)),
+                    ("teardown", hex(c.teardown_s)),
+                ]),
+            ),
+            (
+                "domains",
+                Value::Arr(self.domains.iter().map(domain_info_value).collect()),
+            ),
+        ]);
+        serde_json::to_string(&Raw(v)).expect("vendored JSON serialization is infallible")
+    }
+
+    pub(crate) fn from_value(v: &Value) -> Result<Self, DeError> {
+        let version = u64::from_value(v.field_value("version")?)?;
+        if version != TRACE_FORMAT_VERSION {
+            return Err(DeError::new(format!(
+                "trace format version {version}, this build reads {TRACE_FORMAT_VERSION}"
+            )));
+        }
+        let cv = v.field_value("costs")?;
+        let costs = SessionCosts {
+            upload_s: unhex(cv.field_value("upload")?)?,
+            compile_s: unhex(cv.field_value("compile")?)?,
+            launch_s: unhex(cv.field_value("launch")?)?,
+            sample_s: unhex(cv.field_value("sample")?)?,
+            teardown_s: unhex(cv.field_value("teardown")?)?,
+        };
+        let domains = match v.field_value("domains")? {
+            Value::Arr(items) => items
+                .iter()
+                .map(domain_info_from)
+                .collect::<Result<Vec<_>, _>>()?,
+            other => {
+                return Err(DeError::new(format!(
+                    "expected array for `domains`, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        Ok(TraceHeader {
+            backend: String::from_value(v.field_value("backend")?)?,
+            costs,
+            domains,
+        })
+    }
+}
+
+/// The payload a recorded call produced.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TracePayload {
+    /// A successful band measurement.
+    Observation(EmObservation),
+    /// A successful combined capture (sweep points).
+    Points(Vec<(f64, f64)>),
+    /// The call failed; the recorded error message.
+    Failed(String),
+}
+
+/// One recorded backend call.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TraceEntry {
+    pub(crate) key: String,
+    pub(crate) payload: TracePayload,
+    /// Counter deltas this call charged, in `CounterId::ALL` order.
+    pub(crate) counters: Vec<(CounterId, u64)>,
+    /// Histogram values this call recorded, in `HistId::ALL` order.
+    pub(crate) hists: Vec<(HistId, Vec<f64>)>,
+    /// Telemetry events this call emitted, in emission order.
+    pub(crate) events: Vec<Event>,
+    /// Analyzer occupancy this call added, seconds.
+    pub(crate) elapsed_s: f64,
+}
+
+fn observation_value(o: &EmObservation) -> Value {
+    obj(vec![
+        ("metric", hex(o.reading.metric_dbm)),
+        ("dominant", hex(o.reading.dominant_hz)),
+        ("loop", hex(o.loop_frequency_hz)),
+        ("ipc", hex(o.ipc)),
+        ("droop", hex(o.max_droop_v)),
+        ("p2p", hex(o.peak_to_peak_v)),
+        ("band_lo", hex(o.band.0)),
+        ("band_hi", hex(o.band.1)),
+        ("cached", Value::Bool(o.cached)),
+    ])
+}
+
+fn observation_from(v: &Value) -> Result<EmObservation, DeError> {
+    Ok(EmObservation {
+        reading: EmReading {
+            metric_dbm: unhex(v.field_value("metric")?)?,
+            dominant_hz: unhex(v.field_value("dominant")?)?,
+        },
+        loop_frequency_hz: unhex(v.field_value("loop")?)?,
+        ipc: unhex(v.field_value("ipc")?)?,
+        max_droop_v: unhex(v.field_value("droop")?)?,
+        peak_to_peak_v: unhex(v.field_value("p2p")?)?,
+        band: (
+            unhex(v.field_value("band_lo")?)?,
+            unhex(v.field_value("band_hi")?)?,
+        ),
+        cached: bool::from_value(v.field_value("cached")?)?,
+    })
+}
+
+impl TraceEntry {
+    pub(crate) fn to_line(&self) -> String {
+        let mut fields = vec![
+            ("k", Value::Str("entry".to_string())),
+            ("key", Value::Str(self.key.clone())),
+        ];
+        match &self.payload {
+            TracePayload::Observation(o) => {
+                fields.push(("ok", Value::Bool(true)));
+                fields.push(("obs", observation_value(o)));
+            }
+            TracePayload::Points(points) => {
+                fields.push(("ok", Value::Bool(true)));
+                fields.push((
+                    "points",
+                    Value::Arr(
+                        points
+                            .iter()
+                            .map(|&(f, a)| Value::Arr(vec![hex(f), hex(a)]))
+                            .collect(),
+                    ),
+                ));
+            }
+            TracePayload::Failed(err) => {
+                fields.push(("ok", Value::Bool(false)));
+                fields.push(("err", Value::Str(err.clone())));
+            }
+        }
+        fields.push((
+            "counters",
+            Value::Obj(
+                self.counters
+                    .iter()
+                    .map(|&(id, n)| (id.name().to_string(), Value::Num(n as f64)))
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "hists",
+            Value::Obj(
+                self.hists
+                    .iter()
+                    .map(|(id, vs)| {
+                        (
+                            id.name().to_string(),
+                            Value::Arr(vs.iter().map(|&v| hex(v)).collect()),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "events",
+            Value::Arr(self.events.iter().map(Serialize::to_value).collect()),
+        ));
+        fields.push(("elapsed", hex(self.elapsed_s)));
+        serde_json::to_string(&Raw(obj(fields))).expect("vendored JSON serialization is infallible")
+    }
+
+    pub(crate) fn from_value(v: &Value) -> Result<Self, DeError> {
+        let key = String::from_value(v.field_value("key")?)?;
+        let ok = bool::from_value(v.field_value("ok")?)?;
+        let payload = if !ok {
+            TracePayload::Failed(String::from_value(v.field_value("err")?)?)
+        } else if let Ok(points) = v.field_value("points") {
+            match points {
+                Value::Arr(items) => TracePayload::Points(
+                    items
+                        .iter()
+                        .map(|item| match item {
+                            Value::Arr(pair) if pair.len() == 2 => {
+                                Ok((unhex(&pair[0])?, unhex(&pair[1])?))
+                            }
+                            other => Err(DeError::new(format!(
+                                "expected [freq, amp] pair, found {}",
+                                other.kind()
+                            ))),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                ),
+                other => {
+                    return Err(DeError::new(format!(
+                        "expected array for `points`, found {}",
+                        other.kind()
+                    )))
+                }
+            }
+        } else {
+            TracePayload::Observation(observation_from(v.field_value("obs")?)?)
+        };
+        let counters = match v.field_value("counters")? {
+            Value::Obj(entries) => entries
+                .iter()
+                .map(|(name, nv)| {
+                    let id = CounterId::ALL
+                        .into_iter()
+                        .find(|id| id.name() == name)
+                        .ok_or_else(|| DeError::new(format!("unknown counter `{name}`")))?;
+                    Ok((id, u64::from_value(nv)?))
+                })
+                .collect::<Result<Vec<_>, DeError>>()?,
+            other => {
+                return Err(DeError::new(format!(
+                    "expected object for `counters`, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        let hists = match v.field_value("hists")? {
+            Value::Obj(entries) => entries
+                .iter()
+                .map(|(name, hv)| {
+                    let id = HistId::ALL
+                        .into_iter()
+                        .find(|id| id.name() == name)
+                        .ok_or_else(|| DeError::new(format!("unknown histogram `{name}`")))?;
+                    let values = match hv {
+                        Value::Arr(items) => {
+                            items.iter().map(unhex).collect::<Result<Vec<_>, _>>()?
+                        }
+                        other => {
+                            return Err(DeError::new(format!(
+                                "expected array for histogram `{name}`, found {}",
+                                other.kind()
+                            )))
+                        }
+                    };
+                    Ok((id, values))
+                })
+                .collect::<Result<Vec<_>, DeError>>()?,
+            other => {
+                return Err(DeError::new(format!(
+                    "expected object for `hists`, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        let events = match v.field_value("events")? {
+            Value::Arr(items) => items
+                .iter()
+                .map(Event::from_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            other => {
+                return Err(DeError::new(format!(
+                    "expected array for `events`, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        Ok(TraceEntry {
+            key,
+            payload,
+            counters,
+            hists,
+            events,
+            elapsed_s: unhex(v.field_value("elapsed")?)?,
+        })
+    }
+}
+
+/// One parsed trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TraceLine {
+    Header(TraceHeader),
+    Entry(TraceEntry),
+}
+
+impl TraceLine {
+    pub(crate) fn parse(line: &str) -> Result<Self, String> {
+        let v: Value = parse_value(line)?;
+        let kind = String::from_value(v.field_value("k").map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        match kind.as_str() {
+            "header" => Ok(TraceLine::Header(
+                TraceHeader::from_value(&v).map_err(|e| e.to_string())?,
+            )),
+            "entry" => Ok(TraceLine::Entry(
+                TraceEntry::from_value(&v).map_err(|e| e.to_string())?,
+            )),
+            other => Err(format!("unknown trace line kind `{other}`")),
+        }
+    }
+}
+
+/// Parses one JSON line into a raw value tree.
+fn parse_value(line: &str) -> Result<Value, String> {
+    // The vendored `from_str` needs a `Deserialize` target; a passthrough
+    // newtype exposes the raw tree.
+    struct Passthrough(Value);
+    impl Deserialize for Passthrough {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            Ok(Passthrough(v.clone()))
+        }
+    }
+    serde_json::from_str::<Passthrough>(line)
+        .map(|p| p.0)
+        .map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emvolt_obs::{EventKind, Layer};
+
+    fn sample_info() -> DomainInfo {
+        DomainInfo {
+            name: "A72".to_string(),
+            isa: Isa::ArmV8,
+            max_frequency_hz: 1.6e9,
+            frequency_hz: 1.2e9,
+            voltage_v: 0.9,
+            active_cores: 4,
+            expected_resonance_hz: 1.0675e8,
+        }
+    }
+
+    fn sample_obs() -> EmObservation {
+        EmObservation {
+            reading: EmReading {
+                metric_dbm: -52.75,
+                dominant_hz: 1.07e8,
+            },
+            loop_frequency_hz: 9.23e7,
+            ipc: 1.37,
+            max_droop_v: 0.043,
+            peak_to_peak_v: 0.081,
+            band: (5e7, 2e8),
+            cached: false,
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let header = TraceHeader {
+            backend: "live".to_string(),
+            costs: SessionCosts::default(),
+            domains: vec![sample_info()],
+        };
+        let line = header.to_line();
+        match TraceLine::parse(&line).unwrap() {
+            TraceLine::Header(back) => assert_eq!(back, header),
+            TraceLine::Entry(_) => panic!("parsed header as entry"),
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_with_awkward_floats() {
+        // -0.0, a subnormal, an integer beyond 2^53, infinity: all bit
+        // patterns the plain JSON number path would destroy.
+        let entry = TraceEntry {
+            key: "A72|idle|default|b...|n3|s00000000000000aa|c0".to_string(),
+            payload: TracePayload::Observation(EmObservation {
+                reading: EmReading {
+                    metric_dbm: -0.0,
+                    dominant_hz: 9007199254740995.0,
+                },
+                loop_frequency_hz: f64::MIN_POSITIVE / 2.0,
+                ipc: f64::NEG_INFINITY,
+                ..sample_obs()
+            }),
+            counters: vec![(CounterId::Measurements, 1), (CounterId::AnalyzerSweeps, 3)],
+            hists: vec![(HistId::BandAmplitudeDbm, vec![-52.75, -0.0])],
+            events: vec![Event {
+                kind: EventKind::Span,
+                name: "measure".to_string(),
+                layer: Layer::Platform,
+                t_s: 12.5,
+                wall_s: None,
+                fields: vec![("band_dbm".to_string(), -52.75)],
+            }],
+            elapsed_s: 1.8,
+        };
+        let line = entry.to_line();
+        match TraceLine::parse(&line).unwrap() {
+            TraceLine::Entry(back) => {
+                assert_eq!(back, entry);
+                let (obs, orig) = match (&back.payload, &entry.payload) {
+                    (TracePayload::Observation(a), TracePayload::Observation(b)) => (a, b),
+                    _ => panic!("payload kind changed"),
+                };
+                assert_eq!(
+                    obs.reading.metric_dbm.to_bits(),
+                    orig.reading.metric_dbm.to_bits(),
+                    "-0.0 must survive"
+                );
+            }
+            TraceLine::Header(_) => panic!("parsed entry as header"),
+        }
+    }
+
+    #[test]
+    fn failed_and_points_payloads_round_trip() {
+        for payload in [
+            TracePayload::Failed("frequency 0 outside (0, 1600000000]".to_string()),
+            TracePayload::Points(vec![(5e7, -60.25), (1.07e8, -48.5)]),
+        ] {
+            let entry = TraceEntry {
+                key: "combined|abc|s0|c0".to_string(),
+                payload,
+                counters: vec![],
+                hists: vec![],
+                events: vec![],
+                elapsed_s: 0.0,
+            };
+            let line = entry.to_line();
+            match TraceLine::parse(&line).unwrap() {
+                TraceLine::Entry(back) => assert_eq!(back, entry),
+                TraceLine::Header(_) => panic!("parsed entry as header"),
+            }
+        }
+    }
+
+    #[test]
+    fn request_key_separates_every_input() {
+        let kernel = emvolt_isa::kernels::padded_sweep_kernel(Isa::ArmV8, 7);
+        let base = MeasureRequest {
+            domain: "A72",
+            load: Load::Kernel {
+                kernel: &kernel,
+                loaded_cores: 1,
+            },
+            freq_hz: None,
+            band: BandSpec::Explicit {
+                lo_hz: 5e7,
+                hi_hz: 2e8,
+            },
+            samples: 3,
+            seed: Some(42),
+        };
+        let k = request_key(&base, 1);
+        assert_ne!(
+            k,
+            request_key(
+                &MeasureRequest {
+                    domain: "A53",
+                    ..base
+                },
+                1
+            )
+        );
+        assert_ne!(
+            k,
+            request_key(
+                &MeasureRequest {
+                    freq_hz: Some(1.0e9),
+                    ..base
+                },
+                1
+            )
+        );
+        assert_ne!(k, request_key(&MeasureRequest { samples: 4, ..base }, 1));
+        assert_ne!(
+            k,
+            request_key(
+                &MeasureRequest {
+                    seed: Some(43),
+                    ..base
+                },
+                1
+            )
+        );
+        assert_ne!(k, request_key(&MeasureRequest { seed: None, ..base }, 1));
+        assert_ne!(k, request_key(&base, 2));
+        assert_eq!(k, request_key(&base.clone(), 1));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            // Any f64 bit pattern — NaNs, -0.0, subnormals, infinities,
+            // integers beyond 2^53 — survives a serialize/parse cycle
+            // exactly. NaN breaks struct equality, so the invariant is
+            // checked on the re-serialized line instead.
+            #[test]
+            fn observation_entries_round_trip_any_f64_bits(
+                bits in proptest::collection::vec(any::<u64>(), 9),
+                cached in any::<bool>(),
+                // Counter deltas use plain JSON numbers; the documented
+                // contract only covers exactly-representable counts.
+                count in 0u64..(1 << 53),
+                hist_bits in proptest::collection::vec(any::<u64>(), 0..4),
+            ) {
+                let f = |i: usize| f64::from_bits(bits[i]);
+                let entry = TraceEntry {
+                    key: "A72|idle|default|b0:0|n3|rig|c0".to_string(),
+                    payload: TracePayload::Observation(EmObservation {
+                        reading: EmReading {
+                            metric_dbm: f(0),
+                            dominant_hz: f(1),
+                        },
+                        loop_frequency_hz: f(2),
+                        ipc: f(3),
+                        max_droop_v: f(4),
+                        peak_to_peak_v: f(5),
+                        band: (f(6), f(7)),
+                        cached,
+                    }),
+                    counters: vec![(CounterId::Measurements, count)],
+                    hists: vec![(
+                        HistId::BandAmplitudeDbm,
+                        hist_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+                    )],
+                    events: vec![],
+                    elapsed_s: f(8),
+                };
+                let line = entry.to_line();
+                let reparsed = match TraceLine::parse(&line) {
+                    Ok(TraceLine::Entry(e)) => e,
+                    other => panic!("bad parse: {other:?}"),
+                };
+                prop_assert_eq!(reparsed.to_line(), line);
+            }
+
+            #[test]
+            fn points_entries_round_trip_any_f64_bits(
+                pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..8),
+            ) {
+                let entry = TraceEntry {
+                    key: "combined|0|s0|c0".to_string(),
+                    payload: TracePayload::Points(
+                        pairs
+                            .iter()
+                            .map(|&(a, b)| (f64::from_bits(a), f64::from_bits(b)))
+                            .collect(),
+                    ),
+                    counters: vec![],
+                    hists: vec![],
+                    events: vec![],
+                    elapsed_s: 0.25,
+                };
+                let line = entry.to_line();
+                let reparsed = match TraceLine::parse(&line) {
+                    Ok(TraceLine::Entry(e)) => e,
+                    other => panic!("bad parse: {other:?}"),
+                };
+                prop_assert_eq!(reparsed.to_line(), line);
+            }
+        }
+    }
+
+    #[test]
+    fn combined_key_tracks_sources_and_seed() {
+        let kernel = emvolt_isa::kernels::padded_sweep_kernel(Isa::ArmV8, 7);
+        let loaded = [CombinedSource {
+            domain: "A72",
+            kernel: Some(&kernel),
+            loaded_cores: 2,
+        }];
+        let idle = [CombinedSource {
+            domain: "A72",
+            kernel: None,
+            loaded_cores: 2,
+        }];
+        let k = combined_key(&loaded, 5, 9);
+        assert_ne!(k, combined_key(&idle, 5, 9));
+        assert_ne!(k, combined_key(&loaded, 6, 9));
+        assert_ne!(k, combined_key(&loaded, 5, 10));
+        assert_eq!(k, combined_key(&loaded, 5, 9));
+    }
+}

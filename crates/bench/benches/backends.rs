@@ -1,0 +1,89 @@
+//! Backend-layer benchmark: the same reduced EM GA campaign through the
+//! live chain, the recording wrapper, and a replayed trace.
+//!
+//! Replay answers every measurement from the JSONL trace without
+//! touching the circuit solver, so `em_replay` is the floor cost of the
+//! campaign logic itself (GA bookkeeping + telemetry + trace lookups);
+//! the gap to `em_live` is what the simulation chain costs. `em_record`
+//! measures the overhead of persisting the trace on top of live.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emvolt_backend::{LiveBackend, RecordBackend, ReplayBackend};
+use emvolt_bench::fixtures::a72_domain;
+use emvolt_core::{generate_em_virus_on, VirusGenConfig};
+use emvolt_ga::GaConfig;
+use emvolt_platform::EmBench;
+use std::path::{Path, PathBuf};
+
+fn campaign_config() -> VirusGenConfig {
+    VirusGenConfig {
+        ga: GaConfig {
+            population: 8,
+            generations: 4,
+            seed: 0xBACC,
+            ..GaConfig::default()
+        },
+        kernel_len: 20,
+        samples_per_individual: 2,
+        threads: 1,
+        ..VirusGenConfig::default()
+    }
+}
+
+fn live_backend(config: &VirusGenConfig) -> (LiveBackend, String) {
+    let domain = a72_domain();
+    let name = domain.name().to_owned();
+    (
+        LiveBackend::single(domain, EmBench::new(0xBACC), config.run.clone()),
+        name,
+    )
+}
+
+fn run_live() -> f64 {
+    let config = campaign_config();
+    let (mut backend, name) = live_backend(&config);
+    generate_em_virus_on("bench", &mut backend, &name, &config, |_| {})
+        .expect("campaign runs")
+        .fitness
+}
+
+fn run_record(path: &Path) -> f64 {
+    let config = campaign_config();
+    let (live, name) = live_backend(&config);
+    let mut backend = RecordBackend::create(live, path).expect("trace file opens");
+    generate_em_virus_on("bench", &mut backend, &name, &config, |_| {})
+        .expect("campaign runs")
+        .fitness
+}
+
+fn run_replay(path: &Path) -> f64 {
+    let config = campaign_config();
+    let name = a72_domain().name().to_owned();
+    let mut backend = ReplayBackend::open(path).expect("trace loads");
+    generate_em_virus_on("bench", &mut backend, &name, &config, |_| {})
+        .expect("campaign replays")
+        .fitness
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let trace: PathBuf = std::env::temp_dir().join("emvolt-bench-backends.jsonl");
+    // One recording up front feeds every replay iteration.
+    let recorded = run_record(&trace);
+    assert_eq!(
+        recorded.to_bits(),
+        run_replay(&trace).to_bits(),
+        "replay must reproduce the recorded campaign bit-for-bit"
+    );
+
+    let mut g = c.benchmark_group("backends");
+    g.sample_size(10);
+    g.bench_function("em_live", |b| b.iter(run_live));
+    g.bench_function("em_record", |b| b.iter(|| run_record(&trace)));
+    g.bench_function("em_replay", |b| b.iter(|| run_replay(&trace)));
+    g.finish();
+
+    let _ = std::fs::remove_file(&trace);
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,61 +1,48 @@
 //! High-level façade: one object that characterizes a voltage domain
 //! end-to-end with the EM methodology.
 
-use crate::fast_sweep::{fast_resonance_sweep, FastSweepConfig, FastSweepResult};
-use crate::ga_virus::{generate_em_virus, Virus, VirusGenConfig};
+use crate::fast_sweep::{fast_resonance_sweep_on, FastSweepConfig, FastSweepResult};
+use crate::ga_virus::{generate_em_virus_on, Virus, VirusGenConfig};
 use crate::report::{analyze_virus, VirusReport};
-use emvolt_platform::{DomainError, EmBench, VoltageDomain};
+use emvolt_backend::{LiveBackend, MeasurementBackend};
+use emvolt_platform::{DomainError, EmBench, RunConfig, VoltageDomain};
 use emvolt_vmin::{FailureModel, VminConfig};
 
 /// An EM-based characterization session for one voltage domain — the
 /// paper's complete flow: find the resonance quickly, evolve a virus,
 /// quantify the margin.
+///
+/// Generic over the [`MeasurementBackend`], defaulting to the live
+/// simulated chain: the same session runs against a recording wrapper or
+/// a replayed trace via [`Characterization::with_backend`].
 #[derive(Debug)]
-pub struct Characterization {
-    domain: VoltageDomain,
-    bench: EmBench,
+pub struct Characterization<B: MeasurementBackend = LiveBackend> {
+    backend: B,
+    domain_name: String,
 }
 
-impl Characterization {
+impl Characterization<LiveBackend> {
     /// Aims the EM rig at `domain` (seed controls measurement noise).
     pub fn new(domain: VoltageDomain, seed: u64) -> Self {
+        let domain_name = domain.name().to_owned();
         Characterization {
-            domain,
-            bench: EmBench::new(seed),
+            backend: LiveBackend::single(domain, EmBench::new(seed), RunConfig::fast()),
+            domain_name,
         }
     }
 
     /// The domain under characterization.
     pub fn domain(&self) -> &VoltageDomain {
-        &self.domain
+        self.backend
+            .domain(&self.domain_name)
+            .expect("constructed with this domain")
     }
 
     /// Mutable access (power gating, DVFS) between steps.
     pub fn domain_mut(&mut self) -> &mut VoltageDomain {
-        &mut self.domain
-    }
-
-    /// §5.3: fast loop-frequency sweep; returns the resonance estimate.
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation failures.
-    pub fn find_resonance_fast(&mut self) -> Result<FastSweepResult, DomainError> {
-        let cfg = FastSweepConfig::for_domain(&self.domain);
-        fast_resonance_sweep(&self.domain, &mut self.bench, &cfg)
-    }
-
-    /// §5.1: EM-driven GA virus generation.
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation failures.
-    pub fn generate_virus(
-        &mut self,
-        name: &str,
-        config: &VirusGenConfig,
-    ) -> Result<Virus, DomainError> {
-        generate_em_virus(name, &self.domain, &mut self.bench, config)
+        self.backend
+            .domain_mut(&self.domain_name)
+            .expect("constructed with this domain")
     }
 
     /// §5.2 + Table 2: V_MIN and metrics for a virus.
@@ -71,12 +58,62 @@ impl Characterization {
     ) -> Result<VirusReport, DomainError> {
         analyze_virus(
             &virus.name,
-            &self.domain,
+            self.domain(),
             &virus.kernel,
             failure,
             vmin_cfg,
-            &emvolt_platform::RunConfig::fast(),
+            &RunConfig::fast(),
         )
+    }
+}
+
+impl<B: MeasurementBackend> Characterization<B> {
+    /// Runs the session over an arbitrary backend — e.g. a
+    /// [`RecordBackend`](emvolt_backend::RecordBackend) persisting the
+    /// campaign or a [`ReplayBackend`](emvolt_backend::ReplayBackend)
+    /// serving a recorded one.
+    pub fn with_backend(backend: B, domain_name: impl Into<String>) -> Self {
+        Characterization {
+            backend,
+            domain_name: domain_name.into(),
+        }
+    }
+
+    /// The measurement backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Consumes the session, returning the backend (e.g. to flush a
+    /// recording or recover the bench).
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// §5.3: fast loop-frequency sweep; returns the resonance estimate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn find_resonance_fast(&mut self) -> Result<FastSweepResult, DomainError> {
+        let info = self.backend.domain_info(&self.domain_name).ok_or_else(|| {
+            DomainError::Backend(format!("unknown domain `{}`", self.domain_name))
+        })?;
+        let cfg = FastSweepConfig::for_max_frequency(info.max_frequency_hz);
+        fast_resonance_sweep_on(&mut self.backend, &self.domain_name, &cfg)
+    }
+
+    /// §5.1: EM-driven GA virus generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn generate_virus(
+        &mut self,
+        name: &str,
+        config: &VirusGenConfig,
+    ) -> Result<Virus, DomainError> {
+        generate_em_virus_on(name, &mut self.backend, &self.domain_name, config, |_| {})
     }
 }
 

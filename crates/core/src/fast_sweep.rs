@@ -8,9 +8,12 @@
 //! resonance. The whole procedure takes ~15 minutes on hardware versus
 //! ~15 hours for a GA run.
 
+use emvolt_backend::{
+    BackendError, BandSpec, LiveBackend, Load, MeasureRequest, MeasurementBackend,
+};
 use emvolt_isa::kernels::sweep_kernel;
 use emvolt_obs::{Layer, Telemetry};
-use emvolt_platform::{DomainError, DomainRun, DomainRunner, EmBench, SessionClock, VoltageDomain};
+use emvolt_platform::{DomainError, EmBench, SimClock, VoltageDomain};
 
 /// One point of a loop-frequency sweep (Figs. 11, 13, 16).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,7 +35,7 @@ pub struct FastSweepResult {
     /// EM amplitude.
     pub resonance_hz: f64,
     /// Simulated wall-clock cost of the physical sweep.
-    pub campaign: SessionClock,
+    pub campaign: SimClock,
 }
 
 /// Configuration of the fast sweep.
@@ -60,11 +63,17 @@ pub struct FastSweepConfig {
 impl FastSweepConfig {
     /// The paper's A72 sweep: max clock down to 10% in 20 MHz steps.
     pub fn for_domain(domain: &VoltageDomain) -> Self {
-        let max = domain.max_frequency();
-        let step = 20e6 * (max / 1.2e9).max(0.5); // scale step to platform
+        Self::for_max_frequency(domain.max_frequency())
+    }
+
+    /// As [`FastSweepConfig::for_domain`], from the top clock alone —
+    /// useful when the domain lives behind a [`MeasurementBackend`] and
+    /// only its [`DomainInfo`](emvolt_backend::DomainInfo) is at hand.
+    pub fn for_max_frequency(max_hz: f64) -> Self {
+        let step = 20e6 * (max_hz / 1.2e9).max(0.5); // scale step to platform
         let mut freqs = Vec::new();
-        let mut f = max;
-        while f >= max * 0.1 {
+        let mut f = max_hz;
+        while f >= max_hz * 0.1 {
             freqs.push(f);
             f -= step;
         }
@@ -89,27 +98,57 @@ pub fn fast_resonance_sweep(
     bench: &mut EmBench,
     config: &FastSweepConfig,
 ) -> Result<FastSweepResult, DomainError> {
-    let kernel = sweep_kernel(domain.core_model().isa);
+    // Re-home the caller's rig behind a live backend for the duration of
+    // the sweep, then hand it back with its analyzer time folded in.
+    let rig = std::mem::replace(bench, EmBench::new(0));
+    let mut backend = LiveBackend::single(domain.clone(), rig, config.run.clone());
+    let result = fast_resonance_sweep_on(&mut backend, domain.name(), config);
+    *bench = backend.into_bench();
+    result
+}
+
+/// [`fast_resonance_sweep`] over any [`MeasurementBackend`]: each DVFS
+/// point is one serial rig measurement (the backend keeps a single warm
+/// runner — the PDN netlist, its factorizations and the transient
+/// scratch are built once and reused across every point).
+///
+/// # Errors
+///
+/// As for [`fast_resonance_sweep`]; backend-layer failures surface as
+/// [`DomainError::Backend`].
+pub fn fast_resonance_sweep_on<B: MeasurementBackend + ?Sized>(
+    backend: &mut B,
+    domain_name: &str,
+    config: &FastSweepConfig,
+) -> Result<FastSweepResult, DomainError> {
+    backend
+        .configure_run(&config.run)
+        .map_err(BackendError::into_domain_error)?;
+    let info = backend
+        .domain_info(domain_name)
+        .ok_or_else(|| DomainError::Backend(format!("unknown domain `{domain_name}`")))?;
+    let kernel = sweep_kernel(info.isa);
     let tel = &config.telemetry;
-    // One runner for the whole sweep: DVFS only retunes the CPU timing
-    // model, so the PDN netlist, its factorizations and the transient
-    // scratch are built once and reused across every point.
-    let mut runner = DomainRunner::new_with(domain, config.run.clone(), tel.clone())?;
-    bench.set_telemetry(tel.clone());
-    let mut run = DomainRun::empty();
     let mut points = Vec::with_capacity(config.cpu_freqs_hz.len());
-    let mut campaign = SessionClock::new();
+    let mut campaign = SimClock::new();
 
     for &f_cpu in &config.cpu_freqs_hz {
-        runner.set_frequency(f_cpu.min(domain.max_frequency()));
-        runner.run_into(&kernel, config.loaded_cores, &mut run)?;
-        let loop_freq = run.loop_frequency;
-        let reading = bench.measure_in_band(
-            &run,
-            (loop_freq - config.marker_halfwidth_hz).max(1e6),
-            loop_freq + config.marker_halfwidth_hz,
-            config.samples_per_point,
-        );
+        let req = MeasureRequest {
+            domain: domain_name,
+            load: Load::Kernel {
+                kernel: &kernel,
+                loaded_cores: config.loaded_cores,
+            },
+            freq_hz: Some(f_cpu.min(info.max_frequency_hz)),
+            band: BandSpec::AroundLoop {
+                halfwidth_hz: config.marker_halfwidth_hz,
+            },
+            samples: config.samples_per_point,
+            seed: None,
+        };
+        let obs = backend
+            .measure_serial(&req, tel)
+            .map_err(BackendError::into_domain_error)?;
         campaign.advance(config.samples_per_point as f64 * 0.6 + 2.0);
         tel.set_sim_time(campaign.seconds());
         tel.span(
@@ -117,14 +156,14 @@ pub fn fast_resonance_sweep(
             Layer::Core,
             &[
                 ("cpu_mhz", f_cpu / 1e6),
-                ("loop_mhz", loop_freq / 1e6),
-                ("amplitude_dbm", reading.metric_dbm),
+                ("loop_mhz", obs.loop_frequency_hz / 1e6),
+                ("amplitude_dbm", obs.reading.metric_dbm),
             ],
         );
         points.push(SweepPoint {
             cpu_freq_hz: f_cpu,
-            loop_freq_hz: loop_freq,
-            amplitude_dbm: reading.metric_dbm,
+            loop_freq_hz: obs.loop_frequency_hz,
+            amplitude_dbm: obs.reading.metric_dbm,
         });
     }
 
@@ -137,6 +176,7 @@ pub fn fast_resonance_sweep(
     tel.emit_counters();
     tel.emit_histograms();
     tel.flush();
+    backend.finish().map_err(BackendError::into_domain_error)?;
 
     Ok(FastSweepResult {
         points,

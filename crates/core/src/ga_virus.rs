@@ -8,13 +8,17 @@
 //! (OC-DSO / Kelvin-pad driven, used by the paper for validation) is also
 //! provided.
 
+use emvolt_backend::{
+    BackendError, BandSpec, CachingBackend, EmObservation, LiveBackend, Load, MeasureRequest,
+    MeasurementBackend,
+};
 use emvolt_ga::{derive_eval_seed, EvalContext, GaConfig, GaEngine, KernelRepresentation};
 use emvolt_inst::Oscilloscope;
 use emvolt_isa::{InstructionPool, Kernel};
 use emvolt_obs::{CounterId, HistId, Layer, Telemetry};
 use emvolt_platform::{
-    DomainError, DomainRun, DomainRunner, EmBench, MeasureScratch, RunConfig, SessionClock,
-    VoltageDomain, INDIVIDUAL_MEASUREMENT_SECONDS, INDIVIDUAL_OVERHEAD_SECONDS, RESONANCE_BAND,
+    DomainError, DomainRun, DomainRunner, EmBench, RunConfig, SimClock, VoltageDomain,
+    INDIVIDUAL_MEASUREMENT_SECONDS, INDIVIDUAL_OVERHEAD_SECONDS, RESONANCE_BAND,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -119,15 +123,13 @@ fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-/// One worker's reusable evaluation state: a warm [`DomainRunner`]
-/// (netlist + LU factorizations already built), a recycled [`DomainRun`]
-/// and the spectrum [`MeasureScratch`]. Holding all three together means
-/// a steady-state evaluation allocates nothing transient-sized anywhere
-/// in the kernel → current → PDN → spectrum → metric chain.
+/// One worker's reusable evaluation state for the voltage-feedback GA: a
+/// warm [`DomainRunner`] (netlist + LU factorizations already built) and
+/// a recycled [`DomainRun`]. The EM-driven flow pools its slots inside
+/// the measurement backend instead ([`emvolt_backend::EvalSlot`]).
 struct EvalSlot {
     runner: DomainRunner,
     run: DomainRun,
-    measure: MeasureScratch,
 }
 
 impl EvalSlot {
@@ -137,12 +139,9 @@ impl EvalSlot {
         telemetry: &Telemetry,
     ) -> Result<Self, DomainError> {
         let runner = DomainRunner::new_with(domain, run_config.clone(), telemetry.clone())?;
-        let mut measure = MeasureScratch::new();
-        measure.set_telemetry(telemetry.clone());
         Ok(EvalSlot {
             runner,
             run: DomainRun::empty(),
-            measure,
         })
     }
 }
@@ -270,7 +269,7 @@ pub struct Virus {
     /// the OC-DSO to produce the droop series of Fig. 7).
     pub generation_best: Vec<Kernel>,
     /// Simulated wall-clock the physical campaign would have taken.
-    pub campaign: SessionClock,
+    pub campaign: SimClock,
 }
 
 /// Runs the EM-driven GA (the paper's §5.1 flow) on `domain`.
@@ -311,23 +310,104 @@ pub fn generate_em_virus_observed(
     domain: &VoltageDomain,
     bench: &mut EmBench,
     config: &VirusGenConfig,
+    on_generation: impl FnMut(&GenerationProgress),
+) -> Result<Virus, DomainError> {
+    // Re-home the caller's rig behind a live backend for the duration of
+    // the campaign, then hand it back with its analyzer time folded in.
+    let rig = std::mem::replace(bench, EmBench::new(0));
+    let mut backend = LiveBackend::single(domain.clone(), rig, config.run.clone());
+    let result = generate_em_virus_on(name, &mut backend, domain.name(), config, on_generation);
+    *bench = backend.into_bench();
+    result
+}
+
+/// [`generate_em_virus_observed`] over any [`MeasurementBackend`]: the GA
+/// never touches a domain or a bench directly — every observation flows
+/// through `backend`, so the same campaign runs against the live chain, a
+/// recording wrapper, or a replayed trace with byte-identical telemetry.
+///
+/// When [`VirusGenConfig::cache_fitness`] is set the backend is wrapped
+/// in a [`CachingBackend`] for the duration of the campaign, so repeated
+/// genomes are served from memory exactly as the old genome-keyed cache
+/// did (including cached failures).
+///
+/// # Errors
+///
+/// As for [`generate_em_virus`]; backend-layer failures (missing replay
+/// entries, trace I/O) surface as [`DomainError::Backend`].
+pub fn generate_em_virus_on<B: MeasurementBackend + ?Sized>(
+    name: &str,
+    backend: &mut B,
+    domain_name: &str,
+    config: &VirusGenConfig,
+    on_generation: impl FnMut(&GenerationProgress),
+) -> Result<Virus, DomainError> {
+    backend
+        .configure_run(&config.run)
+        .map_err(BackendError::into_domain_error)?;
+    if config.cache_fitness {
+        let mut caching = CachingBackend::new(&mut *backend);
+        run_em_campaign(name, &mut caching, domain_name, config, on_generation)
+    } else {
+        run_em_campaign(name, backend, domain_name, config, on_generation)
+    }
+}
+
+/// Serial re-measurement through the backend's stateful rig path (the
+/// analyzer RNG advances call over call, like the old coordinator-side
+/// `bench.measure_in_band`).
+fn measure_rig<B: MeasurementBackend + ?Sized>(
+    backend: &mut B,
+    domain_name: &str,
+    kernel: &Kernel,
+    config: &VirusGenConfig,
+    samples: usize,
+    tel: &Telemetry,
+) -> Result<EmObservation, DomainError> {
+    let req = MeasureRequest {
+        domain: domain_name,
+        load: Load::Kernel {
+            kernel,
+            loaded_cores: config.loaded_cores,
+        },
+        freq_hz: None,
+        band: BandSpec::Explicit {
+            lo_hz: config.band.0,
+            hi_hz: config.band.1,
+        },
+        samples,
+        seed: None,
+    };
+    backend
+        .measure_serial(&req, tel)
+        .map_err(BackendError::into_domain_error)
+}
+
+/// The campaign proper, generic over the (possibly cache-wrapped)
+/// backend. Split from [`generate_em_virus_on`] so the caching wrapper
+/// and the bare backend share one monomorphic body.
+fn run_em_campaign<B: MeasurementBackend + ?Sized>(
+    name: &str,
+    backend: &mut B,
+    domain_name: &str,
+    config: &VirusGenConfig,
     mut on_generation: impl FnMut(&GenerationProgress),
 ) -> Result<Virus, DomainError> {
-    let pool = InstructionPool::default_for(domain.core_model().isa);
+    let info = backend
+        .domain_info(domain_name)
+        .ok_or_else(|| DomainError::Backend(format!("unknown domain `{domain_name}`")))?;
+    let pool = InstructionPool::default_for(info.isa);
     let repr = KernelRepresentation::new(pool, config.kernel_len);
     let mut engine = GaEngine::new(repr, config.ga.clone());
-    let mut clock = SessionClock::new();
+    let mut clock = SimClock::new();
     let threads = resolve_threads(config.threads);
 
     // Full handle for the single-threaded coordinator (emits spans),
-    // quiet clone for the worker pool (counters and histograms only).
+    // quiet clone for the worker-side measurements (counters and
+    // histograms only).
     let tel = config.telemetry.clone();
     engine.set_telemetry(tel.clone());
-    bench.set_telemetry(tel.clone());
 
-    let shared = bench.share();
-    let runners = RunnerPool::new(domain, &config.run, tel.quiet());
-    let fitness_cache: Mutex<HashMap<u64, f64>> = Mutex::new(HashMap::new());
     let measured = AtomicUsize::new(0);
     let cache_hit_count = AtomicUsize::new(0);
     let eval_log: Mutex<Vec<EvalRecord>> = Mutex::new(Vec::new());
@@ -339,6 +419,7 @@ pub fn generate_em_virus_observed(
     let campaign_seed = config.ga.seed;
 
     let result = {
+        let backend_ref: &B = backend;
         let quiet = tel.quiet();
         let log_eval = |index: usize, score: f64, cached: bool| {
             if quiet.sink_enabled() {
@@ -350,45 +431,53 @@ pub fn generate_em_virus_observed(
             }
         };
         let fitness = |kernel: &Kernel, ctx: EvalContext| -> f64 {
-            let key = config.cache_fitness.then(|| kernel_identity(kernel));
-            if let Some(k) = key {
-                if let Some(&cached) = fitness_cache.lock().get(&k) {
-                    quiet.count(CounterId::FitnessCacheHits, 1);
-                    cache_hit_count.fetch_add(1, Ordering::Relaxed);
-                    log_eval(ctx.index, cached, true);
-                    return cached;
-                }
-                quiet.count(CounterId::FitnessCacheMisses, 1);
-            }
-            measured.fetch_add(1, Ordering::Relaxed);
             // Cache mode derives the measurement seed from the genome so
             // a duplicated individual reads identically whether or not
-            // its twin was measured first.
-            let seed = match key {
-                Some(k) => derive_eval_seed(campaign_seed ^ k, 0, 0),
-                None => ctx.seed,
+            // its twin was measured first — and so its request key (which
+            // the caching wrapper memoizes on) collapses too.
+            let seed = if config.cache_fitness {
+                derive_eval_seed(campaign_seed ^ kernel_identity(kernel), 0, 0)
+            } else {
+                ctx.seed
             };
-            let score = runners
-                .with(|slot| {
-                    slot.runner
-                        .run_into(kernel, config.loaded_cores, &mut slot.run)?;
-                    Ok(shared
-                        .measure_in_band_seeded_with(
-                            &slot.run,
-                            config.band.0,
-                            config.band.1,
-                            config.samples_per_individual,
-                            seed,
-                            &mut slot.measure,
-                        )
-                        .metric_dbm)
-                })
-                .unwrap_or(-200.0);
-            if let Some(k) = key {
-                fitness_cache.lock().insert(k, score);
+            let req = MeasureRequest {
+                domain: domain_name,
+                load: Load::Kernel {
+                    kernel,
+                    loaded_cores: config.loaded_cores,
+                },
+                freq_hz: None,
+                band: BandSpec::Explicit {
+                    lo_hz: config.band.0,
+                    hi_hz: config.band.1,
+                },
+                samples: config.samples_per_individual,
+                seed: Some(seed),
+            };
+            match backend_ref.measure(&req, &quiet) {
+                Ok(obs) if obs.cached => {
+                    cache_hit_count.fetch_add(1, Ordering::Relaxed);
+                    log_eval(ctx.index, obs.reading.metric_dbm, true);
+                    obs.reading.metric_dbm
+                }
+                Ok(obs) => {
+                    measured.fetch_add(1, Ordering::Relaxed);
+                    log_eval(ctx.index, obs.reading.metric_dbm, false);
+                    obs.reading.metric_dbm
+                }
+                // A kernel that failed once keeps its noise-floor score
+                // without re-simulation, like the old cached -200.0.
+                Err(BackendError::CachedFailure(_)) => {
+                    cache_hit_count.fetch_add(1, Ordering::Relaxed);
+                    log_eval(ctx.index, -200.0, true);
+                    -200.0
+                }
+                Err(_) => {
+                    measured.fetch_add(1, Ordering::Relaxed);
+                    log_eval(ctx.index, -200.0, false);
+                    -200.0
+                }
             }
-            log_eval(ctx.index, score, false);
-            score
         };
         engine.run_batch(&fitness, threads, |stats| {
             let measured_now = measured.swap(0, Ordering::Relaxed);
@@ -452,20 +541,14 @@ pub fn generate_em_virus_observed(
             });
         })
     };
-    bench.absorb_elapsed(&shared);
 
     // Re-measure each generation's best to record its dominant frequency
     // (the paper reads this off the analyzer marker per generation). The
     // same champion often survives many generations, so the re-run and
-    // its dominant frequency are memoized by kernel identity.
-    let mut post_runner = match runners.idle.into_inner().pop() {
-        Some(slot) => slot.runner,
-        None => DomainRunner::new(domain, config.run.clone())?,
-    };
-    // The re-measurement runs serially on the coordinator: give it the
-    // full handle so circuit/dsp/platform spans are emitted here, in a
+    // its dominant frequency are memoized by kernel identity. The
+    // re-measurement runs serially on the coordinator with the full
+    // handle, so circuit/dsp/platform spans are emitted here, in a
     // deterministic order, regardless of the campaign thread count.
-    post_runner.set_telemetry(tel.clone());
     let mut dominant_memo: HashMap<u64, f64> = HashMap::new();
     let mut dominant_of_best = Vec::with_capacity(result.generation_best.len());
     for k in &result.generation_best {
@@ -473,10 +556,9 @@ pub fn generate_em_virus_observed(
         let dom = match dominant_memo.get(&key) {
             Some(&d) => d,
             None => {
-                let run = post_runner.run(k, config.loaded_cores)?;
-                let reading = bench.measure_in_band(&run, config.band.0, config.band.1, 5);
-                dominant_memo.insert(key, reading.dominant_hz);
-                reading.dominant_hz
+                let obs = measure_rig(backend, domain_name, k, config, 5, &tel)?;
+                dominant_memo.insert(key, obs.reading.dominant_hz);
+                obs.reading.dominant_hz
             }
         };
         dominant_of_best.push(dom);
@@ -495,13 +577,14 @@ pub fn generate_em_virus_observed(
         })
         .collect();
 
-    let final_run = post_runner.run(&result.best, config.loaded_cores)?;
-    let final_reading = bench.measure_in_band(
-        &final_run,
-        config.band.0,
-        config.band.1,
+    let final_obs = measure_rig(
+        backend,
+        domain_name,
+        &result.best,
+        config,
         config.samples_per_individual,
-    );
+        &tel,
+    )?;
 
     tel.span(
         "campaign",
@@ -509,19 +592,20 @@ pub fn generate_em_virus_observed(
         &[
             ("generations", result.history.len() as f64),
             ("best_dbm", result.best_fitness),
-            ("dominant_mhz", final_reading.dominant_hz / 1e6),
+            ("dominant_mhz", final_obs.reading.dominant_hz / 1e6),
             ("sim_seconds", clock.seconds()),
         ],
     );
     tel.emit_counters();
     tel.emit_histograms();
     tel.flush();
+    backend.finish().map_err(BackendError::into_domain_error)?;
 
     Ok(Virus {
         name: name.to_owned(),
         kernel: result.best,
         fitness: result.best_fitness,
-        dominant_hz: final_reading.dominant_hz,
+        dominant_hz: final_obs.reading.dominant_hz,
         history,
         generation_best: result.generation_best,
         campaign: clock,
@@ -551,7 +635,7 @@ pub fn generate_voltage_virus(
     let repr = KernelRepresentation::new(pool, config.kernel_len);
     let mut engine = GaEngine::new(repr, config.ga.clone());
     engine.set_telemetry(config.telemetry.clone());
-    let mut clock = SessionClock::new();
+    let mut clock = SimClock::new();
     let threads = resolve_threads(config.threads);
 
     let quiet = config.telemetry.quiet();

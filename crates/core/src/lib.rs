@@ -18,6 +18,14 @@
 //!   resonance shifts.
 //! * [`Characterization`] — a façade running the complete flow.
 //!
+//! Every campaign entry point has an `_on` twin generic over
+//! [`emvolt_backend::MeasurementBackend`] ([`generate_em_virus_on`],
+//! [`fast_resonance_sweep_on`], [`monitor::capture_multi_domain_on`],
+//! [`tamper::fingerprint_on`], [`MarginPredictor::calibrate_on`]): the
+//! same flow runs against the live simulation chain, a recording wrapper
+//! persisting a JSONL trace, or a replayed trace that never touches the
+//! circuit solver.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -49,11 +57,13 @@ mod report;
 pub mod tamper;
 
 pub use characterization::Characterization;
-pub use fast_sweep::{fast_resonance_sweep, FastSweepConfig, FastSweepResult, SweepPoint};
+pub use fast_sweep::{
+    fast_resonance_sweep, fast_resonance_sweep_on, FastSweepConfig, FastSweepResult, SweepPoint,
+};
 pub use ga_virus::{
     annotate_droop, dominant_from_run, generate_em_virus, generate_em_virus_observed,
-    generate_voltage_virus, GenerationProgress, GenerationRecord, Virus, VirusGenConfig,
-    VoltageMetric,
+    generate_em_virus_on, generate_voltage_virus, GenerationProgress, GenerationRecord, Virus,
+    VirusGenConfig, VoltageMetric,
 };
 pub use predictor::MarginPredictor;
 pub use report::{analyze_virus, format_table2, VirusReport};

@@ -5,8 +5,10 @@
 //! the A72 and A53 viruses together produces a spectrum with both
 //! frequency signatures visible.
 
+use emvolt_backend::{BackendError, CombinedSource, MeasurementBackend};
 use emvolt_inst::SweepReading;
-use emvolt_platform::{DomainRun, EmBench};
+use emvolt_obs::Telemetry;
+use emvolt_platform::{DomainError, DomainRun, EmBench};
 
 /// A detected voltage-noise signature.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,11 +24,33 @@ pub struct Signature {
 pub fn capture_multi_domain(bench: &mut EmBench, runs: &[&DomainRun]) -> SweepReading {
     let rx = bench.received_spectrum_multi(runs);
     // One sweep of the combined field.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x515);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(CAPTURE_SEED);
     bench.analyzer.sweep(&rx, &mut rng)
 }
 
 use rand::SeedableRng;
+
+/// Analyzer-noise seed of [`capture_multi_domain`], reused by the
+/// backend-routed capture so both spell the same sweep.
+pub const CAPTURE_SEED: u64 = 0x515;
+
+/// [`capture_multi_domain`] over any [`MeasurementBackend`]: the backend
+/// executes (or replays) each source's run and sweeps the combined field
+/// once, with analyzer noise drawn from [`CAPTURE_SEED`].
+///
+/// # Errors
+///
+/// Propagates simulation failures; backend-layer failures surface as
+/// [`DomainError::Backend`].
+pub fn capture_multi_domain_on<B: MeasurementBackend + ?Sized>(
+    backend: &mut B,
+    sources: &[CombinedSource<'_>],
+    telemetry: &Telemetry,
+) -> Result<SweepReading, DomainError> {
+    backend
+        .capture_combined(sources, CAPTURE_SEED, telemetry)
+        .map_err(BackendError::into_domain_error)
+}
 
 /// Extracts up to `count` signatures at least `min_separation_hz` apart
 /// and at least `min_above_floor_db` above the analyzer noise floor.

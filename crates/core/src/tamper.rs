@@ -8,7 +8,8 @@
 //! from outside the case. This module captures a golden fingerprint and
 //! compares later measurements against it.
 
-use crate::fast_sweep::{fast_resonance_sweep, FastSweepConfig};
+use crate::fast_sweep::{fast_resonance_sweep, fast_resonance_sweep_on, FastSweepConfig};
+use emvolt_backend::MeasurementBackend;
 use emvolt_platform::{DomainError, EmBench, VoltageDomain};
 
 /// A PDN fingerprint: where the first-order resonance sits and how
@@ -55,15 +56,35 @@ pub fn fingerprint(
     config: &FastSweepConfig,
 ) -> Result<PdnFingerprint, DomainError> {
     let sweep = fast_resonance_sweep(domain, bench, config)?;
+    Ok(fingerprint_of(&sweep))
+}
+
+/// [`fingerprint`] over any [`MeasurementBackend`] — a replayed trace of
+/// the golden sweep fingerprints the board without re-simulation.
+///
+/// # Errors
+///
+/// As for [`fingerprint`]; backend-layer failures surface as
+/// [`DomainError::Backend`].
+pub fn fingerprint_on<B: MeasurementBackend + ?Sized>(
+    backend: &mut B,
+    domain_name: &str,
+    config: &FastSweepConfig,
+) -> Result<PdnFingerprint, DomainError> {
+    let sweep = fast_resonance_sweep_on(backend, domain_name, config)?;
+    Ok(fingerprint_of(&sweep))
+}
+
+fn fingerprint_of(sweep: &crate::fast_sweep::FastSweepResult) -> PdnFingerprint {
     let peak_dbm = sweep
         .points
         .iter()
         .map(|p| p.amplitude_dbm)
         .fold(f64::NEG_INFINITY, f64::max);
-    Ok(PdnFingerprint {
+    PdnFingerprint {
         resonance_hz: sweep.resonance_hz,
         peak_dbm,
-    })
+    }
 }
 
 /// Compares a fresh fingerprint against the golden baseline; resonance

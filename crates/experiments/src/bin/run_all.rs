@@ -6,6 +6,12 @@
 //! summary to `results/campaign_summaries.jsonl`. Wall-clock stamps make
 //! these traces non-reproducible by design; use the `emvolt` subcommand
 //! flags for deterministic traces.
+//!
+//! `--backend SPEC` (or `EMVOLT_BACKEND=SPEC`) routes the EM GA
+//! campaigns through a measurement backend: `record:DIR` persists one
+//! `<label>.jsonl` trace per virus under `DIR`, `replay:DIR` serves them
+//! back without touching the simulation chain. Combine with `--refresh`
+//! so the campaigns actually run instead of loading cached kernels.
 
 use emvolt_experiments::{all_experiments, output, Options};
 use emvolt_obs::{JsonlRecorder, Layer, Telemetry};

@@ -30,6 +30,7 @@ pub use juno_figs::{fig04, fig07, fig08, fig09, fig10, fig11};
 pub use pdn_figs::{fig01, fig02, fig06, table1};
 pub use table2_exp::{build_reports, table2};
 
+use emvolt_backend::BackendSpec;
 use std::error::Error;
 
 /// An experiment entry point: takes the options, returns the printed
@@ -37,17 +38,24 @@ use std::error::Error;
 pub type ExperimentFn = fn(&Options) -> Result<String, Box<dyn Error>>;
 
 /// Global experiment options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Options {
     /// Reduced-scale run (smaller GA populations/sweeps) for smoke tests.
     pub quick: bool,
     /// Regenerate viruses even when a cached copy exists.
     pub refresh: bool,
+    /// Measurement backend for the EM GA campaigns. `None` runs the live
+    /// chain directly; `record:DIR` / `replay:DIR` name a directory
+    /// holding one `<label>.jsonl` trace per campaign (see
+    /// [`Options::backend_for`]).
+    pub backend: Option<BackendSpec>,
 }
 
 impl Options {
     /// Parses options from the process arguments and environment
-    /// (`--quick` / `EMVOLT_QUICK=1`, `--refresh`).
+    /// (`--quick` / `EMVOLT_QUICK=1`, `--refresh`, `--backend SPEC` /
+    /// `EMVOLT_BACKEND=SPEC`). Exits with a diagnostic on a malformed
+    /// backend spec.
     pub fn from_env() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick")
@@ -55,7 +63,35 @@ impl Options {
                 .map(|v| v == "1")
                 .unwrap_or(false);
         let refresh = args.iter().any(|a| a == "--refresh");
-        Options { quick, refresh }
+        let backend_arg = args
+            .iter()
+            .position(|a| a == "--backend")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .or_else(|| std::env::var("EMVOLT_BACKEND").ok());
+        let backend = backend_arg.map(|s| match s.parse::<BackendSpec>() {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("--backend {s}: {e}");
+                std::process::exit(2);
+            }
+        });
+        Options {
+            quick,
+            refresh,
+            backend,
+        }
+    }
+
+    /// The backend spec for one named campaign: record/replay paths are
+    /// taken as directories and become `DIR/<label>.jsonl`, so a
+    /// multi-campaign run keeps one trace per virus.
+    pub fn backend_for(&self, label: &str) -> Option<BackendSpec> {
+        self.backend.as_ref().map(|spec| match spec {
+            BackendSpec::Live => BackendSpec::Live,
+            BackendSpec::Record(dir) => BackendSpec::Record(dir.join(format!("{label}.jsonl"))),
+            BackendSpec::Replay(dir) => BackendSpec::Replay(dir.join(format!("{label}.jsonl"))),
+        })
     }
 }
 
@@ -144,8 +180,21 @@ mod tests {
     fn unknown_experiment_is_an_error() {
         let opts = Options {
             quick: true,
-            refresh: false,
+            ..Options::default()
         };
         assert!(run_experiment("fig99", &opts).is_err());
+    }
+
+    #[test]
+    fn backend_for_appends_the_campaign_label() {
+        let opts = Options {
+            backend: Some("record:/tmp/traces".parse().unwrap()),
+            ..Options::default()
+        };
+        assert_eq!(
+            opts.backend_for("a72em"),
+            Some("record:/tmp/traces/a72em.jsonl".parse().unwrap())
+        );
+        assert_eq!(Options::default().backend_for("a72em"), None);
     }
 }

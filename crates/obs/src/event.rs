@@ -12,7 +12,7 @@
 //! | `k`      | string | event kind: `span` / `counter` / `hist`              |
 //! | `name`   | string | span name, counter name, or histogram name           |
 //! | `layer`  | string | originating subsystem (`circuit`, `dsp`, ...)        |
-//! | `t`      | number | simulated campaign seconds (`SessionClock`)          |
+//! | `t`      | number | simulated campaign seconds (`SimClock`)              |
 //! | `wall`   | number | optional wall-clock seconds (injected closure only)  |
 //! | `fields` | object | numeric payload, in emission order                   |
 //!

@@ -19,10 +19,11 @@
 //! - [`CampaignSummary`]: end-of-run aggregation (counter totals +
 //!   histogram percentiles) appended to `results/`.
 //!
-//! Timestamps come from the simulated `SessionClock` (propagated via
-//! [`Telemetry::set_sim_time`]); an optional caller-injected wall-clock
-//! closure adds a `wall` field when real-time latencies are wanted. The
-//! deterministic path never reads the host clock.
+//! Timestamps come from the simulated campaign clock (`emvolt-platform`'s
+//! `SimClock`, propagated via [`Telemetry::set_sim_time`]); an optional
+//! caller-injected wall-clock closure adds a `wall` field when real-time
+//! latencies are wanted. The deterministic path never reads the host
+//! clock.
 
 #![forbid(unsafe_code)]
 

@@ -273,6 +273,10 @@ impl Histograms {
     pub(crate) fn summary(&self, id: HistId) -> Option<HistSummary> {
         HistSummary::from_values(&self.slots[id.index()].lock())
     }
+
+    pub(crate) fn values(&self, id: HistId) -> Vec<f64> {
+        self.slots[id.index()].lock().clone()
+    }
 }
 
 #[cfg(test)]

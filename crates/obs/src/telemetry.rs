@@ -8,7 +8,10 @@ use crate::metrics::{CounterId, Counters, HistId, Histograms};
 use crate::recorder::{NoopRecorder, Recorder};
 use crate::summary::{CampaignSummary, CounterTotal, HistTotal};
 
-type WallClock = Arc<dyn Fn() -> f64 + Send + Sync>;
+/// Injected wall-clock closure. Distinct from the *simulated* campaign
+/// clock (`emvolt-platform`'s `SimClock`), which advances by modeled
+/// measurement cost, not host time.
+type WallClockFn = Arc<dyn Fn() -> f64 + Send + Sync>;
 
 struct Inner {
     recorder: Arc<dyn Recorder>,
@@ -16,7 +19,7 @@ struct Inner {
     hists: Histograms,
     /// Simulated campaign seconds, stored as f64 bits.
     sim_t_bits: AtomicU64,
-    wall: Option<WallClock>,
+    wall: Option<WallClockFn>,
 }
 
 /// Cheap cloneable telemetry handle.
@@ -82,7 +85,7 @@ impl Telemetry {
         Telemetry::build(recorder, Some(Arc::new(wall)))
     }
 
-    fn build(recorder: Arc<dyn Recorder>, wall: Option<WallClock>) -> Self {
+    fn build(recorder: Arc<dyn Recorder>, wall: Option<WallClockFn>) -> Self {
         Telemetry {
             inner: Arc::new(Inner {
                 recorder,
@@ -175,6 +178,32 @@ impl Telemetry {
             wall_s: self.wall_now(),
             fields: attrs.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
         });
+    }
+
+    /// Re-emits a pre-built event, preserving its recorded simulated
+    /// timestamp but restamping the wall clock from this handle. Quiet
+    /// clones emit nothing.
+    ///
+    /// This is the forwarding path measurement backends use to replay
+    /// events captured on another handle (record/replay traces): the
+    /// event's `t` was stamped under the same simulated clock discipline,
+    /// so passing it through unchanged keeps live and replayed traces
+    /// byte-identical.
+    pub fn emit_event(&self, event: &Event) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.recorder.record(&Event {
+            wall_s: self.wall_now(),
+            ..event.clone()
+        });
+    }
+
+    /// Snapshot of the raw values recorded into one histogram, in
+    /// recording order. Empty when the sink is disabled (values are only
+    /// retained for enabled sinks).
+    pub fn hist_values(&self, id: HistId) -> Vec<f64> {
+        self.inner.hists.values(id)
     }
 
     /// Emits one `counter` event per non-zero counter, in registry

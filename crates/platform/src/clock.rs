@@ -1,20 +1,31 @@
-//! Wall-clock accounting for measurement campaigns.
+//! Simulated campaign-time accounting.
 //!
 //! The paper reports campaign durations (≈18 s per 30-sample EM
 //! measurement, ≈15 h for a 60-generation GA run, ≈2 days of V_MIN
-//! testing). The simulation completes in seconds, so a separate session
-//! clock tracks what the *physical* campaign would have cost.
+//! testing). The simulation completes in seconds, so a separate
+//! simulated clock tracks what the *physical* campaign would have cost.
+//!
+//! [`SimClock`] is *not* a wall clock: it never reads host time, only
+//! accumulates modeled costs, which is what keeps campaign durations
+//! reproducible. (Real wall-clock stamping is the optional injected
+//! closure on `emvolt-obs`'s `Telemetry`.)
 
-/// Accumulates simulated wall-clock time for a measurement campaign.
+/// Accumulates simulated campaign time for a measurement session.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct SessionClock {
+pub struct SimClock {
     seconds: f64,
 }
 
-impl SessionClock {
+/// Former name of [`SimClock`], kept for downstream source compatibility.
+///
+/// The old name collided conceptually with wall-clock accounting; the
+/// clock only ever tracked *simulated* campaign seconds.
+pub type SessionClock = SimClock;
+
+impl SimClock {
     /// A fresh clock at zero.
     pub fn new() -> Self {
-        SessionClock::default()
+        SimClock::default()
     }
 
     /// Advances the clock.
@@ -58,7 +69,7 @@ mod tests {
 
     #[test]
     fn accumulates_and_formats() {
-        let mut c = SessionClock::new();
+        let mut c = SimClock::new();
         c.advance(30.0);
         c.advance(-5.0); // ignored
         assert_eq!(c.seconds(), 30.0);
@@ -73,10 +84,18 @@ mod tests {
     fn ga_campaign_cost_matches_paper_scale() {
         // 60 generations x 50 individuals x ~20 s ≈ 16.7 h (~15 h in the
         // paper).
-        let mut c = SessionClock::new();
+        let mut c = SimClock::new();
         for _ in 0..60 * 50 {
             c.advance(INDIVIDUAL_MEASUREMENT_SECONDS + INDIVIDUAL_OVERHEAD_SECONDS);
         }
         assert!(c.hours() > 14.0 && c.hours() < 18.0, "{}", c.hours());
+    }
+
+    #[test]
+    fn session_clock_alias_still_names_the_sim_clock() {
+        let mut c = SessionClock::new();
+        c.advance(1.5);
+        let as_sim: SimClock = c;
+        assert_eq!(as_sim.seconds(), 1.5);
     }
 }

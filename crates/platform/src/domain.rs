@@ -21,6 +21,30 @@ pub enum DomainError {
         /// Currently powered cores.
         active: usize,
     },
+    /// DVFS request outside the domain's `(0, max]` frequency range.
+    InvalidFrequency {
+        /// Requested frequency, Hz.
+        requested_hz: f64,
+        /// Domain maximum, Hz.
+        max_hz: f64,
+    },
+    /// Non-positive supply-voltage request.
+    InvalidVoltage {
+        /// Requested supply, volts.
+        requested_v: f64,
+    },
+    /// Power-gating request outside `1..=core_count`.
+    InvalidCoreCount {
+        /// Requested active cores.
+        requested: usize,
+        /// Cores in the cluster.
+        total: usize,
+    },
+    /// `run_sequence` called with no phases.
+    EmptyPhaseList,
+    /// A measurement backend failed outside the simulation itself (e.g.
+    /// a missing recording during replay, or a trace-store I/O error).
+    Backend(String),
 }
 
 impl fmt::Display for DomainError {
@@ -31,6 +55,20 @@ impl fmt::Display for DomainError {
             DomainError::TooManyLoadedCores { requested, active } => {
                 write!(f, "cannot load {requested} cores with {active} powered")
             }
+            DomainError::InvalidFrequency {
+                requested_hz,
+                max_hz,
+            } => {
+                write!(f, "frequency {requested_hz} outside (0, {max_hz}]")
+            }
+            DomainError::InvalidVoltage { requested_v } => {
+                write!(f, "voltage {requested_v} must be positive")
+            }
+            DomainError::InvalidCoreCount { requested, total } => {
+                write!(f, "active cores {requested} outside 1..={total}")
+            }
+            DomainError::EmptyPhaseList => write!(f, "run_sequence needs at least one phase"),
+            DomainError::Backend(msg) => write!(f, "measurement backend error: {msg}"),
         }
     }
 }
@@ -205,14 +243,30 @@ impl VoltageDomain {
     ///
     /// # Panics
     ///
-    /// Panics for non-positive frequencies or above-maximum requests.
+    /// Panics for non-positive frequencies or above-maximum requests;
+    /// [`VoltageDomain::try_set_frequency`] is the fallible form for
+    /// requests that originate outside the program (CLI flags, traces).
     pub fn set_frequency(&mut self, hz: f64) {
-        assert!(
-            hz > 0.0 && hz <= self.max_freq_hz,
-            "frequency {hz} outside (0, {}]",
-            self.max_freq_hz
-        );
+        if let Err(e) = self.try_set_frequency(hz) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible DVFS: rejects requests outside `(0, max]` instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError::InvalidFrequency`] for out-of-range `hz`.
+    pub fn try_set_frequency(&mut self, hz: f64) -> Result<(), DomainError> {
+        if !(hz > 0.0 && hz <= self.max_freq_hz) {
+            return Err(DomainError::InvalidFrequency {
+                requested_hz: hz,
+                max_hz: self.max_freq_hz,
+            });
+        }
         self.freq_hz = hz;
+        Ok(())
     }
 
     /// Supply voltage in volts.
@@ -224,10 +278,28 @@ impl VoltageDomain {
     ///
     /// # Panics
     ///
-    /// Panics for non-positive voltages.
+    /// Panics for non-positive voltages;
+    /// [`VoltageDomain::try_set_voltage`] is the fallible form.
     pub fn set_voltage(&mut self, volts: f64) {
-        assert!(volts > 0.0, "voltage must be positive");
+        if let Err(e) = self.try_set_voltage(volts) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible undervolting: rejects non-positive supplies instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError::InvalidVoltage`] for non-positive `volts`.
+    pub fn try_set_voltage(&mut self, volts: f64) -> Result<(), DomainError> {
+        // `<=` alone would accept NaN; an explicit NaN check keeps the
+        // guard total.
+        if volts.is_nan() || volts <= 0.0 {
+            return Err(DomainError::InvalidVoltage { requested_v: volts });
+        }
         self.supply_v = volts;
+        Ok(())
     }
 
     /// Number of powered cores.
@@ -245,14 +317,31 @@ impl VoltageDomain {
     ///
     /// # Panics
     ///
-    /// Panics when `active` is zero or exceeds the cluster size.
+    /// Panics when `active` is zero or exceeds the cluster size;
+    /// [`VoltageDomain::try_power_gate`] is the fallible form for
+    /// requests that originate outside the program (e.g. `--cores`).
     pub fn power_gate(&mut self, active: usize) {
-        assert!(
-            active >= 1 && active <= self.core_count(),
-            "active cores {active} outside 1..={}",
-            self.core_count()
-        );
+        if let Err(e) = self.try_power_gate(active) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible power gating: rejects counts outside `1..=core_count`
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError::InvalidCoreCount`] for out-of-range
+    /// `active`.
+    pub fn try_power_gate(&mut self, active: usize) -> Result<(), DomainError> {
+        if !(1..=self.core_count()).contains(&active) {
+            return Err(DomainError::InvalidCoreCount {
+                requested: active,
+                total: self.core_count(),
+            });
+        }
         self.active_cores = active;
+        Ok(())
     }
 
     /// Analytic first-order resonance at the current gating state.
@@ -307,10 +396,7 @@ impl VoltageDomain {
         config: &RunConfig,
     ) -> Result<DomainRun, DomainError> {
         if phases.is_empty() {
-            return Err(DomainError::TooManyLoadedCores {
-                requested: 0,
-                active: self.active_cores,
-            });
+            return Err(DomainError::EmptyPhaseList);
         }
         let mut v_all: Vec<f64> = Vec::new();
         let mut i_all: Vec<f64> = Vec::new();
@@ -437,10 +523,24 @@ impl DomainRunner {
     ///
     /// # Panics
     ///
-    /// Panics for non-positive frequencies or above-maximum requests.
+    /// Panics for non-positive frequencies or above-maximum requests;
+    /// [`DomainRunner::try_set_frequency`] is the fallible form.
     pub fn set_frequency(&mut self, hz: f64) {
-        self.domain.set_frequency(hz);
+        if let Err(e) = self.try_set_frequency(hz) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`DomainRunner::set_frequency`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError::InvalidFrequency`] for out-of-range `hz`;
+    /// on error the runner is left unchanged.
+    pub fn try_set_frequency(&mut self, hz: f64) -> Result<(), DomainError> {
+        self.domain.try_set_frequency(hz)?;
         self.cpu = Cpu::new(self.domain.core_model.clone(), hz);
+        Ok(())
     }
 
     /// Runs `kernel` on `loaded_cores` cores; see [`VoltageDomain::run`].
@@ -622,6 +722,46 @@ mod tests {
         d.set_frequency(2.0e9);
     }
 
+    #[test]
+    fn fallible_control_setters_reject_bad_requests() {
+        let mut d = domain();
+        assert!(matches!(
+            d.try_set_frequency(2.0e9),
+            Err(DomainError::InvalidFrequency { .. })
+        ));
+        assert!(matches!(
+            d.try_set_voltage(-0.1),
+            Err(DomainError::InvalidVoltage { .. })
+        ));
+        assert!(matches!(
+            d.try_power_gate(0),
+            Err(DomainError::InvalidCoreCount { .. })
+        ));
+        assert!(matches!(
+            d.try_power_gate(99),
+            Err(DomainError::InvalidCoreCount { .. })
+        ));
+        // State is untouched by rejected requests and updated by valid
+        // ones.
+        assert_eq!(d.frequency(), 1.2e9);
+        d.try_set_frequency(0.6e9).unwrap();
+        d.try_set_voltage(0.9).unwrap();
+        d.try_power_gate(1).unwrap();
+        assert_eq!(d.frequency(), 0.6e9);
+        assert_eq!(d.voltage(), 0.9);
+        assert_eq!(d.active_cores(), 1);
+    }
+
+    #[test]
+    fn runner_try_set_frequency_leaves_state_on_error() {
+        let d = domain();
+        let mut runner = DomainRunner::new(&d, RunConfig::fast()).unwrap();
+        assert!(runner.try_set_frequency(9.9e9).is_err());
+        assert_eq!(runner.domain().frequency(), 1.2e9);
+        runner.try_set_frequency(0.8e9).unwrap();
+        assert_eq!(runner.domain().frequency(), 0.8e9);
+    }
+
     /// A reused runner must reproduce per-call `VoltageDomain::run`
     /// bit-for-bit across different kernels — this equality is what lets
     /// the GA batch path share one runner per thread.
@@ -718,6 +858,9 @@ mod sequence_tests {
     #[test]
     fn empty_sequence_is_rejected() {
         let d = domain();
-        assert!(d.run_sequence(&[], &RunConfig::fast()).is_err());
+        assert!(matches!(
+            d.run_sequence(&[], &RunConfig::fast()),
+            Err(DomainError::EmptyPhaseList)
+        ));
     }
 }

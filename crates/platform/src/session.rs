@@ -4,17 +4,17 @@
 //! individual's source over SSH, the target compiles and runs it, the
 //! workstation drives the spectrum analyzer, then kills the binary. This
 //! module reproduces that session protocol in-process — the GA loop is
-//! transport-agnostic, and the session accounts for the wall-clock each
-//! step would cost physically (compilation, deployment, measurement,
-//! teardown), which is how the paper's "~15 hours for 60 generations"
-//! figure arises.
+//! transport-agnostic, and the session accounts — in simulated time —
+//! for what each step would cost physically (compilation, deployment,
+//! measurement, teardown), which is how the paper's "~15 hours for 60
+//! generations" figure arises.
 
-use crate::clock::SessionClock;
+use crate::clock::SimClock;
 use crate::domain::{DomainError, DomainRun, RunConfig, VoltageDomain};
 use crate::measure::{EmBench, EmReading};
 use emvolt_isa::Kernel;
 
-/// Wall-clock cost model of one orchestration step, in seconds.
+/// Cost model of one orchestration step, in simulated seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionCosts {
     /// Shipping source to the target (SSH/scp).
@@ -68,13 +68,13 @@ impl Target for VoltageDomain {
 }
 
 /// A measurement session: a workstation connected to one target and one
-/// EM bench, with wall-clock accounting.
+/// EM bench, with simulated campaign-time accounting.
 #[derive(Debug)]
 pub struct MeasurementSession<'a, T: Target> {
     target: &'a T,
     bench: EmBench,
     costs: SessionCosts,
-    clock: SessionClock,
+    clock: SimClock,
     individuals_measured: usize,
 }
 
@@ -85,7 +85,7 @@ impl<'a, T: Target> MeasurementSession<'a, T> {
             target,
             bench,
             costs: SessionCosts::default(),
-            clock: SessionClock::new(),
+            clock: SimClock::new(),
             individuals_measured: 0,
         }
     }
@@ -125,8 +125,8 @@ impl<'a, T: Target> MeasurementSession<'a, T> {
         self.individuals_measured
     }
 
-    /// Accumulated (simulated) campaign wall-clock.
-    pub fn clock(&self) -> SessionClock {
+    /// Accumulated simulated campaign time.
+    pub fn clock(&self) -> SimClock {
         self.clock
     }
 

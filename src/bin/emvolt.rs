@@ -9,8 +9,9 @@
 //! emvolt vmin --platform a72 [--workload lbm | --stress]
 //! ```
 
+use emvolt::backend::BackendSpec;
 use emvolt::core::{
-    fast_resonance_sweep, generate_em_virus_observed, FastSweepConfig, VirusGenConfig,
+    fast_resonance_sweep_on, generate_em_virus_on, FastSweepConfig, VirusGenConfig,
 };
 use emvolt::ga::GaConfig;
 use emvolt::isa::kernels::resonant_stress_kernel;
@@ -47,6 +48,11 @@ OPTIONS:
     --telemetry PATH             write a JSONL trace of the run to PATH and
                                  append a summary to results/campaign_summaries.jsonl
     --progress                   virus: print one line per GA generation
+    --backend SPEC               sweep/virus: measurement backend — `live` (the
+                                 default simulated chain), `record:PATH` (live,
+                                 persisting every measurement to a JSONL trace)
+                                 or `replay:PATH` (serve a recorded trace; the
+                                 circuit solver never runs)
 ";
 
 /// Which flags a subcommand accepts: `valued` take the next argument,
@@ -64,7 +70,7 @@ impl FlagSpec {
                 boolean: &[],
             },
             "sweep" => FlagSpec {
-                valued: &["platform", "cores", "seed", "telemetry"],
+                valued: &["platform", "cores", "seed", "telemetry", "backend"],
                 boolean: &[],
             },
             "impedance" => FlagSpec {
@@ -79,6 +85,7 @@ impl FlagSpec {
                     "generations",
                     "seed",
                     "telemetry",
+                    "backend",
                 ],
                 boolean: &["progress"],
             },
@@ -187,9 +194,32 @@ fn build_platform(flags: &HashMap<String, String>) -> Result<VoltageDomain, Box<
         other => return Err(format!("unknown platform `{other}`").into()),
     };
     if let Some(cores) = flags.get("cores") {
-        domain.power_gate(cores.parse()?);
+        domain
+            .try_power_gate(cores.parse()?)
+            .map_err(|e| format!("--cores {cores}: {e}"))?;
     }
     Ok(domain)
+}
+
+/// Parses `--backend` (default `live`) and builds the measurement
+/// backend over `domain`.
+fn backend_from(
+    flags: &HashMap<String, String>,
+    domain: &VoltageDomain,
+    bench_seed: u64,
+    run_config: &RunConfig,
+) -> Result<Box<dyn emvolt::backend::MeasurementBackend>, Box<dyn Error>> {
+    let spec: BackendSpec = flags
+        .get("backend")
+        .map_or(Ok(BackendSpec::Live), |s| s.parse())?;
+    let backend = spec
+        .build(
+            vec![domain.clone()],
+            EmBench::new(bench_seed),
+            run_config.clone(),
+        )
+        .map_err(|e| format!("--backend {spec}: {e}"))?;
+    Ok(backend)
 }
 
 fn seed(flags: &HashMap<String, String>) -> u64 {
@@ -217,17 +247,17 @@ fn cmd_platforms() {
 fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let domain = build_platform(flags)?;
     let tel = telemetry_from(flags)?;
-    let mut bench = EmBench::new(seed(flags));
     let cfg = FastSweepConfig {
         telemetry: tel.clone(),
         ..FastSweepConfig::for_domain(&domain)
     };
+    let mut backend = backend_from(flags, &domain, seed(flags), &cfg.run)?;
     eprintln!(
         "sweeping {} ({} powered cores) ...",
         domain.name(),
         domain.active_cores()
     );
-    let result = fast_resonance_sweep(&domain, &mut bench, &cfg)?;
+    let result = fast_resonance_sweep_on(&mut *backend, domain.name(), &cfg)?;
     println!("clock (MHz)  loop (MHz)  EM (dBm)");
     for p in &result.points {
         println!(
@@ -289,7 +319,6 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         .unwrap_or(15);
     let tel = telemetry_from(flags)?;
     let progress = flags.contains_key("progress");
-    let mut bench = EmBench::new(seed(flags));
     let cfg = VirusGenConfig {
         ga: GaConfig {
             population,
@@ -302,11 +331,12 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         telemetry: tel.clone(),
         ..VirusGenConfig::default()
     };
+    let mut backend = backend_from(flags, &domain, seed(flags), &cfg.run)?;
     eprintln!(
         "evolving a dI/dt virus on {} ({population} x {generations}) ...",
         domain.name()
     );
-    let virus = generate_em_virus_observed("cli", &domain, &mut bench, &cfg, |p| {
+    let virus = generate_em_virus_on("cli", &mut *backend, domain.name(), &cfg, |p| {
         if progress {
             eprintln!(
                 "gen {:>3}  best {:>8.2} dBm  mean {:>8.2} dBm  cache {:>3.0}%",
@@ -518,5 +548,26 @@ mod tests {
     #[test]
     fn unknown_command_has_no_spec() {
         assert!(FlagSpec::for_command("viurs").is_none());
+    }
+
+    #[test]
+    fn backend_flag_parses_on_sweep_and_virus() {
+        for command in ["sweep", "virus"] {
+            let spec = FlagSpec::for_command(command).unwrap();
+            let flags = parse_flags(
+                command,
+                &argv(&["--backend", "record:/tmp/trace.jsonl"]),
+                &spec,
+            )
+            .unwrap();
+            let spec: BackendSpec = flags.get("backend").unwrap().parse().unwrap();
+            assert_eq!(spec.to_string(), "record:/tmp/trace.jsonl");
+        }
+    }
+
+    #[test]
+    fn malformed_backend_spec_is_rejected() {
+        let err = "tape:/tmp/x.jsonl".parse::<BackendSpec>().unwrap_err();
+        assert!(err.contains("tape"), "{err}");
     }
 }

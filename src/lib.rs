@@ -39,6 +39,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`obs`] | `emvolt-obs` | telemetry: spans, counters, JSONL traces |
+//! | [`backend`] | `emvolt-backend` | measurement backends: live, record, replay, cache |
 //! | [`circuit`] | `emvolt-circuit` | MNA netlists, AC + transient analysis |
 //! | [`dsp`] | `emvolt-dsp` | FFT, windows, spectra |
 //! | [`pdn`] | `emvolt-pdn` | die–package–PCB network, resonance math |
@@ -54,6 +55,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use emvolt_backend as backend;
 pub use emvolt_circuit as circuit;
 pub use emvolt_core as core;
 pub use emvolt_cpu as cpu;
@@ -69,9 +71,10 @@ pub use emvolt_vmin as vmin;
 
 /// The most common types in one import.
 pub mod prelude {
+    pub use emvolt_backend::{BackendSpec, LiveBackend, MeasurementBackend};
     pub use emvolt_core::{
-        fast_resonance_sweep, generate_em_virus, generate_voltage_virus, Characterization,
-        FastSweepConfig, VirusGenConfig,
+        fast_resonance_sweep, fast_resonance_sweep_on, generate_em_virus, generate_em_virus_on,
+        generate_voltage_virus, Characterization, FastSweepConfig, VirusGenConfig,
     };
     pub use emvolt_cpu::{CoreModel, Cpu, SimConfig};
     pub use emvolt_ga::{GaConfig, GaEngine, KernelRepresentation};

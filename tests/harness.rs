@@ -7,7 +7,7 @@ use emvolt_experiments::{run_experiment, Options};
 fn quick() -> Options {
     Options {
         quick: true,
-        refresh: false,
+        ..Options::default()
     }
 }
 
