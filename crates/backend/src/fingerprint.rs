@@ -82,6 +82,8 @@ pub fn run_config_fingerprint(config: &RunConfig) -> u64 {
     h.write_u64(config.pdn_dt.to_bits());
     h.write_u64(config.pdn_window.to_bits());
     h.write_u64(config.pdn_warmup.to_bits());
+    h.write(config.kernel.as_str().as_bytes());
+    h.write(config.spectral.as_str().as_bytes());
     let sim = &config.sim;
     h.write(format!("{sim:?}").as_bytes());
     h.finish()
@@ -120,6 +122,21 @@ mod tests {
             run_config_fingerprint(&fast),
             run_config_fingerprint(&default)
         );
+    }
+
+    /// Solver-kernel and spectral-path selections are part of the pinned
+    /// fidelity: a recording must not replay against a different
+    /// measurement pipeline.
+    #[test]
+    fn run_config_fingerprint_tracks_solver_selections() {
+        let base = RunConfig::fast();
+        let mut lu = RunConfig::fast();
+        lu.kernel = emvolt_platform::KernelChoice::Lu;
+        let mut fft = RunConfig::fast();
+        fft.spectral = emvolt_platform::SpectralChoice::FullFft;
+        assert_ne!(run_config_fingerprint(&base), run_config_fingerprint(&lu));
+        assert_ne!(run_config_fingerprint(&base), run_config_fingerprint(&fft));
+        assert_ne!(run_config_fingerprint(&lu), run_config_fingerprint(&fft));
     }
 
     #[test]

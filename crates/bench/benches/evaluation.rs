@@ -9,7 +9,10 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use emvolt_bench::fixtures::{a72_domain, arm_kernel};
 use emvolt_circuit::TransientScratch;
-use emvolt_platform::{DomainRun, DomainRunner, EmBench, MeasureScratch, RunConfig};
+use emvolt_platform::{
+    BatchTransientScratch, DomainRun, DomainRunner, EmBench, KernelChoice, MeasureScratch,
+    RunConfig, SpectralChoice,
+};
 
 fn bench_solver(c: &mut Criterion) {
     let domain = a72_domain();
@@ -35,6 +38,30 @@ fn bench_solver(c: &mut Criterion) {
         b.iter(|| {
             let die = pdn
                 .transient_scoped(&plan, &transient_cfg, &mut scratch)
+                .unwrap();
+            black_box((die.len(), die.v_die()[die.len() - 1]))
+        })
+    });
+    // Kernel head-to-head on the same plan shape: LU back-substitution
+    // per step vs the precomputed state-space update.
+    let plan_lu = pdn
+        .plan_transient_kernel(cfg.pdn_dt, KernelChoice::Lu)
+        .unwrap();
+    g.bench_function("transient_scoped_lu_kernel", |b| {
+        b.iter(|| {
+            let die = pdn
+                .transient_scoped(&plan_lu, &transient_cfg, &mut scratch)
+                .unwrap();
+            black_box((die.len(), die.v_die()[die.len() - 1]))
+        })
+    });
+    let plan_ss = pdn
+        .plan_transient_kernel(cfg.pdn_dt, KernelChoice::StateSpace)
+        .unwrap();
+    g.bench_function("transient_scoped_statespace_kernel", |b| {
+        b.iter(|| {
+            let die = pdn
+                .transient_scoped(&plan_ss, &transient_cfg, &mut scratch)
                 .unwrap();
             black_box((die.len(), die.v_die()[die.len() - 1]))
         })
@@ -96,6 +123,44 @@ fn bench_full_chain(c: &mut Criterion) {
                     .measure_in_band_seeded_with(&run, 50e6, 200e6, 3, 7, &mut measure)
                     .metric_dbm,
             )
+        })
+    });
+    // Forced "before" path: LU back-substitution transients and a full
+    // Bluestein FFT per sweep — what auto selection replaced.
+    let mut lu_cfg = cfg.clone();
+    lu_cfg.kernel = KernelChoice::Lu;
+    lu_cfg.spectral = SpectralChoice::FullFft;
+    let mut fft_bench = EmBench::new(0xBE7C);
+    fft_bench.set_spectral(SpectralChoice::FullFft);
+    let fft_shared = fft_bench.share();
+    let mut lu_runner = DomainRunner::new(&domain, lu_cfg).unwrap();
+    g.bench_function("run_and_measure_lu_fft", |b| {
+        b.iter(|| {
+            lu_runner.run_into(&kernel, 1, &mut run).unwrap();
+            black_box(
+                fft_shared
+                    .measure_in_band_seeded_with(&run, 50e6, 200e6, 3, 7, &mut measure)
+                    .metric_dbm,
+            )
+        })
+    });
+    // Batched path: four independent stimuli folded through the
+    // state-space kernel together, then measured per lane.
+    let entries = [(&kernel, 1usize), (&kernel, 2), (&kernel, 1), (&kernel, 2)];
+    let mut outs = vec![DomainRun::empty(); entries.len()];
+    let mut batch = BatchTransientScratch::new();
+    g.bench_function("run_and_measure_batched_x4", |b| {
+        b.iter(|| {
+            runner
+                .run_batch_into(&entries, &mut outs, &mut batch)
+                .unwrap();
+            let mut acc = 0.0;
+            for out in &outs {
+                acc += shared
+                    .measure_in_band_seeded_with(out, 50e6, 200e6, 3, 7, &mut measure)
+                    .metric_dbm;
+            }
+            black_box(acc)
         })
     });
     g.finish();

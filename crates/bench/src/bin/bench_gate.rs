@@ -1,0 +1,141 @@
+//! Compares a freshly exported `BENCH_eval.json` against the committed
+//! baseline and fails when the full-chain floor regresses.
+//!
+//! CI runs `export_bench` into a scratch directory and then:
+//!
+//! ```text
+//! bench_gate BENCH_eval.json /tmp/bench/BENCH_eval.json [tolerance]
+//! ```
+//!
+//! For every committed record whose name starts with `full_chain`, the
+//! fresh run must contain the same record with
+//! `min_ms <= committed_min_ms * tolerance` (default 1.5x — CI runners
+//! are noisy and heterogeneous; the gate catches integer-factor
+//! regressions like losing the state-space kernel or the band-Goertzel
+//! path, not single-digit-percent drift). Missing records fail too, so
+//! renaming an entry forces a deliberate baseline update.
+//!
+//! The gate also checks the structural invariant that survives machine
+//! changes: `full_chain_baseline` (auto-selected fast path) must stay
+//! at least 1.5x faster than `full_chain_lu_fft` (the forced general
+//! path) *within the fresh run* — a same-machine ratio, immune to
+//! runner speed.
+
+use serde::{DeError, Deserialize, Value};
+use std::process::ExitCode;
+
+/// `{name -> min_ms}` extracted from a bench-record array.
+struct MinTimes(Vec<(String, f64)>);
+
+impl MinTimes {
+    fn get(&self, name: &str) -> Option<f64> {
+        self.0.iter().find(|(n, _)| n == name).map(|&(_, t)| t)
+    }
+}
+
+impl Deserialize for MinTimes {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let Value::Arr(items) = v else {
+            return Err(DeError::new("expected a top-level array of records"));
+        };
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let name = match item.field_value("name")? {
+                Value::Str(s) => s.clone(),
+                other => {
+                    return Err(DeError::new(format!(
+                        "name: expected string, got {other:?}"
+                    )))
+                }
+            };
+            let min_ms = match item.field_value("min_ms")? {
+                Value::Num(n) => *n,
+                other => {
+                    return Err(DeError::new(format!(
+                        "min_ms: expected number, got {other:?}"
+                    )))
+                }
+            };
+            out.push((name, min_ms));
+        }
+        Ok(MinTimes(out))
+    }
+}
+
+fn load(path: &str) -> MinTimes {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+/// Ratio of the forced general path to the auto fast path, if both were
+/// recorded. Machine-independent: both numbers come from the same run.
+fn fast_path_speedup(times: &MinTimes) -> Option<f64> {
+    let general = times.get("full_chain_lu_fft")?;
+    let fast = times.get("full_chain_baseline")?;
+    Some(general / fast)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_eval.json".to_owned());
+    let fresh_path = args
+        .next()
+        .unwrap_or_else(|| usage("missing fresh BENCH_eval.json path"));
+    let tolerance: f64 = args
+        .next()
+        .map(|t| t.parse().unwrap_or_else(|_| usage("bad tolerance")))
+        .unwrap_or(1.5);
+
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+    let mut failed = false;
+
+    for (name, base_min) in baseline
+        .0
+        .iter()
+        .filter(|(n, _)| n.starts_with("full_chain"))
+    {
+        match fresh.get(name) {
+            Some(fresh_min) if fresh_min <= base_min * tolerance => {
+                eprintln!("ok   {name:<28} {fresh_min:.3} ms (baseline {base_min:.3} ms)");
+            }
+            Some(fresh_min) => {
+                eprintln!(
+                    "FAIL {name:<28} {fresh_min:.3} ms exceeds {base_min:.3} ms * {tolerance}"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL {name:<28} missing from {fresh_path}");
+                failed = true;
+            }
+        }
+    }
+
+    // Same-run speedup floor: insensitive to absolute runner speed.
+    const SPEEDUP_FLOOR: f64 = 1.5;
+    match fast_path_speedup(&fresh) {
+        Some(ratio) if ratio >= SPEEDUP_FLOOR => {
+            eprintln!("ok   lu_fft/baseline speedup {ratio:.2}x (floor {SPEEDUP_FLOOR}x)");
+        }
+        Some(ratio) => {
+            eprintln!("FAIL lu_fft/baseline speedup {ratio:.2}x below floor {SPEEDUP_FLOOR}x");
+            failed = true;
+        }
+        None => {
+            eprintln!("FAIL fresh run lacks full_chain_lu_fft/full_chain_baseline records");
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}\nusage: bench_gate <committed.json> <fresh.json> [tolerance]");
+    std::process::exit(2);
+}

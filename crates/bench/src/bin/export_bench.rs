@@ -4,10 +4,16 @@
 //! The criterion benches print to stdout only; CI and EXPERIMENTS.md
 //! want stable JSON artifacts, so this binary re-times the same
 //! workloads with `std::time::Instant` and writes
-//! `{name, samples, min_ms, mean_ms, max_ms}` records. The headline
-//! comparison is `full_chain_noop_recorder` (telemetry hooks present,
-//! everything gated off) against `full_chain_baseline` — the tentpole
-//! requires the noop path within 1% of the baseline.
+//! `{name, samples, min_ms, mean_ms, max_ms}` records. Two headline
+//! comparisons: `full_chain_baseline` (the default auto-selected
+//! state-space + band-Goertzel path) against `full_chain_lu_fft` (the
+//! general LU solve + full Bluestein FFT it replaced), and
+//! `full_chain_noop_recorder` (telemetry hooks present, everything
+//! gated off) against the baseline — the telemetry tentpole requires
+//! the noop path within 1% of it.
+//!
+//! `bench_gate` consumes the `full_chain_*` records, so warmup must be
+//! long enough that min_ms is a stable floor, not a cold-cache draw.
 //!
 //! Usage: `export_bench [output_dir]` (default `.`).
 
@@ -15,7 +21,10 @@ use emvolt_bench::fixtures::{a72_domain, arm_kernel};
 use emvolt_core::{generate_em_virus, VirusGenConfig};
 use emvolt_ga::GaConfig;
 use emvolt_obs::{JsonlRecorder, Telemetry};
-use emvolt_platform::{DomainRun, DomainRunner, EmBench, MeasureScratch, RunConfig};
+use emvolt_platform::{
+    BatchTransientScratch, DomainRun, DomainRunner, EmBench, KernelChoice, MeasureScratch,
+    RunConfig, SpectralChoice,
+};
 use serde::Value;
 use std::sync::Arc;
 use std::time::Instant;
@@ -94,12 +103,41 @@ fn eval_records() -> Vec<Stats> {
     let kernel = arm_kernel();
     let bench = EmBench::new(0xBE7C);
     let shared = bench.share();
-    const WARMUP: usize = 5;
+    // Warmup long enough to fault in code, warm caches, and settle the
+    // allocator before any timed sample: without it min-to-max spread
+    // ran 2x and min_ms was not a gateable floor.
+    const WARMUP: usize = 50;
     const SAMPLES: usize = 40;
 
     let mut records = Vec::new();
 
-    // Baseline: plain constructors, no telemetry argument anywhere.
+    // Reference "before" path: general LU back-substitution per step and
+    // a full Bluestein FFT per sweep, both forced. This is what every
+    // chain paid before the structure-exploiting kernels landed; keeping
+    // it timed records the before/after trajectory in every export.
+    {
+        let mut lu_cfg = cfg.clone();
+        lu_cfg.kernel = KernelChoice::Lu;
+        lu_cfg.spectral = SpectralChoice::FullFft;
+        let mut fft_bench = EmBench::new(0xBE7C);
+        fft_bench.set_spectral(SpectralChoice::FullFft);
+        let fft_shared = fft_bench.share();
+        let mut runner = DomainRunner::new(&domain, lu_cfg).unwrap();
+        let mut run = DomainRun::empty();
+        let mut measure = MeasureScratch::new();
+        records.push(time_ms("full_chain_lu_fft", WARMUP, SAMPLES, || {
+            runner.run_into(&kernel, 1, &mut run).unwrap();
+            std::hint::black_box(
+                fft_shared
+                    .measure_in_band_seeded_with(&run, 50e6, 200e6, 3, 7, &mut measure)
+                    .metric_dbm,
+            );
+        }));
+    }
+
+    // Baseline: plain constructors, no telemetry argument anywhere. Auto
+    // selection resolves to the state-space kernel + band Goertzel on
+    // this workload; this is the entry `bench_gate` holds the line on.
     {
         let mut runner = DomainRunner::new(&domain, cfg.clone()).unwrap();
         let mut run = DomainRun::empty();
@@ -111,6 +149,28 @@ fn eval_records() -> Vec<Stats> {
                     .measure_in_band_seeded_with(&run, 50e6, 200e6, 3, 7, &mut measure)
                     .metric_dbm,
             );
+        }));
+    }
+
+    // Batched: four individuals stepped through the transient kernel
+    // together, then measured one by one. Divide by 4 for per-eval cost.
+    {
+        let mut runner = DomainRunner::new(&domain, cfg.clone()).unwrap();
+        let entries = [(&kernel, 1usize), (&kernel, 2), (&kernel, 1), (&kernel, 2)];
+        let mut outs = vec![DomainRun::empty(); entries.len()];
+        let mut batch = BatchTransientScratch::new();
+        let mut measure = MeasureScratch::new();
+        records.push(time_ms("full_chain_batched_x4", WARMUP, SAMPLES, || {
+            runner
+                .run_batch_into(&entries, &mut outs, &mut batch)
+                .unwrap();
+            for run in &outs {
+                std::hint::black_box(
+                    shared
+                        .measure_in_band_seeded_with(run, 50e6, 200e6, 3, 7, &mut measure)
+                        .metric_dbm,
+                );
+            }
         }));
     }
 
@@ -168,7 +228,7 @@ fn ga_config(telemetry: Telemetry) -> VirusGenConfig {
 
 fn ga_records() -> Vec<Stats> {
     let domain = a72_domain();
-    const WARMUP: usize = 1;
+    const WARMUP: usize = 3;
     const SAMPLES: usize = 5;
 
     let mut records = Vec::new();

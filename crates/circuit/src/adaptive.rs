@@ -9,7 +9,7 @@
 
 use crate::error::Result;
 use crate::netlist::{Circuit, NodeId};
-use crate::transient::TransientConfig;
+use crate::transient::{TransientConfig, TransientProbes, TransientScratch};
 
 /// Result of a step-halving convergence study.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +27,11 @@ pub struct ConvergenceReport {
 /// `config.dt`, `levels` halvings) and reports the step at which the
 /// waveform at `observe` stops changing by more than `tol_v` RMS.
 ///
+/// Each level runs through a [`crate::transient::TransientPlan`] with a
+/// probe scoped to `observe`, reusing one scratch across levels — the
+/// same planned, kernel-selected solve path the platform hot loop uses
+/// (a new plan per level is unavoidable: `dt` enters the system matrix).
+///
 /// # Errors
 ///
 /// Propagates transient-analysis failures.
@@ -38,16 +43,19 @@ pub fn converge_transient(
     tol_v: f64,
 ) -> Result<ConvergenceReport> {
     let mut steps = Vec::with_capacity(levels + 1);
-    let mut traces = Vec::with_capacity(levels + 1);
+    let mut traces: Vec<Vec<f64>> = Vec::with_capacity(levels + 1);
+    let probes = TransientProbes::none().with_node(observe);
+    let mut scratch = TransientScratch::new();
     let mut dt = config.dt;
     for _ in 0..=levels {
         let cfg = TransientConfig {
             dt,
             ..config.clone()
         };
-        let res = circuit.transient(&cfg)?;
+        let plan = circuit.plan_transient(dt)?;
+        let view = circuit.transient_scoped(&plan, &cfg, &probes, &mut scratch)?;
         steps.push(dt);
-        traces.push(res.voltage(observe));
+        traces.push(view.voltage_samples(observe).to_vec());
         dt /= 2.0;
     }
 
@@ -60,7 +68,7 @@ pub fn converge_transient(
         let n = coarse.len().min(fine.len() / 2);
         let mut acc = 0.0;
         for k in 0..n {
-            let d = coarse.samples()[k] - fine.samples()[2 * k];
+            let d = coarse[k] - fine[2 * k];
             acc += d * d;
         }
         let rms = (acc / n.max(1) as f64).sqrt();

@@ -9,6 +9,7 @@
 use crate::error::Result;
 use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::{Circuit, InductorId, NodeId, VSourceId};
+use crate::stimulus::Stimulus;
 
 /// Solution of a DC operating-point analysis.
 #[derive(Debug, Clone)]
@@ -109,6 +110,20 @@ impl Circuit {
     /// Fills the DC right-hand side from the current stimulus values.
     /// `b` must be zeroed and sized to the plan dimension.
     pub(crate) fn dc_rhs_into(&self, b: &mut [f64]) {
+        self.dc_rhs_into_with(b, None);
+    }
+
+    /// Like [`Circuit::dc_rhs_into`], but with one current source's
+    /// stimulus substituted by `(index, stimulus)` — the batched-transient
+    /// path seeds each lane this way without mutating the netlist. The
+    /// accumulation order is identical to the non-override path, so a
+    /// lane's seed is bit-identical to setting the stimulus and calling
+    /// [`Circuit::dc_rhs_into`].
+    pub(crate) fn dc_rhs_into_with(
+        &self,
+        b: &mut [f64],
+        source_override: Option<(usize, &Stimulus)>,
+    ) {
         let n_nodes = self.node_count() - 1;
         let n_vs = self.vsources.len();
         let row = |node: usize| -> Option<usize> { node.checked_sub(1) };
@@ -118,8 +133,12 @@ impl Circuit {
         for k in 0..self.inductors.len() {
             b[n_nodes + n_vs + k] = 0.0;
         }
-        for is in &self.isources {
-            let i = is.stimulus.dc_value();
+        for (si, is) in self.isources.iter().enumerate() {
+            let stim = match source_override {
+                Some((idx, s)) if idx == si => s,
+                _ => &is.stimulus,
+            };
+            let i = stim.dc_value();
             if let Some(rf) = row(is.from) {
                 b[rf] -= i;
             }

@@ -50,6 +50,7 @@ pub mod adaptive;
 mod complex;
 mod dc;
 mod error;
+pub mod kernel;
 mod linalg;
 mod netlist;
 mod stimulus;
@@ -61,11 +62,12 @@ pub use adaptive::{converge_transient, ConvergenceReport};
 pub use complex::Complex;
 pub use dc::{DcPlan, OperatingPoint};
 pub use error::{CircuitError, Result};
+pub use kernel::{KernelChoice, StateKernel};
 pub use linalg::{LuFactors, Matrix, Scalar};
 pub use netlist::{CapacitorId, Circuit, ISourceId, InductorId, NodeId, ResistorId, VSourceId};
 pub use stimulus::Stimulus;
 pub use trace::Trace;
 pub use transient::{
-    TransientConfig, TransientPlan, TransientProbes, TransientResult, TransientScratch,
-    TransientView,
+    BatchTransientScratch, TransientConfig, TransientPlan, TransientProbes, TransientResult,
+    TransientScratch, TransientView,
 };

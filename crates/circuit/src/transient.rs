@@ -9,8 +9,10 @@
 
 use crate::dc::{stamp_branch, stamp_conductance, DcPlan};
 use crate::error::{CircuitError, Result};
+use crate::kernel::{KernelChoice, StateKernel};
 use crate::linalg::{LuFactors, Matrix};
-use crate::netlist::{Circuit, InductorId, NodeId};
+use crate::netlist::{Circuit, ISourceId, InductorId, NodeId};
+use crate::stimulus::Stimulus;
 use crate::trace::Trace;
 use emvolt_obs::{CounterId, Layer, Telemetry};
 
@@ -207,6 +209,7 @@ pub struct TransientScratch {
     cap_i: Vec<f64>,
     ind_i: Vec<f64>,
     ind_v: Vec<f64>,
+    inputs: Vec<f64>,
     node_slots: Vec<usize>,
     ind_slots: Vec<usize>,
     node_bufs: Vec<Vec<f64>>,
@@ -362,12 +365,22 @@ pub struct TransientPlan {
     cap_g: Vec<f64>,
     ind_g: Vec<f64>,
     n_resistors: usize,
+    /// Precomputed state-update kernel, present when the
+    /// [`KernelChoice`] the plan was built with resolves to the
+    /// state-space path for this system size.
+    state: Option<StateKernel>,
 }
 
 impl TransientPlan {
     /// The step size this plan was factored for.
     pub fn dt(&self) -> f64 {
         self.dt
+    }
+
+    /// `true` when runs through this plan use the precomputed
+    /// state-space kernel instead of per-step LU substitution.
+    pub fn uses_state_kernel(&self) -> bool {
+        self.state.is_some()
     }
 
     fn check_compatible(&self, circuit: &Circuit, config: &TransientConfig) -> Result<()> {
@@ -395,13 +408,28 @@ impl TransientPlan {
 
 impl Circuit {
     /// Builds the reusable constant part of a transient analysis for step
-    /// `dt`: stamps the MNA system matrix and LU-factors it once.
+    /// `dt`: stamps the MNA system matrix and LU-factors it once, with
+    /// the default kernel selection ([`KernelChoice::Auto`]).
     ///
     /// # Errors
     ///
     /// Returns an error for a non-positive step or an ill-posed netlist
     /// (singular MNA matrix).
     pub fn plan_transient(&self, dt: f64) -> Result<TransientPlan> {
+        self.plan_transient_kernel(dt, KernelChoice::default())
+    }
+
+    /// Like [`Circuit::plan_transient`], with an explicit per-step
+    /// [`KernelChoice`]. [`KernelChoice::Lu`] reproduces the historic
+    /// forward/backward-substitution path bit-for-bit;
+    /// [`KernelChoice::StateSpace`] embeds the precomputed state-update
+    /// kernel (same math, different summation order — see DESIGN.md §9).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive step or an ill-posed netlist
+    /// (singular MNA matrix).
+    pub fn plan_transient_kernel(&self, dt: f64, kernel: KernelChoice) -> Result<TransientPlan> {
         if dt.is_nan() || dt <= 0.0 || !dt.is_finite() {
             return Err(CircuitError::InvalidAnalysis {
                 reason: format!("non-positive time step {dt}"),
@@ -438,6 +466,9 @@ impl Circuit {
         }
         let lu = g.lu()?;
         let dc = self.plan_dc()?;
+        let state = kernel
+            .picks_state_space(dim)
+            .then(|| StateKernel::build(self, &lu, n_nodes));
 
         Ok(TransientPlan {
             dt,
@@ -448,6 +479,7 @@ impl Circuit {
             cap_g,
             ind_g,
             n_resistors: self.resistors.len(),
+            state,
         })
     }
 
@@ -460,7 +492,23 @@ impl Circuit {
     /// Returns an error for a non-positive step or an ill-posed netlist
     /// (singular MNA matrix).
     pub fn plan_transient_with(&self, dt: f64, telemetry: &Telemetry) -> Result<TransientPlan> {
-        let plan = self.plan_transient(dt)?;
+        self.plan_transient_kernel_with(dt, KernelChoice::default(), telemetry)
+    }
+
+    /// Like [`Circuit::plan_transient_kernel`], additionally charging the
+    /// two LU factorizations it performs to `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive step or an ill-posed netlist
+    /// (singular MNA matrix).
+    pub fn plan_transient_kernel_with(
+        &self,
+        dt: f64,
+        kernel: KernelChoice,
+        telemetry: &Telemetry,
+    ) -> Result<TransientPlan> {
+        let plan = self.plan_transient_kernel(dt, kernel)?;
         telemetry.count(CounterId::LuFactorizations, 2);
         Ok(plan)
     }
@@ -536,7 +584,10 @@ impl Circuit {
     }
 
     /// The transient engine: integrates into `scratch`, reusing every
-    /// buffer it holds. All public transient entry points funnel here.
+    /// buffer it holds. All public single-stimulus transient entry points
+    /// funnel here; the batched path shares the same setup and step
+    /// bodies via [`Circuit::transient_setup`] and
+    /// [`Circuit::state_space_step`].
     fn transient_into(
         &self,
         plan: &TransientPlan,
@@ -544,16 +595,144 @@ impl Circuit {
         probes: &TransientProbes,
         scratch: &mut TransientScratch,
     ) -> Result<()> {
+        let sched = self.transient_setup(plan, config, probes, scratch, None)?;
+        match &plan.state {
+            Some(kernel) => {
+                for step in 1..=sched.n_steps {
+                    self.state_space_step(
+                        plan,
+                        kernel,
+                        step,
+                        sched.record_start_idx,
+                        None,
+                        scratch,
+                    );
+                }
+            }
+            None => self.lu_steps(plan, &sched, scratch),
+        }
+        let recorded = scratch.len;
+
+        let tel = &scratch.telemetry;
+        tel.count(CounterId::TransientRuns, 1);
+        tel.count(CounterId::SolverSteps, sched.n_steps as u64);
+        tel.span(
+            "transient_solve",
+            Layer::Circuit,
+            &[
+                ("steps", sched.n_steps as f64),
+                ("dim", (plan.n_nodes + plan.n_vs) as f64),
+                ("recorded", recorded as f64),
+            ],
+        );
+
+        Ok(())
+    }
+
+    /// Steps a population of independent load stimuli through the plan's
+    /// state-space kernel together, one scratch lane per stimulus.
+    ///
+    /// Every lane simulates this circuit with current source `source`
+    /// driven by the corresponding entry of `loads` (the netlist itself is
+    /// not mutated), advancing all lanes in lock-step so the kernel's
+    /// response columns stay hot in cache across the whole batch. Each
+    /// lane's arithmetic is exactly the single-run state-space sequence,
+    /// so lane `i` is bit-identical to setting `loads[i]` on `source` and
+    /// running [`Circuit::transient_scoped`] with the same plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid configurations, a plan built for a
+    /// different step size or topology, probes that do not belong to this
+    /// circuit, an empty `loads`, a `source` outside the circuit, or a
+    /// plan without the state-space kernel (built with
+    /// [`KernelChoice::Lu`], or [`KernelChoice::Auto`] on a system too
+    /// large for it).
+    pub fn transient_batch_scoped(
+        &self,
+        plan: &TransientPlan,
+        config: &TransientConfig,
+        probes: &TransientProbes,
+        source: ISourceId,
+        loads: &[Stimulus],
+        batch: &mut BatchTransientScratch,
+    ) -> Result<()> {
+        let kernel = plan
+            .state
+            .as_ref()
+            .ok_or_else(|| CircuitError::InvalidAnalysis {
+                reason: "batched transient requires the state-space kernel; build the plan \
+                         with KernelChoice::StateSpace (or Auto on a small system)"
+                    .to_string(),
+            })?;
+        if source.index() >= self.isources.len() {
+            return Err(CircuitError::InvalidAnalysis {
+                reason: format!("batched source {} outside circuit", source.index()),
+            });
+        }
+        if loads.is_empty() {
+            return Err(CircuitError::InvalidAnalysis {
+                reason: "batched transient needs at least one load stimulus".to_string(),
+            });
+        }
+
+        batch.lanes.resize_with(loads.len(), TransientScratch::new);
+        let mut sched = StepSchedule {
+            n_steps: 0,
+            record_start_idx: 0,
+        };
+        for (lane, load) in batch.lanes.iter_mut().zip(loads) {
+            sched =
+                self.transient_setup(plan, config, probes, lane, Some((source.index(), load)))?;
+        }
+        for step in 1..=sched.n_steps {
+            for (lane, load) in batch.lanes.iter_mut().zip(loads) {
+                self.state_space_step(
+                    plan,
+                    kernel,
+                    step,
+                    sched.record_start_idx,
+                    Some((source.index(), load)),
+                    lane,
+                );
+            }
+        }
+
+        let tel = &batch.telemetry;
+        tel.count(CounterId::TransientRuns, loads.len() as u64);
+        tel.count(CounterId::SolverSteps, (sched.n_steps * loads.len()) as u64);
+        tel.span(
+            "transient_batch",
+            Layer::Circuit,
+            &[
+                ("steps", sched.n_steps as f64),
+                ("lanes", loads.len() as f64),
+                ("dim", (plan.n_nodes + plan.n_vs) as f64),
+            ],
+        );
+
+        Ok(())
+    }
+
+    /// Everything that happens before the step loop: validation, probe
+    /// resolution, the DC operating-point seed (optionally with one
+    /// current source's stimulus overridden for a batch lane), element
+    /// state initialization and output-buffer recycling. Shared by the
+    /// single and batched paths so their setup arithmetic is identical.
+    fn transient_setup(
+        &self,
+        plan: &TransientPlan,
+        config: &TransientConfig,
+        probes: &TransientProbes,
+        scratch: &mut TransientScratch,
+        load_override: Option<(usize, &Stimulus)>,
+    ) -> Result<StepSchedule> {
         config.validate()?;
         plan.check_compatible(self, config)?;
         let h = config.dt;
         let n_nodes = plan.n_nodes;
         let n_vs = plan.n_vs;
         let dim = n_nodes + n_vs;
-        let row = |node: usize| -> Option<usize> { node.checked_sub(1) };
-        let lu = &plan.lu;
-        let cap_g = &plan.cap_g;
-        let ind_g = &plan.ind_g;
 
         // Resolve probe selections to raw storage indices.
         scratch.node_slots.clear();
@@ -590,7 +769,7 @@ impl Circuit {
         // `dc_operating_point`, so the seeded state is bit-identical.
         let dc_dim = plan.dc.dim();
         resize_zeroed(&mut scratch.dc_b, dc_dim);
-        self.dc_rhs_into(&mut scratch.dc_b);
+        self.dc_rhs_into_with(&mut scratch.dc_b, load_override);
         resize_zeroed(&mut scratch.dc_x, dc_dim);
         plan.dc.lu.solve_into(&scratch.dc_b, &mut scratch.dc_x);
 
@@ -609,6 +788,7 @@ impl Circuit {
             cap_i,
             ind_i,
             ind_v,
+            inputs,
             node_slots,
             ind_slots,
             node_bufs,
@@ -626,6 +806,7 @@ impl Circuit {
         resize_zeroed(ind_v, self.inductors.len());
         resize_zeroed(b, dim);
         resize_zeroed(x, dim);
+        resize_zeroed(inputs, plan.state.as_ref().map_or(0, |k| k.n_inputs()));
 
         let n_steps = (config.duration / h).round() as usize;
         let record_start_idx = (config.record_from / h).ceil() as usize;
@@ -648,31 +829,48 @@ impl Circuit {
         *t0 = record_start_idx as f64 * h;
         *len = 0;
 
-        fn record_into(
-            v: &[f64],
-            ind_i: &[f64],
-            node_slots: &[usize],
-            ind_slots: &[usize],
-            node_bufs: &mut [Vec<f64>],
-            ind_bufs: &mut [Vec<f64>],
-        ) {
-            for (buf, &idx) in node_bufs.iter_mut().zip(node_slots) {
-                buf.push(v[idx]);
-            }
-            for (buf, &idx) in ind_bufs.iter_mut().zip(ind_slots) {
-                buf.push(ind_i[idx]);
-            }
-        }
-
         if record_start_idx == 0 {
             record_into(v, ind_i, node_slots, ind_slots, node_bufs, ind_bufs);
             *len += 1;
         }
 
+        Ok(StepSchedule {
+            n_steps,
+            record_start_idx,
+        })
+    }
+
+    /// The historic per-step body: rebuild the sparse right-hand side and
+    /// forward/backward-substitute through the plan's LU factors. Kept
+    /// verbatim as the exact reference kernel — scoped runs through it
+    /// remain bit-identical to every release since the plan API landed.
+    fn lu_steps(&self, plan: &TransientPlan, sched: &StepSchedule, scratch: &mut TransientScratch) {
+        let h = plan.dt;
+        let n_nodes = plan.n_nodes;
+        let row = |node: usize| -> Option<usize> { node.checked_sub(1) };
+        let lu = &plan.lu;
+        let cap_g = &plan.cap_g;
+        let ind_g = &plan.ind_g;
+        let TransientScratch {
+            b,
+            x,
+            v,
+            cap_v,
+            cap_i,
+            ind_i,
+            ind_v,
+            node_slots,
+            ind_slots,
+            node_bufs,
+            ind_bufs,
+            len,
+            ..
+        } = scratch;
+
         // The step loop: no heap allocation from here to the end of the
         // run — `b`/`x` are reused, and the output buffers were reserved
-        // to their final length above.
-        for step in 1..=n_steps {
+        // to their final length in the setup.
+        for step in 1..=sched.n_steps {
             let t_next = step as f64 * h;
             b.iter_mut().for_each(|e| *e = 0.0);
 
@@ -737,27 +935,163 @@ impl Circuit {
                 ind_v[k] = vl_new;
             }
 
-            if step >= record_start_idx {
+            if step >= sched.record_start_idx {
                 record_into(v, ind_i, node_slots, ind_slots, node_bufs, ind_bufs);
                 *len += 1;
             }
         }
-        let recorded = *len;
+    }
 
-        let tel = &scratch.telemetry;
-        tel.count(CounterId::TransientRuns, 1);
-        tel.count(CounterId::SolverSteps, n_steps as u64);
-        tel.span(
-            "transient_solve",
-            Layer::Circuit,
-            &[
-                ("steps", n_steps as f64),
-                ("dim", dim as f64),
-                ("recorded", recorded as f64),
-            ],
-        );
+    /// One state-space step for one lane: gather the input scalars in the
+    /// kernel's fixed order (capacitor histories, inductor histories,
+    /// current sources, voltage sources), fold them through the
+    /// precomputed response columns, then run the same element-state
+    /// update and recording as the LU path. Used by both the single-run
+    /// and batched paths, so a batch lane and a single run execute the
+    /// identical arithmetic sequence.
+    fn state_space_step(
+        &self,
+        plan: &TransientPlan,
+        kernel: &StateKernel,
+        step: usize,
+        record_start_idx: usize,
+        load_override: Option<(usize, &Stimulus)>,
+        scratch: &mut TransientScratch,
+    ) {
+        let h = plan.dt;
+        let t_next = step as f64 * h;
+        let n_nodes = plan.n_nodes;
+        let cap_g = &plan.cap_g;
+        let ind_g = &plan.ind_g;
+        let TransientScratch {
+            x,
+            v,
+            cap_v,
+            cap_i,
+            ind_i,
+            ind_v,
+            inputs,
+            node_slots,
+            ind_slots,
+            node_bufs,
+            ind_bufs,
+            len,
+            ..
+        } = scratch;
 
-        Ok(())
+        let mut j = 0;
+        for (&gc, (&vc, &ic)) in cap_g.iter().zip(cap_v.iter().zip(cap_i.iter())) {
+            inputs[j] = gc * vc + ic;
+            j += 1;
+        }
+        for (&gl, (&vl, &il)) in ind_g.iter().zip(ind_v.iter().zip(ind_i.iter())) {
+            inputs[j] = il + gl * vl;
+            j += 1;
+        }
+        for (si, is) in self.isources.iter().enumerate() {
+            let stim = match load_override {
+                Some((idx, s)) if idx == si => s,
+                _ => &is.stimulus,
+            };
+            inputs[j] = stim.value_at(t_next);
+            j += 1;
+        }
+        for vs in &self.vsources {
+            inputs[j] = vs.stimulus.value_at(t_next);
+            j += 1;
+        }
+        debug_assert_eq!(j, inputs.len());
+
+        kernel.fold(inputs, &mut x[..n_nodes]);
+        v[1..=n_nodes].copy_from_slice(&x[..n_nodes]);
+
+        // Update element states — same code as the LU path.
+        for (k, (c, &gc)) in self.capacitors.iter().zip(cap_g).enumerate() {
+            let vc_new = v[c.a] - v[c.b];
+            let hist = gc * cap_v[k] + cap_i[k];
+            cap_i[k] = gc * vc_new - hist;
+            cap_v[k] = vc_new;
+        }
+        for (k, (l, &gl)) in self.inductors.iter().zip(ind_g).enumerate() {
+            let vl_new = v[l.a] - v[l.b];
+            let hist = ind_i[k] + gl * ind_v[k];
+            ind_i[k] = gl * vl_new + hist;
+            ind_v[k] = vl_new;
+        }
+
+        if step >= record_start_idx {
+            record_into(v, ind_i, node_slots, ind_slots, node_bufs, ind_bufs);
+            *len += 1;
+        }
+    }
+}
+
+/// How many steps a run takes and from which step recording starts —
+/// computed once in the setup and shared by every step path.
+#[derive(Debug, Clone, Copy)]
+struct StepSchedule {
+    n_steps: usize,
+    record_start_idx: usize,
+}
+
+/// Pushes the probed node voltages and inductor currents for one step.
+fn record_into(
+    v: &[f64],
+    ind_i: &[f64],
+    node_slots: &[usize],
+    ind_slots: &[usize],
+    node_bufs: &mut [Vec<f64>],
+    ind_bufs: &mut [Vec<f64>],
+) {
+    for (buf, &idx) in node_bufs.iter_mut().zip(node_slots) {
+        buf.push(v[idx]);
+    }
+    for (buf, &idx) in ind_bufs.iter_mut().zip(ind_slots) {
+        buf.push(ind_i[idx]);
+    }
+}
+
+/// Per-lane working memory for [`Circuit::transient_batch_scoped`]: one
+/// [`TransientScratch`] per population member, recycled across batches
+/// exactly like a single scratch is recycled across runs.
+///
+/// After a batch run, [`BatchTransientScratch::lane`] exposes each lane's
+/// recorded waveforms as a [`TransientView`]; the next batch through the
+/// same scratch overwrites them.
+#[derive(Debug, Clone, Default)]
+pub struct BatchTransientScratch {
+    lanes: Vec<TransientScratch>,
+    telemetry: Telemetry,
+}
+
+impl BatchTransientScratch {
+    /// Creates an empty batch scratch; lanes are created on first use and
+    /// reused afterwards.
+    pub fn new() -> Self {
+        BatchTransientScratch::default()
+    }
+
+    /// Attaches a telemetry handle; every batch through this scratch then
+    /// charges solver counters and (for emitting handles) a
+    /// `transient_batch` span. The default handle is inert.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Number of lanes recorded by the most recent batch run.
+    pub fn n_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Borrowing view over lane `i`'s recorded waveforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the most recent batch.
+    pub fn lane(&self, i: usize) -> TransientView<'_> {
+        TransientView {
+            scratch: &self.lanes[i],
+        }
     }
 }
 
@@ -1087,5 +1421,129 @@ mod tests {
             .transient_scoped(&plan, &cfg, &probes, &mut scratch)
             .unwrap();
         let _ = view.voltage_samples(vin);
+    }
+
+    #[test]
+    fn auto_default_embeds_state_kernel_for_small_systems() {
+        let (c, ..) = probe_test_circuit();
+        assert!(c.plan_transient(1e-9).unwrap().uses_state_kernel());
+        assert!(!c
+            .plan_transient_kernel(1e-9, KernelChoice::Lu)
+            .unwrap()
+            .uses_state_kernel());
+        assert!(c
+            .plan_transient_kernel(1e-9, KernelChoice::StateSpace)
+            .unwrap()
+            .uses_state_kernel());
+    }
+
+    /// The state-space kernel sums the same solution in a different
+    /// order, so it must agree with the LU reference to rounding — the
+    /// documented tolerance contract of DESIGN.md §9.
+    #[test]
+    fn state_space_matches_lu_within_tolerance() {
+        let (c, _vin, out, l, _load) = probe_test_circuit();
+        let cfg = TransientConfig::new(0.1e-9, 1e-6).with_warmup(0.2e-6);
+        let lu_plan = c.plan_transient_kernel(cfg.dt, KernelChoice::Lu).unwrap();
+        let ss_plan = c
+            .plan_transient_kernel(cfg.dt, KernelChoice::StateSpace)
+            .unwrap();
+        let probes = TransientProbes::none().with_node(out).with_inductor(l);
+        let mut s_lu = TransientScratch::new();
+        let mut s_ss = TransientScratch::new();
+        c.transient_scoped(&lu_plan, &cfg, &probes, &mut s_lu)
+            .unwrap();
+        let reference: Vec<f64> = {
+            let view = TransientView { scratch: &s_lu };
+            view.voltage_samples(out).to_vec()
+        };
+        let view = c
+            .transient_scoped(&ss_plan, &cfg, &probes, &mut s_ss)
+            .unwrap();
+        let scale = reference.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (step, (a, b)) in reference.iter().zip(view.voltage_samples(out)).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * scale,
+                "kernels diverged at sample {step}: lu={a}, statespace={b}"
+            );
+        }
+    }
+
+    /// A batch lane must reproduce the single-run state-space path
+    /// bit-for-bit: same kernel, same per-lane arithmetic sequence.
+    #[test]
+    fn batch_lanes_match_single_runs_bit_for_bit() {
+        let (mut c, _vin, out, l, load) = probe_test_circuit();
+        let cfg = TransientConfig::new(0.1e-9, 0.5e-6).with_warmup(0.1e-6);
+        let plan = c
+            .plan_transient_kernel(cfg.dt, KernelChoice::StateSpace)
+            .unwrap();
+        let probes = TransientProbes::none().with_node(out).with_inductor(l);
+        let loads = [
+            Stimulus::Dc(0.25),
+            Stimulus::Sine {
+                offset: 0.1,
+                amplitude: 0.3,
+                freq: 120e6,
+                phase: 0.5,
+            },
+            Stimulus::Step {
+                t0: 0.2e-6,
+                before: 0.0,
+                after: 0.8,
+            },
+        ];
+
+        let mut batch = BatchTransientScratch::new();
+        c.transient_batch_scoped(&plan, &cfg, &probes, load, &loads, &mut batch)
+            .unwrap();
+        assert_eq!(batch.n_lanes(), loads.len());
+
+        let mut single = TransientScratch::new();
+        for (i, stim) in loads.iter().enumerate() {
+            c.set_current_stimulus(load, stim.clone());
+            let view = c
+                .transient_scoped(&plan, &cfg, &probes, &mut single)
+                .unwrap();
+            let lane = batch.lane(i);
+            assert_eq!(lane.len(), view.len());
+            for (a, b) in view
+                .voltage_samples(out)
+                .iter()
+                .zip(lane.voltage_samples(out))
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "lane {i} voltage diverged");
+            }
+            for (a, b) in view
+                .inductor_current_samples(l)
+                .iter()
+                .zip(lane.inductor_current_samples(l))
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "lane {i} current diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rejects_lu_plans_and_bad_inputs() {
+        let (c, _vin, out, _l, load) = probe_test_circuit();
+        let cfg = TransientConfig::new(0.1e-9, 0.1e-6);
+        let probes = TransientProbes::none().with_node(out);
+        let mut batch = BatchTransientScratch::new();
+        let lu_plan = c.plan_transient_kernel(cfg.dt, KernelChoice::Lu).unwrap();
+        assert!(c
+            .transient_batch_scoped(
+                &lu_plan,
+                &cfg,
+                &probes,
+                load,
+                &[Stimulus::Dc(0.1)],
+                &mut batch
+            )
+            .is_err());
+        let plan = c.plan_transient(cfg.dt).unwrap();
+        assert!(c
+            .transient_batch_scoped(&plan, &cfg, &probes, load, &[], &mut batch)
+            .is_err());
     }
 }

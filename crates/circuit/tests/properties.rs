@@ -98,6 +98,73 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// The state-space transient kernel agrees with LU back-substitution
+    /// on random PDN-style ladder networks (VRM source, package RL, die
+    /// RC stages, arbitrary load stimulus) — the equivalence that lets
+    /// `KernelChoice::Auto` default to the fused kernel.
+    #[test]
+    fn state_space_kernel_matches_lu_on_random_ladders(
+        stages in 1usize..4,
+        r_pkg in 1e-3..0.1f64,
+        l_pkg in 1e-12..1e-10f64,
+        r_die in 1e-3..0.5f64,
+        c_die in 1e-9..1e-7f64,
+        v_s in 0.5..1.5f64,
+        amp in 0.1..2.0f64,
+        freq in 2e7..2e8f64,
+        phase in 0.0..1.0f64,
+    ) {
+        use emvolt_circuit::{KernelChoice, TransientProbes, TransientScratch};
+
+        let mut c = Circuit::new();
+        let vrm = c.node("vrm");
+        c.voltage_source(vrm, NodeId::GROUND, Stimulus::Dc(v_s)).unwrap();
+        let mut prev = vrm;
+        let mut die = vrm;
+        for s in 0..stages {
+            let a = c.node(format!("a{s}"));
+            let b = c.node(format!("b{s}"));
+            c.resistor(prev, a, r_pkg * (1.0 + s as f64 * 0.3)).unwrap();
+            c.inductor(a, b, l_pkg * (1.0 + s as f64 * 0.5)).unwrap();
+            c.resistor(b, NodeId::GROUND, 1e5).unwrap();
+            let cn = c.node(format!("c{s}"));
+            c.resistor(b, cn, r_die).unwrap();
+            c.capacitor(cn, NodeId::GROUND, c_die).unwrap();
+            prev = b;
+            die = b;
+        }
+        c.current_source(die, NodeId::GROUND, Stimulus::Sine {
+            offset: amp * 0.5, amplitude: amp, freq, phase,
+        }).unwrap();
+
+        let dt = 0.5e-9;
+        let cfg = TransientConfig::new(dt, 1500.0 * dt).with_warmup(500.0 * dt);
+        let probes = TransientProbes::none().with_node(die);
+
+        let plan_lu = c.plan_transient_kernel(dt, KernelChoice::Lu).unwrap();
+        let plan_ss = c.plan_transient_kernel(dt, KernelChoice::StateSpace).unwrap();
+        prop_assert!(!plan_lu.uses_state_kernel());
+        prop_assert!(plan_ss.uses_state_kernel());
+
+        let mut s_lu = TransientScratch::new();
+        let mut s_ss = TransientScratch::new();
+        let v_lu = {
+            let view = c.transient_scoped(&plan_lu, &cfg, &probes, &mut s_lu).unwrap();
+            view.voltage_samples(die).to_vec()
+        };
+        let view = c.transient_scoped(&plan_ss, &cfg, &probes, &mut s_ss).unwrap();
+        let v_ss = view.voltage_samples(die);
+
+        prop_assert_eq!(v_lu.len(), v_ss.len());
+        let scale = v_lu.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-9);
+        for (i, (a, b)) in v_lu.iter().zip(v_ss).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-8 * scale,
+                "sample {}: lu={}, statespace={}", i, a, b
+            );
+        }
+    }
+
     /// Stimulus::Pulse is periodic: f(t) == f(t + k*period).
     #[test]
     fn pulse_periodicity(

@@ -98,9 +98,12 @@ fn seeded_campaign_trace_covers_all_layers_and_kinds() {
             "no event of kind {kind:?}"
         );
     }
+    // The DSP span is "goertzel": auto spectral selection takes the
+    // band path for the campaign's 50-200 MHz measurement band (the
+    // full-FFT path would emit "fft" instead).
     for span in [
         "transient_solve",
-        "fft",
+        "goertzel",
         "measure",
         "eval",
         "generation",

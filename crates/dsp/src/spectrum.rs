@@ -200,14 +200,70 @@ impl Spectrum {
         self.bins.get(k).copied()
     }
 
+    /// First and last bin indices whose frequencies fall inside
+    /// `[lo, hi]`, or `None` when no bin does. Computed directly from
+    /// `freq_step` (with a float-safe fixup at each edge) instead of
+    /// scanning every bin, and exactly equivalent to filtering on
+    /// `k * freq_step >= lo && k * freq_step <= hi`.
+    fn band_indices(&self, lo: f64, hi: f64) -> Option<(usize, usize)> {
+        let n = self.bins.len();
+        if n == 0 || hi < lo {
+            return None;
+        }
+        let step = self.freq_step;
+        let mut k0 = if lo <= 0.0 {
+            0
+        } else {
+            let guess = (lo / step).ceil();
+            if guess >= n as f64 {
+                return None;
+            }
+            guess as usize
+        };
+        // `ceil` of the quotient can land one bin off because
+        // `k * step` rounds independently of `lo / step`; walk to the
+        // smallest k with k*step >= lo.
+        while k0 > 0 && (k0 - 1) as f64 * step >= lo {
+            k0 -= 1;
+        }
+        while k0 < n && (k0 as f64) * step < lo {
+            k0 += 1;
+        }
+        if k0 >= n {
+            return None;
+        }
+        let mut k1 = {
+            let guess = (hi / step).floor();
+            if guess < 0.0 {
+                return None;
+            }
+            (guess as usize).min(n - 1)
+        };
+        while k1 + 1 < n && ((k1 + 1) as f64) * step <= hi {
+            k1 += 1;
+        }
+        while (k1 as f64) * step > hi {
+            if k1 == 0 {
+                return None;
+            }
+            k1 -= 1;
+        }
+        (k0 <= k1).then_some((k0, k1))
+    }
+
     /// Iterator over `(frequency, amplitude)` pairs within `[lo, hi]` Hz.
+    ///
+    /// The band's bin range is computed from `freq_step` and only that
+    /// slice is visited — no full-spectrum scan.
     pub fn band(&self, lo: f64, hi: f64) -> impl Iterator<Item = (f64, f64)> + '_ {
         let step = self.freq_step;
-        self.bins
+        let (start, end) = self
+            .band_indices(lo, hi)
+            .map_or((0, 0), |(k0, k1)| (k0, k1 + 1));
+        self.bins[start..end]
             .iter()
             .enumerate()
-            .map(move |(k, &a)| (k as f64 * step, a))
-            .filter(move |&(f, _)| f >= lo && f <= hi)
+            .map(move |(i, &a)| ((start + i) as f64 * step, a))
     }
 
     /// Strongest `(frequency, amplitude)` within `[lo, hi]` Hz, or `None`
@@ -369,6 +425,36 @@ mod tests {
             for (a, b) in fresh.amplitudes().iter().zip(out.amplitudes()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "n={n}");
             }
+        }
+    }
+
+    /// The sliced band iteration must reproduce the historic
+    /// filter-every-bin semantics exactly, including float edge cases.
+    #[test]
+    fn band_slicing_matches_linear_scan() {
+        let s = tone(1000, 1000.0, 50.0, 1.0);
+        let spec = Spectrum::of_samples(&s, 1000.0, Window::Hann);
+        let bands = [
+            (-10.0, 20.0),
+            (0.0, 0.0),
+            (49.9, 50.1),
+            (50.0, 50.0),
+            (100.0, 500.0),
+            (499.5, 600.0),
+            (300.0, 200.0),
+            (1000.0, 2000.0),
+            (f64::NEG_INFINITY, f64::INFINITY),
+        ];
+        for (lo, hi) in bands {
+            let fast: Vec<(f64, f64)> = spec.band(lo, hi).collect();
+            let slow: Vec<(f64, f64)> = spec
+                .amplitudes()
+                .iter()
+                .enumerate()
+                .map(|(k, &a)| (k as f64 * spec.freq_step(), a))
+                .filter(|&(f, _)| f >= lo && f <= hi)
+                .collect();
+            assert_eq!(fast, slow, "band [{lo}, {hi}]");
         }
     }
 

@@ -90,4 +90,43 @@ proptest! {
             prop_assert!(g > 0.0 && g <= 1.0 + 1e-12, "{w:?} gain {g}");
         }
     }
+
+    /// Goertzel band evaluation agrees with the full-FFT spectrum bin for
+    /// bin, for arbitrary signals, windows and band placements — the
+    /// contract that lets the measurement chain swap between the two.
+    #[test]
+    fn goertzel_band_matches_fft_bins(
+        signal in arb_signal(300),
+        window_idx in 0usize..4,
+        lo_frac in 0.0..1.0f64,
+        width_frac in 0.0..1.0f64,
+    ) {
+        use emvolt_dsp::{of_samples_band_into, BandSpectrum, GoertzelScratch, SpectralBins};
+        let window = [Window::Rectangular, Window::Hann, Window::Hamming, Window::Blackman]
+            [window_idx];
+        let fs = 1e6;
+        let nyquist = fs / 2.0;
+        let lo = lo_frac * nyquist;
+        let hi = lo + width_frac * (nyquist - lo);
+
+        let full = Spectrum::of_samples(&signal, fs, window);
+        let mut scratch = GoertzelScratch::new();
+        let mut band = BandSpectrum::default();
+        of_samples_band_into(&signal, fs, window, lo, hi, &mut scratch, &mut band);
+
+        prop_assert_eq!(SpectralBins::len(&band), full.len());
+        prop_assert!((band.freq_step() - full.freq_step()).abs() < 1e-12 * full.freq_step());
+        let peak = full.amplitudes().iter().fold(0.0f64, |m, &v| m.max(v));
+        let tol = 1e-9 * peak.max(1e-12);
+        for k in band.first_bin()..band.first_bin() + band.covered_bins() {
+            let a = full.amplitude_at(k);
+            let b = SpectralBins::amplitude_at(&band, k);
+            prop_assert!((a - b).abs() <= tol, "bin {}: fft={}, goertzel={}", k, a, b);
+        }
+        // Out-of-band logical bins read zero so index-clamping consumers
+        // behave identically.
+        if band.first_bin() > 0 {
+            prop_assert_eq!(SpectralBins::amplitude_at(&band, band.first_bin() - 1), 0.0);
+        }
+    }
 }

@@ -9,7 +9,7 @@
 //! antenna's transfer gain.
 
 use crate::antenna::LoopAntenna;
-use emvolt_dsp::Spectrum;
+use emvolt_dsp::{BandSpectrum, Spectrum};
 
 /// An EM measurement channel: emitter coupling + receive antenna.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +81,28 @@ impl EmChannel {
         out.refill_from_bins(
             die_current.freq_step(),
             (0..die_current.len())
+                .map(|k| die_current.amplitude_at(k) * self.transfer(die_current.freq_at(k))),
+        );
+        telemetry.count(emvolt_obs::CounterId::RxSpectra, 1);
+    }
+
+    /// Maps a band-limited die-current spectrum to the received band at
+    /// the analyzer input — the [`BandSpectrum`] counterpart of
+    /// [`EmChannel::received_spectrum_into_with`], applying the identical
+    /// per-bin transfer arithmetic to only the covered bins.
+    pub fn received_band_into_with(
+        &self,
+        die_current: &BandSpectrum,
+        out: &mut BandSpectrum,
+        telemetry: &emvolt_obs::Telemetry,
+    ) {
+        use emvolt_dsp::SpectralBins;
+        let first = die_current.first_bin();
+        out.refill_from_bins(
+            die_current.freq_step(),
+            first,
+            die_current.len(),
+            (first..first + die_current.covered_bins())
                 .map(|k| die_current.amplitude_at(k) * self.transfer(die_current.freq_at(k))),
         );
         telemetry.count(emvolt_obs::CounterId::RxSpectra, 1);
@@ -195,6 +217,40 @@ mod tests {
         let freqs: Vec<f64> = peaks.iter().map(|p| p.0).collect();
         assert!(freqs.iter().any(|&f| (f - 67e6).abs() < 2e6));
         assert!(freqs.iter().any(|&f| (f - 150e6).abs() < 2e6));
+    }
+
+    /// The band path applies the same per-bin transfer arithmetic, so
+    /// covered bins must match the full received spectrum to rounding of
+    /// the underlying Goertzel-vs-FFT input bins.
+    #[test]
+    fn band_transfer_matches_full_transfer_per_bin() {
+        use emvolt_dsp::{of_samples_band_into, BandSpectrum, GoertzelScratch, SpectralBins};
+        let ch = EmChannel::default();
+        let fs = 1e9;
+        let s: Vec<f64> = (0..4096)
+            .map(|i| (2.0 * std::f64::consts::PI * 70e6 * i as f64 / fs).sin())
+            .collect();
+        let full_i = Spectrum::of_samples(&s, fs, Window::Hann);
+        let mut rx_full = Spectrum::default();
+        ch.received_spectrum_into(&full_i, &mut rx_full);
+
+        let mut scratch = GoertzelScratch::new();
+        let mut band_i = BandSpectrum::default();
+        of_samples_band_into(&s, fs, Window::Hann, 50e6, 200e6, &mut scratch, &mut band_i);
+        let mut rx_band = BandSpectrum::default();
+        ch.received_band_into_with(&band_i, &mut rx_band, &emvolt_obs::Telemetry::noop());
+
+        assert_eq!(rx_band.freq_step(), rx_full.freq_step());
+        assert_eq!(SpectralBins::len(&rx_band), rx_full.len());
+        let peak = rx_full.amplitudes().iter().fold(0.0f64, |m, &v| m.max(v));
+        for k in rx_band.first_bin()..rx_band.first_bin() + rx_band.covered_bins() {
+            let a = rx_full.amplitude_at(k);
+            let b = SpectralBins::amplitude_at(&rx_band, k);
+            assert!(
+                (a - b).abs() <= 1e-9 * peak.max(1e-300),
+                "bin {k}: full={a}, band={b}"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Swept spectrum-analyzer model (Agilent E4402B / N9332C stand-in).
 
-use emvolt_dsp::{dbm_to_watts, watts_to_dbm, Spectrum};
+use emvolt_dsp::{dbm_to_watts, watts_to_dbm, SpectralBins};
 use rand::Rng;
 use rand_distr_normal::sample_normal;
 
@@ -132,8 +132,11 @@ impl SpectrumAnalyzer {
     }
 
     /// Performs one sweep over the input voltage spectrum (volts per bin
-    /// at the analyzer input).
-    pub fn sweep<R: Rng>(&mut self, input: &Spectrum, rng: &mut R) -> SweepReading {
+    /// at the analyzer input). Generic over [`SpectralBins`], so a
+    /// band-limited spectrum sweeps exactly like a dense one: the sweep
+    /// already skips zero-amplitude bins, and a band view reads zero
+    /// outside its covered range.
+    pub fn sweep<R: Rng, S: SpectralBins>(&mut self, input: &S, rng: &mut R) -> SweepReading {
         let mut points = Vec::with_capacity(self.config.points);
         self.sweep_into(input, rng, &mut points);
         SweepReading { points }
@@ -142,7 +145,12 @@ impl SpectrumAnalyzer {
     /// Fills `points` with one displayed sweep, reusing the buffer's
     /// capacity — lets [`SpectrumAnalyzer::peak_metric`] run its `n`
     /// sweeps through one buffer instead of allocating per sweep.
-    fn sweep_into<R: Rng>(&mut self, input: &Spectrum, rng: &mut R, points: &mut Vec<(f64, f64)>) {
+    fn sweep_into<R: Rng, S: SpectralBins>(
+        &mut self,
+        input: &S,
+        rng: &mut R,
+        points: &mut Vec<(f64, f64)>,
+    ) {
         self.elapsed_s += self.config.sweep_time_s;
         let c = &self.config;
         let n = c.points;
@@ -187,9 +195,9 @@ impl SpectrumAnalyzer {
     /// is the RMS of those peaks, reported in dBm.
     ///
     /// Returns `(metric_dbm, dominant_frequency_hz)`.
-    pub fn peak_metric<R: Rng>(
+    pub fn peak_metric<R: Rng, S: SpectralBins>(
         &mut self,
-        input: &Spectrum,
+        input: &S,
         lo: f64,
         hi: f64,
         n: usize,
@@ -227,7 +235,7 @@ impl SpectrumAnalyzer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use emvolt_dsp::Window;
+    use emvolt_dsp::{Spectrum, Window};
     use rand::{rngs::StdRng, SeedableRng};
 
     fn tone_spectrum(f0: f64, amp_v: f64) -> Spectrum {
@@ -306,6 +314,44 @@ mod tests {
         let (weak, _) = sa.peak_metric(&tone_spectrum(70e6, 1e-4), 50e6, 200e6, 5, &mut rng);
         let (strong, _) = sa.peak_metric(&tone_spectrum(70e6, 1e-3), 50e6, 200e6, 5, &mut rng);
         assert!(strong > weak + 15.0, "strong {strong} vs weak {weak}");
+    }
+
+    /// A band view holding the same bin values as the dense spectrum must
+    /// sweep bit-identically inside the band: same displayed levels, same
+    /// RNG draw order. This is the contract that lets the measurement
+    /// layer swap in Goertzel bands without disturbing seeded campaigns
+    /// beyond the documented bin-value tolerance.
+    #[test]
+    fn band_view_sweep_matches_dense_sweep_in_band() {
+        use emvolt_dsp::BandSpectrum;
+        let spec = tone_spectrum(100e6, 1e-3);
+        let (lo, hi) = (50e6, 200e6);
+        let margin = 4.0 * (1e6 / 2.355);
+        let k0 = (((lo - margin) / spec.freq_step()).floor()) as usize;
+        let k1 = ((((hi + margin) / spec.freq_step()).ceil()) as usize).min(spec.len() - 1);
+        let mut band = BandSpectrum::default();
+        band.refill_from_bins(
+            spec.freq_step(),
+            k0,
+            spec.len(),
+            (k0..=k1).map(|k| spec.amplitude_at(k)),
+        );
+
+        let mut sa_dense = SpectrumAnalyzer::new(AnalyzerConfig::default());
+        let mut sa_band = SpectrumAnalyzer::new(AnalyzerConfig::default());
+        let mut rng_dense = StdRng::seed_from_u64(9);
+        let mut rng_band = StdRng::seed_from_u64(9);
+        let dense = sa_dense.sweep(&spec, &mut rng_dense);
+        let banded = sa_band.sweep(&band, &mut rng_band);
+        assert_eq!(dense.points.len(), banded.points.len());
+        for ((f1, d1), (f2, d2)) in dense.points.iter().zip(&banded.points) {
+            assert_eq!(f1.to_bits(), f2.to_bits());
+            if *f1 >= lo && *f1 <= hi {
+                assert_eq!(d1.to_bits(), d2.to_bits(), "level diverged at {f1:.3e}");
+            }
+        }
+        // The RNG streams stayed aligned across the whole sweep.
+        assert_eq!(rng_dense.gen::<u64>(), rng_band.gen::<u64>());
     }
 
     #[test]

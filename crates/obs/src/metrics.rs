@@ -22,6 +22,8 @@ pub enum CounterId {
     TransientRuns,
     /// Real-input FFT invocations (dsp).
     FftInvocations,
+    /// Band-limited Goertzel evaluations that replaced a full FFT (dsp).
+    GoertzelInvocations,
     /// Received-spectrum propagations through the EM channel (em).
     RxSpectra,
     /// Spectrum-analyzer band sweeps (platform).
@@ -44,11 +46,12 @@ pub enum CounterId {
 
 impl CounterId {
     /// Every counter, in emission order.
-    pub const ALL: [CounterId; 13] = [
+    pub const ALL: [CounterId; 14] = [
         CounterId::LuFactorizations,
         CounterId::SolverSteps,
         CounterId::TransientRuns,
         CounterId::FftInvocations,
+        CounterId::GoertzelInvocations,
         CounterId::RxSpectra,
         CounterId::AnalyzerSweeps,
         CounterId::Measurements,
@@ -67,6 +70,7 @@ impl CounterId {
             CounterId::SolverSteps => "solver_steps",
             CounterId::TransientRuns => "transient_runs",
             CounterId::FftInvocations => "fft_invocations",
+            CounterId::GoertzelInvocations => "goertzel_invocations",
             CounterId::RxSpectra => "rx_spectra",
             CounterId::AnalyzerSweeps => "analyzer_sweeps",
             CounterId::Measurements => "measurements",
@@ -85,7 +89,7 @@ impl CounterId {
             CounterId::LuFactorizations | CounterId::SolverSteps | CounterId::TransientRuns => {
                 Layer::Circuit
             }
-            CounterId::FftInvocations => Layer::Dsp,
+            CounterId::FftInvocations | CounterId::GoertzelInvocations => Layer::Dsp,
             CounterId::RxSpectra => Layer::Em,
             CounterId::AnalyzerSweeps | CounterId::Measurements => Layer::Platform,
             CounterId::Evaluations | CounterId::Generations => Layer::Ga,

@@ -34,26 +34,37 @@ fn noop_hot_path_allocates_nothing() {
     let tel = Telemetry::noop();
     let quiet = tel.quiet();
 
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
-    for i in 0..10_000u64 {
-        tel.count(CounterId::SolverSteps, 17);
-        tel.count(CounterId::FftInvocations, 1);
-        tel.span(
-            "transient_solve",
-            Layer::Circuit,
-            &[("steps", 17.0), ("dim", 24.0)],
-        );
-        tel.record_value(HistId::EvalSeconds, i as f64);
-        tel.set_sim_time(i as f64);
-        quiet.count(CounterId::Evaluations, 1);
-        quiet.span("eval", Layer::Core, &[("idx", i as f64)]);
+    // The counter is process-global, so an unrelated harness thread can
+    // allocate inside the measurement window and produce a false
+    // positive. A genuine allocation on the noop path would fire on
+    // every one of the 10k iterations in every window, so one clean
+    // window out of several attempts proves the path allocation-free.
+    let mut cleanest = usize::MAX;
+    for _attempt in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for i in 0..10_000u64 {
+            tel.count(CounterId::SolverSteps, 17);
+            tel.count(CounterId::FftInvocations, 1);
+            tel.span(
+                "transient_solve",
+                Layer::Circuit,
+                &[("steps", 17.0), ("dim", 24.0)],
+            );
+            tel.record_value(HistId::EvalSeconds, i as f64);
+            tel.set_sim_time(i as f64);
+            quiet.count(CounterId::Evaluations, 1);
+            quiet.span("eval", Layer::Core, &[("idx", i as f64)]);
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        cleanest = cleanest.min(after - before);
+        if cleanest == 0 {
+            break;
+        }
     }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
 
     assert_eq!(
-        after - before,
-        0,
-        "noop telemetry hot path performed heap allocations"
+        cleanest, 0,
+        "noop telemetry hot path performed heap allocations in every window"
     );
     // And no events were buffered anywhere: the sink reports disabled.
     assert!(!tel.enabled());

@@ -2,8 +2,8 @@
 
 use crate::params::PdnParams;
 use emvolt_circuit::{
-    Circuit, Complex, ISourceId, InductorId, NodeId, Result, Stimulus, Trace, TransientConfig,
-    TransientPlan, TransientProbes, TransientScratch, VSourceId,
+    BatchTransientScratch, Circuit, Complex, ISourceId, InductorId, KernelChoice, NodeId, Result,
+    Stimulus, Trace, TransientConfig, TransientPlan, TransientProbes, TransientScratch, VSourceId,
 };
 
 /// Borrowed view of one probe-scoped PDN transient: the die-node voltage
@@ -238,6 +238,33 @@ impl Pdn {
         self.circuit.plan_transient_with(dt, telemetry)
     }
 
+    /// Like [`Pdn::plan_transient`] with an explicit solver-kernel
+    /// selection (LU back-substitution vs the precomputed state-space
+    /// form).
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-analysis errors.
+    pub fn plan_transient_kernel(&self, dt: f64, kernel: KernelChoice) -> Result<TransientPlan> {
+        self.circuit.plan_transient_kernel(dt, kernel)
+    }
+
+    /// Like [`Pdn::plan_transient_kernel`], additionally charging the LU
+    /// factorizations to `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-analysis errors.
+    pub fn plan_transient_kernel_with(
+        &self,
+        dt: f64,
+        kernel: KernelChoice,
+        telemetry: &emvolt_obs::Telemetry,
+    ) -> Result<TransientPlan> {
+        self.circuit
+            .plan_transient_kernel_with(dt, kernel, telemetry)
+    }
+
     /// Transient response reusing a prebuilt plan (skips netlist stamping
     /// and LU refactorization); returns `(v_die, i_die)` like
     /// [`Pdn::transient`].
@@ -284,6 +311,40 @@ impl Pdn {
             die_node: self.die_node,
             l_pkg_id: self.l_pkg_id,
         })
+    }
+
+    /// Steps several independent load waveforms through the PDN in one
+    /// lock-step batch, overriding the load port per lane. Requires a plan
+    /// built with the state-space kernel; each lane is bit-identical to a
+    /// single [`Pdn::transient_scoped`] run under [`Pdn::set_load`] of the
+    /// same stimulus. Read lanes back with [`Pdn::die_lane`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-analysis errors (LU-only plan, empty batch).
+    pub fn transient_batch(
+        &self,
+        plan: &TransientPlan,
+        config: &TransientConfig,
+        loads: &[Stimulus],
+        batch: &mut BatchTransientScratch,
+    ) -> Result<()> {
+        self.circuit
+            .transient_batch_scoped(plan, config, &self.die_probes, self.load, loads, batch)
+    }
+
+    /// Die-scoped view of lane `i` of the most recent
+    /// [`Pdn::transient_batch`] through `batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the most recent batch.
+    pub fn die_lane<'s>(&self, batch: &'s BatchTransientScratch, i: usize) -> DieTransient<'s> {
+        DieTransient {
+            view: batch.lane(i),
+            die_node: self.die_node,
+            l_pkg_id: self.l_pkg_id,
+        }
     }
 }
 
@@ -380,6 +441,39 @@ mod tests {
             assert_eq!(i_full.samples(), die.i_die());
             assert_eq!(v_full.dt(), die.dt());
             assert_eq!(v_full.start_time(), die.start_time());
+        }
+    }
+
+    /// Batched lanes through the PDN wrapper must reproduce serial
+    /// `set_load` + `transient_scoped` runs bit-for-bit — what lets the
+    /// platform layer batch GA candidates without changing results.
+    #[test]
+    fn batched_lanes_match_serial_scoped_runs() {
+        let params = PdnParams::generic_mobile();
+        let f_res = params.first_order_resonance_hz(2);
+        let mut pdn = Pdn::new(params, 2);
+        let cfg = TransientConfig::new(0.5e-9, 2e-6).with_warmup(1e-6);
+        let plan = pdn.plan_transient(cfg.dt).unwrap();
+        assert!(plan.uses_state_kernel(), "PDN is small: Auto picks it");
+
+        let loads = [
+            Stimulus::square(0.0, 0.5, f_res),
+            Stimulus::Dc(0.2),
+            Stimulus::square(0.1, 0.9, f_res / 2.0),
+        ];
+        let mut batch = emvolt_circuit::BatchTransientScratch::new();
+        pdn.transient_batch(&plan, &cfg, &loads, &mut batch)
+            .unwrap();
+
+        let mut scratch = TransientScratch::new();
+        for (i, load) in loads.iter().enumerate() {
+            pdn.set_load(load.clone());
+            let single = pdn.transient_scoped(&plan, &cfg, &mut scratch).unwrap();
+            let lane = pdn.die_lane(&batch, i);
+            assert_eq!(single.v_die(), lane.v_die(), "lane {i} voltage");
+            assert_eq!(single.i_die(), lane.i_die(), "lane {i} current");
+            assert_eq!(single.dt(), lane.dt());
+            assert_eq!(single.start_time(), lane.start_time());
         }
     }
 

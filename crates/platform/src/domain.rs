@@ -1,6 +1,10 @@
 //! A voltage domain: CPU cores sharing one PDN and one supply rail.
 
-use emvolt_circuit::{Stimulus, Trace, TransientConfig, TransientPlan, TransientScratch};
+use crate::measure::SpectralChoice;
+use emvolt_circuit::{
+    BatchTransientScratch, KernelChoice, Stimulus, Trace, TransientConfig, TransientPlan,
+    TransientScratch,
+};
 use emvolt_cpu::{CoreModel, Cpu, SimConfig, SimError};
 use emvolt_isa::Kernel;
 use emvolt_pdn::{Pdn, PdnParams};
@@ -98,6 +102,14 @@ pub struct RunConfig {
     pub pdn_window: f64,
     /// PDN warm-up discarded before recording, in seconds.
     pub pdn_warmup: f64,
+    /// Transient solver-kernel selection (LU back-substitution vs the
+    /// precomputed state-space form). `Auto` picks the state-space kernel
+    /// for small systems like the paper's PDNs.
+    pub kernel: KernelChoice,
+    /// How in-band measurements compute the received spectrum (full FFT
+    /// vs band-limited Goertzel). Consumed by the backend/CLI layers when
+    /// they build the measurement rig.
+    pub spectral: SpectralChoice,
 }
 
 impl Default for RunConfig {
@@ -110,6 +122,8 @@ impl Default for RunConfig {
             pdn_dt: 0.25e-9,
             pdn_window: 4e-6,
             pdn_warmup: 2e-6,
+            kernel: KernelChoice::default(),
+            spectral: SpectralChoice::default(),
         }
     }
 }
@@ -127,6 +141,8 @@ impl RunConfig {
             pdn_dt: 0.5e-9,
             pdn_window: 2e-6,
             pdn_warmup: 1e-6,
+            kernel: KernelChoice::default(),
+            spectral: SpectralChoice::default(),
         }
     }
 }
@@ -483,7 +499,7 @@ impl DomainRunner {
         telemetry: emvolt_obs::Telemetry,
     ) -> Result<Self, DomainError> {
         let pdn = domain.build_pdn();
-        let plan = pdn.plan_transient_with(config.pdn_dt, &telemetry)?;
+        let plan = pdn.plan_transient_kernel_with(config.pdn_dt, config.kernel, &telemetry)?;
         let transient_cfg =
             TransientConfig::new(config.pdn_dt, config.pdn_warmup + config.pdn_window)
                 .with_warmup(config.pdn_warmup);
@@ -569,6 +585,68 @@ impl DomainRunner {
         loaded_cores: usize,
         out: &mut DomainRun,
     ) -> Result<(), DomainError> {
+        let (sim, load) = self.simulate_load(kernel, loaded_cores)?;
+        self.pdn.set_load(load);
+        let die = self
+            .pdn
+            .transient_scoped(&self.plan, &self.transient_cfg, &mut self.scratch)?;
+        out.v_die.refill(die.dt(), die.start_time(), die.v_die());
+        out.i_die.refill(die.dt(), die.start_time(), die.i_die());
+        fill_sim_fields(out, &sim, self.domain.supply_v);
+        Ok(())
+    }
+
+    /// Runs several `(kernel, loaded_cores)` candidates through one
+    /// lock-step batched transient, filling one [`DomainRun`] per entry.
+    /// Requires a state-space plan (`RunConfig::kernel` of `Auto` or
+    /// `StateSpace`); each output is bit-identical to the corresponding
+    /// [`DomainRunner::run_into`] call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError`] for invalid core counts, failed
+    /// simulations, an LU-only plan, an empty batch, or when `outs` is
+    /// shorter than `entries`.
+    pub fn run_batch_into(
+        &mut self,
+        entries: &[(&Kernel, usize)],
+        outs: &mut [DomainRun],
+        batch: &mut BatchTransientScratch,
+    ) -> Result<(), DomainError> {
+        if outs.len() < entries.len() {
+            return Err(DomainError::Backend(format!(
+                "run_batch_into: {} outputs for {} entries",
+                outs.len(),
+                entries.len()
+            )));
+        }
+        let mut sims = Vec::with_capacity(entries.len());
+        let mut loads = Vec::with_capacity(entries.len());
+        for &(kernel, loaded_cores) in entries {
+            let (sim, load) = self.simulate_load(kernel, loaded_cores)?;
+            sims.push(sim);
+            loads.push(load);
+        }
+        self.pdn
+            .transient_batch(&self.plan, &self.transient_cfg, &loads, batch)?;
+        for (i, (out, sim)) in outs.iter_mut().zip(&sims).enumerate() {
+            let die = self.pdn.die_lane(batch, i);
+            out.v_die.refill(die.dt(), die.start_time(), die.v_die());
+            out.i_die.refill(die.dt(), die.start_time(), die.i_die());
+            fill_sim_fields(out, sim, self.domain.supply_v);
+        }
+        Ok(())
+    }
+
+    /// Simulates `kernel` on `loaded_cores` cores and builds the total
+    /// cluster load waveform (loaded cores plus idle remainder) — the
+    /// shared front half of [`DomainRunner::run_into`] and
+    /// [`DomainRunner::run_batch_into`].
+    fn simulate_load(
+        &mut self,
+        kernel: &Kernel,
+        loaded_cores: usize,
+    ) -> Result<(emvolt_cpu::SimOutput, Stimulus), DomainError> {
         let active = self.domain.active_cores;
         if loaded_cores > active {
             return Err(DomainError::TooManyLoadedCores {
@@ -584,21 +662,12 @@ impl DomainRunner {
             .iter()
             .map(|&i| i * loaded_cores as f64 + idle_extra)
             .collect();
-        self.pdn.set_load(Stimulus::Samples {
+        let load = Stimulus::Samples {
             dt: sim.current.dt(),
             values: Arc::from(total),
             repeat: true,
-        });
-        let die = self
-            .pdn
-            .transient_scoped(&self.plan, &self.transient_cfg, &mut self.scratch)?;
-        out.v_die.refill(die.dt(), die.start_time(), die.v_die());
-        out.i_die.refill(die.dt(), die.start_time(), die.i_die());
-        out.ipc = sim.ipc;
-        out.cycles_per_iteration = sim.cycles_per_iteration;
-        out.loop_frequency = sim.loop_frequency();
-        out.supply_v = self.domain.supply_v;
-        Ok(())
+        };
+        Ok((sim, load))
     }
 
     /// Runs with all powered cores idle; see [`VoltageDomain::run_idle`].
@@ -635,6 +704,15 @@ impl DomainRunner {
             Trace::with_start(die.dt(), die.start_time(), die.i_die().to_vec()),
         ))
     }
+}
+
+/// Copies the CPU-simulation half of a [`DomainRun`] from a finished
+/// timing simulation.
+fn fill_sim_fields(out: &mut DomainRun, sim: &emvolt_cpu::SimOutput, supply_v: f64) {
+    out.ipc = sim.ipc;
+    out.cycles_per_iteration = sim.cycles_per_iteration;
+    out.loop_frequency = sim.loop_frequency();
+    out.supply_v = supply_v;
 }
 
 #[cfg(test)]
@@ -786,6 +864,59 @@ mod tests {
         let fresh_idle = d.run_idle(&cfg).unwrap();
         let reused_idle = runner.run_idle().unwrap();
         assert_eq!(fresh_idle.v_die.samples(), reused_idle.v_die.samples());
+    }
+
+    /// The batched path must agree bit-for-bit with serial `run_into` —
+    /// the equality that lets GA evaluation step several candidates per
+    /// lock-step transient without changing fitness values.
+    #[test]
+    fn batched_runs_match_serial_runs_bit_for_bit() {
+        use emvolt_isa::kernels::{padded_sweep_kernel, resonant_stress_kernel};
+        let d = domain();
+        let cfg = RunConfig::fast();
+        let mut runner = DomainRunner::new(&d, cfg).unwrap();
+        let kernels = [
+            sweep_kernel(Isa::ArmV8),
+            resonant_stress_kernel(Isa::ArmV8, 12, 17),
+            padded_sweep_kernel(Isa::ArmV8, 9),
+        ];
+        let entries: Vec<(&emvolt_isa::Kernel, usize)> =
+            kernels.iter().zip([2usize, 1, 2]).collect();
+
+        let mut batch = BatchTransientScratch::new();
+        let mut outs = vec![DomainRun::empty(); entries.len()];
+        runner
+            .run_batch_into(&entries, &mut outs, &mut batch)
+            .unwrap();
+
+        for (&(k, loaded), batched) in entries.iter().zip(&outs) {
+            let serial = runner.run(k, loaded).unwrap();
+            assert_eq!(serial.v_die.samples(), batched.v_die.samples());
+            assert_eq!(serial.i_die.samples(), batched.i_die.samples());
+            assert_eq!(serial.ipc, batched.ipc);
+            assert_eq!(serial.loop_frequency, batched.loop_frequency);
+        }
+    }
+
+    #[test]
+    fn batched_runs_validate_inputs() {
+        let d = domain();
+        let mut runner = DomainRunner::new(&d, RunConfig::fast()).unwrap();
+        let k = sweep_kernel(Isa::ArmV8);
+        let mut batch = BatchTransientScratch::new();
+        let mut outs = vec![DomainRun::empty()];
+        // More entries than outputs.
+        assert!(matches!(
+            runner.run_batch_into(&[(&k, 1), (&k, 2)], &mut outs, &mut batch),
+            Err(DomainError::Backend(_))
+        ));
+        // An LU-only plan cannot batch.
+        let mut lu_cfg = RunConfig::fast();
+        lu_cfg.kernel = KernelChoice::Lu;
+        let mut lu_runner = DomainRunner::new(&d, lu_cfg).unwrap();
+        assert!(lu_runner
+            .run_batch_into(&[(&k, 1)], &mut outs, &mut batch)
+            .is_err());
     }
 
     #[test]

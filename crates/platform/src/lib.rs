@@ -45,7 +45,10 @@ pub use clock::{
     SessionClock, SimClock, INDIVIDUAL_MEASUREMENT_SECONDS, INDIVIDUAL_OVERHEAD_SECONDS,
 };
 pub use domain::{DomainError, DomainRun, DomainRunner, RunConfig, VoltageDomain};
-pub use measure::{EmBench, EmReading, MeasureScratch, SharedEmBench, RESONANCE_BAND};
+pub use emvolt_circuit::{BatchTransientScratch, KernelChoice};
+pub use measure::{
+    EmBench, EmReading, MeasureScratch, SharedEmBench, SpectralChoice, RESONANCE_BAND,
+};
 pub use scl::{Scl, SclPoint};
 pub use session::{MeasurementSession, SessionCosts, Target};
 pub use workloads::{desktop_suite, lbm_kernel, mix_kernel, spec2006_suite, Suite, Workload};

@@ -3,7 +3,9 @@
 //! (kernel -> current -> PDN -> radiation -> analyzer).
 
 use crate::domain::DomainRun;
-use emvolt_dsp::{Spectrum, SpectrumScratch, Window};
+use emvolt_dsp::{
+    of_trace_band_into, BandSpectrum, GoertzelScratch, Spectrum, SpectrumScratch, Window,
+};
 use emvolt_em::EmChannel;
 use emvolt_inst::{AnalyzerConfig, SpectrumAnalyzer, SweepReading};
 use emvolt_obs::{CounterId, HistId, Layer, Telemetry};
@@ -14,6 +16,86 @@ use rand::SeedableRng;
 /// The paper's first-order search band: 50–200 MHz.
 pub const RESONANCE_BAND: (f64, f64) = (50e6, 200e6);
 
+/// How an in-band measurement turns the die-current trace into analyzer
+/// input: the full one-sided FFT spectrum, or Goertzel evaluation of only
+/// the bins the analyzer scan can reach.
+///
+/// The band path applies the identical window, per-bin recurrence scaling
+/// and channel transfer, so in-band readings agree with the full-FFT path
+/// to rounding (~1e-9 relative on bin amplitudes); displayed sweeps and
+/// spectrogram consumers always keep the full FFT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SpectralChoice {
+    /// Use the band path when the requested band (plus the analyzer's RBW
+    /// skirt) covers at most half of the spectrum's bins.
+    #[default]
+    Auto,
+    /// Always compute the full one-sided spectrum via FFT.
+    FullFft,
+    /// Always evaluate only the requested band via Goertzel.
+    BandGoertzel,
+}
+
+impl SpectralChoice {
+    /// Parses a CLI-style selector: `auto`, `fft` or `goertzel`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(SpectralChoice::Auto),
+            "fft" => Some(SpectralChoice::FullFft),
+            "goertzel" => Some(SpectralChoice::BandGoertzel),
+            _ => None,
+        }
+    }
+
+    /// The canonical selector string accepted by [`SpectralChoice::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpectralChoice::Auto => "auto",
+            SpectralChoice::FullFft => "fft",
+            SpectralChoice::BandGoertzel => "goertzel",
+        }
+    }
+
+    /// Whether a measurement of `run` over the margin-widened band
+    /// `[lo_hz, hi_hz]` should take the Goertzel path.
+    fn picks_band(self, run: &DomainRun, lo_hz: f64, hi_hz: f64) -> bool {
+        match self {
+            SpectralChoice::FullFft => false,
+            SpectralChoice::BandGoertzel => true,
+            SpectralChoice::Auto => {
+                let n = run.i_die.samples().len();
+                if n == 0 {
+                    return false;
+                }
+                // Mirror the Goertzel bin selection: widened outward so
+                // every analyzer scan window is covered.
+                let total = n / 2 + 1;
+                let step = run.i_die.sample_rate() / n as f64;
+                let k0 = if lo_hz <= 0.0 {
+                    0
+                } else {
+                    ((lo_hz / step).floor() as usize).min(total)
+                };
+                let k1 = if hi_hz < lo_hz || hi_hz < 0.0 {
+                    0
+                } else {
+                    (((hi_hz / step).ceil() as usize) + 1).min(total)
+                };
+                let covered = k1.saturating_sub(k0);
+                covered > 0 && 2 * covered <= total
+            }
+        }
+    }
+}
+
+/// Widens `[lo, hi]` by the analyzer's Gaussian RBW skirt (the scan
+/// evaluates each display point over `f ± 4σ`, `σ = RBW / 2.355`), so the
+/// band path feeds every bin the sweep can touch.
+fn band_with_margin(config: &AnalyzerConfig, lo: f64, hi: f64) -> (f64, f64) {
+    let margin = 4.0 * (config.rbw_hz / 2.355);
+    (lo - margin, hi + margin)
+}
+
 /// Reusable buffers for the spectrum half of a measurement: the FFT
 /// scratch plus the die-current and received spectra. Checking one out
 /// per evaluation slot makes repeated measurements allocation-free at
@@ -23,6 +105,9 @@ pub struct MeasureScratch {
     spec: SpectrumScratch,
     i_spec: Spectrum,
     rx: Spectrum,
+    goertzel: GoertzelScratch,
+    i_band: BandSpectrum,
+    rx_band: BandSpectrum,
     telemetry: Telemetry,
 }
 
@@ -37,6 +122,7 @@ impl MeasureScratch {
     /// default handle is inert.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.spec.set_telemetry(telemetry.clone());
+        self.goertzel.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
     }
 
@@ -50,6 +136,20 @@ impl MeasureScratch {
     fn refresh_rx(&mut self, channel: &EmChannel, run: &DomainRun) {
         Spectrum::of_trace_into(&run.i_die, Window::Hann, &mut self.spec, &mut self.i_spec);
         channel.received_spectrum_into_with(&self.i_spec, &mut self.rx, &self.telemetry);
+    }
+
+    /// Fills `self.rx_band` with the received band `[lo, hi]` Hz of `run`
+    /// through `channel`, evaluating only the covered bins via Goertzel.
+    fn refresh_rx_band(&mut self, channel: &EmChannel, run: &DomainRun, lo: f64, hi: f64) {
+        of_trace_band_into(
+            &run.i_die,
+            Window::Hann,
+            lo,
+            hi,
+            &mut self.goertzel,
+            &mut self.i_band,
+        );
+        channel.received_band_into_with(&self.i_band, &mut self.rx_band, &self.telemetry);
     }
 }
 
@@ -71,6 +171,7 @@ pub struct EmBench {
     pub analyzer: SpectrumAnalyzer,
     rng: StdRng,
     scratch: MeasureScratch,
+    spectral: SpectralChoice,
 }
 
 impl EmBench {
@@ -82,7 +183,19 @@ impl EmBench {
             analyzer: SpectrumAnalyzer::new(AnalyzerConfig::default()),
             rng: StdRng::seed_from_u64(seed),
             scratch: MeasureScratch::new(),
+            spectral: SpectralChoice::default(),
         }
+    }
+
+    /// Selects how in-band measurements compute the received spectrum;
+    /// [`EmBench::share`] copies the choice into the shared half.
+    pub fn set_spectral(&mut self, spectral: SpectralChoice) {
+        self.spectral = spectral;
+    }
+
+    /// The active spectral-path selection.
+    pub fn spectral(&self) -> SpectralChoice {
+        self.spectral
     }
 
     /// Received voltage spectrum at the analyzer input for a domain run.
@@ -124,10 +237,16 @@ impl EmBench {
     /// resonance has already been located and the analyzer span is
     /// narrowed to speed up the GA (§5.3 motivation (b)).
     pub fn measure_in_band(&mut self, run: &DomainRun, lo: f64, hi: f64, n: usize) -> EmReading {
-        self.scratch.refresh_rx(&self.channel, run);
-        let (metric_dbm, dominant_hz) =
+        let (blo, bhi) = band_with_margin(self.analyzer.config(), lo, hi);
+        let (metric_dbm, dominant_hz) = if self.spectral.picks_band(run, blo, bhi) {
+            self.scratch.refresh_rx_band(&self.channel, run, blo, bhi);
             self.analyzer
-                .peak_metric(&self.scratch.rx, lo, hi, n, &mut self.rng);
+                .peak_metric(&self.scratch.rx_band, lo, hi, n, &mut self.rng)
+        } else {
+            self.scratch.refresh_rx(&self.channel, run);
+            self.analyzer
+                .peak_metric(&self.scratch.rx, lo, hi, n, &mut self.rng)
+        };
         record_measurement(&self.scratch.telemetry, lo, hi, n, metric_dbm, dominant_hz);
         EmReading {
             metric_dbm,
@@ -148,6 +267,7 @@ impl EmBench {
         SharedEmBench {
             channel: self.channel.clone(),
             analyzer_config: self.analyzer.config().clone(),
+            spectral: self.spectral,
             elapsed_s: Mutex::new(0.0),
         }
     }
@@ -176,6 +296,7 @@ impl EmBench {
 pub struct SharedEmBench {
     channel: EmChannel,
     analyzer_config: AnalyzerConfig,
+    spectral: SpectralChoice,
     elapsed_s: Mutex<f64>,
 }
 
@@ -212,10 +333,16 @@ impl SharedEmBench {
         seed: u64,
         scratch: &mut MeasureScratch,
     ) -> EmReading {
-        scratch.refresh_rx(&self.channel, run);
         let mut analyzer = SpectrumAnalyzer::new(self.analyzer_config.clone());
         let mut rng = StdRng::seed_from_u64(seed);
-        let (metric_dbm, dominant_hz) = analyzer.peak_metric(&scratch.rx, lo, hi, n, &mut rng);
+        let (blo, bhi) = band_with_margin(&self.analyzer_config, lo, hi);
+        let (metric_dbm, dominant_hz) = if self.spectral.picks_band(run, blo, bhi) {
+            scratch.refresh_rx_band(&self.channel, run, blo, bhi);
+            analyzer.peak_metric(&scratch.rx_band, lo, hi, n, &mut rng)
+        } else {
+            scratch.refresh_rx(&self.channel, run);
+            analyzer.peak_metric(&scratch.rx, lo, hi, n, &mut rng)
+        };
         *self.elapsed_s.lock() += analyzer.elapsed();
         record_measurement(&scratch.telemetry, lo, hi, n, metric_dbm, dominant_hz);
         EmReading {
@@ -361,6 +488,79 @@ mod tests {
         // The total was taken: absorbing twice adds nothing.
         bench.absorb_elapsed(&shared);
         assert!((bench.elapsed() - before - 18.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn spectral_choice_parsing_round_trips() {
+        for c in [
+            SpectralChoice::Auto,
+            SpectralChoice::FullFft,
+            SpectralChoice::BandGoertzel,
+        ] {
+            assert_eq!(SpectralChoice::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(SpectralChoice::parse("bluestein"), None);
+        assert_eq!(SpectralChoice::default(), SpectralChoice::Auto);
+    }
+
+    /// Forcing the Goertzel band path must reproduce the full-FFT reading
+    /// to rounding: same seed, same band, same sweep count. The default
+    /// `Auto` choice resolves to the band path for the paper's 50–200 MHz
+    /// band, so it is pinned to the forced-band reading too.
+    #[test]
+    fn band_path_matches_full_fft_within_tolerance() {
+        let d = domain();
+        let bench = EmBench::new(4);
+        let run = d
+            .run(&sweep_kernel(Isa::ArmV8), 2, &RunConfig::fast())
+            .unwrap();
+
+        let mut full_bench = EmBench::new(4);
+        full_bench.set_spectral(SpectralChoice::FullFft);
+        let shared_full = full_bench.share();
+        let full = shared_full.measure_in_band_seeded(&run, 50e6, 200e6, 5, 21);
+
+        let mut band_bench = EmBench::new(4);
+        band_bench.set_spectral(SpectralChoice::BandGoertzel);
+        let shared_band = band_bench.share();
+        let band = shared_band.measure_in_band_seeded(&run, 50e6, 200e6, 5, 21);
+
+        assert!(
+            (full.metric_dbm - band.metric_dbm).abs() < 1e-6,
+            "full {} vs band {}",
+            full.metric_dbm,
+            band.metric_dbm
+        );
+        assert_eq!(full.dominant_hz, band.dominant_hz);
+
+        let shared_auto = bench.share();
+        let auto = shared_auto.measure_in_band_seeded(&run, 50e6, 200e6, 5, 21);
+        assert_eq!(auto, band, "Auto must resolve to the band path here");
+    }
+
+    /// When the requested band spans (nearly) the whole spectrum, `Auto`
+    /// falls back to the full FFT and the readings are bit-identical to
+    /// the forced-FFT path.
+    #[test]
+    fn auto_takes_full_fft_for_wide_bands() {
+        let d = domain();
+        let run = d
+            .run(&sweep_kernel(Isa::ArmV8), 2, &RunConfig::fast())
+            .unwrap();
+        let nyquist = 0.5 * run.i_die.sample_rate();
+
+        let auto_bench = EmBench::new(6);
+        let auto = auto_bench
+            .share()
+            .measure_in_band_seeded(&run, 1e6, nyquist, 5, 33);
+
+        let mut fft_bench = EmBench::new(6);
+        fft_bench.set_spectral(SpectralChoice::FullFft);
+        let full = fft_bench
+            .share()
+            .measure_in_band_seeded(&run, 1e6, nyquist, 5, 33);
+
+        assert_eq!(auto, full);
     }
 
     #[test]

@@ -47,6 +47,13 @@ OPTIONS:
     --stress                     vmin: use the built-in resonant stress kernel
     --telemetry PATH             write a JSONL trace of the run to PATH and
                                  append a summary to results/campaign_summaries.jsonl
+    --kernel auto|lu|statespace  sweep/virus: transient solver kernel — `auto`
+                                 (default) picks the fused state-space form for
+                                 small PDNs, `lu` forces back-substitution
+    --spectrum auto|fft|goertzel sweep/virus: in-band spectral path — `auto`
+                                 (default) evaluates only the measured band via
+                                 Goertzel when it is narrow, `fft` forces the
+                                 full Bluestein FFT
     --progress                   virus: print one line per GA generation
     --backend SPEC               sweep/virus: measurement backend — `live` (the
                                  default simulated chain), `record:PATH` (live,
@@ -70,7 +77,15 @@ impl FlagSpec {
                 boolean: &[],
             },
             "sweep" => FlagSpec {
-                valued: &["platform", "cores", "seed", "telemetry", "backend"],
+                valued: &[
+                    "platform",
+                    "cores",
+                    "seed",
+                    "telemetry",
+                    "backend",
+                    "kernel",
+                    "spectrum",
+                ],
                 boolean: &[],
             },
             "impedance" => FlagSpec {
@@ -86,6 +101,8 @@ impl FlagSpec {
                     "seed",
                     "telemetry",
                     "backend",
+                    "kernel",
+                    "spectrum",
                 ],
                 boolean: &["progress"],
             },
@@ -226,6 +243,23 @@ fn seed(flags: &HashMap<String, String>) -> u64 {
     flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42)
 }
 
+/// Applies `--kernel` and `--spectrum` to a run configuration; both
+/// default to `auto` when absent.
+fn apply_solver_flags(
+    flags: &HashMap<String, String>,
+    run: &mut RunConfig,
+) -> Result<(), Box<dyn Error>> {
+    if let Some(k) = flags.get("kernel") {
+        run.kernel = emvolt::platform::KernelChoice::parse(k)
+            .ok_or_else(|| format!("--kernel {k}: expected auto|lu|statespace"))?;
+    }
+    if let Some(s) = flags.get("spectrum") {
+        run.spectral = emvolt::platform::SpectralChoice::parse(s)
+            .ok_or_else(|| format!("--spectrum {s}: expected auto|fft|goertzel"))?;
+    }
+    Ok(())
+}
+
 fn cmd_platforms() {
     println!("platform  cores  clock      nominal  analytic resonance");
     for (tag, domain) in [
@@ -247,10 +281,11 @@ fn cmd_platforms() {
 fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let domain = build_platform(flags)?;
     let tel = telemetry_from(flags)?;
-    let cfg = FastSweepConfig {
+    let mut cfg = FastSweepConfig {
         telemetry: tel.clone(),
         ..FastSweepConfig::for_domain(&domain)
     };
+    apply_solver_flags(flags, &mut cfg.run)?;
     let mut backend = backend_from(flags, &domain, seed(flags), &cfg.run)?;
     eprintln!(
         "sweeping {} ({} powered cores) ...",
@@ -319,7 +354,7 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         .unwrap_or(15);
     let tel = telemetry_from(flags)?;
     let progress = flags.contains_key("progress");
-    let cfg = VirusGenConfig {
+    let mut cfg = VirusGenConfig {
         ga: GaConfig {
             population,
             generations,
@@ -331,6 +366,7 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         telemetry: tel.clone(),
         ..VirusGenConfig::default()
     };
+    apply_solver_flags(flags, &mut cfg.run)?;
     let mut backend = backend_from(flags, &domain, seed(flags), &cfg.run)?;
     eprintln!(
         "evolving a dI/dt virus on {} ({population} x {generations}) ...",
@@ -569,5 +605,42 @@ mod tests {
     fn malformed_backend_spec_is_rejected() {
         let err = "tape:/tmp/x.jsonl".parse::<BackendSpec>().unwrap_err();
         assert!(err.contains("tape"), "{err}");
+    }
+
+    #[test]
+    fn solver_flags_apply_to_the_run_config() {
+        let spec = FlagSpec::for_command("sweep").unwrap();
+        let flags = parse_flags(
+            "sweep",
+            &argv(&["--kernel", "lu", "--spectrum", "fft"]),
+            &spec,
+        )
+        .unwrap();
+        let mut run = RunConfig::fast();
+        apply_solver_flags(&flags, &mut run).unwrap();
+        assert_eq!(run.kernel, emvolt::platform::KernelChoice::Lu);
+        assert_eq!(run.spectral, emvolt::platform::SpectralChoice::FullFft);
+        // Absent flags leave the auto defaults.
+        let mut auto = RunConfig::fast();
+        apply_solver_flags(&HashMap::new(), &mut auto).unwrap();
+        assert_eq!(auto.kernel, emvolt::platform::KernelChoice::Auto);
+        assert_eq!(auto.spectral, emvolt::platform::SpectralChoice::Auto);
+    }
+
+    #[test]
+    fn bad_solver_flag_values_are_rejected() {
+        let mut run = RunConfig::fast();
+        let mut flags = HashMap::new();
+        flags.insert("kernel".to_owned(), "cholesky".to_owned());
+        let err = apply_solver_flags(&flags, &mut run)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("auto|lu|statespace"), "{err}");
+        let mut flags = HashMap::new();
+        flags.insert("spectrum".to_owned(), "bluestein".to_owned());
+        let err = apply_solver_flags(&flags, &mut run)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("auto|fft|goertzel"), "{err}");
     }
 }
