@@ -177,6 +177,23 @@ pub trait MeasurementBackend: Send + Sync {
         telemetry: &Telemetry,
     ) -> Result<EmObservation, BackendError>;
 
+    /// Batched counterpart of [`MeasurementBackend::measure`]: serves
+    /// `reqs` in order, one result per request. The contract is strict —
+    /// every implementation returns results bit-identical to the serial
+    /// loop over [`MeasurementBackend::measure`] the default provides;
+    /// live backends override this to amortize the physics across lanes
+    /// (one lock-step transient, one multi-lane Goertzel pass) without
+    /// changing a single bit of any reading.
+    fn measure_batch(
+        &self,
+        reqs: &[MeasureRequest<'_>],
+        telemetry: &Telemetry,
+    ) -> Vec<Result<EmObservation, BackendError>> {
+        reqs.iter()
+            .map(|req| self.measure(req, telemetry))
+            .collect()
+    }
+
     /// Coordinator-thread measurement. With `req.seed == None` the
     /// backend's stateful measurement rig (the analyzer's own RNG)
     /// draws the noise — successive calls advance that rig exactly like
@@ -251,6 +268,14 @@ impl<B: MeasurementBackend + ?Sized> MeasurementBackend for &mut B {
         telemetry: &Telemetry,
     ) -> Result<EmObservation, BackendError> {
         (**self).measure(req, telemetry)
+    }
+
+    fn measure_batch(
+        &self,
+        reqs: &[MeasureRequest<'_>],
+        telemetry: &Telemetry,
+    ) -> Vec<Result<EmObservation, BackendError>> {
+        (**self).measure_batch(reqs, telemetry)
     }
 
     fn measure_serial(

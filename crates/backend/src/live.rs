@@ -8,13 +8,13 @@
 //! Seeded campaigns through this backend are bit-identical to the code
 //! they replaced.
 
-use crate::request::{CombinedSource, DomainInfo, EmObservation, Load, MeasureRequest};
+use crate::request::{BandSpec, CombinedSource, DomainInfo, EmObservation, Load, MeasureRequest};
 use crate::{BackendError, MeasurementBackend};
 use emvolt_inst::SweepReading;
 use emvolt_obs::{CounterId, Telemetry};
 use emvolt_platform::{
-    DomainError, DomainRun, DomainRunner, EmBench, EmReading, MeasureScratch, RunConfig,
-    SessionCosts, SharedEmBench, VoltageDomain,
+    BatchTransientScratch, DomainError, DomainRun, DomainRunner, EmBench, EmReading,
+    MeasureScratch, RunConfig, SessionCosts, SharedEmBench, VoltageDomain,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -33,6 +33,10 @@ pub struct EvalSlot {
     pub run: DomainRun,
     /// Recycled spectrum/measurement scratch.
     pub measure: MeasureScratch,
+    /// Recycled per-lane run buffers for the batched path.
+    pub runs: Vec<DomainRun>,
+    /// Recycled lock-step transient state for the batched path.
+    pub batch: BatchTransientScratch,
 }
 
 impl EvalSlot {
@@ -54,6 +58,8 @@ impl EvalSlot {
             runner,
             run: DomainRun::empty(),
             measure,
+            runs: Vec::new(),
+            batch: BatchTransientScratch::new(),
         })
     }
 }
@@ -264,6 +270,133 @@ impl MeasurementBackend for LiveBackend {
         // runner's plan and netlist untouched.
         self.pools[idx].lock().push(slot);
         result
+    }
+
+    /// Amortized batch: when every request targets the same domain with
+    /// the same explicit band, clock, sweep count and a per-lane seed,
+    /// one warm slot serves the whole group through the lane-major chain
+    /// (one lock-step transient, one multi-lane Goertzel pass, shared
+    /// channel transfer). Reading `l` is bit-identical to the serial
+    /// `measure(&reqs[l], ..)` call it replaces, and trace-visible
+    /// counter totals are lane-count-invariant (`ScratchCheckouts` is
+    /// still charged once per request). Groups that mix domains, bands
+    /// or load shapes — or whose cached plan is LU-only — fall back to
+    /// the serial loop.
+    fn measure_batch(
+        &self,
+        reqs: &[MeasureRequest<'_>],
+        telemetry: &Telemetry,
+    ) -> Vec<Result<EmObservation, BackendError>> {
+        let serial =
+            |reqs: &[MeasureRequest<'_>]| reqs.iter().map(|r| self.measure(r, telemetry)).collect();
+        let Some(first) = reqs.first() else {
+            return Vec::new();
+        };
+        let band = match first.band {
+            BandSpec::Explicit { lo_hz, hi_hz } => (lo_hz, hi_hz),
+            BandSpec::AroundLoop { .. } => return serial(reqs),
+        };
+        let uniform = reqs.iter().all(|r| {
+            r.domain == first.domain
+                && r.freq_hz == first.freq_hz
+                && r.samples == first.samples
+                && r.seed.is_some()
+                && matches!(r.load, Load::Kernel { .. })
+                && matches!(
+                    r.band,
+                    BandSpec::Explicit { lo_hz, hi_hz } if (lo_hz, hi_hz) == band
+                )
+        });
+        if !uniform || reqs.len() == 1 {
+            return serial(reqs);
+        }
+        let Ok(idx) = self.index(first.domain) else {
+            return serial(reqs);
+        };
+        let domain = &self.domains[idx];
+        let active = domain.active_cores();
+        if reqs
+            .iter()
+            .any(|r| matches!(r.load, Load::Kernel { loaded_cores, .. } if loaded_cores > active))
+        {
+            // Per-lane core-count validation has per-lane outcomes; let
+            // the serial loop report them individually.
+            return serial(reqs);
+        }
+
+        let mut slot = match self.pools[idx].lock().pop() {
+            Some(s) => s,
+            None => {
+                telemetry.count(CounterId::ScratchMisses, 1);
+                match EvalSlot::new(domain, &self.run_config, telemetry) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        let msg = e.to_string();
+                        return reqs
+                            .iter()
+                            .map(|_| Err(BackendError::Domain(DomainError::Backend(msg.clone()))))
+                            .collect();
+                    }
+                }
+            }
+        };
+        if !slot.runner.supports_batch() {
+            self.pools[idx].lock().push(slot);
+            return serial(reqs);
+        }
+        // One checkout per request keeps the trace-visible totals
+        // identical to the serial loop at any lane count.
+        telemetry.count(CounterId::ScratchCheckouts, reqs.len() as u64);
+        slot.runner.set_telemetry(telemetry.clone());
+        slot.measure.set_telemetry(telemetry.clone());
+        slot.batch.set_telemetry(telemetry.clone());
+        let entries: Vec<(&emvolt_isa::Kernel, usize)> = reqs
+            .iter()
+            .map(|r| match r.load {
+                Load::Kernel {
+                    kernel,
+                    loaded_cores,
+                } => (kernel, loaded_cores),
+                Load::Idle => unreachable!("uniformity check rejected idle loads"),
+            })
+            .collect();
+        let seeds: Vec<u64> = reqs
+            .iter()
+            .map(|r| r.seed.expect("uniformity check required seeds"))
+            .collect();
+        let results: Result<Vec<Result<EmObservation, BackendError>>, BackendError> = (|| {
+            Self::retune(&mut slot.runner, domain, first.freq_hz)?;
+            if slot.runs.len() < reqs.len() {
+                slot.runs.resize_with(reqs.len(), DomainRun::empty);
+            }
+            let readings = slot.runner.run_measure_batch_into(
+                &entries,
+                band.0,
+                band.1,
+                first.samples,
+                &seeds,
+                &self.shared,
+                &mut slot.runs,
+                &mut slot.batch,
+                &mut slot.measure,
+            )?;
+            Ok(slot
+                .runs
+                .iter()
+                .zip(readings)
+                .map(|(run, reading)| Ok(Self::observation(run, reading, band)))
+                .collect::<Vec<_>>())
+        })();
+        self.pools[idx].lock().push(slot);
+        match results {
+            Ok(observations) => observations,
+            Err(e) => {
+                let msg = e.to_string();
+                reqs.iter()
+                    .map(|_| Err(BackendError::Domain(DomainError::Backend(msg.clone()))))
+                    .collect()
+            }
+        }
     }
 
     fn measure_serial(
@@ -566,6 +699,95 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0x515);
         let expect = bench.analyzer.sweep(&rx, &mut rng);
         assert_eq!(reading.points, expect.points);
+    }
+
+    /// The batched path must return exactly what the default serial loop
+    /// over `measure` would — observation bits, lane order and
+    /// trace-visible checkout counters alike.
+    #[test]
+    fn batched_measure_matches_the_serial_loop_bit_for_bit() {
+        let kernels: Vec<_> = [3usize, 17, 9]
+            .iter()
+            .map(|&p| padded_sweep_kernel(Isa::ArmV8, p))
+            .collect();
+        let reqs: Vec<MeasureRequest<'_>> = kernels
+            .iter()
+            .enumerate()
+            .map(|(i, kernel)| MeasureRequest {
+                domain: "A72",
+                load: Load::Kernel {
+                    kernel,
+                    loaded_cores: 1 + i % 2,
+                },
+                freq_hz: None,
+                band: BandSpec::Explicit {
+                    lo_hz: RESONANCE_BAND.0,
+                    hi_hz: RESONANCE_BAND.1,
+                },
+                samples: 3,
+                seed: Some(40 + i as u64),
+            })
+            .collect();
+        let tel = Telemetry::noop();
+
+        let batched_be = backend();
+        let batched = batched_be.measure_batch(&reqs, &tel);
+
+        let serial_be = backend();
+        for (req, got) in reqs.iter().zip(&batched) {
+            let want = serial_be.measure(req, &tel).unwrap();
+            let got = got.as_ref().expect("batched lane failed");
+            assert_eq!(
+                want.reading.metric_dbm.to_bits(),
+                got.reading.metric_dbm.to_bits()
+            );
+            assert_eq!(
+                want.reading.dominant_hz.to_bits(),
+                got.reading.dominant_hz.to_bits()
+            );
+            assert_eq!(want.loop_frequency_hz, got.loop_frequency_hz);
+            assert_eq!(want.ipc, got.ipc);
+            assert_eq!(want.max_droop_v, got.max_droop_v);
+            assert_eq!(want.peak_to_peak_v, got.peak_to_peak_v);
+        }
+        assert_eq!(
+            batched_be.elapsed_seconds().to_bits(),
+            serial_be.elapsed_seconds().to_bits()
+        );
+    }
+
+    /// An LU-only plan cannot run the lock-step transient: the batch call
+    /// silently serves the group through the serial loop instead.
+    #[test]
+    fn batched_measure_falls_back_to_serial_for_lu_only_plans() {
+        use emvolt_platform::KernelChoice;
+        let kernel = padded_sweep_kernel(Isa::ArmV8, 17);
+        let mut cfg = RunConfig::fast();
+        cfg.kernel = KernelChoice::Lu;
+        let be = LiveBackend::single(a72(), EmBench::new(11), cfg.clone());
+        let reqs: Vec<MeasureRequest<'_>> = (0..2)
+            .map(|i| MeasureRequest {
+                domain: "A72",
+                load: Load::Kernel {
+                    kernel: &kernel,
+                    loaded_cores: 1,
+                },
+                freq_hz: None,
+                band: BandSpec::Explicit {
+                    lo_hz: RESONANCE_BAND.0,
+                    hi_hz: RESONANCE_BAND.1,
+                },
+                samples: 2,
+                seed: Some(70 + i),
+            })
+            .collect();
+        let tel = Telemetry::noop();
+        let batched = be.measure_batch(&reqs, &tel);
+        let serial_be = LiveBackend::single(a72(), EmBench::new(11), cfg);
+        for (req, got) in reqs.iter().zip(&batched) {
+            let want = serial_be.measure(req, &tel).unwrap();
+            assert_eq!(want.reading, got.as_ref().unwrap().reading);
+        }
     }
 
     #[test]

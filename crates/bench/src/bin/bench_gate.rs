@@ -15,11 +15,16 @@
 //! path, not single-digit-percent drift). Missing records fail too, so
 //! renaming an entry forces a deliberate baseline update.
 //!
-//! The gate also checks the structural invariant that survives machine
-//! changes: `full_chain_baseline` (auto-selected fast path) must stay
-//! at least 1.5x faster than `full_chain_lu_fft` (the forced general
-//! path) *within the fresh run* — a same-machine ratio, immune to
-//! runner speed.
+//! The gate also checks two structural invariants that survive machine
+//! changes, both computed *within the fresh run* — same-machine ratios,
+//! immune to runner speed:
+//!
+//! - `full_chain_baseline` (auto-selected fast path) must stay at least
+//!   1.5x faster than `full_chain_lu_fft` (the forced general path);
+//! - every `full_chain_batched_xN` record must amortize: its per-lane
+//!   cost (`min_ms / N`, with `N` parsed from the record name) must be
+//!   at most 0.75x the serial `full_chain_baseline` floor — i.e. the
+//!   lane-major batched chain buys at least a 1.33x per-eval speedup.
 
 use serde::{DeError, Deserialize, Value};
 use std::process::ExitCode;
@@ -75,6 +80,20 @@ fn fast_path_speedup(times: &MinTimes) -> Option<f64> {
     Some(general / fast)
 }
 
+/// `(name, lanes, per_lane_ms)` for every `full_chain_batched_xN`
+/// record, with `N` parsed from the name so the gate needs no schema
+/// beyond `{name, min_ms}`.
+fn batched_per_lane(times: &MinTimes) -> Vec<(String, usize, f64)> {
+    times
+        .0
+        .iter()
+        .filter_map(|(name, min_ms)| {
+            let lanes: usize = name.strip_prefix("full_chain_batched_x")?.parse().ok()?;
+            Some((name.clone(), lanes, min_ms / lanes as f64))
+        })
+        .collect()
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let baseline_path = args.next().unwrap_or_else(|| "BENCH_eval.json".to_owned());
@@ -126,6 +145,39 @@ fn main() -> ExitCode {
             eprintln!("FAIL fresh run lacks full_chain_lu_fft/full_chain_baseline records");
             failed = true;
         }
+    }
+
+    // Same-run amortization floor: each lane of a batched evaluation
+    // must cost at most this fraction of a serial evaluation.
+    const AMORTIZATION_CEILING: f64 = 0.75;
+    let batched = batched_per_lane(&fresh);
+    if batched.is_empty() {
+        eprintln!("FAIL fresh run lacks full_chain_batched_xN records");
+        failed = true;
+    }
+    match fresh.get("full_chain_baseline") {
+        Some(serial) => {
+            for (name, lanes, per_lane) in &batched {
+                let ratio = per_lane / serial;
+                if ratio <= AMORTIZATION_CEILING {
+                    eprintln!(
+                        "ok   {name:<28} {per_lane:.3} ms/lane x{lanes} = {ratio:.2}x serial \
+                         (ceiling {AMORTIZATION_CEILING}x)"
+                    );
+                } else {
+                    eprintln!(
+                        "FAIL {name:<28} {per_lane:.3} ms/lane x{lanes} = {ratio:.2}x serial \
+                         exceeds {AMORTIZATION_CEILING}x"
+                    );
+                    failed = true;
+                }
+            }
+        }
+        None if !batched.is_empty() => {
+            eprintln!("FAIL fresh run lacks full_chain_baseline for the amortization gate");
+            failed = true;
+        }
+        None => {}
     }
 
     if failed {

@@ -32,6 +32,11 @@ use std::time::Instant;
 struct Stats {
     name: &'static str,
     samples: usize,
+    /// Individuals evaluated per timed iteration; batched entries set
+    /// this above 1 and additionally export `ms_per_lane = min_ms /
+    /// lanes`, the number the amortization gate compares against the
+    /// serial chain.
+    lanes: usize,
     min_ms: f64,
     mean_ms: f64,
     max_ms: f64,
@@ -54,6 +59,7 @@ fn time_ms(name: &'static str, warmup: usize, samples: usize, mut f: impl FnMut(
     Stats {
         name,
         samples,
+        lanes: 1,
         min_ms: min,
         mean_ms: mean,
         max_ms: max,
@@ -65,13 +71,21 @@ fn to_value(records: &[Stats]) -> Value {
         records
             .iter()
             .map(|s| {
-                Value::Obj(vec![
+                let mut obj = vec![
                     ("name".to_owned(), Value::Str(s.name.to_owned())),
                     ("samples".to_owned(), Value::Num(s.samples as f64)),
                     ("min_ms".to_owned(), Value::Num(s.min_ms)),
                     ("mean_ms".to_owned(), Value::Num(s.mean_ms)),
                     ("max_ms".to_owned(), Value::Num(s.max_ms)),
-                ])
+                ];
+                if s.lanes > 1 {
+                    obj.push(("lanes".to_owned(), Value::Num(s.lanes as f64)));
+                    obj.push((
+                        "ms_per_lane".to_owned(),
+                        Value::Num(s.min_ms / s.lanes as f64),
+                    ));
+                }
+                Value::Obj(obj)
             })
             .collect(),
     )
@@ -152,26 +166,41 @@ fn eval_records() -> Vec<Stats> {
         }));
     }
 
-    // Batched: four individuals stepped through the transient kernel
-    // together, then measured one by one. Divide by 4 for per-eval cost.
-    {
+    // Batched: L individuals stepped through the lane-major transient
+    // fold together, then measured through the multi-lane Goertzel +
+    // shared EM transfer path in one call. `ms_per_lane` is the per-eval
+    // cost the amortization gate holds against the serial baseline.
+    for &(name, lanes) in &[
+        ("full_chain_batched_x4", 4usize),
+        ("full_chain_batched_x8", 8),
+    ] {
         let mut runner = DomainRunner::new(&domain, cfg.clone()).unwrap();
-        let entries = [(&kernel, 1usize), (&kernel, 2), (&kernel, 1), (&kernel, 2)];
-        let mut outs = vec![DomainRun::empty(); entries.len()];
+        let entries: Vec<(&emvolt_isa::Kernel, usize)> =
+            (0..lanes).map(|i| (&kernel, 1 + i % 2)).collect();
+        let seeds = vec![7u64; lanes];
+        let mut outs = vec![DomainRun::empty(); lanes];
         let mut batch = BatchTransientScratch::new();
         let mut measure = MeasureScratch::new();
-        records.push(time_ms("full_chain_batched_x4", WARMUP, SAMPLES, || {
-            runner
-                .run_batch_into(&entries, &mut outs, &mut batch)
+        let mut stats = time_ms(name, WARMUP, SAMPLES, || {
+            let readings = runner
+                .run_measure_batch_into(
+                    &entries,
+                    50e6,
+                    200e6,
+                    3,
+                    &seeds,
+                    &shared,
+                    &mut outs,
+                    &mut batch,
+                    &mut measure,
+                )
                 .unwrap();
-            for run in &outs {
-                std::hint::black_box(
-                    shared
-                        .measure_in_band_seeded_with(run, 50e6, 200e6, 3, 7, &mut measure)
-                        .metric_dbm,
-                );
+            for reading in &readings {
+                std::hint::black_box(reading.metric_dbm);
             }
-        }));
+        });
+        stats.lanes = lanes;
+        records.push(stats);
     }
 
     // Noop recorder: hooks live, emission gated off.

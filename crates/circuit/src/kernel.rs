@@ -167,6 +167,76 @@ impl StateKernel {
             }
         }
     }
+
+    /// Lane-major batched fold: `lanes` independent input vectors folded
+    /// through the response columns in one pass.
+    ///
+    /// `inputs` is input-major `[n_inputs x lanes]` (`inputs[j*lanes + l]`
+    /// is lane `l`'s weight for column `j`) and `xn` node-major
+    /// `[n_nodes x lanes]` (`xn[i*lanes + l]` is lane `l`'s voltage at
+    /// node `i`). Each response column entry `c_ji` is loaded **once** and
+    /// FMAed into every lane's accumulator — the memory traffic of one
+    /// serial fold amortized over all lanes. Per lane the operation
+    /// sequence (zero, then `x_i += w_j·c_ji` in `j` order) is exactly
+    /// [`StateKernel::fold`]'s, so each lane's result is bit-identical to
+    /// a serial fold of that lane alone.
+    #[inline]
+    pub(crate) fn fold_lanes(&self, inputs: &[f64], lanes: usize, xn: &mut [f64]) {
+        debug_assert!(lanes > 0);
+        debug_assert_eq!(inputs.len(), self.n_inputs * lanes);
+        debug_assert_eq!(xn.len(), self.n_nodes * lanes);
+        // Monomorphize the common lane counts: with the width a compile-
+        // time constant, every lane row is a fixed-size array and the
+        // whole (column x node) FMA body is bounds-check-free
+        // straight-line vector code. Each arm performs the identical
+        // per-lane operation sequence, so the dispatch is invisible
+        // bitwise.
+        match lanes {
+            1 => self.fold_lanes_const::<1>(inputs, xn),
+            2 => self.fold_lanes_const::<2>(inputs, xn),
+            3 => self.fold_lanes_const::<3>(inputs, xn),
+            4 => self.fold_lanes_const::<4>(inputs, xn),
+            5 => self.fold_lanes_const::<5>(inputs, xn),
+            6 => self.fold_lanes_const::<6>(inputs, xn),
+            7 => self.fold_lanes_const::<7>(inputs, xn),
+            8 => self.fold_lanes_const::<8>(inputs, xn),
+            _ => {
+                xn.iter_mut().for_each(|v| *v = 0.0);
+                for (col, w) in self
+                    .cols
+                    .chunks_exact(self.n_nodes)
+                    .zip(inputs.chunks_exact(lanes))
+                {
+                    for (&ci, acc) in col.iter().zip(xn.chunks_exact_mut(lanes)) {
+                        for (a, &wv) in acc.iter_mut().zip(w) {
+                            *a += wv * ci;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`StateKernel::fold_lanes`] specialized to a compile-time lane
+    /// width. Same zero-then-accumulate sequence per lane as the dynamic
+    /// path and [`StateKernel::fold`].
+    #[inline]
+    fn fold_lanes_const<const L: usize>(&self, inputs: &[f64], xn: &mut [f64]) {
+        xn.iter_mut().for_each(|v| *v = 0.0);
+        for (col, w) in self
+            .cols
+            .chunks_exact(self.n_nodes)
+            .zip(inputs.chunks_exact(L))
+        {
+            let w: &[f64; L] = w.try_into().unwrap();
+            for (&ci, acc) in col.iter().zip(xn.chunks_exact_mut(L)) {
+                let acc: &mut [f64; L] = acc.try_into().unwrap();
+                for k in 0..L {
+                    acc[k] += w[k] * ci;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +253,52 @@ mod tests {
             assert_eq!(KernelChoice::parse(c.as_str()), Some(c));
         }
         assert_eq!(KernelChoice::parse("bogus"), None);
+    }
+
+    /// Deterministic pseudo-random doubles in (-1, 1) for layout tests.
+    fn lcg_doubles(seed: u64, n: usize) -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// Every lane of `fold_lanes` must reproduce a serial `fold` of that
+    /// lane bit-for-bit, for lane counts on both sides of the 8/4 block
+    /// widths (exercising full blocks plus every remainder shape).
+    #[test]
+    fn fold_lanes_is_bit_identical_to_serial_folds() {
+        let n_nodes = 7;
+        let n_inputs = 5;
+        let kernel = StateKernel {
+            n_nodes,
+            n_inputs,
+            cols: lcg_doubles(0xC01, n_inputs * n_nodes),
+        };
+        for lanes in 1..=13usize {
+            let all_inputs = lcg_doubles(0xF00D + lanes as u64, n_inputs * lanes);
+            // Lane-major layout: inputs[j*lanes + l].
+            let mut batched = vec![0.0; n_nodes * lanes];
+            kernel.fold_lanes(&all_inputs, lanes, &mut batched);
+            for l in 0..lanes {
+                let lane_inputs: Vec<f64> =
+                    (0..n_inputs).map(|j| all_inputs[j * lanes + l]).collect();
+                let mut serial = vec![0.0; n_nodes];
+                kernel.fold(&lane_inputs, &mut serial);
+                for i in 0..n_nodes {
+                    assert_eq!(
+                        serial[i].to_bits(),
+                        batched[i * lanes + l].to_bits(),
+                        "lane {l} of {lanes} diverged at node {i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -661,9 +661,13 @@ impl Circuit {
             .state
             .as_ref()
             .ok_or_else(|| CircuitError::InvalidAnalysis {
-                reason: "batched transient requires the state-space kernel; build the plan \
-                         with KernelChoice::StateSpace (or Auto on a small system)"
-                    .to_string(),
+                reason: format!(
+                    "batched transient requires the state-space kernel, but this plan was \
+                     built LU-only; rebuild it with KernelChoice::StateSpace (`--kernel \
+                     statespace` on the CLI), or with KernelChoice::Auto (`--kernel auto`), \
+                     which embeds the state-space kernel only for MNA dimensions <= {}",
+                    KernelChoice::AUTO_DIM_LIMIT
+                ),
             })?;
         if source.index() >= self.isources.len() {
             return Err(CircuitError::InvalidAnalysis {
@@ -685,17 +689,119 @@ impl Circuit {
             sched =
                 self.transient_setup(plan, config, probes, lane, Some((source.index(), load)))?;
         }
-        for step in 1..=sched.n_steps {
-            for (lane, load) in batch.lanes.iter_mut().zip(loads) {
-                self.state_space_step(
+
+        // Lane-major SoA step loop, run in monomorphized groups of at
+        // most eight lanes. Within a group every per-step stage — the
+        // input gather (capacitor/inductor histories), the response-
+        // column fold, and the element-state update — operates on
+        // lane-contiguous rows of compile-time width, so the stages the
+        // serial path can only execute as scalar gathers (element node
+        // indices are arbitrary) become straight-line vector code across
+        // lanes. Lane-invariant stimuli (every source except the swept
+        // load) are sampled once per step and broadcast. Per lane the
+        // arithmetic sequence is exactly the single-run state-space
+        // sequence, so every lane stays bit-identical to
+        // `transient_scoped` with that load.
+        let n_lanes = loads.len();
+        let BatchTransientScratch {
+            lanes,
+            lane_inputs,
+            lane_state,
+            cap_v,
+            cap_i,
+            ind_v,
+            ind_i,
+            ..
+        } = batch;
+        let mut soa = BatchSoa {
+            inputs: lane_inputs,
+            state: lane_state,
+            cap_v,
+            cap_i,
+            ind_v,
+            ind_i,
+        };
+        let mut start = 0;
+        while start < n_lanes {
+            let width = (n_lanes - start).min(8);
+            let group_loads = &loads[start..start + width];
+            let group_lanes = &mut lanes[start..start + width];
+            let src = source.index();
+            match width {
+                8 => self.batch_group_steps::<8>(
                     plan,
                     kernel,
-                    step,
-                    sched.record_start_idx,
-                    Some((source.index(), load)),
-                    lane,
-                );
+                    &sched,
+                    src,
+                    group_loads,
+                    group_lanes,
+                    &mut soa,
+                ),
+                7 => self.batch_group_steps::<7>(
+                    plan,
+                    kernel,
+                    &sched,
+                    src,
+                    group_loads,
+                    group_lanes,
+                    &mut soa,
+                ),
+                6 => self.batch_group_steps::<6>(
+                    plan,
+                    kernel,
+                    &sched,
+                    src,
+                    group_loads,
+                    group_lanes,
+                    &mut soa,
+                ),
+                5 => self.batch_group_steps::<5>(
+                    plan,
+                    kernel,
+                    &sched,
+                    src,
+                    group_loads,
+                    group_lanes,
+                    &mut soa,
+                ),
+                4 => self.batch_group_steps::<4>(
+                    plan,
+                    kernel,
+                    &sched,
+                    src,
+                    group_loads,
+                    group_lanes,
+                    &mut soa,
+                ),
+                3 => self.batch_group_steps::<3>(
+                    plan,
+                    kernel,
+                    &sched,
+                    src,
+                    group_loads,
+                    group_lanes,
+                    &mut soa,
+                ),
+                2 => self.batch_group_steps::<2>(
+                    plan,
+                    kernel,
+                    &sched,
+                    src,
+                    group_loads,
+                    group_lanes,
+                    &mut soa,
+                ),
+                _ => self.batch_group_steps::<1>(
+                    plan,
+                    kernel,
+                    &sched,
+                    src,
+                    group_loads,
+                    group_lanes,
+                    &mut soa,
+                ),
             }
+            start += width;
         }
 
         let tel = &batch.telemetry;
@@ -1024,6 +1130,168 @@ impl Circuit {
             *len += 1;
         }
     }
+
+    /// The batched step loop for one lane group of compile-time width
+    /// `L`. Element state lives in lane-contiguous SoA rows
+    /// (`buf[k*L + l]` is lane `l`'s value for element `k`), so the
+    /// history gather and the post-fold element update become vector
+    /// loops over the lane dimension — the serial path can only do them
+    /// as scalar chains, because element node indices are arbitrary
+    /// gathers there. Node voltages live in the node-major
+    /// `[node_count x L]` state (row 0 = ground, always zero) that
+    /// [`StateKernel::fold_lanes`] writes, and recording reads the lane
+    /// columns straight out of those rows in [`record_into`]'s order.
+    /// Lane state is packed from / unpacked to each lane's
+    /// [`TransientScratch`] around the loop, so a finished lane's
+    /// scratch is indistinguishable from a serial run's.
+    #[allow(clippy::too_many_arguments)]
+    fn batch_group_steps<const L: usize>(
+        &self,
+        plan: &TransientPlan,
+        kernel: &StateKernel,
+        sched: &StepSchedule,
+        source_idx: usize,
+        loads: &[Stimulus],
+        lanes: &mut [TransientScratch],
+        soa: &mut BatchSoa<'_>,
+    ) {
+        debug_assert_eq!(loads.len(), L);
+        debug_assert_eq!(lanes.len(), L);
+        let h = plan.dt;
+        let n_rows = self.node_count();
+        debug_assert_eq!(n_rows, plan.n_nodes + 1);
+        let cap_g = &plan.cap_g;
+        let ind_g = &plan.ind_g;
+        let n_inputs = kernel.n_inputs();
+
+        resize_zeroed(soa.inputs, n_inputs * L);
+        resize_zeroed(soa.state, n_rows * L);
+        resize_zeroed(soa.cap_v, self.capacitors.len() * L);
+        resize_zeroed(soa.cap_i, self.capacitors.len() * L);
+        resize_zeroed(soa.ind_v, self.inductors.len() * L);
+        resize_zeroed(soa.ind_i, self.inductors.len() * L);
+
+        // Pack the setup-seeded lane state into the SoA rows. The ground
+        // row comes from `v[0]`, which is zero by construction.
+        for (l, lane) in lanes.iter().enumerate() {
+            for (i, &vi) in lane.v.iter().enumerate() {
+                soa.state[i * L + l] = vi;
+            }
+            for (k, &x) in lane.cap_v.iter().enumerate() {
+                soa.cap_v[k * L + l] = x;
+            }
+            for (k, &x) in lane.cap_i.iter().enumerate() {
+                soa.cap_i[k * L + l] = x;
+            }
+            for (k, &x) in lane.ind_v.iter().enumerate() {
+                soa.ind_v[k * L + l] = x;
+            }
+            for (k, &x) in lane.ind_i.iter().enumerate() {
+                soa.ind_i[k * L + l] = x;
+            }
+        }
+
+        for step in 1..=sched.n_steps {
+            let t_next = step as f64 * h;
+
+            // Input gather: one lane row per kernel input, in the
+            // kernel's fixed order (same as `state_space_step`).
+            let mut j = 0;
+            for (k, &gc) in cap_g.iter().enumerate() {
+                let out: &mut [f64; L] = (&mut soa.inputs[j * L..j * L + L]).try_into().unwrap();
+                let vc: &[f64; L] = (&soa.cap_v[k * L..k * L + L]).try_into().unwrap();
+                let ic: &[f64; L] = (&soa.cap_i[k * L..k * L + L]).try_into().unwrap();
+                for l in 0..L {
+                    out[l] = gc * vc[l] + ic[l];
+                }
+                j += 1;
+            }
+            for (k, &gl) in ind_g.iter().enumerate() {
+                let out: &mut [f64; L] = (&mut soa.inputs[j * L..j * L + L]).try_into().unwrap();
+                let vl: &[f64; L] = (&soa.ind_v[k * L..k * L + L]).try_into().unwrap();
+                let il: &[f64; L] = (&soa.ind_i[k * L..k * L + L]).try_into().unwrap();
+                for l in 0..L {
+                    out[l] = il[l] + gl * vl[l];
+                }
+                j += 1;
+            }
+            for (si, is) in self.isources.iter().enumerate() {
+                let out = &mut soa.inputs[j * L..j * L + L];
+                if si == source_idx {
+                    for (o, load) in out.iter_mut().zip(loads) {
+                        *o = load.value_at(t_next);
+                    }
+                } else {
+                    // Lane-invariant source: sample once, broadcast.
+                    out.fill(is.stimulus.value_at(t_next));
+                }
+                j += 1;
+            }
+            for vs in &self.vsources {
+                soa.inputs[j * L..j * L + L].fill(vs.stimulus.value_at(t_next));
+                j += 1;
+            }
+            debug_assert_eq!(j, n_inputs);
+
+            kernel.fold_lanes(soa.inputs, L, &mut soa.state[L..]);
+
+            // Element-state update: per lane the same arithmetic as the
+            // serial kernel path, vectorized across the lane rows.
+            for (k, (c, &gc)) in self.capacitors.iter().zip(cap_g).enumerate() {
+                let va = c.a * L;
+                let vb = c.b * L;
+                for l in 0..L {
+                    let vc_new = soa.state[va + l] - soa.state[vb + l];
+                    let hist = gc * soa.cap_v[k * L + l] + soa.cap_i[k * L + l];
+                    soa.cap_i[k * L + l] = gc * vc_new - hist;
+                    soa.cap_v[k * L + l] = vc_new;
+                }
+            }
+            for (k, (ld, &gl)) in self.inductors.iter().zip(ind_g).enumerate() {
+                let va = ld.a * L;
+                let vb = ld.b * L;
+                for l in 0..L {
+                    let vl_new = soa.state[va + l] - soa.state[vb + l];
+                    let hist = soa.ind_i[k * L + l] + gl * soa.ind_v[k * L + l];
+                    soa.ind_i[k * L + l] = gl * vl_new + hist;
+                    soa.ind_v[k * L + l] = vl_new;
+                }
+            }
+
+            if step >= sched.record_start_idx {
+                // Same per-lane push order as `record_into`, reading the
+                // lane columns of the SoA state.
+                for (l, lane) in lanes.iter_mut().enumerate() {
+                    for (buf, &idx) in lane.node_bufs.iter_mut().zip(&lane.node_slots) {
+                        buf.push(soa.state[idx * L + l]);
+                    }
+                    for (buf, &idx) in lane.ind_bufs.iter_mut().zip(&lane.ind_slots) {
+                        buf.push(soa.ind_i[idx * L + l]);
+                    }
+                    lane.len += 1;
+                }
+            }
+        }
+
+        // Unpack so each lane's scratch ends exactly as a serial run's.
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            for (i, vi) in lane.v.iter_mut().enumerate() {
+                *vi = soa.state[i * L + l];
+            }
+            for (k, x) in lane.cap_v.iter_mut().enumerate() {
+                *x = soa.cap_v[k * L + l];
+            }
+            for (k, x) in lane.cap_i.iter_mut().enumerate() {
+                *x = soa.cap_i[k * L + l];
+            }
+            for (k, x) in lane.ind_v.iter_mut().enumerate() {
+                *x = soa.ind_v[k * L + l];
+            }
+            for (k, x) in lane.ind_i.iter_mut().enumerate() {
+                *x = soa.ind_i[k * L + l];
+            }
+        }
+    }
 }
 
 /// How many steps a run takes and from which step recording starts —
@@ -1061,7 +1329,37 @@ fn record_into(
 #[derive(Debug, Clone, Default)]
 pub struct BatchTransientScratch {
     lanes: Vec<TransientScratch>,
+    /// Input-major `[n_inputs x L]` gather buffer for the SoA step loop:
+    /// `lane_inputs[j*L + l]` is lane `l`'s weight for response column
+    /// `j`. Recycled across batches like every other scratch buffer.
+    lane_inputs: Vec<f64>,
+    /// Node-major `[node_count x L]` solved state: `lane_state[i*L + l]`
+    /// is lane `l`'s voltage at node `i`, with row 0 the ground row
+    /// (always zero) so probe slots index it exactly like a serial
+    /// scratch's `v`.
+    lane_state: Vec<f64>,
+    /// SoA element state for the group step loop, `[n_elems x L]` each:
+    /// `cap_v[k*L + l]` is lane `l`'s voltage across capacitor `k`, and
+    /// likewise for the capacitor currents and inductor state. Packed
+    /// from / unpacked to the per-lane scratches around the step loop.
+    cap_v: Vec<f64>,
+    cap_i: Vec<f64>,
+    ind_v: Vec<f64>,
+    ind_i: Vec<f64>,
     telemetry: Telemetry,
+}
+
+/// Borrow-split view over the SoA buffers of a
+/// [`BatchTransientScratch`], so the group driver can hand them to the
+/// monomorphized step body while the per-lane scratches stay
+/// independently borrowed.
+struct BatchSoa<'a> {
+    inputs: &'a mut Vec<f64>,
+    state: &'a mut Vec<f64>,
+    cap_v: &'a mut Vec<f64>,
+    cap_i: &'a mut Vec<f64>,
+    ind_v: &'a mut Vec<f64>,
+    ind_i: &'a mut Vec<f64>,
 }
 
 impl BatchTransientScratch {
@@ -1545,5 +1843,33 @@ mod tests {
         assert!(c
             .transient_batch_scoped(&plan, &cfg, &probes, load, &[], &mut batch)
             .is_err());
+    }
+
+    /// The LU-only batch error must tell the user how to fix it: the
+    /// `--kernel` CLI flag and the Auto dimension threshold.
+    #[test]
+    fn lu_only_batch_error_names_the_kernel_flag_and_auto_limit() {
+        let (c, _vin, out, _l, load) = probe_test_circuit();
+        let cfg = TransientConfig::new(0.1e-9, 0.1e-6);
+        let probes = TransientProbes::none().with_node(out);
+        let mut batch = BatchTransientScratch::new();
+        let lu_plan = c.plan_transient_kernel(cfg.dt, KernelChoice::Lu).unwrap();
+        let err = c
+            .transient_batch_scoped(
+                &lu_plan,
+                &cfg,
+                &probes,
+                load,
+                &[Stimulus::Dc(0.1)],
+                &mut batch,
+            )
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--kernel"), "missing CLI flag hint: {msg}");
+        assert!(msg.contains("statespace"), "missing kernel name: {msg}");
+        assert!(
+            msg.contains(&KernelChoice::AUTO_DIM_LIMIT.to_string()),
+            "missing Auto dimension threshold: {msg}"
+        );
     }
 }

@@ -165,6 +165,80 @@ proptest! {
         }
     }
 
+    /// The lane-major SoA batch fold must reproduce serial state-space
+    /// runs `to_bits`-identically on random PDN-style ladders, for lane
+    /// counts exercising the 8/4/scalar lane blocks — the contract that
+    /// lets GA generations evaluate in lanes without changing fitness.
+    #[test]
+    fn batched_soa_fold_matches_serial_state_space_on_random_ladders(
+        stages in 1usize..4,
+        r_pkg in 1e-3..0.1f64,
+        l_pkg in 1e-12..1e-10f64,
+        c_die in 1e-9..1e-7f64,
+        v_s in 0.5..1.5f64,
+        amp in 0.1..2.0f64,
+        freq in 2e7..2e8f64,
+        n_lanes in 1usize..10,
+    ) {
+        use emvolt_circuit::{
+            BatchTransientScratch, KernelChoice, TransientProbes, TransientScratch,
+        };
+
+        let mut c = Circuit::new();
+        let vrm = c.node("vrm");
+        c.voltage_source(vrm, NodeId::GROUND, Stimulus::Dc(v_s)).unwrap();
+        let mut prev = vrm;
+        let mut die = vrm;
+        for s in 0..stages {
+            let a = c.node(format!("a{s}"));
+            let b = c.node(format!("b{s}"));
+            c.resistor(prev, a, r_pkg * (1.0 + s as f64 * 0.3)).unwrap();
+            c.inductor(a, b, l_pkg * (1.0 + s as f64 * 0.5)).unwrap();
+            let cn = c.node(format!("c{s}"));
+            c.resistor(b, cn, 0.05).unwrap();
+            c.capacitor(cn, NodeId::GROUND, c_die).unwrap();
+            prev = b;
+            die = b;
+        }
+        let load = c.current_source(die, NodeId::GROUND, Stimulus::Dc(0.0)).unwrap();
+
+        let loads: Vec<Stimulus> = (0..n_lanes)
+            .map(|l| Stimulus::Sine {
+                offset: amp * 0.5,
+                amplitude: amp * (1.0 + l as f64 * 0.1),
+                freq: freq * (1.0 + l as f64 * 0.05),
+                phase: l as f64 * 0.2,
+            })
+            .collect();
+
+        let dt = 0.5e-9;
+        let cfg = TransientConfig::new(dt, 600.0 * dt).with_warmup(200.0 * dt);
+        let probes = TransientProbes::none().with_node(die);
+        let plan = c.plan_transient_kernel(dt, KernelChoice::StateSpace).unwrap();
+
+        let mut batch = BatchTransientScratch::new();
+        c.transient_batch_scoped(&plan, &cfg, &probes, load, &loads, &mut batch).unwrap();
+
+        let mut single = TransientScratch::new();
+        for (i, stim) in loads.iter().enumerate() {
+            c.set_current_stimulus(load, stim.clone());
+            let view = c.transient_scoped(&plan, &cfg, &probes, &mut single).unwrap();
+            let lane = batch.lane(i);
+            prop_assert_eq!(view.len(), lane.len());
+            for (s, (a, b)) in view
+                .voltage_samples(die)
+                .iter()
+                .zip(lane.voltage_samples(die))
+                .enumerate()
+            {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "lane {} of {} diverged at sample {}", i, n_lanes, s
+                );
+            }
+        }
+    }
+
     /// Stimulus::Pulse is periodic: f(t) == f(t + k*period).
     #[test]
     fn pulse_periodicity(

@@ -61,6 +61,15 @@ pub struct VirusGenConfig {
     /// derived from `(ga.seed, generation, index)`, never from a shared
     /// RNG.
     pub threads: usize,
+    /// Evaluation lane width: each generation's population is split into
+    /// contiguous groups of up to `lanes` individuals, and every group is
+    /// measured through one batched backend call (lock-step transient,
+    /// multi-lane Goertzel, shared EM transfer). `0` picks the default
+    /// width. Any value yields bit-identical campaigns — batched readings
+    /// are bit-identical to serial ones and the per-individual seeds are
+    /// unchanged — so `lanes` (like `threads`) is purely a performance
+    /// knob.
+    pub lanes: usize,
     /// Opt-in genome-keyed fitness cache (off by default). When enabled,
     /// a kernel already measured in this campaign is not re-simulated or
     /// re-measured: its recorded reading is reused, and the campaign
@@ -89,6 +98,7 @@ impl Default for VirusGenConfig {
             voltage_metric: VoltageMetric::default(),
             run: RunConfig::fast(),
             threads: 0,
+            lanes: 0,
             cache_fitness: false,
             telemetry: Telemetry::noop(),
         }
@@ -120,6 +130,21 @@ fn resolve_threads(threads: usize) -> usize {
             .unwrap_or(1)
     } else {
         threads
+    }
+}
+
+/// Default evaluation lane width when the `lanes` knob is `0`. Eight
+/// lanes keeps the SoA fold inside the kernel's widest FMA block while
+/// the amortized per-lane cost is already within a few percent of its
+/// asymptote.
+const DEFAULT_EVAL_LANES: usize = 8;
+
+/// Resolves the `lanes` knob: `0` picks [`DEFAULT_EVAL_LANES`].
+fn resolve_lanes(lanes: usize) -> usize {
+    if lanes == 0 {
+        DEFAULT_EVAL_LANES
+    } else {
+        lanes
     }
 }
 
@@ -401,6 +426,7 @@ fn run_em_campaign<B: MeasurementBackend + ?Sized>(
     let mut engine = GaEngine::new(repr, config.ga.clone());
     let mut clock = SimClock::new();
     let threads = resolve_threads(config.threads);
+    let lanes = resolve_lanes(config.lanes);
 
     // Full handle for the single-threaded coordinator (emits spans),
     // quiet clone for the worker-side measurements (counters and
@@ -430,60 +456,81 @@ fn run_em_campaign<B: MeasurementBackend + ?Sized>(
                 });
             }
         };
-        let fitness = |kernel: &Kernel, ctx: EvalContext| -> f64 {
+        let lane_fitness = |kernels: &[&Kernel], ctxs: &[EvalContext]| -> Vec<f64> {
             // Cache mode derives the measurement seed from the genome so
             // a duplicated individual reads identically whether or not
             // its twin was measured first — and so its request key (which
             // the caching wrapper memoizes on) collapses too.
-            let seed = if config.cache_fitness {
-                derive_eval_seed(campaign_seed ^ kernel_identity(kernel), 0, 0)
-            } else {
-                ctx.seed
-            };
-            let req = MeasureRequest {
-                domain: domain_name,
-                load: Load::Kernel {
-                    kernel,
-                    loaded_cores: config.loaded_cores,
-                },
-                freq_hz: None,
-                band: BandSpec::Explicit {
-                    lo_hz: config.band.0,
-                    hi_hz: config.band.1,
-                },
-                samples: config.samples_per_individual,
-                seed: Some(seed),
-            };
-            match backend_ref.measure(&req, &quiet) {
-                Ok(obs) if obs.cached => {
-                    cache_hit_count.fetch_add(1, Ordering::Relaxed);
-                    log_eval(ctx.index, obs.reading.metric_dbm, true);
-                    obs.reading.metric_dbm
-                }
-                Ok(obs) => {
-                    measured.fetch_add(1, Ordering::Relaxed);
-                    log_eval(ctx.index, obs.reading.metric_dbm, false);
-                    obs.reading.metric_dbm
-                }
-                // A kernel that failed once keeps its noise-floor score
-                // without re-simulation, like the old cached -200.0.
-                Err(BackendError::CachedFailure(_)) => {
-                    cache_hit_count.fetch_add(1, Ordering::Relaxed);
-                    log_eval(ctx.index, -200.0, true);
-                    -200.0
-                }
-                Err(_) => {
-                    measured.fetch_add(1, Ordering::Relaxed);
-                    log_eval(ctx.index, -200.0, false);
-                    -200.0
-                }
-            }
+            let reqs: Vec<MeasureRequest<'_>> = kernels
+                .iter()
+                .zip(ctxs)
+                .map(|(&kernel, ctx)| {
+                    let seed = if config.cache_fitness {
+                        derive_eval_seed(campaign_seed ^ kernel_identity(kernel), 0, 0)
+                    } else {
+                        ctx.seed
+                    };
+                    MeasureRequest {
+                        domain: domain_name,
+                        load: Load::Kernel {
+                            kernel,
+                            loaded_cores: config.loaded_cores,
+                        },
+                        freq_hz: None,
+                        band: BandSpec::Explicit {
+                            lo_hz: config.band.0,
+                            hi_hz: config.band.1,
+                        },
+                        samples: config.samples_per_individual,
+                        seed: Some(seed),
+                    }
+                })
+                .collect();
+            backend_ref
+                .measure_batch(&reqs, &quiet)
+                .into_iter()
+                .zip(ctxs)
+                .map(|(outcome, ctx)| match outcome {
+                    Ok(obs) if obs.cached => {
+                        cache_hit_count.fetch_add(1, Ordering::Relaxed);
+                        log_eval(ctx.index, obs.reading.metric_dbm, true);
+                        obs.reading.metric_dbm
+                    }
+                    Ok(obs) => {
+                        measured.fetch_add(1, Ordering::Relaxed);
+                        log_eval(ctx.index, obs.reading.metric_dbm, false);
+                        obs.reading.metric_dbm
+                    }
+                    // A kernel that failed once keeps its noise-floor
+                    // score without re-simulation, like the old cached
+                    // -200.0.
+                    Err(BackendError::CachedFailure(_)) => {
+                        cache_hit_count.fetch_add(1, Ordering::Relaxed);
+                        log_eval(ctx.index, -200.0, true);
+                        -200.0
+                    }
+                    Err(_) => {
+                        measured.fetch_add(1, Ordering::Relaxed);
+                        log_eval(ctx.index, -200.0, false);
+                        -200.0
+                    }
+                })
+                .collect()
         };
-        engine.run_batch(&fitness, threads, |stats| {
+        engine.run_batch_lanes(&lane_fitness, threads, lanes, |stats| {
             let measured_now = measured.swap(0, Ordering::Relaxed);
             let hits = cache_hit_count.swap(0, Ordering::Relaxed);
             clock.advance(measured_now as f64 * per_individual_s);
             tel.set_sim_time(clock.seconds());
+
+            // Lane bookkeeping is charged here on the single-threaded
+            // barrier, so the totals are a pure function of the lane
+            // configuration — never of the worker-thread schedule.
+            tel.count(
+                CounterId::BatchLanes,
+                config.ga.population.div_ceil(lanes) as u64,
+            );
+            tel.count(CounterId::BatchLaneOccupancy, (measured_now + hits) as u64);
 
             // Drain the worker-side eval log and emit spans in population
             // order — the barrier makes this independent of how threads

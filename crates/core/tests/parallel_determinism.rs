@@ -102,6 +102,47 @@ fn em_campaign_is_bit_identical_across_thread_counts() {
     assert!((serial.campaign.seconds() - expected).abs() < 1e-6);
 }
 
+/// The lane-major extension of the same guarantee: the evaluation lane
+/// width — how many individuals ride one batched backend call — is a
+/// pure performance knob. Batched readings are bit-identical to serial
+/// ones and per-individual seeds don't depend on grouping, so every
+/// `(threads, lanes)` combination evolves the same virus.
+#[test]
+fn em_campaign_is_bit_identical_across_lane_widths_and_threads() {
+    let domain = a72();
+    let run = |threads: usize, lanes: usize| {
+        let mut bench = EmBench::new(21);
+        let config = VirusGenConfig {
+            lanes,
+            ..reduced_config(threads)
+        };
+        generate_em_virus("det-l", &domain, &mut bench, &config).unwrap()
+    };
+    let reference = run(1, 1);
+    for lanes in [1, 3, 8] {
+        for threads in [1, 4] {
+            let lane_run = run(threads, lanes);
+            let what = format!("lanes {lanes} x threads {threads}");
+            assert_eq!(reference.kernel, lane_run.kernel, "{what}: winning kernel");
+            assert_eq!(
+                reference.fitness.to_bits(),
+                lane_run.fitness.to_bits(),
+                "{what}: fitness"
+            );
+            assert_eq!(
+                reference.generation_best, lane_run.generation_best,
+                "{what}: generation bests"
+            );
+            assert_histories_identical(&reference.history, &lane_run.history, &what);
+            assert_eq!(
+                reference.campaign.seconds().to_bits(),
+                lane_run.campaign.seconds().to_bits(),
+                "{what}: campaign clock"
+            );
+        }
+    }
+}
+
 #[test]
 fn voltage_campaign_is_bit_identical_across_thread_counts() {
     let domain = a72();

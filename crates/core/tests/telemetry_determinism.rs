@@ -30,7 +30,7 @@ fn a72() -> VoltageDomain {
     VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9)
 }
 
-fn campaign_config(telemetry: Telemetry, threads: usize) -> VirusGenConfig {
+fn campaign_config(telemetry: Telemetry, threads: usize, lanes: usize) -> VirusGenConfig {
     VirusGenConfig {
         ga: GaConfig {
             population: 6,
@@ -40,6 +40,7 @@ fn campaign_config(telemetry: Telemetry, threads: usize) -> VirusGenConfig {
         kernel_len: 16,
         samples_per_individual: 3,
         threads,
+        lanes,
         cache_fitness: true,
         telemetry,
         ..VirusGenConfig::default()
@@ -48,6 +49,10 @@ fn campaign_config(telemetry: Telemetry, threads: usize) -> VirusGenConfig {
 
 /// Runs one seeded campaign and returns the raw trace bytes.
 fn traced_campaign(threads: usize) -> Vec<u8> {
+    traced_campaign_with_lanes(threads, 0)
+}
+
+fn traced_campaign_with_lanes(threads: usize, lanes: usize) -> Vec<u8> {
     let buf = Arc::new(Mutex::new(Vec::new()));
     let tel = Telemetry::new(Arc::new(JsonlRecorder::new(SharedBuf(buf.clone()))));
     let domain = a72();
@@ -56,11 +61,24 @@ fn traced_campaign(threads: usize) -> Vec<u8> {
         "det-test",
         &domain,
         &mut bench,
-        &campaign_config(tel, threads),
+        &campaign_config(tel, threads, lanes),
     )
     .unwrap();
     let bytes = buf.lock().clone();
     bytes
+}
+
+/// Drops the `batch_lanes` / `batch_lane_occupancy` counter events — the
+/// only trace content that is *allowed* to vary with the lane width.
+fn without_lane_counters(bytes: &[u8]) -> String {
+    String::from_utf8(bytes.to_vec())
+        .unwrap()
+        .lines()
+        .filter(|line| {
+            !line.contains("\"batch_lanes\"") && !line.contains("\"batch_lane_occupancy\"")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[test]
@@ -136,4 +154,32 @@ fn trace_is_independent_of_thread_count() {
         serial, threaded,
         "thread count must not leak into the trace"
     );
+}
+
+/// The lane width may only surface in the two lane-bookkeeping counters.
+/// After dropping those, traces are identical across lane widths; at a
+/// fixed lane width they are byte-identical across thread counts with
+/// the lane counters included.
+#[test]
+fn trace_is_independent_of_lane_width_modulo_lane_counters() {
+    let reference = traced_campaign_with_lanes(1, 1);
+    assert!(
+        String::from_utf8(reference.clone())
+            .unwrap()
+            .contains("\"batch_lanes\""),
+        "lane campaigns must emit the batch_lanes counter"
+    );
+    for lanes in [3, 8] {
+        let trace = traced_campaign_with_lanes(1, lanes);
+        assert_eq!(
+            without_lane_counters(&trace),
+            without_lane_counters(&reference),
+            "lanes {lanes}: only lane counters may differ from lanes=1"
+        );
+        let threaded = traced_campaign_with_lanes(4, lanes);
+        assert_eq!(
+            trace, threaded,
+            "lanes {lanes}: thread count must not leak into the trace"
+        );
+    }
 }

@@ -171,6 +171,10 @@ pub struct GoertzelScratch {
     coeff: Vec<f64>,
     s1: Vec<f64>,
     s2: Vec<f64>,
+    /// Per-sample window coefficients, computed once per multi-lane call
+    /// and shared by every lane's windowing pass and the coherent-gain
+    /// sum — the trig work the serial path redoes per evaluation.
+    wcoef: Vec<f64>,
     telemetry: Telemetry,
 }
 
@@ -313,6 +317,177 @@ pub fn of_samples_band_into(
         "goertzel",
         Layer::Dsp,
         &[("n", n as f64), ("bins", nb as f64)],
+    );
+}
+
+/// Multi-lane band evaluation: `lanes` independent signals of equal
+/// length evaluated over one shared bin grid in a single pass.
+///
+/// Everything that depends only on the record length and band is
+/// computed once and shared across every lane: the per-sample window
+/// coefficients, the coherent gain, and the per-bin recurrence
+/// coefficients `2·cos(2πk/n)` — the serial path redoes all three
+/// (including `2n` trig evaluations of window shape) per call. Each
+/// lane then runs the serial path's own bin-vectorized quad recurrence
+/// against the shared state, so per lane the arithmetic sequence
+/// (windowing, per-bin recurrence in sample order, magnitude
+/// extraction) is exactly [`of_samples_band_into`]'s and `outs[l]` is
+/// bit-identical to a serial evaluation of `lanes[l]` alone. One
+/// [`CounterId::GoertzelInvocations`] tick is charged per lane, matching
+/// the serial cost model.
+///
+/// Lanes of differing lengths have different bin grids and are evaluated
+/// serially (still bit-identical per lane).
+///
+/// # Panics
+///
+/// Panics if `sample_rate` is not strictly positive or `outs` is shorter
+/// than `lanes`.
+pub fn of_samples_band_multi_into(
+    lanes: &[&[f64]],
+    sample_rate: f64,
+    window: Window,
+    lo_hz: f64,
+    hi_hz: f64,
+    scratch: &mut GoertzelScratch,
+    outs: &mut [BandSpectrum],
+) {
+    assert!(sample_rate > 0.0, "sample rate must be positive");
+    assert!(outs.len() >= lanes.len(), "one output band per lane");
+    let n_lanes = lanes.len();
+    if n_lanes == 0 {
+        return;
+    }
+    let n = lanes[0].len();
+    if n_lanes == 1 || lanes.iter().any(|s| s.len() != n) {
+        for (samples, out) in lanes.iter().zip(outs.iter_mut()) {
+            of_samples_band_into(samples, sample_rate, window, lo_hz, hi_hz, scratch, out);
+        }
+        return;
+    }
+    let outs = &mut outs[..n_lanes];
+    for out in outs.iter_mut() {
+        out.bins.clear();
+        out.first_bin = 0;
+    }
+    if n == 0 {
+        for out in outs.iter_mut() {
+            out.freq_step = sample_rate;
+            out.total_bins = 0;
+        }
+        return;
+    }
+    let total_bins = n / 2 + 1;
+    let freq_step = sample_rate / n as f64;
+
+    let k0 = if lo_hz <= 0.0 {
+        0
+    } else {
+        ((lo_hz / freq_step).floor() as usize).min(total_bins)
+    };
+    let k1 = if hi_hz < lo_hz || hi_hz < 0.0 {
+        0
+    } else {
+        (((hi_hz / freq_step).ceil() as usize) + 1).min(total_bins)
+    };
+    for out in outs.iter_mut() {
+        out.freq_step = freq_step;
+        out.total_bins = total_bins;
+        out.first_bin = k0;
+    }
+    if k1 <= k0 {
+        return;
+    }
+    let nb = k1 - k0;
+
+    // The per-sample window coefficients and the coherent gain depend
+    // only on the record length, so one lane-shared computation replaces
+    // the per-call trig the serial path pays for both. The windowed
+    // product `samples[i] * w[i]` multiplies exactly the values the
+    // serial in-place apply multiplies, and the gain sums the same
+    // coefficients in the same order, so every lane stays bit-identical.
+    let GoertzelScratch {
+        windowed,
+        coeff,
+        s1,
+        s2,
+        wcoef,
+        ..
+    } = scratch;
+    wcoef.clear();
+    wcoef.extend((0..n).map(|i| window.value(i, n)));
+    let gain = (wcoef.iter().sum::<f64>() / n as f64).max(1e-12);
+    let scale = 1.0 / (n as f64 * gain);
+
+    // Windowed copies, lane-major `[L][n]`.
+    windowed.clear();
+    windowed.reserve(n_lanes * n);
+    for samples in lanes {
+        windowed.extend(samples.iter().zip(wcoef.iter()).map(|(&x, &w)| x * w));
+    }
+
+    coeff.clear();
+    coeff.extend((k0..k1).map(|k| {
+        let w = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        2.0 * w.cos()
+    }));
+
+    // Each lane runs the serial path's quad recurrence (four samples
+    // per bin-vectorized state pass) against the shared coefficients.
+    // The recurrence chain is latency-bound, so the shared trig above
+    // is where the multi-lane win comes from; keeping the quad shape
+    // keeps each lane's per-bin chain (`x + c·s1 − s2` in sample order)
+    // exactly the serial sequence, so every lane stays bit-identical to
+    // a serial evaluation.
+    for (lane_w, out) in windowed.chunks_exact(n).zip(outs.iter_mut()) {
+        s1.clear();
+        s1.resize(nb, 0.0);
+        s2.clear();
+        s2.resize(nb, 0.0);
+        let mut quads = lane_w.chunks_exact(4);
+        for quad in quads.by_ref() {
+            let (x0, x1, x2, x3) = (quad[0], quad[1], quad[2], quad[3]);
+            for ((c, a), b) in coeff.iter().zip(s1.iter_mut()).zip(s2.iter_mut()) {
+                let t0 = x0 + c * *a - *b;
+                let t1 = x1 + c * t0 - *a;
+                let t2 = x2 + c * t1 - t0;
+                let t3 = x3 + c * t2 - t1;
+                *a = t3;
+                *b = t2;
+            }
+        }
+        for &xv in quads.remainder() {
+            for ((c, a), b) in coeff.iter().zip(s1.iter_mut()).zip(s2.iter_mut()) {
+                let s0 = xv + c * *a - *b;
+                *b = *a;
+                *a = s0;
+            }
+        }
+        out.bins.extend((0..nb).map(|j| {
+            let a = s1[j];
+            let b = s2[j];
+            let power = a * a + b * b - coeff[j] * a * b;
+            let mag = power.max(0.0).sqrt() * scale;
+            let k = k0 + j;
+            if k == 0 || (n.is_multiple_of(2) && k == n / 2) {
+                mag
+            } else {
+                2.0 * mag
+            }
+        }));
+    }
+
+    scratch
+        .telemetry
+        .count(CounterId::GoertzelInvocations, n_lanes as u64);
+    scratch.telemetry.span(
+        "goertzel",
+        Layer::Dsp,
+        &[
+            ("n", n as f64),
+            ("bins", nb as f64),
+            ("lanes", n_lanes as f64),
+        ],
     );
 }
 

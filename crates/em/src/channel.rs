@@ -108,6 +108,62 @@ impl EmChannel {
         telemetry.count(emvolt_obs::CounterId::RxSpectra, 1);
     }
 
+    /// Batched band propagation: maps several lanes' die-current bands to
+    /// received bands in one pass, computing the frequency transfer once
+    /// per bin and sharing it across every lane.
+    ///
+    /// When all lanes share one bin grid (the batched measurement chain's
+    /// case — equal record lengths and band), `transfer` is filled with
+    /// `|H(f_k)|` once and each lane's bins are scaled by the identical
+    /// values a serial [`EmChannel::received_band_into_with`] would
+    /// compute, so each output is bit-identical to the serial call. Lanes
+    /// on differing grids fall back to per-lane serial propagation. One
+    /// received-spectrum counter tick is charged per lane either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outs` is shorter than `die_currents`.
+    pub fn received_spectrum_batch_into(
+        &self,
+        die_currents: &[&BandSpectrum],
+        outs: &mut [BandSpectrum],
+        transfer: &mut Vec<f64>,
+        telemetry: &emvolt_obs::Telemetry,
+    ) {
+        use emvolt_dsp::SpectralBins;
+        assert!(outs.len() >= die_currents.len(), "one output band per lane");
+        let Some(first) = die_currents.first() else {
+            return;
+        };
+        let uniform = die_currents.iter().all(|b| {
+            b.freq_step() == first.freq_step()
+                && b.first_bin() == first.first_bin()
+                && b.covered_bins() == first.covered_bins()
+                && b.len() == first.len()
+        });
+        if !uniform {
+            for (band, out) in die_currents.iter().zip(outs.iter_mut()) {
+                self.received_band_into_with(band, out, telemetry);
+            }
+            return;
+        }
+        let k0 = first.first_bin();
+        transfer.clear();
+        transfer.extend((k0..k0 + first.covered_bins()).map(|k| self.transfer(first.freq_at(k))));
+        for (band, out) in die_currents.iter().zip(outs.iter_mut()) {
+            out.refill_from_bins(
+                band.freq_step(),
+                k0,
+                band.len(),
+                band.amplitudes()
+                    .iter()
+                    .zip(transfer.iter())
+                    .map(|(&a, &h)| a * h),
+            );
+        }
+        telemetry.count(emvolt_obs::CounterId::RxSpectra, die_currents.len() as u64);
+    }
+
     /// Combines several simultaneously radiating sources (e.g. the two
     /// voltage domains of §6.1) incoherently: received power adds, so
     /// amplitudes combine root-sum-square per bin.
@@ -250,6 +306,48 @@ mod tests {
                 (a - b).abs() <= 1e-9 * peak.max(1e-300),
                 "bin {k}: full={a}, band={b}"
             );
+        }
+    }
+
+    /// The batched band propagation must reproduce per-lane serial calls
+    /// bit-for-bit, both on the shared-grid fast path and the mixed-grid
+    /// fallback.
+    #[test]
+    fn batched_band_transfer_is_bit_identical_to_serial() {
+        use emvolt_dsp::{of_samples_band_into, BandSpectrum, GoertzelScratch, SpectralBins};
+        let ch = EmChannel::default();
+        let tel = emvolt_obs::Telemetry::noop();
+        let fs = 1e9;
+        let make_band = |f0: f64, n: usize| {
+            let s: Vec<f64> = (0..n)
+                .map(|i| (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin())
+                .collect();
+            let mut band = BandSpectrum::default();
+            let mut sc = GoertzelScratch::new();
+            of_samples_band_into(&s, fs, Window::Hann, 50e6, 200e6, &mut sc, &mut band);
+            band
+        };
+
+        for lens in [[4096usize, 4096, 4096], [4096, 2048, 4096]] {
+            let bands: Vec<BandSpectrum> = [70e6, 110e6, 150e6]
+                .iter()
+                .zip(lens)
+                .map(|(&f0, n)| make_band(f0, n))
+                .collect();
+            let refs: Vec<&BandSpectrum> = bands.iter().collect();
+            let mut outs = vec![BandSpectrum::default(); bands.len()];
+            let mut transfer = Vec::new();
+            ch.received_spectrum_batch_into(&refs, &mut outs, &mut transfer, &tel);
+            for (band, out) in bands.iter().zip(&outs) {
+                let mut serial = BandSpectrum::default();
+                ch.received_band_into_with(band, &mut serial, &tel);
+                assert_eq!(serial.first_bin(), out.first_bin());
+                assert_eq!(serial.covered_bins(), out.covered_bins());
+                assert_eq!(serial.freq_step().to_bits(), out.freq_step().to_bits());
+                for (a, b) in serial.amplitudes().iter().zip(out.amplitudes()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
         }
     }
 

@@ -237,6 +237,66 @@ impl<R: Representation> GaEngine<R> {
         )
     }
 
+    /// Runs the GA evaluating each generation in lane groups of `lanes`
+    /// individuals, dispatching whole groups across `threads` worker
+    /// threads — the entry point for batched (SIMD-style lane-major)
+    /// fitness pipelines.
+    ///
+    /// Each group receives the same `(config.seed, generation, index)`-
+    /// derived [`EvalContext`]s that [`GaEngine::run_batch`] would hand
+    /// the individuals one at a time, and groups are formed by contiguous
+    /// population order regardless of thread count. A [`LaneFitness`]
+    /// whose lane `l` result depends only on `(genomes[l], ctxs[l])` —
+    /// the contract the batched measurement chain satisfies bit-for-bit —
+    /// therefore yields runs that are bit-identical at any
+    /// `(threads, lanes)` combination, including `(1, 1)`.
+    ///
+    /// `lanes == 0` is treated as 1; `threads <= 1` skips thread spawning.
+    pub fn run_batch_lanes<F, C>(
+        &mut self,
+        fitness: &F,
+        threads: usize,
+        lanes: usize,
+        on_generation: C,
+    ) -> GaResult<R::Genome>
+    where
+        R::Genome: Sync,
+        F: LaneFitness<R::Genome>,
+        C: FnMut(&GenerationStats),
+    {
+        let campaign_seed = self.config.seed;
+        let lanes = lanes.max(1);
+        self.run_inner(
+            |population, generation| {
+                let groups: Vec<(usize, &[R::Genome])> = population
+                    .chunks(lanes)
+                    .enumerate()
+                    .map(|(gi, chunk)| (gi * lanes, chunk))
+                    .collect();
+                let eval_group = |&(start, chunk): &(usize, &[R::Genome])| -> Vec<f64> {
+                    let genomes: Vec<&R::Genome> = chunk.iter().collect();
+                    let ctxs: Vec<EvalContext> = (0..chunk.len())
+                        .map(|l| EvalContext::new(campaign_seed, generation, start + l))
+                        .collect();
+                    let scores = fitness.evaluate_lanes(&genomes, &ctxs);
+                    assert_eq!(
+                        scores.len(),
+                        chunk.len(),
+                        "lane fitness must score every lane of its group"
+                    );
+                    scores
+                };
+                let grouped: Vec<Vec<f64>> = if threads <= 1 {
+                    groups.iter().map(eval_group).collect()
+                } else {
+                    map_parallel(&groups, eval_group, threads)
+                };
+                grouped.into_iter().flatten().collect()
+            },
+            on_generation,
+        )
+    }
+
     /// The generation loop shared by [`GaEngine::run`] and
     /// [`GaEngine::run_batch`]: `evaluate` scores a whole generation,
     /// everything else (selection, crossover, mutation, elitism) is
@@ -386,6 +446,28 @@ where
     }
 }
 
+/// A thread-safe fitness function scoring a whole lane group per call,
+/// used by [`GaEngine::run_batch_lanes`].
+///
+/// Implemented for any `Fn(&[&G], &[EvalContext]) -> Vec<f64> + Sync`
+/// closure. The engine's determinism contract requires lane `l`'s score
+/// to depend only on `(genomes[l], ctxs[l])` — batching may amortize the
+/// physics across lanes, but must not couple their results.
+pub trait LaneFitness<G>: Sync {
+    /// Scores `genomes[l]` under `ctxs[l]` for every lane `l`, returning
+    /// exactly one score per lane.
+    fn evaluate_lanes(&self, genomes: &[&G], ctxs: &[EvalContext]) -> Vec<f64>;
+}
+
+impl<G, F> LaneFitness<G> for F
+where
+    F: Fn(&[&G], &[EvalContext]) -> Vec<f64> + Sync,
+{
+    fn evaluate_lanes(&self, genomes: &[&G], ctxs: &[EvalContext]) -> Vec<f64> {
+        self(genomes, ctxs)
+    }
+}
+
 /// Derives the evaluation seed for one individual from the campaign seed,
 /// its generation and its population index.
 ///
@@ -441,6 +523,32 @@ where
     })
     .expect("worker thread panicked");
     scores
+}
+
+/// Applies `eval` to every item across `threads` scoped worker threads,
+/// returning results in item order — the group-level analogue of
+/// [`evaluate_parallel`] for evaluators producing per-group vectors.
+fn map_parallel<T, U, F>(items: &[T], eval: F, threads: usize) -> Vec<U>
+where
+    T: Sync,
+    U: Send + Default,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.max(1);
+    let mut out: Vec<U> = (0..items.len()).map(|_| U::default()).collect();
+    let chunk = items.len().div_ceil(threads).max(1);
+    crossbeam::thread::scope(|s| {
+        for (its, outs) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let eval = &eval;
+            s.spawn(move |_| {
+                for (t, o) in its.iter().zip(outs.iter_mut()) {
+                    *o = eval(t);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out
 }
 
 #[cfg(test)]
@@ -619,6 +727,90 @@ mod tests {
             );
             assert_eq!(serial.2, parallel.2, "{threads} threads: generation bests");
             assert_eq!(serial.3, parallel.3, "{threads} threads: history");
+        }
+    }
+
+    /// Lane groups must not change a single bit of the run: the same
+    /// noisy fitness, evaluated through `run_batch_lanes` at any
+    /// `(threads, lanes)` combination, reproduces the `run_batch`
+    /// reference exactly.
+    #[test]
+    fn lane_run_is_bit_identical_across_threads_and_lanes() {
+        let config = GaConfig {
+            population: 21,
+            generations: 12,
+            seed: 77,
+            ..GaConfig::default()
+        };
+        let lane_fitness = |genomes: &[&Vec<bool>], ctxs: &[EvalContext]| -> Vec<f64> {
+            genomes
+                .iter()
+                .zip(ctxs)
+                .map(|(g, &ctx)| noisy_batch(g, ctx))
+                .collect()
+        };
+        let reference = {
+            let mut engine = GaEngine::new(Bits(32), config.clone());
+            let mut history = Vec::new();
+            let r = engine.run_batch(&noisy_batch, 1, |s| history.push(s.clone()));
+            (r.best, r.best_fitness, r.generation_best, history)
+        };
+        for threads in [1, 4] {
+            for lanes in [1, 3, 8, 64] {
+                let mut engine = GaEngine::new(Bits(32), config.clone());
+                let mut history = Vec::new();
+                let r = engine
+                    .run_batch_lanes(&lane_fitness, threads, lanes, |s| history.push(s.clone()));
+                assert_eq!(reference.0, r.best, "threads {threads}, lanes {lanes}");
+                assert_eq!(
+                    reference.1.to_bits(),
+                    r.best_fitness.to_bits(),
+                    "threads {threads}, lanes {lanes}"
+                );
+                assert_eq!(
+                    reference.2, r.generation_best,
+                    "threads {threads}, lanes {lanes}"
+                );
+                assert_eq!(reference.3, history, "threads {threads}, lanes {lanes}");
+            }
+        }
+    }
+
+    /// The lane evaluator sees contiguous population groups with the same
+    /// `(generation, index)`-derived contexts the per-individual path
+    /// uses, at every thread count.
+    #[test]
+    fn lane_groups_carry_the_per_individual_contexts() {
+        use std::sync::Mutex as StdMutex;
+        let config = GaConfig {
+            population: 10,
+            generations: 2,
+            seed: 3,
+            ..GaConfig::default()
+        };
+        for threads in [1, 4] {
+            let seen: StdMutex<Vec<(usize, usize, u64)>> = StdMutex::new(Vec::new());
+            let lane_fitness = |genomes: &[&Vec<bool>], ctxs: &[EvalContext]| -> Vec<f64> {
+                assert!(ctxs.len() <= 4, "group wider than the lane width");
+                let mut log = seen.lock().unwrap();
+                for ctx in ctxs {
+                    log.push((ctx.generation, ctx.index, ctx.seed));
+                }
+                genomes.iter().map(|g| ones(g)).collect()
+            };
+            let _ = GaEngine::new(Bits(16), config.clone()).run_batch_lanes(
+                &lane_fitness,
+                threads,
+                4,
+                |_| {},
+            );
+            let mut log = seen.into_inner().unwrap();
+            log.sort_unstable();
+            let mut expected: Vec<(usize, usize, u64)> = (0..2)
+                .flat_map(|g| (0..10).map(move |i| (g, i, derive_eval_seed(3, g, i))))
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(log, expected, "threads {threads}");
         }
     }
 

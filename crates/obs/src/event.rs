@@ -146,6 +146,23 @@ impl Event {
         match self.kind {
             EventKind::Span => Ok(()),
             EventKind::Counter => {
+                let Some(id) = crate::metrics::CounterId::ALL
+                    .into_iter()
+                    .find(|c| c.name() == self.name)
+                else {
+                    return Err(format!(
+                        "counter `{}` is not in the counter registry",
+                        self.name
+                    ));
+                };
+                if id.layer() != self.layer {
+                    return Err(format!(
+                        "counter `{}` belongs to layer `{}`, event says `{}`",
+                        self.name,
+                        id.layer(),
+                        self.layer
+                    ));
+                }
                 if self.fields.len() == 1 && has("value") {
                     Ok(())
                 } else {
@@ -293,6 +310,39 @@ mod tests {
             ..sample_span()
         };
         assert!(bad_hist.validate().unwrap_err().contains("sum"));
+    }
+
+    /// Counter events must name a registered counter on its owning layer
+    /// — including the batch-lane occupancy counters the lane-major GA
+    /// path emits at each generation barrier.
+    #[test]
+    fn counter_events_are_checked_against_the_registry() {
+        use crate::metrics::CounterId;
+        for id in [CounterId::BatchLanes, CounterId::BatchLaneOccupancy] {
+            let event = Event {
+                kind: EventKind::Counter,
+                name: id.name().to_string(),
+                layer: id.layer(),
+                t_s: 1.0,
+                wall_s: None,
+                fields: vec![("value".to_string(), 8.0)],
+            };
+            event.validate().unwrap();
+            let wrong_layer = Event {
+                layer: Layer::Dsp,
+                ..event.clone()
+            };
+            assert!(wrong_layer.validate().unwrap_err().contains("layer"));
+        }
+        let unregistered = Event {
+            kind: EventKind::Counter,
+            name: "not_a_counter".to_string(),
+            layer: Layer::Core,
+            t_s: 0.0,
+            wall_s: None,
+            fields: vec![("value".to_string(), 1.0)],
+        };
+        assert!(unregistered.validate().unwrap_err().contains("registry"));
     }
 
     #[test]

@@ -42,11 +42,20 @@ pub enum CounterId {
     FitnessCacheHits,
     /// Fitness-cache misses (core).
     FitnessCacheMisses,
+    /// Evaluation lane groups dispatched through the batched measurement
+    /// chain (core). Charged at the single-threaded generation barrier,
+    /// so the total is a pure function of the campaign's lane
+    /// configuration — never of the worker-thread schedule.
+    BatchLanes,
+    /// Individuals evaluated through batched lane groups (core); divided
+    /// by `batch_lanes` this yields the mean lane occupancy. Charged at
+    /// the generation barrier like [`CounterId::BatchLanes`].
+    BatchLaneOccupancy,
 }
 
 impl CounterId {
     /// Every counter, in emission order.
-    pub const ALL: [CounterId; 14] = [
+    pub const ALL: [CounterId; 16] = [
         CounterId::LuFactorizations,
         CounterId::SolverSteps,
         CounterId::TransientRuns,
@@ -61,6 +70,8 @@ impl CounterId {
         CounterId::ScratchMisses,
         CounterId::FitnessCacheHits,
         CounterId::FitnessCacheMisses,
+        CounterId::BatchLanes,
+        CounterId::BatchLaneOccupancy,
     ];
 
     /// Wire name used in counter events and summaries.
@@ -80,6 +91,8 @@ impl CounterId {
             CounterId::ScratchMisses => "scratch_misses",
             CounterId::FitnessCacheHits => "fitness_cache_hits",
             CounterId::FitnessCacheMisses => "fitness_cache_misses",
+            CounterId::BatchLanes => "batch_lanes",
+            CounterId::BatchLaneOccupancy => "batch_lane_occupancy",
         }
     }
 
@@ -96,7 +109,9 @@ impl CounterId {
             CounterId::ScratchCheckouts
             | CounterId::ScratchMisses
             | CounterId::FitnessCacheHits
-            | CounterId::FitnessCacheMisses => Layer::Core,
+            | CounterId::FitnessCacheMisses
+            | CounterId::BatchLanes
+            | CounterId::BatchLaneOccupancy => Layer::Core,
         }
     }
 

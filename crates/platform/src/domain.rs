@@ -1,6 +1,6 @@
 //! A voltage domain: CPU cores sharing one PDN and one supply rail.
 
-use crate::measure::SpectralChoice;
+use crate::measure::{EmReading, MeasureScratch, SharedEmBench, SpectralChoice};
 use emvolt_circuit::{
     BatchTransientScratch, KernelChoice, Stimulus, Trace, TransientConfig, TransientPlan,
     TransientScratch,
@@ -532,6 +532,15 @@ impl DomainRunner {
         &self.config
     }
 
+    /// Whether this runner's cached plan can serve the batched lane-major
+    /// paths ([`DomainRunner::run_batch_into`] and
+    /// [`DomainRunner::run_measure_batch_into`]): true when the plan
+    /// embeds the state-space kernel (`RunConfig::kernel` of
+    /// `StateSpace`, or `Auto` on a small enough MNA system).
+    pub fn supports_batch(&self) -> bool {
+        self.plan.uses_state_kernel()
+    }
+
     /// Retunes the runner's clock (DVFS) without rebuilding the PDN or
     /// refactoring its matrices — frequency only enters through the CPU
     /// timing model, so results stay bit-identical to a runner freshly
@@ -620,10 +629,26 @@ impl DomainRunner {
                 entries.len()
             )));
         }
-        let mut sims = Vec::with_capacity(entries.len());
+        let mut sims: Vec<emvolt_cpu::SimOutput> = Vec::with_capacity(entries.len());
         let mut loads = Vec::with_capacity(entries.len());
-        for &(kernel, loaded_cores) in entries {
-            let (sim, load) = self.simulate_load(kernel, loaded_cores)?;
+        for (i, &(kernel, loaded_cores)) in entries.iter().enumerate() {
+            // Identical-kernel dedupe: the cycle-level core sim depends
+            // only on the kernel, and GA populations repeat genomes
+            // (elites, clones that mutation left untouched) — reuse the
+            // first matching lane's output instead of re-simulating.
+            // Bit-identical: `Cpu::simulate` is a pure function of the
+            // kernel.
+            let dup = entries[..i]
+                .iter()
+                .position(|&(k, _)| std::ptr::eq(k, kernel) || k == kernel);
+            let (sim, load) = match dup {
+                Some(j) => {
+                    let sim = sims[j].clone();
+                    let load = self.cluster_load(&sim, loaded_cores)?;
+                    (sim, load)
+                }
+                None => self.simulate_load(kernel, loaded_cores)?,
+            };
             sims.push(sim);
             loads.push(load);
         }
@@ -636,6 +661,44 @@ impl DomainRunner {
             fill_sim_fields(out, sim, self.domain.supply_v);
         }
         Ok(())
+    }
+
+    /// Runs several candidates through one batched transient and measures
+    /// every lane in one batched in-band pass: the full lane-major
+    /// evaluation chain (kernel -> current -> PDN -> radiation ->
+    /// analyzer) behind a single call. Lane `l` draws its measurement
+    /// noise from `seeds[l]`, so reading `l` is bit-identical to a serial
+    /// [`DomainRunner::run_into`] followed by
+    /// [`SharedEmBench::measure_in_band_seeded_with`] with that seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError`] for the same conditions as
+    /// [`DomainRunner::run_batch_into`], plus a seed slice shorter than
+    /// `entries`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_measure_batch_into(
+        &mut self,
+        entries: &[(&Kernel, usize)],
+        lo: f64,
+        hi: f64,
+        sweeps: usize,
+        seeds: &[u64],
+        shared: &SharedEmBench,
+        outs: &mut [DomainRun],
+        batch: &mut BatchTransientScratch,
+        measure: &mut MeasureScratch,
+    ) -> Result<Vec<EmReading>, DomainError> {
+        if seeds.len() < entries.len() {
+            return Err(DomainError::Backend(format!(
+                "run_measure_batch_into: {} seeds for {} entries",
+                seeds.len(),
+                entries.len()
+            )));
+        }
+        self.run_batch_into(entries, outs, batch)?;
+        let refs: Vec<&DomainRun> = outs[..entries.len()].iter().collect();
+        Ok(shared.measure_in_band_batch_seeded_with(&refs, lo, hi, sweeps, seeds, measure))
     }
 
     /// Simulates `kernel` on `loaded_cores` cores and builds the total
@@ -655,6 +718,26 @@ impl DomainRunner {
             });
         }
         let sim = self.cpu.simulate(kernel, &self.config.sim)?;
+        let load = self.cluster_load(&sim, loaded_cores)?;
+        Ok((sim, load))
+    }
+
+    /// Scales one core's simulated draw to the whole cluster: loaded
+    /// cores plus the idle remainder — the load-construction back half of
+    /// [`DomainRunner::simulate_load`], reused when a batch lane shares
+    /// another lane's core sim.
+    fn cluster_load(
+        &self,
+        sim: &emvolt_cpu::SimOutput,
+        loaded_cores: usize,
+    ) -> Result<Stimulus, DomainError> {
+        let active = self.domain.active_cores;
+        if loaded_cores > active {
+            return Err(DomainError::TooManyLoadedCores {
+                requested: loaded_cores,
+                active,
+            });
+        }
         let idle_extra = (active - loaded_cores) as f64 * self.domain.core_model.idle_current;
         let total: Vec<f64> = sim
             .current
@@ -662,12 +745,11 @@ impl DomainRunner {
             .iter()
             .map(|&i| i * loaded_cores as f64 + idle_extra)
             .collect();
-        let load = Stimulus::Samples {
+        Ok(Stimulus::Samples {
             dt: sim.current.dt(),
             values: Arc::from(total),
             repeat: true,
-        };
-        Ok((sim, load))
+        })
     }
 
     /// Runs with all powered cores idle; see [`VoltageDomain::run_idle`].

@@ -4,7 +4,8 @@
 
 use crate::domain::DomainRun;
 use emvolt_dsp::{
-    of_trace_band_into, BandSpectrum, GoertzelScratch, Spectrum, SpectrumScratch, Window,
+    of_samples_band_multi_into, of_trace_band_into, BandSpectrum, GoertzelScratch, Spectrum,
+    SpectrumScratch, Window,
 };
 use emvolt_em::EmChannel;
 use emvolt_inst::{AnalyzerConfig, SpectrumAnalyzer, SweepReading};
@@ -108,6 +109,12 @@ pub struct MeasureScratch {
     goertzel: GoertzelScratch,
     i_band: BandSpectrum,
     rx_band: BandSpectrum,
+    /// Per-lane die-current bands for batched measurements, lane order.
+    i_bands: Vec<BandSpectrum>,
+    /// Per-lane received bands for batched measurements, lane order.
+    rx_bands: Vec<BandSpectrum>,
+    /// Shared per-bin channel-transfer values for batched propagation.
+    transfer: Vec<f64>,
     telemetry: Telemetry,
 }
 
@@ -351,6 +358,91 @@ impl SharedEmBench {
         }
     }
 
+    /// Batched counterpart of
+    /// [`SharedEmBench::measure_in_band_seeded_with`]: one call measures
+    /// every lane of `runs` over `[lo, hi]` Hz, lane `l` drawing its
+    /// measurement noise from `seeds[l]`.
+    ///
+    /// When every lane shares one record length and sample rate and the
+    /// spectral choice resolves to the band path, the die-current bands
+    /// are evaluated by the multi-lane Goertzel in one pass and propagated
+    /// through the channel with per-bin transfer values computed once.
+    /// Each lane's analyzer stage still runs on a throwaway analyzer
+    /// seeded from its own lane seed, so reading `l` is bit-identical to
+    /// the serial `measure_in_band_seeded_with(runs[l], .., seeds[l], ..)`
+    /// call it replaces. Mixed record shapes, or a spectral choice that
+    /// resolves to the full FFT, fall back to the per-lane serial path —
+    /// same results, no amortization.
+    ///
+    /// Counter totals are lane-count-invariant: the batched stages charge
+    /// one Goertzel invocation and one received spectrum per lane, and
+    /// per-lane measurement accounting is recorded in lane order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is shorter than `runs`.
+    pub fn measure_in_band_batch_seeded_with(
+        &self,
+        runs: &[&DomainRun],
+        lo: f64,
+        hi: f64,
+        n: usize,
+        seeds: &[u64],
+        scratch: &mut MeasureScratch,
+    ) -> Vec<EmReading> {
+        assert!(seeds.len() >= runs.len(), "one noise seed per lane");
+        let Some(first) = runs.first() else {
+            return Vec::new();
+        };
+        let (blo, bhi) = band_with_margin(&self.analyzer_config, lo, hi);
+        let uniform = runs.iter().all(|r| {
+            r.i_die.samples().len() == first.i_die.samples().len()
+                && r.i_die.sample_rate() == first.i_die.sample_rate()
+        });
+        if !(uniform && self.spectral.picks_band(first, blo, bhi)) {
+            return runs
+                .iter()
+                .zip(seeds)
+                .map(|(run, &seed)| self.measure_in_band_seeded_with(run, lo, hi, n, seed, scratch))
+                .collect();
+        }
+
+        let n_lanes = runs.len();
+        let samples: Vec<&[f64]> = runs.iter().map(|r| r.i_die.samples()).collect();
+        scratch.i_bands.resize_with(n_lanes, BandSpectrum::default);
+        scratch.rx_bands.resize_with(n_lanes, BandSpectrum::default);
+        of_samples_band_multi_into(
+            &samples,
+            first.i_die.sample_rate(),
+            Window::Hann,
+            blo,
+            bhi,
+            &mut scratch.goertzel,
+            &mut scratch.i_bands,
+        );
+        let i_refs: Vec<&BandSpectrum> = scratch.i_bands.iter().collect();
+        self.channel.received_spectrum_batch_into(
+            &i_refs,
+            &mut scratch.rx_bands,
+            &mut scratch.transfer,
+            &scratch.telemetry,
+        );
+
+        let mut readings = Vec::with_capacity(n_lanes);
+        for (rx_band, &seed) in scratch.rx_bands.iter().zip(seeds) {
+            let mut analyzer = SpectrumAnalyzer::new(self.analyzer_config.clone());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (metric_dbm, dominant_hz) = analyzer.peak_metric(rx_band, lo, hi, n, &mut rng);
+            *self.elapsed_s.lock() += analyzer.elapsed();
+            record_measurement(&scratch.telemetry, lo, hi, n, metric_dbm, dominant_hz);
+            readings.push(EmReading {
+                metric_dbm,
+                dominant_hz,
+            });
+        }
+        readings
+    }
+
     /// Sweep time accumulated since creation (or the last
     /// [`SharedEmBench::take_elapsed`]).
     pub fn elapsed(&self) -> f64 {
@@ -561,6 +653,60 @@ mod tests {
             .measure_in_band_seeded(&run, 1e6, nyquist, 5, 33);
 
         assert_eq!(auto, full);
+    }
+
+    /// One batched call over L lanes must reproduce the L serial seeded
+    /// measurements bit-for-bit — on the amortized band path and on the
+    /// forced-FFT fallback alike — and accumulate the same sweep time.
+    #[test]
+    fn batched_measurements_match_serial_seeded_calls() {
+        let d = domain();
+        let cfg = RunConfig::fast();
+        let runs = [
+            d.run(&sweep_kernel(Isa::ArmV8), 1, &cfg).unwrap(),
+            d.run(&padded_sweep_kernel(Isa::ArmV8, 17), 2, &cfg)
+                .unwrap(),
+            d.run(&sweep_kernel(Isa::ArmV8), 2, &cfg).unwrap(),
+        ];
+        let refs: Vec<&DomainRun> = runs.iter().collect();
+        let seeds = [101u64, 202, 303];
+
+        for spectral in [SpectralChoice::Auto, SpectralChoice::FullFft] {
+            let mut bench = EmBench::new(5);
+            bench.set_spectral(spectral);
+            let shared = bench.share();
+            let mut scratch = MeasureScratch::new();
+            let batched = shared.measure_in_band_batch_seeded_with(
+                &refs,
+                50e6,
+                200e6,
+                4,
+                &seeds,
+                &mut scratch,
+            );
+            let batched_elapsed = shared.take_elapsed();
+
+            let serial_shared = bench.share();
+            let mut serial_scratch = MeasureScratch::new();
+            assert_eq!(batched.len(), refs.len());
+            for ((run, &seed), got) in refs.iter().zip(&seeds).zip(&batched) {
+                let want = serial_shared.measure_in_band_seeded_with(
+                    run,
+                    50e6,
+                    200e6,
+                    4,
+                    seed,
+                    &mut serial_scratch,
+                );
+                assert_eq!(want.metric_dbm.to_bits(), got.metric_dbm.to_bits());
+                assert_eq!(want.dominant_hz.to_bits(), got.dominant_hz.to_bits());
+            }
+            assert_eq!(
+                batched_elapsed.to_bits(),
+                serial_shared.take_elapsed().to_bits(),
+                "sweep-time accounting must not depend on batching"
+            );
+        }
     }
 
     #[test]

@@ -42,6 +42,10 @@ OPTIONS:
     --cores N                    powered cores (default: all)
     --population N               GA population (default 20)
     --generations N              GA generations (default 15)
+    --lanes N                    virus: individuals measured per batched
+                                 backend call (default 0 = auto); purely a
+                                 performance knob — results are bit-identical
+                                 at any lane width
     --seed S                     GA / measurement seed (default 42)
     --workload NAME              vmin: SPEC-like workload name (default lbm)
     --stress                     vmin: use the built-in resonant stress kernel
@@ -98,6 +102,7 @@ impl FlagSpec {
                     "cores",
                     "population",
                     "generations",
+                    "lanes",
                     "seed",
                     "telemetry",
                     "backend",
@@ -352,6 +357,7 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         .get("generations")
         .and_then(|s| s.parse().ok())
         .unwrap_or(15);
+    let lanes = flags.get("lanes").and_then(|s| s.parse().ok()).unwrap_or(0);
     let tel = telemetry_from(flags)?;
     let progress = flags.contains_key("progress");
     let mut cfg = VirusGenConfig {
@@ -363,6 +369,7 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         },
         loaded_cores: domain.active_cores(),
         samples_per_individual: 5,
+        lanes,
         telemetry: tel.clone(),
         ..VirusGenConfig::default()
     };
