@@ -77,6 +77,11 @@ pub fn kernel_fingerprint(kernel: &Kernel) -> u64 {
 /// Fingerprint of the physics fidelity a campaign pinned. Folded into
 /// every trace key so a recording cannot silently replay against a
 /// different solver configuration.
+///
+/// Hashes only the explicit fidelity fields — host-descriptive metadata
+/// like [`RunConfig::simd`] is deliberately excluded, because results
+/// are bit-identical across SIMD dispatch levels and a recording must
+/// replay on a host with a different vector width.
 pub fn run_config_fingerprint(config: &RunConfig) -> u64 {
     let mut h = Fnv::new();
     h.write_u64(config.pdn_dt.to_bits());
@@ -137,6 +142,21 @@ mod tests {
         assert_ne!(run_config_fingerprint(&base), run_config_fingerprint(&lu));
         assert_ne!(run_config_fingerprint(&base), run_config_fingerprint(&fft));
         assert_ne!(run_config_fingerprint(&lu), run_config_fingerprint(&fft));
+    }
+
+    /// The SIMD level a config was built on is descriptive metadata, not
+    /// pinned fidelity: recordings replay bit-identically on hosts with a
+    /// different vector width, so the field must not enter the key.
+    #[test]
+    fn run_config_fingerprint_ignores_simd_metadata() {
+        let base = RunConfig::fast();
+        let mut other = RunConfig::fast();
+        other.simd = "some-other-isa-level";
+        assert_ne!(base.simd, other.simd);
+        assert_eq!(
+            run_config_fingerprint(&base),
+            run_config_fingerprint(&other)
+        );
     }
 
     #[test]

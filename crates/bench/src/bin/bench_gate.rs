@@ -24,7 +24,13 @@
 //! - every `full_chain_batched_xN` record must amortize: its per-lane
 //!   cost (`min_ms / N`, with `N` parsed from the record name) must be
 //!   at most 0.75x the serial `full_chain_baseline` floor — i.e. the
-//!   lane-major batched chain buys at least a 1.33x per-eval speedup.
+//!   lane-major batched chain buys at least a 1.33x per-eval speedup;
+//! - on hosts whose detected SIMD level is AVX2, the dispatched
+//!   lane-major fold (`simd_fold_lanes_dispatch`) must beat the
+//!   scalar-forced one (`simd_fold_lanes_scalar`) by at least 1.3x —
+//!   losing runtime dispatch would silently degrade every chain while
+//!   staying bit-identical. On narrower hosts the check logs a skip
+//!   instead of failing: the floor is calibrated to 4-wide FMA.
 
 use serde::{DeError, Deserialize, Value};
 use std::process::ExitCode;
@@ -178,6 +184,42 @@ fn main() -> ExitCode {
             failed = true;
         }
         None => {}
+    }
+
+    // Same-run SIMD dispatch floor, gated on host capability: the
+    // numbers in the fresh file were produced on this machine, so
+    // detection here matches the conditions they were measured under.
+    const SIMD_SPEEDUP_FLOOR: f64 = 1.3;
+    let simd_ratio = (|| {
+        let scalar = fresh.get("simd_fold_lanes_scalar")?;
+        let dispatch = fresh.get("simd_fold_lanes_dispatch")?;
+        Some(scalar / dispatch)
+    })();
+    if emvolt_simd::detected_level() == emvolt_simd::SimdLevel::Avx2 {
+        match simd_ratio {
+            Some(ratio) if ratio >= SIMD_SPEEDUP_FLOOR => {
+                eprintln!(
+                    "ok   simd fold dispatch/scalar speedup {ratio:.2}x \
+                     (floor {SIMD_SPEEDUP_FLOOR}x on avx2)"
+                );
+            }
+            Some(ratio) => {
+                eprintln!(
+                    "FAIL simd fold dispatch/scalar speedup {ratio:.2}x \
+                     below floor {SIMD_SPEEDUP_FLOOR}x on avx2"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL fresh run lacks simd_fold_lanes_* records");
+                failed = true;
+            }
+        }
+    } else {
+        eprintln!(
+            "skip simd fold speedup floor: host dispatches {} (calibrated for avx2)",
+            emvolt_simd::detected_level().as_str()
+        );
     }
 
     if failed {

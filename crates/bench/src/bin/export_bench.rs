@@ -14,8 +14,18 @@
 //!
 //! `bench_gate` consumes the `full_chain_*` records, so warmup must be
 //! long enough that min_ms is a stable floor, not a cold-cache draw.
+//! The `simd_fold_lanes_*` pair times the dispatched lane-major fold
+//! against the same fold forced to the scalar tier — the same-run ratio
+//! `bench_gate` holds a floor on for hosts with AVX2.
 //!
-//! Usage: `export_bench [output_dir]` (default `.`).
+//! Besides overwriting the two snapshot files, every run appends one
+//! line to `BENCH_history.jsonl` in the same directory — the trajectory
+//! of the floors across commits, keyed by the run stamp and the
+//! dispatched SIMD level.
+//!
+//! Usage: `export_bench [output_dir] [stamp]` (default `.`; the stamp
+//! defaults to the unix time in seconds — pass one explicitly to keep
+//! reproducing runs, e.g. in tests, off the wall clock).
 
 use emvolt_bench::fixtures::{a72_domain, arm_kernel};
 use emvolt_core::{generate_em_virus, VirusGenConfig};
@@ -203,6 +213,39 @@ fn eval_records() -> Vec<Stats> {
         records.push(stats);
     }
 
+    // SIMD dispatch microbench: the lane-major response-column fold —
+    // the innermost per-step loop of the batched transient — at the
+    // dispatched level against the scalar tier, same shapes, same run.
+    // The vectors differ only in instruction selection (bit-identical
+    // results), so the min-time ratio isolates the SIMD payoff from
+    // every other chain cost; `bench_gate` holds a floor on it.
+    {
+        const N_NODES: usize = 16;
+        const N_INPUTS: usize = 12;
+        const LANES: usize = 8;
+        // One fold is ~1.5k flops; repeat enough that a sample dwarfs
+        // timer granularity.
+        const REPS: usize = 4000;
+        let cols: Vec<f64> = (0..N_NODES * N_INPUTS)
+            .map(|i| (i as f64 * 0.37).sin())
+            .collect();
+        let inputs: Vec<f64> = (0..N_INPUTS * LANES)
+            .map(|i| (i as f64 * 0.73).cos())
+            .collect();
+        let mut xn = vec![0.0; N_NODES * LANES];
+        for (name, level) in [
+            ("simd_fold_lanes_dispatch", emvolt_simd::level()),
+            ("simd_fold_lanes_scalar", emvolt_simd::SimdLevel::Scalar),
+        ] {
+            records.push(time_ms(name, WARMUP, SAMPLES, || {
+                for _ in 0..REPS {
+                    level.fold_cols_lanes(&cols, N_NODES, &inputs, LANES, &mut xn);
+                }
+                std::hint::black_box(&mut xn);
+            }));
+        }
+    }
+
     // Noop recorder: hooks live, emission gated off.
     {
         let noop = Telemetry::noop();
@@ -293,8 +336,49 @@ fn ga_records() -> Vec<Stats> {
     records
 }
 
+/// One `BENCH_history.jsonl` line: the run stamp, the dispatched SIMD
+/// level, and every record's floor. Appending (never rewriting) keeps
+/// the trajectory of the numbers across commits greppable without
+/// archaeology through git history of the snapshot files.
+fn append_history(dir: &str, stamp: &str, eval: &[Stats], ga: &[Stats]) {
+    let floors = |records: &[Stats]| {
+        Value::Obj(
+            records
+                .iter()
+                .map(|s| (s.name.to_owned(), Value::Num(s.min_ms)))
+                .collect(),
+        )
+    };
+    let line = Value::Obj(vec![
+        ("stamp".to_owned(), Value::Str(stamp.to_owned())),
+        (
+            "simd".to_owned(),
+            Value::Str(emvolt_simd::level().as_str().to_owned()),
+        ),
+        ("eval_min_ms".to_owned(), floors(eval)),
+        ("ga_min_ms".to_owned(), floors(ga)),
+    ]);
+    let json = serde_json::to_string(&Raw(line)).expect("serialize history line");
+    let path = format!("{dir}/BENCH_history.jsonl");
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .unwrap_or_else(|e| panic!("open {path}: {e}"));
+    writeln!(file, "{json}").unwrap_or_else(|e| panic!("append {path}: {e}"));
+    eprintln!("appended {path}");
+}
+
 fn main() {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+    let mut args = std::env::args().skip(1);
+    let dir = args.next().unwrap_or_else(|| ".".to_owned());
+    let stamp = args.next().unwrap_or_else(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs().to_string())
+            .unwrap_or_else(|_| "pre-epoch".to_owned())
+    });
     let eval = eval_records();
     for s in &eval {
         eprintln!(
@@ -312,4 +396,6 @@ fn main() {
         );
     }
     write_json(&dir, "BENCH_ga.json", &ga);
+
+    append_history(&dir, &stamp, &eval, &ga);
 }

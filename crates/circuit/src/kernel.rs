@@ -156,16 +156,15 @@ impl StateKernel {
     /// Accumulates `xn = Σ_j inputs[j] · cols[j]` over the contiguous
     /// response rows. `xn` must hold exactly `n_nodes` elements and
     /// `inputs` exactly `n_inputs`.
+    ///
+    /// Runs on the runtime-dispatched SIMD level; every level performs
+    /// the identical fused (`mul_add`) per-element sequence, so results
+    /// are bit-identical across levels (see `emvolt-simd`).
     #[inline]
     pub(crate) fn fold(&self, inputs: &[f64], xn: &mut [f64]) {
         debug_assert_eq!(inputs.len(), self.n_inputs);
         debug_assert_eq!(xn.len(), self.n_nodes);
-        xn.iter_mut().for_each(|v| *v = 0.0);
-        for (col, &w) in self.cols.chunks_exact(self.n_nodes).zip(inputs) {
-            for (xi, &ci) in xn.iter_mut().zip(col) {
-                *xi += w * ci;
-            }
-        }
+        emvolt_simd::level().fold_cols(&self.cols, self.n_nodes, inputs, xn);
     }
 
     /// Lane-major batched fold: `lanes` independent input vectors folded
@@ -177,65 +176,16 @@ impl StateKernel {
     /// node `i`). Each response column entry `c_ji` is loaded **once** and
     /// FMAed into every lane's accumulator — the memory traffic of one
     /// serial fold amortized over all lanes. Per lane the operation
-    /// sequence (zero, then `x_i += w_j·c_ji` in `j` order) is exactly
-    /// [`StateKernel::fold`]'s, so each lane's result is bit-identical to
-    /// a serial fold of that lane alone.
+    /// sequence (zero, then `x_i = w_j.mul_add(c_ji, x_i)` in `j` order)
+    /// is exactly [`StateKernel::fold`]'s, so each lane's result is
+    /// bit-identical to a serial fold of that lane alone — at every
+    /// dispatched SIMD level.
     #[inline]
     pub(crate) fn fold_lanes(&self, inputs: &[f64], lanes: usize, xn: &mut [f64]) {
         debug_assert!(lanes > 0);
         debug_assert_eq!(inputs.len(), self.n_inputs * lanes);
         debug_assert_eq!(xn.len(), self.n_nodes * lanes);
-        // Monomorphize the common lane counts: with the width a compile-
-        // time constant, every lane row is a fixed-size array and the
-        // whole (column x node) FMA body is bounds-check-free
-        // straight-line vector code. Each arm performs the identical
-        // per-lane operation sequence, so the dispatch is invisible
-        // bitwise.
-        match lanes {
-            1 => self.fold_lanes_const::<1>(inputs, xn),
-            2 => self.fold_lanes_const::<2>(inputs, xn),
-            3 => self.fold_lanes_const::<3>(inputs, xn),
-            4 => self.fold_lanes_const::<4>(inputs, xn),
-            5 => self.fold_lanes_const::<5>(inputs, xn),
-            6 => self.fold_lanes_const::<6>(inputs, xn),
-            7 => self.fold_lanes_const::<7>(inputs, xn),
-            8 => self.fold_lanes_const::<8>(inputs, xn),
-            _ => {
-                xn.iter_mut().for_each(|v| *v = 0.0);
-                for (col, w) in self
-                    .cols
-                    .chunks_exact(self.n_nodes)
-                    .zip(inputs.chunks_exact(lanes))
-                {
-                    for (&ci, acc) in col.iter().zip(xn.chunks_exact_mut(lanes)) {
-                        for (a, &wv) in acc.iter_mut().zip(w) {
-                            *a += wv * ci;
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// [`StateKernel::fold_lanes`] specialized to a compile-time lane
-    /// width. Same zero-then-accumulate sequence per lane as the dynamic
-    /// path and [`StateKernel::fold`].
-    #[inline]
-    fn fold_lanes_const<const L: usize>(&self, inputs: &[f64], xn: &mut [f64]) {
-        xn.iter_mut().for_each(|v| *v = 0.0);
-        for (col, w) in self
-            .cols
-            .chunks_exact(self.n_nodes)
-            .zip(inputs.chunks_exact(L))
-        {
-            let w: &[f64; L] = w.try_into().unwrap();
-            for (&ci, acc) in col.iter().zip(xn.chunks_exact_mut(L)) {
-                let acc: &mut [f64; L] = acc.try_into().unwrap();
-                for k in 0..L {
-                    acc[k] += w[k] * ci;
-                }
-            }
-        }
+        emvolt_simd::level().fold_cols_lanes(&self.cols, self.n_nodes, inputs, lanes, xn);
     }
 }
 

@@ -210,6 +210,12 @@ pub struct TransientScratch {
     ind_i: Vec<f64>,
     ind_v: Vec<f64>,
     inputs: Vec<f64>,
+    /// `[node_a, node_b]` row pairs per capacitor / inductor, the gather
+    /// tables the dispatched companion-update kernels index node state
+    /// with. Rebuilt each run in the setup (node counts fit `u32` by
+    /// construction).
+    cap_rows: Vec<[u32; 2]>,
+    ind_rows: Vec<[u32; 2]>,
     node_slots: Vec<usize>,
     ind_slots: Vec<usize>,
     node_bufs: Vec<Vec<f64>>,
@@ -711,6 +717,8 @@ impl Circuit {
             cap_i,
             ind_v,
             ind_i,
+            cap_rows,
+            ind_rows,
             ..
         } = batch;
         let mut soa = BatchSoa {
@@ -720,6 +728,8 @@ impl Circuit {
             cap_i,
             ind_v,
             ind_i,
+            cap_rows,
+            ind_rows,
         };
         let mut start = 0;
         while start < n_lanes {
@@ -885,6 +895,16 @@ impl Circuit {
         scratch
             .ind_i
             .extend_from_slice(&scratch.dc_x[n_nodes + n_vs..]);
+
+        // Node-row tables for the dispatched companion-update kernels.
+        scratch.cap_rows.clear();
+        scratch
+            .cap_rows
+            .extend(self.capacitors.iter().map(|c| [c.a as u32, c.b as u32]));
+        scratch.ind_rows.clear();
+        scratch
+            .ind_rows
+            .extend(self.inductors.iter().map(|l| [l.a as u32, l.b as u32]));
 
         let TransientScratch {
             b,
@@ -1077,6 +1097,8 @@ impl Circuit {
             ind_i,
             ind_v,
             inputs,
+            cap_rows,
+            ind_rows,
             node_slots,
             ind_slots,
             node_bufs,
@@ -1085,15 +1107,15 @@ impl Circuit {
             ..
         } = scratch;
 
-        let mut j = 0;
-        for (&gc, (&vc, &ic)) in cap_g.iter().zip(cap_v.iter().zip(cap_i.iter())) {
-            inputs[j] = gc * vc + ic;
-            j += 1;
-        }
-        for (&gl, (&vl, &il)) in ind_g.iter().zip(ind_v.iter().zip(ind_i.iter())) {
-            inputs[j] = il + gl * vl;
-            j += 1;
-        }
+        // History gathers on the dispatched SIMD level (`lanes == 1`
+        // vectorizes across the element dimension); fused `mul_add`
+        // arithmetic at every level, bit-identical across levels.
+        let lv = emvolt_simd::level();
+        let nc = cap_g.len();
+        let nl = ind_g.len();
+        lv.gather_hist(cap_g, cap_v, cap_i, 1, &mut inputs[..nc]);
+        lv.gather_hist(ind_g, ind_v, ind_i, 1, &mut inputs[nc..nc + nl]);
+        let mut j = nc + nl;
         for (si, is) in self.isources.iter().enumerate() {
             let stim = match load_override {
                 Some((idx, s)) if idx == si => s,
@@ -1111,19 +1133,10 @@ impl Circuit {
         kernel.fold(inputs, &mut x[..n_nodes]);
         v[1..=n_nodes].copy_from_slice(&x[..n_nodes]);
 
-        // Update element states — same code as the LU path.
-        for (k, (c, &gc)) in self.capacitors.iter().zip(cap_g).enumerate() {
-            let vc_new = v[c.a] - v[c.b];
-            let hist = gc * cap_v[k] + cap_i[k];
-            cap_i[k] = gc * vc_new - hist;
-            cap_v[k] = vc_new;
-        }
-        for (k, (l, &gl)) in self.inductors.iter().zip(ind_g).enumerate() {
-            let vl_new = v[l.a] - v[l.b];
-            let hist = ind_i[k] + gl * ind_v[k];
-            ind_i[k] = gl * vl_new + hist;
-            ind_v[k] = vl_new;
-        }
+        // Companion updates on the dispatched level — the fused form of
+        // the LU path's trapezoidal update (`v` row 0 is ground, zero).
+        lv.cap_updates(cap_g, cap_rows, v, 1, cap_v, cap_i);
+        lv.ind_updates(ind_g, ind_rows, v, 1, ind_v, ind_i);
 
         if step >= record_start_idx {
             record_into(v, ind_i, node_slots, ind_slots, node_bufs, ind_bufs);
@@ -1170,6 +1183,13 @@ impl Circuit {
         resize_zeroed(soa.cap_i, self.capacitors.len() * L);
         resize_zeroed(soa.ind_v, self.inductors.len() * L);
         resize_zeroed(soa.ind_i, self.inductors.len() * L);
+        soa.cap_rows.clear();
+        soa.cap_rows
+            .extend(self.capacitors.iter().map(|c| [c.a as u32, c.b as u32]));
+        soa.ind_rows.clear();
+        soa.ind_rows
+            .extend(self.inductors.iter().map(|l| [l.a as u32, l.b as u32]));
+        let lv = emvolt_simd::level();
 
         // Pack the setup-seeded lane state into the SoA rows. The ground
         // row comes from `v[0]`, which is zero by construction.
@@ -1195,26 +1215,19 @@ impl Circuit {
             let t_next = step as f64 * h;
 
             // Input gather: one lane row per kernel input, in the
-            // kernel's fixed order (same as `state_space_step`).
-            let mut j = 0;
-            for (k, &gc) in cap_g.iter().enumerate() {
-                let out: &mut [f64; L] = (&mut soa.inputs[j * L..j * L + L]).try_into().unwrap();
-                let vc: &[f64; L] = (&soa.cap_v[k * L..k * L + L]).try_into().unwrap();
-                let ic: &[f64; L] = (&soa.cap_i[k * L..k * L + L]).try_into().unwrap();
-                for l in 0..L {
-                    out[l] = gc * vc[l] + ic[l];
-                }
-                j += 1;
-            }
-            for (k, &gl) in ind_g.iter().enumerate() {
-                let out: &mut [f64; L] = (&mut soa.inputs[j * L..j * L + L]).try_into().unwrap();
-                let vl: &[f64; L] = (&soa.ind_v[k * L..k * L + L]).try_into().unwrap();
-                let il: &[f64; L] = (&soa.ind_i[k * L..k * L + L]).try_into().unwrap();
-                for l in 0..L {
-                    out[l] = il[l] + gl * vl[l];
-                }
-                j += 1;
-            }
+            // kernel's fixed order (same as `state_space_step`), on the
+            // dispatched SIMD level vectorized across the lane rows.
+            let nc = cap_g.len();
+            let nl = ind_g.len();
+            lv.gather_hist(cap_g, soa.cap_v, soa.cap_i, L, &mut soa.inputs[..nc * L]);
+            lv.gather_hist(
+                ind_g,
+                soa.ind_v,
+                soa.ind_i,
+                L,
+                &mut soa.inputs[nc * L..(nc + nl) * L],
+            );
+            let mut j = nc + nl;
             for (si, is) in self.isources.iter().enumerate() {
                 let out = &mut soa.inputs[j * L..j * L + L];
                 if si == source_idx {
@@ -1237,26 +1250,8 @@ impl Circuit {
 
             // Element-state update: per lane the same arithmetic as the
             // serial kernel path, vectorized across the lane rows.
-            for (k, (c, &gc)) in self.capacitors.iter().zip(cap_g).enumerate() {
-                let va = c.a * L;
-                let vb = c.b * L;
-                for l in 0..L {
-                    let vc_new = soa.state[va + l] - soa.state[vb + l];
-                    let hist = gc * soa.cap_v[k * L + l] + soa.cap_i[k * L + l];
-                    soa.cap_i[k * L + l] = gc * vc_new - hist;
-                    soa.cap_v[k * L + l] = vc_new;
-                }
-            }
-            for (k, (ld, &gl)) in self.inductors.iter().zip(ind_g).enumerate() {
-                let va = ld.a * L;
-                let vb = ld.b * L;
-                for l in 0..L {
-                    let vl_new = soa.state[va + l] - soa.state[vb + l];
-                    let hist = soa.ind_i[k * L + l] + gl * soa.ind_v[k * L + l];
-                    soa.ind_i[k * L + l] = gl * vl_new + hist;
-                    soa.ind_v[k * L + l] = vl_new;
-                }
-            }
+            lv.cap_updates(cap_g, soa.cap_rows, soa.state, L, soa.cap_v, soa.cap_i);
+            lv.ind_updates(ind_g, soa.ind_rows, soa.state, L, soa.ind_v, soa.ind_i);
 
             if step >= sched.record_start_idx {
                 // Same per-lane push order as `record_into`, reading the
@@ -1346,6 +1341,10 @@ pub struct BatchTransientScratch {
     cap_i: Vec<f64>,
     ind_v: Vec<f64>,
     ind_i: Vec<f64>,
+    /// `[node_a, node_b]` row pairs per element for the dispatched
+    /// companion-update kernels; rebuilt per batch group.
+    cap_rows: Vec<[u32; 2]>,
+    ind_rows: Vec<[u32; 2]>,
     telemetry: Telemetry,
 }
 
@@ -1360,6 +1359,8 @@ struct BatchSoa<'a> {
     cap_i: &'a mut Vec<f64>,
     ind_v: &'a mut Vec<f64>,
     ind_i: &'a mut Vec<f64>,
+    cap_rows: &'a mut Vec<[u32; 2]>,
+    ind_rows: &'a mut Vec<[u32; 2]>,
 }
 
 impl BatchTransientScratch {

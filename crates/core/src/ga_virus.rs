@@ -133,16 +133,14 @@ fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-/// Default evaluation lane width when the `lanes` knob is `0`. Eight
-/// lanes keeps the SoA fold inside the kernel's widest FMA block while
-/// the amortized per-lane cost is already within a few percent of its
-/// asymptote.
-const DEFAULT_EVAL_LANES: usize = 8;
-
-/// Resolves the `lanes` knob: `0` picks [`DEFAULT_EVAL_LANES`].
+/// Resolves the `lanes` knob: `0` picks the detected SIMD level's
+/// preferred width ([`emvolt_simd::preferred_lanes`] — eight on AVX2
+/// hosts, four on narrower vectors), so the SoA fold fills the widest
+/// FMA block the dispatched kernels will actually run. Any explicit
+/// width is honored as-is; results are bit-identical at every width.
 fn resolve_lanes(lanes: usize) -> usize {
     if lanes == 0 {
-        DEFAULT_EVAL_LANES
+        emvolt_simd::preferred_lanes()
     } else {
         lanes
     }
@@ -433,6 +431,11 @@ fn run_em_campaign<B: MeasurementBackend + ?Sized>(
     // histograms only).
     let tel = config.telemetry.clone();
     engine.set_telemetry(tel.clone());
+    // Summary-only (host-dependent, never emitted into traces).
+    tel.count(
+        CounterId::SimdDispatchLevel,
+        emvolt_simd::level().code() as u64,
+    );
 
     let measured = AtomicUsize::new(0);
     let cache_hit_count = AtomicUsize::new(0);
@@ -682,6 +685,11 @@ pub fn generate_voltage_virus(
     let repr = KernelRepresentation::new(pool, config.kernel_len);
     let mut engine = GaEngine::new(repr, config.ga.clone());
     engine.set_telemetry(config.telemetry.clone());
+    // Summary-only (host-dependent, never emitted into traces).
+    config.telemetry.count(
+        CounterId::SimdDispatchLevel,
+        emvolt_simd::level().code() as u64,
+    );
     let mut clock = SimClock::new();
     let threads = resolve_threads(config.threads);
 

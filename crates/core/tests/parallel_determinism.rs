@@ -143,6 +143,83 @@ fn em_campaign_is_bit_identical_across_lane_widths_and_threads() {
     }
 }
 
+/// The SIMD counterpart of the same guarantee: the runtime-dispatched
+/// vector level (what `EMVOLT_SIMD` selects from the environment) is a
+/// pure performance knob. Every level runs the identical fused `mul_add`
+/// sequence per element, so forcing scalar, SSE2, or AVX2 — at any lane
+/// width — must reproduce the campaign bit for bit, including the
+/// emitted telemetry byte stream (the dispatched level is summary-only
+/// and never enters trace events).
+#[test]
+fn em_campaign_is_bit_identical_across_simd_levels_and_lanes() {
+    use emvolt_obs::{JsonlRecorder, Telemetry};
+    use std::io::Write;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let domain = a72();
+    let run = |level: Option<emvolt_simd::SimdLevel>, lanes: usize| {
+        emvolt_simd::force_level(level);
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let tel = Telemetry::new(Arc::new(JsonlRecorder::new(SharedBuf(buf.clone()))));
+        let mut bench = EmBench::new(21);
+        let config = VirusGenConfig {
+            lanes,
+            telemetry: tel.clone(),
+            ..reduced_config(1)
+        };
+        let virus = generate_em_virus("det-s", &domain, &mut bench, &config).unwrap();
+        tel.flush();
+        emvolt_simd::force_level(None);
+        let bytes = buf.lock().unwrap().clone();
+        (virus, bytes)
+    };
+
+    // Campaign results must agree across every (level, lanes) pair; the
+    // telemetry byte stream must agree across levels at a fixed lane
+    // width (lane grouping is deterministic trace content — batch spans
+    // record it — so traces are only comparable width against width).
+    let (reference, _) = run(Some(emvolt_simd::SimdLevel::Scalar), 1);
+    for lanes in [1, 3, 8] {
+        let (_, scalar_bytes) = run(Some(emvolt_simd::SimdLevel::Scalar), lanes);
+        assert!(!scalar_bytes.is_empty(), "trace should carry events");
+        for &level in emvolt_simd::supported_levels() {
+            let (virus, bytes) = run(Some(level), lanes);
+            let what = format!("level {} x lanes {lanes}", level.as_str());
+            assert_eq!(reference.kernel, virus.kernel, "{what}: winning kernel");
+            assert_eq!(
+                reference.fitness.to_bits(),
+                virus.fitness.to_bits(),
+                "{what}: fitness"
+            );
+            assert_eq!(
+                reference.dominant_hz.to_bits(),
+                virus.dominant_hz.to_bits(),
+                "{what}: dominant frequency"
+            );
+            assert_eq!(
+                reference.generation_best, virus.generation_best,
+                "{what}: generation bests"
+            );
+            assert_histories_identical(&reference.history, &virus.history, &what);
+            assert_eq!(scalar_bytes, bytes, "{what}: telemetry byte stream");
+        }
+    }
+}
+
 #[test]
 fn voltage_campaign_is_bit_identical_across_thread_counts() {
     let domain = a72();

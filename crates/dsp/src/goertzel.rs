@@ -141,6 +141,37 @@ impl BandSpectrum {
             "band extends past the spectrum"
         );
     }
+
+    /// Overwrites this band in place from the elementwise product
+    /// `amps[j] * scale[j]` — the EM channel's transfer application —
+    /// running the multiply on the runtime-dispatched SIMD level (every
+    /// level is bit-identical; see `emvolt-simd`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_step` is not strictly positive, `amps` and `scale`
+    /// differ in length, or the band extends past `total_bins`.
+    pub fn refill_from_product(
+        &mut self,
+        freq_step: f64,
+        first_bin: usize,
+        total_bins: usize,
+        amps: &[f64],
+        scale: &[f64],
+    ) {
+        assert!(freq_step > 0.0, "frequency step must be positive");
+        assert_eq!(amps.len(), scale.len(), "amplitude/scale length mismatch");
+        assert!(
+            first_bin + amps.len() <= total_bins,
+            "band extends past the spectrum"
+        );
+        self.freq_step = freq_step;
+        self.first_bin = first_bin;
+        self.total_bins = total_bins;
+        self.bins.clear();
+        self.bins.resize(amps.len(), 0.0);
+        emvolt_simd::level().mul(amps, scale, &mut self.bins);
+    }
 }
 
 impl SpectralBins for BandSpectrum {
@@ -171,9 +202,9 @@ pub struct GoertzelScratch {
     coeff: Vec<f64>,
     s1: Vec<f64>,
     s2: Vec<f64>,
-    /// Per-sample window coefficients, computed once per multi-lane call
-    /// and shared by every lane's windowing pass and the coherent-gain
-    /// sum — the trig work the serial path redoes per evaluation.
+    /// Per-sample window coefficients, shared by the windowing pass and
+    /// the coherent-gain sum (and across every lane of a multi-lane
+    /// call).
     wcoef: Vec<f64>,
     telemetry: Telemetry,
 }
@@ -249,19 +280,28 @@ pub fn of_samples_band_into(
     }
     let nb = k1 - k0;
 
-    scratch.windowed.clear();
-    scratch.windowed.extend_from_slice(samples);
-    window.apply(&mut scratch.windowed);
-    let gain = window.coherent_gain(n).max(1e-12);
-    let scale = 1.0 / (n as f64 * gain);
-
+    // The window coefficients are computed once into `wcoef`, the
+    // windowed product runs through the dispatched SIMD multiply, and the
+    // coherent gain sums the same coefficients in the same order as
+    // `Window::coherent_gain` — every value is identical to the historic
+    // in-place `Window::apply` path.
     let GoertzelScratch {
         windowed,
         coeff,
         s1,
         s2,
+        wcoef,
         ..
     } = scratch;
+    let lv = emvolt_simd::level();
+    wcoef.clear();
+    wcoef.extend((0..n).map(|i| window.value(i, n)));
+    let gain = (wcoef.iter().sum::<f64>() / n as f64).max(1e-12);
+    let scale = 1.0 / (n as f64 * gain);
+    windowed.clear();
+    windowed.resize(n, 0.0);
+    lv.mul(samples, wcoef, windowed);
+
     coeff.clear();
     coeff.extend((k0..k1).map(|k| {
         let w = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
@@ -272,33 +312,13 @@ pub fn of_samples_band_into(
     s2.clear();
     s2.resize(nb, 0.0);
 
-    // Sample-outer / bin-inner: the inner loop has no cross-iteration
-    // dependency, so it vectorizes across bins; the recurrence dependency
-    // runs down the outer loop where each bin's chain is independent.
-    // Four samples advance per inner pass so the state arrays are loaded
-    // and stored once per quad instead of once per sample — the loop is
-    // memory-bound on `s1`/`s2`, not FLOP-bound. The per-bin arithmetic
-    // sequence (`x + c·s1 − s2` each step) is unchanged, so results are
-    // bit-identical to the one-sample form.
-    let mut quads = windowed.chunks_exact(4);
-    for quad in quads.by_ref() {
-        let (x0, x1, x2, x3) = (quad[0], quad[1], quad[2], quad[3]);
-        for ((c, a), b) in coeff.iter().zip(s1.iter_mut()).zip(s2.iter_mut()) {
-            let t0 = x0 + c * *a - *b;
-            let t1 = x1 + c * t0 - *a;
-            let t2 = x2 + c * t1 - t0;
-            let t3 = x3 + c * t2 - t1;
-            *a = t3;
-            *b = t2;
-        }
-    }
-    for &xv in quads.remainder() {
-        for ((c, a), b) in coeff.iter().zip(s1.iter_mut()).zip(s2.iter_mut()) {
-            let s0 = xv + c * *a - *b;
-            *b = *a;
-            *a = s0;
-        }
-    }
+    // Sample-outer / bin-inner recurrence on the dispatched SIMD level:
+    // the inner loop has no cross-iteration dependency, so it vectorizes
+    // across bins, and four samples advance per inner pass so the state
+    // arrays are loaded and stored once per quad. The per-bin sequence is
+    // the fused `c.mul_add(s1, x − s2)` step at every level, so results
+    // are bit-identical across dispatch levels (see `emvolt-simd`).
+    lv.goertzel(windowed, coeff, s1, s2);
 
     out.bins.extend((0..nb).map(|j| {
         let power = s1[j] * s1[j] + s2[j] * s2[j] - coeff[j] * s1[j] * s2[j];
@@ -414,16 +434,18 @@ pub fn of_samples_band_multi_into(
         wcoef,
         ..
     } = scratch;
+    let lv = emvolt_simd::level();
     wcoef.clear();
     wcoef.extend((0..n).map(|i| window.value(i, n)));
     let gain = (wcoef.iter().sum::<f64>() / n as f64).max(1e-12);
     let scale = 1.0 / (n as f64 * gain);
 
-    // Windowed copies, lane-major `[L][n]`.
+    // Windowed copies, lane-major `[L][n]`, through the dispatched SIMD
+    // multiply (same products as the serial path's windowing pass).
     windowed.clear();
-    windowed.reserve(n_lanes * n);
-    for samples in lanes {
-        windowed.extend(samples.iter().zip(wcoef.iter()).map(|(&x, &w)| x * w));
+    windowed.resize(n_lanes * n, 0.0);
+    for (samples, lane_w) in lanes.iter().zip(windowed.chunks_exact_mut(n)) {
+        lv.mul(samples, wcoef, lane_w);
     }
 
     coeff.clear();
@@ -432,11 +454,11 @@ pub fn of_samples_band_multi_into(
         2.0 * w.cos()
     }));
 
-    // Each lane runs the serial path's quad recurrence (four samples
-    // per bin-vectorized state pass) against the shared coefficients.
-    // The recurrence chain is latency-bound, so the shared trig above
-    // is where the multi-lane win comes from; keeping the quad shape
-    // keeps each lane's per-bin chain (`x + c·s1 − s2` in sample order)
+    // Each lane runs the serial path's dispatched quad recurrence (four
+    // samples per bin-vectorized state pass) against the shared
+    // coefficients. The recurrence chain is latency-bound, so the shared
+    // trig above is where the multi-lane win comes from; the kernel's
+    // per-bin chain (fused `c.mul_add(s1, x − s2)` in sample order) is
     // exactly the serial sequence, so every lane stays bit-identical to
     // a serial evaluation.
     for (lane_w, out) in windowed.chunks_exact(n).zip(outs.iter_mut()) {
@@ -444,25 +466,7 @@ pub fn of_samples_band_multi_into(
         s1.resize(nb, 0.0);
         s2.clear();
         s2.resize(nb, 0.0);
-        let mut quads = lane_w.chunks_exact(4);
-        for quad in quads.by_ref() {
-            let (x0, x1, x2, x3) = (quad[0], quad[1], quad[2], quad[3]);
-            for ((c, a), b) in coeff.iter().zip(s1.iter_mut()).zip(s2.iter_mut()) {
-                let t0 = x0 + c * *a - *b;
-                let t1 = x1 + c * t0 - *a;
-                let t2 = x2 + c * t1 - t0;
-                let t3 = x3 + c * t2 - t1;
-                *a = t3;
-                *b = t2;
-            }
-        }
-        for &xv in quads.remainder() {
-            for ((c, a), b) in coeff.iter().zip(s1.iter_mut()).zip(s2.iter_mut()) {
-                let s0 = xv + c * *a - *b;
-                *b = *a;
-                *a = s0;
-            }
-        }
+        lv.goertzel(lane_w, coeff, s1, s2);
         out.bins.extend((0..nb).map(|j| {
             let a = s1[j];
             let b = s2[j];

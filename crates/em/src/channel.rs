@@ -150,15 +150,15 @@ impl EmChannel {
         let k0 = first.first_bin();
         transfer.clear();
         transfer.extend((k0..k0 + first.covered_bins()).map(|k| self.transfer(first.freq_at(k))));
+        // Per-lane scaling through the dispatched SIMD multiply: the same
+        // `a * h` products a serial propagation computes per bin.
         for (band, out) in die_currents.iter().zip(outs.iter_mut()) {
-            out.refill_from_bins(
+            out.refill_from_product(
                 band.freq_step(),
                 k0,
                 band.len(),
-                band.amplitudes()
-                    .iter()
-                    .zip(transfer.iter())
-                    .map(|(&a, &h)| a * h),
+                band.amplitudes(),
+                transfer,
             );
         }
         telemetry.count(emvolt_obs::CounterId::RxSpectra, die_currents.len() as u64);

@@ -51,11 +51,18 @@ pub enum CounterId {
     /// by `batch_lanes` this yields the mean lane occupancy. Charged at
     /// the generation barrier like [`CounterId::BatchLanes`].
     BatchLaneOccupancy,
+    /// Numeric code of the runtime-dispatched SIMD level the campaign's
+    /// hot kernels ran on (core); charged once per campaign with
+    /// `emvolt_simd::SimdLevel::code`. Host-dependent by design, so it is
+    /// summary-only, like the schedule-dependent counters: results are
+    /// bit-identical across levels and emitted traces must not vary with
+    /// the host's vector width.
+    SimdDispatchLevel,
 }
 
 impl CounterId {
     /// Every counter, in emission order.
-    pub const ALL: [CounterId; 16] = [
+    pub const ALL: [CounterId; 17] = [
         CounterId::LuFactorizations,
         CounterId::SolverSteps,
         CounterId::TransientRuns,
@@ -72,6 +79,7 @@ impl CounterId {
         CounterId::FitnessCacheMisses,
         CounterId::BatchLanes,
         CounterId::BatchLaneOccupancy,
+        CounterId::SimdDispatchLevel,
     ];
 
     /// Wire name used in counter events and summaries.
@@ -93,6 +101,7 @@ impl CounterId {
             CounterId::FitnessCacheMisses => "fitness_cache_misses",
             CounterId::BatchLanes => "batch_lanes",
             CounterId::BatchLaneOccupancy => "batch_lane_occupancy",
+            CounterId::SimdDispatchLevel => "simd_dispatch_level",
         }
     }
 
@@ -111,18 +120,23 @@ impl CounterId {
             | CounterId::FitnessCacheHits
             | CounterId::FitnessCacheMisses
             | CounterId::BatchLanes
-            | CounterId::BatchLaneOccupancy => Layer::Core,
+            | CounterId::BatchLaneOccupancy
+            | CounterId::SimdDispatchLevel => Layer::Core,
         }
     }
 
     /// Whether the counter's value can depend on the worker-thread
     /// schedule rather than on the campaign inputs alone. Pool misses
     /// (and the LU factorizations a cold slot performs) vary with how
-    /// workers interleave, so these are reported in campaign summaries
-    /// but excluded from emitted trace events, which must stay
-    /// byte-reproducible at any thread count.
+    /// workers interleave, and the dispatched SIMD level varies with the
+    /// host CPU, so these are reported in campaign summaries but excluded
+    /// from emitted trace events, which must stay byte-reproducible at
+    /// any thread count and on any host.
     pub fn schedule_dependent(self) -> bool {
-        matches!(self, CounterId::LuFactorizations | CounterId::ScratchMisses)
+        matches!(
+            self,
+            CounterId::LuFactorizations | CounterId::ScratchMisses | CounterId::SimdDispatchLevel
+        )
     }
 
     fn index(self) -> usize {

@@ -110,6 +110,12 @@ pub struct RunConfig {
     /// vs band-limited Goertzel). Consumed by the backend/CLI layers when
     /// they build the measurement rig.
     pub spectral: SpectralChoice,
+    /// Name of the runtime-dispatched SIMD level the hot kernels run on
+    /// (`emvolt_simd::level().as_str()` at construction). Descriptive
+    /// metadata only: results are bit-identical at every level, so this
+    /// field is exempt from the record/replay fingerprint — replays
+    /// recorded on a different host stay valid.
+    pub simd: &'static str,
 }
 
 impl Default for RunConfig {
@@ -124,6 +130,7 @@ impl Default for RunConfig {
             pdn_warmup: 2e-6,
             kernel: KernelChoice::default(),
             spectral: SpectralChoice::default(),
+            simd: emvolt_simd::level().as_str(),
         }
     }
 }
@@ -143,6 +150,7 @@ impl RunConfig {
             pdn_warmup: 1e-6,
             kernel: KernelChoice::default(),
             spectral: SpectralChoice::default(),
+            simd: emvolt_simd::level().as_str(),
         }
     }
 }

@@ -1,0 +1,65 @@
+//! AArch64 dispatch target: the shared kernels instantiated at the
+//! 128-bit NEON width. `vfmaq_f64` is the fused, correctly-rounded
+//! multiply-add, so this tier is bit-identical to the scalar `mul_add`
+//! reference like the x86-64 tiers.
+
+use core::arch::aarch64::{
+    float64x2_t, vdupq_n_f64, vfmaq_f64, vld1q_f64, vmulq_f64, vnegq_f64, vst1q_f64, vsubq_f64,
+};
+
+use crate::vector::Vf64;
+
+// SAFETY: used only from `#[target_feature(enable = "neon")]` functions
+// reached through runtime detection; loads/stores follow the trait's
+// pointer contract.
+unsafe impl Vf64 for float64x2_t {
+    const W: usize = 2;
+
+    #[inline(always)]
+    unsafe fn load(p: *const f64) -> Self {
+        // SAFETY: caller provides two readable f64s; NEON availability
+        // is guaranteed by the dispatch layer.
+        unsafe { vld1q_f64(p) }
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f64) {
+        // SAFETY: caller provides two writable f64s.
+        unsafe { vst1q_f64(p, self) }
+    }
+
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        // SAFETY: value-only intrinsic; NEON availability is guaranteed
+        // by the dispatch layer.
+        unsafe { vdupq_n_f64(x) }
+    }
+
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        // SAFETY: as in `splat`.
+        unsafe { vsubq_f64(self, o) }
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        // SAFETY: as in `splat`.
+        unsafe { vmulq_f64(self, o) }
+    }
+
+    #[inline(always)]
+    fn fmadd(self, b: Self, c: Self) -> Self {
+        // `vfmaq_f64(acc, a, b)` computes `acc + a*b` fused.
+        // SAFETY: as in `splat`.
+        unsafe { vfmaq_f64(c, self, b) }
+    }
+
+    #[inline(always)]
+    fn fmsub(self, b: Self, c: Self) -> Self {
+        // `self*b - c` as `(-c) + self*b`, still one fused rounding.
+        // SAFETY: as in `splat`.
+        unsafe { vfmaq_f64(vnegq_f64(c), self, b) }
+    }
+}
+
+crate::kernels::target_kernels!("neon", core::arch::aarch64::float64x2_t);

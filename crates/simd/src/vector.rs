@@ -1,0 +1,99 @@
+//! The minimal f64 vector abstraction the shared kernels are generic
+//! over.
+//!
+//! One implementation per dispatch level: plain `f64` (the scalar
+//! reference, width 1), `__m128d`/`__m256d` on x86-64 and `float64x2_t`
+//! on AArch64. Every arithmetic method is a *single* IEEE 754 operation
+//! — in particular [`Vf64::fmadd`]/[`Vf64::fmsub`] are the fused,
+//! correctly-rounded multiply-adds — so a kernel instantiated at any
+//! width performs the identical per-element operation sequence and the
+//! bit-equality contract holds by construction.
+
+/// A vector of `W` lanes of `f64`.
+///
+/// # Safety
+///
+/// Implementations for target-specific vector types must only be *used*
+/// (through the kernels in [`crate::kernels`]) from functions compiled
+/// with the matching target features; the dispatch layer guarantees
+/// those functions are only reached when the features are present at
+/// runtime. `load`/`store` require `W` readable/writable `f64`s at the
+/// pointer.
+pub(crate) unsafe trait Vf64: Copy {
+    /// Lane count.
+    const W: usize;
+
+    /// Loads `W` contiguous (unaligned) `f64`s.
+    ///
+    /// # Safety
+    ///
+    /// `p` must point to at least `W` readable `f64`s.
+    unsafe fn load(p: *const f64) -> Self;
+
+    /// Stores `W` contiguous (unaligned) `f64`s.
+    ///
+    /// # Safety
+    ///
+    /// `p` must point to at least `W` writable `f64`s.
+    unsafe fn store(self, p: *mut f64);
+
+    /// Broadcasts one value to every lane.
+    fn splat(x: f64) -> Self;
+
+    /// Lanewise `self - o`.
+    fn sub(self, o: Self) -> Self;
+
+    /// Lanewise `self * o` (single rounding).
+    fn mul(self, o: Self) -> Self;
+
+    /// Lanewise fused `self * b + c` (single rounding).
+    fn fmadd(self, b: Self, c: Self) -> Self;
+
+    /// Lanewise fused `self * b - c` (single rounding).
+    fn fmsub(self, b: Self, c: Self) -> Self;
+}
+
+/// The scalar reference "vector": width 1, fused ops via
+/// [`f64::mul_add`].
+// SAFETY: width-1 loads/stores touch exactly the one element the
+// caller's pointer contract provides; no target features involved.
+unsafe impl Vf64 for f64 {
+    const W: usize = 1;
+
+    #[inline(always)]
+    unsafe fn load(p: *const f64) -> Self {
+        // SAFETY: caller provides one readable f64.
+        unsafe { *p }
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f64) {
+        // SAFETY: caller provides one writable f64.
+        unsafe { *p = self }
+    }
+
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        x
+    }
+
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        self - o
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        self * o
+    }
+
+    #[inline(always)]
+    fn fmadd(self, b: Self, c: Self) -> Self {
+        self.mul_add(b, c)
+    }
+
+    #[inline(always)]
+    fn fmsub(self, b: Self, c: Self) -> Self {
+        self.mul_add(b, -c)
+    }
+}

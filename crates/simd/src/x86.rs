@@ -1,0 +1,132 @@
+//! x86-64 dispatch targets: the shared kernels instantiated at 128-bit
+//! (`__m128d`) and 256-bit (`__m256d`) widths, compiled with the
+//! matching target features. Both tiers use FMA3 fused arithmetic —
+//! that is what keeps them bit-identical to the scalar `mul_add`
+//! reference — so both require the `fma` CPU feature at runtime (the
+//! dispatch layer guarantees it).
+
+use core::arch::x86_64::{
+    __m128d, __m256d, _mm256_broadcast_sd, _mm256_fmadd_pd, _mm256_fmsub_pd, _mm256_loadu_pd,
+    _mm256_mul_pd, _mm256_storeu_pd, _mm256_sub_pd, _mm_fmadd_pd, _mm_fmsub_pd, _mm_loadu_pd,
+    _mm_mul_pd, _mm_set1_pd, _mm_storeu_pd, _mm_sub_pd,
+};
+
+use crate::vector::Vf64;
+
+// SAFETY: used only from `#[target_feature(enable = "sse2,fma")]`
+// functions reached through runtime detection; loads/stores follow the
+// trait's pointer contract.
+unsafe impl Vf64 for __m128d {
+    const W: usize = 2;
+
+    #[inline(always)]
+    unsafe fn load(p: *const f64) -> Self {
+        // SAFETY: caller provides two readable f64s.
+        unsafe { _mm_loadu_pd(p) }
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f64) {
+        // SAFETY: caller provides two writable f64s.
+        unsafe { _mm_storeu_pd(p, self) }
+    }
+
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        // SAFETY: value-only intrinsic; the dispatch layer only
+        // reaches this tier when its features are present.
+        unsafe { _mm_set1_pd(x) }
+    }
+
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        // SAFETY: value-only intrinsic; the dispatch layer only
+        // reaches this tier when its features are present.
+        unsafe { _mm_sub_pd(self, o) }
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        // SAFETY: value-only intrinsic; the dispatch layer only
+        // reaches this tier when its features are present.
+        unsafe { _mm_mul_pd(self, o) }
+    }
+
+    #[inline(always)]
+    fn fmadd(self, b: Self, c: Self) -> Self {
+        // SAFETY: value-only intrinsic; the dispatch layer only
+        // reaches this tier when its features are present.
+        unsafe { _mm_fmadd_pd(self, b, c) }
+    }
+
+    #[inline(always)]
+    fn fmsub(self, b: Self, c: Self) -> Self {
+        // SAFETY: value-only intrinsic; the dispatch layer only
+        // reaches this tier when its features are present.
+        unsafe { _mm_fmsub_pd(self, b, c) }
+    }
+}
+
+// SAFETY: used only from `#[target_feature(enable = "avx2,fma")]`
+// functions reached through runtime detection; loads/stores follow the
+// trait's pointer contract.
+unsafe impl Vf64 for __m256d {
+    const W: usize = 4;
+
+    #[inline(always)]
+    unsafe fn load(p: *const f64) -> Self {
+        // SAFETY: caller provides four readable f64s.
+        unsafe { _mm256_loadu_pd(p) }
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f64) {
+        // SAFETY: caller provides four writable f64s.
+        unsafe { _mm256_storeu_pd(p, self) }
+    }
+
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        // SAFETY: operates on the value only; `broadcast_sd` takes a
+        // reference to it.
+        unsafe { _mm256_broadcast_sd(&x) }
+    }
+
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        // SAFETY: value-only intrinsic; the dispatch layer only
+        // reaches this tier when its features are present.
+        unsafe { _mm256_sub_pd(self, o) }
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        // SAFETY: value-only intrinsic; the dispatch layer only
+        // reaches this tier when its features are present.
+        unsafe { _mm256_mul_pd(self, o) }
+    }
+
+    #[inline(always)]
+    fn fmadd(self, b: Self, c: Self) -> Self {
+        // SAFETY: value-only intrinsic; the dispatch layer only
+        // reaches this tier when its features are present.
+        unsafe { _mm256_fmadd_pd(self, b, c) }
+    }
+
+    #[inline(always)]
+    fn fmsub(self, b: Self, c: Self) -> Self {
+        // SAFETY: value-only intrinsic; the dispatch layer only
+        // reaches this tier when its features are present.
+        unsafe { _mm256_fmsub_pd(self, b, c) }
+    }
+}
+
+/// The 128-bit tier.
+pub(crate) mod sse2 {
+    crate::kernels::target_kernels!("sse2,fma", core::arch::x86_64::__m128d);
+}
+
+/// The 256-bit tier.
+pub(crate) mod avx2 {
+    crate::kernels::target_kernels!("avx2,fma", core::arch::x86_64::__m256d);
+}

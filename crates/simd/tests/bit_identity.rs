@@ -1,0 +1,139 @@
+//! Property tests pinning the crate's bit-equality contract: every
+//! dispatch level supported on the host must produce byte-for-byte the
+//! same results as the scalar `mul_add` reference, for every op, across
+//! randomized shapes, lane counts, and data.
+
+use emvolt_simd::{supported_levels, SimdLevel};
+use proptest::prelude::*;
+
+/// Finite, well-scaled sample values.
+fn vals(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e3f64..1.0e3, len)
+}
+
+fn bits(x: &[f64]) -> Vec<u64> {
+    x.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs `op` once per supported level and asserts the output bits match
+/// the scalar run exactly.
+fn assert_levels_match(mut op: impl FnMut(SimdLevel) -> Vec<Vec<u64>>) {
+    let reference = op(SimdLevel::Scalar);
+    for &lv in supported_levels() {
+        let got = op(lv);
+        assert_eq!(
+            got,
+            reference,
+            "level {} diverged from scalar reference",
+            lv.as_str()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fold_cols_matches_scalar(
+        n_nodes in 1usize..12,
+        n_inputs in 1usize..10,
+        seed in vals(12 * 10 + 10),
+    ) {
+        let cols = &seed[..n_nodes * n_inputs];
+        let inputs = &seed[n_nodes * n_inputs..n_nodes * n_inputs + n_inputs];
+        assert_levels_match(|lv| {
+            let mut xn = vec![0.0; n_nodes];
+            lv.fold_cols(cols, n_nodes, inputs, &mut xn);
+            vec![bits(&xn)]
+        });
+    }
+
+    #[test]
+    fn fold_cols_lanes_matches_scalar(
+        n_nodes in 1usize..8,
+        n_inputs in 1usize..6,
+        lanes in 1usize..9,
+        seed in vals(8 * 6 + 6 * 8),
+    ) {
+        let cols = &seed[..n_nodes * n_inputs];
+        let inputs = &seed[n_nodes * n_inputs..n_nodes * n_inputs + n_inputs * lanes];
+        assert_levels_match(|lv| {
+            let mut xn = vec![0.0; n_nodes * lanes];
+            lv.fold_cols_lanes(cols, n_nodes, inputs, lanes, &mut xn);
+            vec![bits(&xn)]
+        });
+    }
+
+    #[test]
+    fn gather_hist_matches_scalar(
+        n in 1usize..24,
+        lanes in 1usize..9,
+        seed in vals(24 + 2 * 24 * 8),
+    ) {
+        let g = &seed[..n];
+        let v = &seed[n..n + n * lanes];
+        let i = &seed[n + n * lanes..n + 2 * n * lanes];
+        assert_levels_match(|lv| {
+            let mut out = vec![0.0; n * lanes];
+            lv.gather_hist(g, v, i, lanes, &mut out);
+            vec![bits(&out)]
+        });
+    }
+
+    #[test]
+    fn elem_updates_match_scalar(
+        n in 1usize..16,
+        n_rows in 2usize..8,
+        lanes in 1usize..9,
+        row_seed in prop::collection::vec(0u32..8, 2 * 16),
+        seed in vals(16 + 8 * 8 + 2 * 16 * 8),
+        cap in any::<bool>(),
+    ) {
+        let rows: Vec<[u32; 2]> = (0..n)
+            .map(|k| [row_seed[2 * k] % n_rows as u32, row_seed[2 * k + 1] % n_rows as u32])
+            .collect();
+        let g = &seed[..n];
+        let state = &seed[n..n + n_rows * lanes];
+        let v0 = &seed[n + n_rows * lanes..n + n_rows * lanes + n * lanes];
+        let i0 = &seed[n + n_rows * lanes + n * lanes..n + n_rows * lanes + 2 * n * lanes];
+        assert_levels_match(|lv| {
+            let mut v = v0.to_vec();
+            let mut i = i0.to_vec();
+            if cap {
+                lv.cap_updates(g, &rows, state, lanes, &mut v, &mut i);
+            } else {
+                lv.ind_updates(g, &rows, state, lanes, &mut v, &mut i);
+            }
+            vec![bits(&v), bits(&i)]
+        });
+    }
+
+    #[test]
+    fn goertzel_matches_scalar(
+        n_samples in 1usize..64,
+        n_bins in 1usize..24,
+        samples in vals(64),
+        coeff in prop::collection::vec(-2.0f64..2.0, 24),
+        state in vals(2 * 24),
+    ) {
+        let samples = &samples[..n_samples];
+        let coeff = &coeff[..n_bins];
+        assert_levels_match(|lv| {
+            let mut s1 = state[..n_bins].to_vec();
+            let mut s2 = state[24..24 + n_bins].to_vec();
+            lv.goertzel(samples, coeff, &mut s1, &mut s2);
+            vec![bits(&s1), bits(&s2)]
+        });
+    }
+
+    #[test]
+    fn mul_matches_scalar(n in 1usize..64, seed in vals(2 * 64)) {
+        let x = &seed[..n];
+        let y = &seed[64..64 + n];
+        assert_levels_match(|lv| {
+            let mut out = vec![0.0; n];
+            lv.mul(x, y, &mut out);
+            vec![bits(&out)]
+        });
+    }
+}

@@ -43,7 +43,9 @@ OPTIONS:
     --population N               GA population (default 20)
     --generations N              GA generations (default 15)
     --lanes N                    virus: individuals measured per batched
-                                 backend call (default 0 = auto); purely a
+                                 backend call, 0..=64 (default 0 = auto:
+                                 the detected SIMD level's preferred width,
+                                 8 on AVX2 hosts, 4 otherwise); purely a
                                  performance knob — results are bit-identical
                                  at any lane width
     --seed S                     GA / measurement seed (default 42)
@@ -64,6 +66,15 @@ OPTIONS:
                                  persisting every measurement to a JSONL trace)
                                  or `replay:PATH` (serve a recorded trace; the
                                  circuit solver never runs)
+
+ENVIRONMENT:
+    EMVOLT_SIMD=auto|scalar|sse2|avx2|neon
+                                 caps the runtime-dispatched SIMD level of the
+                                 hot kernels (default auto = best supported);
+                                 requests above the host's capability are
+                                 clamped. Results are bit-identical at every
+                                 level; `--lanes 0` auto-width follows the
+                                 resolved level.
 ";
 
 /// Which flags a subcommand accepts: `valued` take the next argument,
@@ -248,6 +259,31 @@ fn seed(flags: &HashMap<String, String>) -> u64 {
     flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42)
 }
 
+/// Largest accepted `--lanes` width. Far above any useful batch width
+/// (the SoA state of a 64-lane group already thrashes cache), so the cap
+/// only rejects typos like `--lanes 1000000`.
+const MAX_LANES: usize = 64;
+
+/// Parses `--lanes` strictly: `0` (the default) means "auto — the
+/// detected SIMD level's preferred width"; anything non-numeric or above
+/// [`MAX_LANES`] is a hard error naming the accepted range.
+fn parse_lanes(flags: &HashMap<String, String>) -> Result<usize, Box<dyn Error>> {
+    let Some(raw) = flags.get("lanes") else {
+        return Ok(0);
+    };
+    let lanes: usize = raw
+        .parse()
+        .map_err(|_| format!("--lanes {raw}: expected an integer in 0..={MAX_LANES} (0 = auto)"))?;
+    if lanes > MAX_LANES {
+        return Err(format!(
+            "--lanes {raw}: accepted range is 0..={MAX_LANES} (0 = auto; \
+             results are bit-identical at any width)"
+        )
+        .into());
+    }
+    Ok(lanes)
+}
+
 /// Applies `--kernel` and `--spectrum` to a run configuration; both
 /// default to `auto` when absent.
 fn apply_solver_flags(
@@ -357,7 +393,7 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         .get("generations")
         .and_then(|s| s.parse().ok())
         .unwrap_or(15);
-    let lanes = flags.get("lanes").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let lanes = parse_lanes(flags)?;
     let tel = telemetry_from(flags)?;
     let progress = flags.contains_key("progress");
     let mut cfg = VirusGenConfig {
@@ -591,6 +627,23 @@ mod tests {
     #[test]
     fn unknown_command_has_no_spec() {
         assert!(FlagSpec::for_command("viurs").is_none());
+    }
+
+    #[test]
+    fn lanes_flag_is_validated() {
+        // Absent: auto.
+        assert_eq!(parse_lanes(&HashMap::new()).unwrap(), 0);
+        // In range: honored as-is.
+        let mut flags = HashMap::new();
+        flags.insert("lanes".to_owned(), "8".to_owned());
+        assert_eq!(parse_lanes(&flags).unwrap(), 8);
+        // Absurd widths and non-numbers are hard errors naming the range.
+        for bad in ["1000000", "eight", "-3"] {
+            let mut flags = HashMap::new();
+            flags.insert("lanes".to_owned(), bad.to_owned());
+            let err = parse_lanes(&flags).unwrap_err().to_string();
+            assert!(err.contains("0..=64"), "{err}");
+        }
     }
 
     #[test]
