@@ -30,7 +30,7 @@
 use emvolt_bench::fixtures::{a72_domain, arm_kernel};
 use emvolt_core::{generate_em_virus, VirusGenConfig};
 use emvolt_ga::GaConfig;
-use emvolt_obs::{JsonlRecorder, Telemetry};
+use emvolt_obs::{JsonlRecorder, NoopRecorder, Telemetry, WaveDb};
 use emvolt_platform::{
     BatchTransientScratch, DomainRun, DomainRunner, EmBench, KernelChoice, MeasureScratch,
     RunConfig, SpectralChoice,
@@ -271,6 +271,29 @@ fn eval_records() -> Vec<Stats> {
         let mut measure = MeasureScratch::new();
         measure.set_telemetry(tel);
         records.push(time_ms("full_chain_jsonl_to_sink", WARMUP, SAMPLES, || {
+            runner.run_into(&kernel, 1, &mut run).unwrap();
+            std::hint::black_box(
+                shared
+                    .measure_in_band_seeded_with(&run, 50e6, 200e6, 3, 7, &mut measure)
+                    .metric_dbm,
+            );
+        }));
+    }
+
+    // Wave sink attached: the full chain streaming every probed waveform
+    // (core current, issue slots, die voltage, package current, swept-bin
+    // readings) into an in-memory WaveDb — the enabled upper bound the
+    // `--trace-vcd` flag pays. With the sink absent the chain must stay
+    // within 1% of `full_chain_baseline`, which `full_chain_noop_recorder`
+    // above measures (the noop handle also carries the inert wave sink).
+    {
+        let db = Arc::new(WaveDb::new());
+        let tel = Telemetry::with_waves(Arc::new(NoopRecorder), db);
+        let mut runner = DomainRunner::new_with(&domain, cfg.clone(), tel.clone()).unwrap();
+        let mut run = DomainRun::empty();
+        let mut measure = MeasureScratch::new();
+        measure.set_telemetry(tel);
+        records.push(time_ms("wavetrace_overhead", WARMUP, SAMPLES, || {
             runner.run_into(&kernel, 1, &mut run).unwrap();
             std::hint::black_box(
                 shared

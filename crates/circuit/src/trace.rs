@@ -196,6 +196,23 @@ impl Trace {
             values,
         }
     }
+
+    /// Keeps every `stride`-th sample, starting from the first — the
+    /// decimation the waveform-trace path applies before emitting dense
+    /// transients, so `decimated(1)` is the identity and larger strides
+    /// thin the trace without moving `t0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn decimated(&self, stride: usize) -> Trace {
+        assert!(stride > 0, "decimation stride must be positive");
+        Trace {
+            dt: self.dt * stride as f64,
+            t0: self.t0,
+            values: self.values.iter().copied().step_by(stride).collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -262,5 +279,71 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_dt_panics() {
         let _ = Trace::from_samples(0.0, vec![1.0]);
+    }
+
+    #[test]
+    fn single_sample_trace_is_well_defined() {
+        let t = Trace::from_samples(0.25, vec![7.0]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.duration(), 0.25);
+        assert_eq!(t.min(), 7.0);
+        assert_eq!(t.max(), 7.0);
+        assert_eq!(t.mean(), 7.0);
+        assert_eq!(t.rms(), 7.0);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(0.0, 7.0)]);
+        // Decimation of one sample keeps it, at any stride.
+        assert_eq!(t.decimated(10).samples(), &[7.0]);
+    }
+
+    #[test]
+    fn nonzero_t0_shifts_times_not_values() {
+        let t = Trace::with_start(0.5, 3.0, vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.start_time(), 3.0);
+        assert_eq!(t.time_at(2), 4.0);
+        let pts: Vec<(f64, f64)> = t.iter().collect();
+        assert_eq!(pts[0], (3.0, 1.0));
+        // Windowing and decimation preserve the shifted axis.
+        let w = t.window(3.5, 4.5);
+        assert_eq!(w.start_time(), 3.5);
+        assert_eq!(w.samples(), &[2.0, 3.0]);
+        let d = t.decimated(2);
+        assert_eq!(d.start_time(), 3.0);
+        assert_eq!(d.time_at(1), 4.0);
+    }
+
+    #[test]
+    fn decimation_identity_and_stride() {
+        let t = Trace::with_start(0.5, 1.0, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let id = t.decimated(1);
+        assert_eq!(id.samples(), t.samples());
+        assert_eq!(id.dt(), t.dt());
+        assert_eq!(id.start_time(), t.start_time());
+        let d2 = t.decimated(2);
+        assert_eq!(d2.samples(), &[1.0, 3.0, 5.0]);
+        assert_eq!(d2.dt(), 1.0);
+        // The kept samples land at exactly their original timestamps —
+        // the invariant the wavetrace stride path relies on.
+        for (i, (td, vd)) in d2.iter().enumerate() {
+            assert_eq!((td, vd), (t.time_at(2 * i), t.samples()[2 * i]));
+        }
+        // Over-long strides keep only the first sample.
+        assert_eq!(t.decimated(100).samples(), &[1.0]);
+    }
+
+    #[test]
+    fn decimation_round_trips_through_resample_hold() {
+        // A piecewise-constant trace decimated then re-expanded by
+        // zero-order hold reproduces itself when values change slower
+        // than the stride.
+        let t = Trace::from_samples(1.0, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        let rt = t.decimated(2).resample_hold(1.0);
+        assert_eq!(rt.samples(), t.samples());
+        assert_eq!(rt.dt(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_stride_panics() {
+        let _ = t123().decimated(0);
     }
 }

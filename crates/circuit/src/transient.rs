@@ -14,7 +14,7 @@ use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::{Circuit, ISourceId, InductorId, NodeId};
 use crate::stimulus::Stimulus;
 use crate::trace::Trace;
-use emvolt_obs::{CounterId, Layer, Telemetry};
+use emvolt_obs::{CounterId, Layer, Telemetry, WaveKind};
 
 /// Configuration for a transient run.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +151,11 @@ impl TransientResult {
 pub struct TransientProbes {
     nodes: Option<Vec<NodeId>>,
     inductors: Option<Vec<InductorId>>,
+    /// Waveform-trace signal names per probed node / inductor index.
+    /// Unlabeled probes fall back to generic `circuit.*` names when a
+    /// wave-enabled telemetry handle is attached to the run's scratch.
+    node_labels: Vec<(usize, String)>,
+    ind_labels: Vec<(usize, String)>,
 }
 
 impl TransientProbes {
@@ -166,6 +171,8 @@ impl TransientProbes {
         TransientProbes {
             nodes: Some(Vec::new()),
             inductors: Some(Vec::new()),
+            node_labels: Vec::new(),
+            ind_labels: Vec::new(),
         }
     }
 
@@ -183,6 +190,38 @@ impl TransientProbes {
     pub fn with_inductor(mut self, id: InductorId) -> Self {
         self.inductors.get_or_insert_with(Vec::new).push(id);
         self
+    }
+
+    /// Like [`TransientProbes::with_node`], additionally naming the
+    /// probe's waveform-trace signal (e.g. `pdn.v_die`) instead of the
+    /// generic `circuit.n<i>.v` fallback.
+    #[must_use]
+    pub fn with_node_labeled(mut self, node: NodeId, label: impl Into<String>) -> Self {
+        self.node_labels.push((node.index(), label.into()));
+        self.with_node(node)
+    }
+
+    /// Like [`TransientProbes::with_inductor`], additionally naming the
+    /// probe's waveform-trace signal (e.g. `pdn.i_pkg`) instead of the
+    /// generic `circuit.l<i>.i` fallback.
+    #[must_use]
+    pub fn with_inductor_labeled(mut self, id: InductorId, label: impl Into<String>) -> Self {
+        self.ind_labels.push((id.index(), label.into()));
+        self.with_inductor(id)
+    }
+
+    fn node_label(&self, node_index: usize) -> Option<&str> {
+        self.node_labels
+            .iter()
+            .find(|(i, _)| *i == node_index)
+            .map(|(_, l)| l.as_str())
+    }
+
+    fn ind_label(&self, ind_index: usize) -> Option<&str> {
+        self.ind_labels
+            .iter()
+            .find(|(i, _)| *i == ind_index)
+            .map(|(_, l)| l.as_str())
     }
 }
 
@@ -631,6 +670,7 @@ impl Circuit {
                 ("recorded", recorded as f64),
             ],
         );
+        emit_probe_waves(scratch, probes, None);
 
         Ok(())
     }
@@ -826,6 +866,13 @@ impl Circuit {
                 ("dim", (plan.n_nodes + plan.n_vs) as f64),
             ],
         );
+        if tel.wave_enabled() {
+            for (i, lane) in batch.lanes.iter().enumerate() {
+                // Lane scratches carry quiet handles; route emission
+                // through the batch's own (coordinator) handle.
+                emit_probe_waves_with(tel, lane, probes, Some(i));
+            }
+        }
 
         Ok(())
     }
@@ -1348,6 +1395,57 @@ pub struct BatchTransientScratch {
     telemetry: Telemetry,
 }
 
+/// Emits the probed waveforms a finished run left in `scratch` through
+/// its attached telemetry handle's wave sink — the `transient_scoped` /
+/// state-kernel emission site. Runs entirely *after* the step loop, from
+/// the already-recorded buffers, so solver arithmetic (and its SIMD
+/// dispatch) stays byte-identical whether or not tracing is on; with
+/// tracing off this is one branch.
+fn emit_probe_waves(scratch: &TransientScratch, probes: &TransientProbes, lane: Option<usize>) {
+    emit_probe_waves_with(&scratch.telemetry, scratch, probes, lane);
+}
+
+/// [`emit_probe_waves`] routed through an explicit handle: the lane-major
+/// batch path reports every lane through the batch scratch's coordinator
+/// handle (lane scratches hold quiet clones). `lane` suffixes signal
+/// names (`pdn.v_die.lane3`) so lanes stay distinct.
+fn emit_probe_waves_with(
+    telemetry: &Telemetry,
+    scratch: &TransientScratch,
+    probes: &TransientProbes,
+    lane: Option<usize>,
+) {
+    if !telemetry.wave_enabled() || scratch.len == 0 {
+        return;
+    }
+    let stride = telemetry.wave_stride();
+    let suffixed = |base: &str| match lane {
+        Some(i) => format!("{base}.lane{i}"),
+        None => base.to_string(),
+    };
+    let emit = |name: String, samples: &[f64]| {
+        let id = telemetry.wave_register(&name, WaveKind::Real);
+        for (k, &v) in samples.iter().step_by(stride).enumerate() {
+            let t = scratch.t0 + (k * stride) as f64 * scratch.dt;
+            telemetry.wave_real(id, t, v);
+        }
+    };
+    for (slot, &node) in scratch.node_slots.iter().enumerate() {
+        let base = match probes.node_label(node) {
+            Some(label) => label.to_string(),
+            None => format!("circuit.n{node}.v"),
+        };
+        emit(suffixed(&base), &scratch.node_bufs[slot]);
+    }
+    for (slot, &ind) in scratch.ind_slots.iter().enumerate() {
+        let base = match probes.ind_label(ind) {
+            Some(label) => label.to_string(),
+            None => format!("circuit.l{ind}.i"),
+        };
+        emit(suffixed(&base), &scratch.ind_bufs[slot]);
+    }
+}
+
 /// Borrow-split view over the SoA buffers of a
 /// [`BatchTransientScratch`], so the group driver can hand them to the
 /// monomorphized step body while the per-lane scratches stay
@@ -1659,6 +1757,89 @@ mod tests {
             for (a, b) in fi.iter().zip(si.iter()) {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
+        }
+    }
+
+    /// A wave-enabled telemetry handle on the scratch captures the probed
+    /// waveforms (decimated by the sink's stride) without perturbing the
+    /// solve, using probe labels where given and generic names elsewhere.
+    #[test]
+    fn scoped_run_emits_probed_waveforms_to_wave_sink() {
+        use emvolt_obs::{validate_vcd_text, NoopRecorder, WaveDb};
+        use std::sync::Arc;
+
+        let (c, _vin, out, l, _load) = probe_test_circuit();
+        let cfg = TransientConfig::new(0.1e-9, 0.1e-6);
+        let plan = c.plan_transient(cfg.dt).unwrap();
+        let probes = TransientProbes::none()
+            .with_node_labeled(out, "pdn.v_die")
+            .with_inductor(l);
+
+        // Baseline without tracing.
+        let mut plain = TransientScratch::new();
+        let baseline = c
+            .transient_scoped(&plan, &cfg, &probes, &mut plain)
+            .unwrap()
+            .voltage_samples(out)
+            .to_vec();
+
+        let stride = 4;
+        let db = Arc::new(WaveDb::with_config(stride, Vec::new()));
+        let tel = Telemetry::with_waves(Arc::new(NoopRecorder), db.clone());
+        let mut scratch = TransientScratch::new();
+        scratch.set_telemetry(tel);
+        let view = c
+            .transient_scoped(&plan, &cfg, &probes, &mut scratch)
+            .unwrap();
+        for (a, b) in baseline.iter().zip(view.voltage_samples(out)) {
+            assert_eq!(a.to_bits(), b.to_bits(), "tracing perturbed the solve");
+        }
+
+        assert_eq!(db.signal_count(), 2);
+        let vcd = db.to_vcd_string();
+        assert!(vcd.contains("$scope module pdn $end"), "{vcd}");
+        assert!(vcd.contains(" v_die $end"), "{vcd}");
+        // Unlabeled inductor probe falls back to the generic name.
+        assert!(
+            vcd.contains(&format!("$scope module l{} $end", l.index())),
+            "{vcd}"
+        );
+        let check = validate_vcd_text(&vcd).unwrap();
+        assert!(check.changes > 0);
+        // Change compression can only drop samples, never add: per signal
+        // at most ceil(len / stride) survive.
+        let cap = 2 * view.len().div_ceil(stride) as u64;
+        assert!(
+            check.changes <= cap,
+            "{} changes > cap {cap}",
+            check.changes
+        );
+    }
+
+    /// The lane-major batched path reports every lane's probed waveforms
+    /// through the batch handle, suffixed per lane.
+    #[test]
+    fn batched_run_emits_lane_suffixed_waveforms() {
+        use emvolt_obs::{NoopRecorder, WaveDb};
+        use std::sync::Arc;
+
+        let (c, _vin, out, l, load) = probe_test_circuit();
+        let cfg = TransientConfig::new(0.1e-9, 0.05e-6);
+        let plan = c.plan_transient(cfg.dt).unwrap();
+        let probes = TransientProbes::none()
+            .with_node_labeled(out, "pdn.v_die")
+            .with_inductor_labeled(l, "pdn.i_pkg");
+        let db = Arc::new(WaveDb::new());
+        let tel = Telemetry::with_waves(Arc::new(NoopRecorder), db.clone());
+        let mut batch = BatchTransientScratch::new();
+        batch.set_telemetry(tel);
+        let loads = [Stimulus::Dc(0.1), Stimulus::Dc(0.4), Stimulus::Dc(0.9)];
+        c.transient_batch_scoped(&plan, &cfg, &probes, load, &loads, &mut batch)
+            .unwrap();
+        assert_eq!(db.signal_count(), 6);
+        let vcd = db.to_vcd_string();
+        for lane in 0..3 {
+            assert!(vcd.contains(&format!("lane{lane}")), "{vcd}");
         }
     }
 

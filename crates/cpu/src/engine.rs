@@ -203,6 +203,38 @@ impl Cpu {
     /// Returns [`SimError`] for empty kernels, missing functional units or
     /// cycle-limit exhaustion.
     pub fn simulate(&self, kernel: &Kernel, config: &SimConfig) -> Result<SimOutput, SimError> {
+        self.simulate_inner(kernel, config, None)
+    }
+
+    /// Like [`Cpu::simulate`], additionally filling `occupancy` with the
+    /// number of slots issued on each recorded cycle — index `k` pairs
+    /// with sample `k` of the returned current trace. The simulation
+    /// itself is bit-identical to [`Cpu::simulate`]; the capture only
+    /// stores counts the issue loop already computes (this is the
+    /// `cpu.issue_slots` waveform-trace source).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for the same conditions as [`Cpu::simulate`];
+    /// on error `occupancy` contents are unspecified.
+    pub fn simulate_traced(
+        &self,
+        kernel: &Kernel,
+        config: &SimConfig,
+        occupancy: &mut Vec<u32>,
+    ) -> Result<SimOutput, SimError> {
+        self.simulate_inner(kernel, config, Some(occupancy))
+    }
+
+    fn simulate_inner(
+        &self,
+        kernel: &Kernel,
+        config: &SimConfig,
+        mut occupancy: Option<&mut Vec<u32>>,
+    ) -> Result<SimOutput, SimError> {
+        if let Some(occ) = occupancy.as_deref_mut() {
+            occ.clear();
+        }
         if kernel.is_empty() {
             return Err(SimError::EmptyKernel);
         }
@@ -464,6 +496,12 @@ impl Cpu {
                 }
             }
 
+            // Absolute-cycle occupancy log; sliced to the recorded window
+            // at assembly so entry `k` pairs with current sample `k`.
+            if let Some(occ) = occupancy.as_deref_mut() {
+                occ.push(issued);
+            }
+
             cycle += 1;
 
             if let Some(start) = record_start {
@@ -474,6 +512,10 @@ impl Cpu {
                     for c in start..end {
                         let dynamic = dyn_current.get(c as usize).copied().unwrap_or(0.0);
                         samples.push(self.model.idle_current + dynamic);
+                    }
+                    if let Some(occ) = occupancy.as_deref_mut() {
+                        occ.drain(..start as usize);
+                        occ.truncate(duration_cycles as usize);
                     }
                     let dt = 1.0 / self.freq_hz;
                     let window_cycles = (cycle - start) as f64;
@@ -509,6 +551,33 @@ mod tests {
 
     fn a72() -> Cpu {
         Cpu::new(CoreModel::cortex_a72(), 1.2e9)
+    }
+
+    #[test]
+    fn traced_simulation_is_bit_identical_and_aligned() {
+        let cpu = a53();
+        let k = sweep_kernel(Isa::ArmV8);
+        let cfg = SimConfig::default();
+        let plain = cpu.simulate(&k, &cfg).unwrap();
+        let mut occupancy = vec![99u32; 3]; // stale contents must be cleared
+        let traced = cpu.simulate_traced(&k, &cfg, &mut occupancy).unwrap();
+        assert_eq!(plain.current.samples(), traced.current.samples());
+        assert_eq!(plain.ipc, traced.ipc);
+        assert_eq!(occupancy.len(), traced.current.len());
+        let width = cpu.model().issue_width;
+        assert!(occupancy.iter().all(|&n| n <= width));
+        // The kernel issues work, so some recorded cycle must be busy.
+        assert!(occupancy.iter().any(|&n| n > 0));
+        // Occupancy integrates to the issue count implied by the IPC over
+        // the same window.
+        // (up to issue_width boundary issues land on the cycle before the
+        // recorded window opens).
+        let total: u64 = occupancy.iter().map(|&n| n as u64).sum();
+        let expected = traced.ipc * occupancy.len() as f64;
+        assert!(
+            (total as f64 - expected).abs() <= width as f64 + 1e-9,
+            "sum {total} vs ipc-implied {expected}"
+        );
     }
 
     #[test]

@@ -2,10 +2,15 @@
 //!
 //! Usage: `validate_telemetry <trace.jsonl> [more traces...]`
 //!
-//! Every line must parse as an [`Event`] and pass [`Event::validate`].
-//! Prints per-kind and per-layer tallies; exits non-zero on the first
-//! malformed file so CI can gate on it.
+//! Every line must parse as an [`Event`] and pass [`Event::validate`],
+//! and within each span stream (events of kind `span` sharing one name)
+//! the simulated timestamps must be monotonically non-decreasing — the
+//! SimClock only ever advances, so a backwards step means interleaved
+//! emission from worker threads or a corrupted trace. Prints per-kind
+//! and per-layer tallies; exits non-zero on the first malformed file so
+//! CI can gate on it.
 
+use std::collections::HashMap;
 use std::process::ExitCode;
 
 use emvolt_obs::{Event, EventKind, Layer};
@@ -38,6 +43,9 @@ fn validate_file(path: &str) -> Result<String, String> {
     let mut kind_counts = [0usize; EventKind::ALL.len()];
     let mut layer_counts = [0usize; Layer::ALL.len()];
     let mut total = 0usize;
+    // Per span stream (span events sharing a name): the last simulated
+    // timestamp and the line that carried it.
+    let mut span_clock: HashMap<String, (f64, usize)> = HashMap::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -47,6 +55,23 @@ fn validate_file(path: &str) -> Result<String, String> {
         event
             .validate()
             .map_err(|e| format!("line {}: schema violation: {e}", lineno + 1))?;
+        if event.kind == EventKind::Span {
+            match span_clock.get(&event.name) {
+                Some(&(last_t, last_line)) if event.t_s < last_t => {
+                    return Err(format!(
+                        "line {}: span `{}` timestamp t={} goes backwards \
+                         (line {} had t={last_t})",
+                        lineno + 1,
+                        event.name,
+                        event.t_s,
+                        last_line
+                    ));
+                }
+                _ => {
+                    span_clock.insert(event.name.clone(), (event.t_s, lineno + 1));
+                }
+            }
+        }
         let k = EventKind::ALL
             .iter()
             .position(|k| *k == event.kind)

@@ -1,0 +1,49 @@
+//! Validates a VCD waveform dump structurally, in the
+//! `validate_telemetry` style.
+//!
+//! Usage: `validate_vcd <trace.vcd> [more dumps...]`
+//!
+//! Checks that the header is well-formed (a `$timescale`, balanced
+//! `$scope`/`$upscope`, closed by `$enddefinitions`), that every value
+//! change references a declared identifier code, and that timestamps are
+//! strictly increasing. Prints signal/change tallies; exits non-zero on
+//! the first malformed file so CI can gate on it.
+
+use std::process::ExitCode;
+
+use emvolt_obs::validate_vcd_text;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_vcd <trace.vcd> [more dumps...]");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match validate_file(path) {
+            Ok(report) => println!("{path}: {report}"),
+            Err(err) => {
+                eprintln!("{path}: INVALID: {err}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn validate_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let check = validate_vcd_text(&text)?;
+    if check.signals == 0 {
+        return Err("dump declares no signals".to_string());
+    }
+    Ok(format!(
+        "{} signals, {} value changes ok, ends at {} ps",
+        check.signals, check.changes, check.end_time_ps
+    ))
+}

@@ -19,6 +19,11 @@
 //! - [`CampaignSummary`]: end-of-run aggregation (counter totals +
 //!   histogram percentiles) appended to `results/`.
 //!
+//! A fourth piece records *waveforms* rather than events: [`WaveSink`] /
+//! [`WaveDb`] capture timed hierarchical signals (per-cycle core
+//! current, die voltage, instrument readings) behind the same zero-cost
+//! noop discipline and dump VCD or a compact binary.
+//!
 //! Timestamps come from the simulated campaign clock (`emvolt-platform`'s
 //! `SimClock`, propagated via [`Telemetry::set_sim_time`]); an optional
 //! caller-injected wall-clock closure adds a `wall` field when real-time
@@ -32,9 +37,14 @@ mod metrics;
 mod recorder;
 mod summary;
 mod telemetry;
+mod wavetrace;
 
 pub use event::{Event, EventKind, Layer};
 pub use metrics::{CounterId, HistId, HistSummary};
 pub use recorder::{JsonlRecorder, NoopRecorder, Recorder};
 pub use summary::{CampaignSummary, CounterTotal, HistTotal};
 pub use telemetry::Telemetry;
+pub use wavetrace::{
+    read_rtt, validate_vcd_text, NoopWaveSink, RttDump, VcdCheck, WaveDb, WaveId, WaveKind,
+    WaveSink,
+};

@@ -58,11 +58,20 @@ pub enum CounterId {
     /// bit-identical across levels and emitted traces must not vary with
     /// the host's vector width.
     SimdDispatchLevel,
+    /// Signals registered in the waveform trace database (cli). Only
+    /// nonzero when `--trace-vcd` is active, so it is summary-only like
+    /// [`CounterId::SimdDispatchLevel`]: JSONL traces stay byte-identical
+    /// whether or not a host also captured waveforms.
+    WavetraceSignals,
+    /// Change-compressed waveform samples retained by the trace database
+    /// (cli). Summary-only, for the same reason as
+    /// [`CounterId::WavetraceSignals`].
+    WavetraceSamplesWritten,
 }
 
 impl CounterId {
     /// Every counter, in emission order.
-    pub const ALL: [CounterId; 17] = [
+    pub const ALL: [CounterId; 19] = [
         CounterId::LuFactorizations,
         CounterId::SolverSteps,
         CounterId::TransientRuns,
@@ -80,6 +89,8 @@ impl CounterId {
         CounterId::BatchLanes,
         CounterId::BatchLaneOccupancy,
         CounterId::SimdDispatchLevel,
+        CounterId::WavetraceSignals,
+        CounterId::WavetraceSamplesWritten,
     ];
 
     /// Wire name used in counter events and summaries.
@@ -102,6 +113,8 @@ impl CounterId {
             CounterId::BatchLanes => "batch_lanes",
             CounterId::BatchLaneOccupancy => "batch_lane_occupancy",
             CounterId::SimdDispatchLevel => "simd_dispatch_level",
+            CounterId::WavetraceSignals => "wavetrace_signals",
+            CounterId::WavetraceSamplesWritten => "wavetrace_samples_written",
         }
     }
 
@@ -122,6 +135,7 @@ impl CounterId {
             | CounterId::BatchLanes
             | CounterId::BatchLaneOccupancy
             | CounterId::SimdDispatchLevel => Layer::Core,
+            CounterId::WavetraceSignals | CounterId::WavetraceSamplesWritten => Layer::Cli,
         }
     }
 
@@ -135,7 +149,11 @@ impl CounterId {
     pub fn schedule_dependent(self) -> bool {
         matches!(
             self,
-            CounterId::LuFactorizations | CounterId::ScratchMisses | CounterId::SimdDispatchLevel
+            CounterId::LuFactorizations
+                | CounterId::ScratchMisses
+                | CounterId::SimdDispatchLevel
+                | CounterId::WavetraceSignals
+                | CounterId::WavetraceSamplesWritten
         )
     }
 
@@ -324,6 +342,15 @@ mod tests {
         assert_eq!(names.len(), CounterId::ALL.len());
         assert_eq!(CounterId::SolverSteps.layer(), Layer::Circuit);
         assert_eq!(CounterId::FitnessCacheHits.layer(), Layer::Core);
+        assert_eq!(CounterId::WavetraceSignals.layer(), Layer::Cli);
+    }
+
+    #[test]
+    fn wavetrace_counters_are_summary_only() {
+        // Whether a host captured waveforms must not change the emitted
+        // JSONL trace, only the campaign summary.
+        assert!(CounterId::WavetraceSignals.schedule_dependent());
+        assert!(CounterId::WavetraceSamplesWritten.schedule_dependent());
     }
 
     #[test]

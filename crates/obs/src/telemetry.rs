@@ -7,6 +7,7 @@ use crate::event::{Event, EventKind, Layer};
 use crate::metrics::{CounterId, Counters, HistId, Histograms};
 use crate::recorder::{NoopRecorder, Recorder};
 use crate::summary::{CampaignSummary, CounterTotal, HistTotal};
+use crate::wavetrace::{NoopWaveSink, WaveId, WaveKind, WaveSink};
 
 /// Injected wall-clock closure. Distinct from the *simulated* campaign
 /// clock (`emvolt-platform`'s `SimClock`), which advances by modeled
@@ -15,6 +16,7 @@ type WallClockFn = Arc<dyn Fn() -> f64 + Send + Sync>;
 
 struct Inner {
     recorder: Arc<dyn Recorder>,
+    waves: Arc<dyn WaveSink>,
     counters: Counters,
     hists: Histograms,
     /// Simulated campaign seconds, stored as f64 bits.
@@ -85,10 +87,28 @@ impl Telemetry {
         Telemetry::build(recorder, Some(Arc::new(wall)))
     }
 
+    /// Creates a handle that additionally routes waveform samples to
+    /// `waves` (a `WaveDb` the caller later dumps). Wave emission obeys
+    /// the quiet-clone discipline: quiet clones never emit waves, so the
+    /// trace content comes exclusively from single-threaded coordinator
+    /// contexts and is byte-identical at any thread count.
+    pub fn with_waves(recorder: Arc<dyn Recorder>, waves: Arc<dyn WaveSink>) -> Self {
+        Telemetry::build_full(recorder, None, waves)
+    }
+
     fn build(recorder: Arc<dyn Recorder>, wall: Option<WallClockFn>) -> Self {
+        Telemetry::build_full(recorder, wall, Arc::new(NoopWaveSink))
+    }
+
+    fn build_full(
+        recorder: Arc<dyn Recorder>,
+        wall: Option<WallClockFn>,
+        waves: Arc<dyn WaveSink>,
+    ) -> Self {
         Telemetry {
             inner: Arc::new(Inner {
                 recorder,
+                waves,
                 counters: Counters::new(),
                 hists: Histograms::new(),
                 sim_t_bits: AtomicU64::new(0f64.to_bits()),
@@ -125,6 +145,68 @@ impl Telemetry {
     /// clones of an enabled handle). Histogram recording gates on this.
     pub fn sink_enabled(&self) -> bool {
         self.inner.recorder.is_enabled()
+    }
+
+    /// Whether *this clone* emits waveform samples: quiet clones and
+    /// handles without an attached `WaveDb` never do. Emission sites
+    /// check this once and skip their whole block, keeping the disabled
+    /// path to a single branch plus one virtual call.
+    pub fn wave_enabled(&self) -> bool {
+        !self.silent && self.inner.waves.is_enabled()
+    }
+
+    /// Decimation stride for dense waveform emission (every `stride`-th
+    /// sample); always ≥ 1.
+    pub fn wave_stride(&self) -> usize {
+        self.inner.waves.stride().max(1)
+    }
+
+    /// Registers a hierarchical waveform signal; returns the inert
+    /// [`WaveId::NONE`] on non-emitting clones.
+    pub fn wave_register(&self, name: &str, kind: WaveKind) -> WaveId {
+        if self.wave_enabled() {
+            self.inner.waves.register(name, kind)
+        } else {
+            WaveId::NONE
+        }
+    }
+
+    /// Opens a waveform emission epoch at the current simulated campaign
+    /// time; subsequent sample timestamps are relative to it.
+    pub fn wave_epoch(&self) {
+        if self.wave_enabled() {
+            self.inner.waves.begin_epoch(self.sim_time());
+        }
+    }
+
+    /// Records a real waveform sample at `t_s` seconds past the epoch.
+    pub fn wave_real(&self, id: WaveId, t_s: f64, value: f64) {
+        if self.wave_enabled() {
+            self.inner.waves.sample_real(id, t_s, value);
+        }
+    }
+
+    /// Records an integer waveform sample at `t_s` seconds past the
+    /// epoch.
+    pub fn wave_int(&self, id: WaveId, t_s: f64, value: u64) {
+        if self.wave_enabled() {
+            self.inner.waves.sample_int(id, t_s, value);
+        }
+    }
+
+    /// Records a bit waveform sample at `t_s` seconds past the epoch.
+    pub fn wave_bool(&self, id: WaveId, t_s: f64, value: bool) {
+        if self.wave_enabled() {
+            self.inner.waves.sample_bool(id, t_s, value);
+        }
+    }
+
+    /// Records a point reading just past the trace's high-water mark
+    /// (instrument metrics with no waveform time axis of their own).
+    pub fn wave_append(&self, id: WaveId, value: f64) {
+        if self.wave_enabled() {
+            self.inner.waves.append_real(id, value);
+        }
     }
 
     /// Updates the shared simulated-campaign timestamp, seconds.
@@ -400,6 +482,41 @@ mod tests {
         a.emit_counters();
         a.emit_histograms();
         a.flush();
+    }
+
+    #[test]
+    fn quiet_clones_never_emit_waves() {
+        use crate::wavetrace::WaveDb;
+        let db = Arc::new(WaveDb::new());
+        let tel = Telemetry::with_waves(Arc::new(crate::NoopRecorder), db.clone());
+        assert!(tel.wave_enabled());
+        let quiet = tel.quiet();
+        assert!(!quiet.wave_enabled());
+
+        let id = tel.wave_register("cpu.i_core", WaveKind::Real);
+        tel.wave_epoch();
+        tel.wave_real(id, 0.0, 1.0);
+        // The quiet clone's registrations and samples go nowhere.
+        let qid = quiet.wave_register("pdn.v_die", WaveKind::Real);
+        assert!(qid.is_none());
+        quiet.wave_real(id, 1e-9, 2.0);
+        quiet.wave_append(id, 3.0);
+        assert_eq!(db.signal_count(), 1);
+        assert_eq!(db.samples_written(), 1);
+    }
+
+    #[test]
+    fn default_handle_has_inert_waves() {
+        let tel = Telemetry::noop();
+        assert!(!tel.wave_enabled());
+        assert_eq!(tel.wave_stride(), 1);
+        let id = tel.wave_register("cpu.i_core", WaveKind::Real);
+        assert!(id.is_none());
+        tel.wave_epoch();
+        tel.wave_real(id, 0.0, 1.0);
+        tel.wave_int(id, 0.0, 1);
+        tel.wave_bool(id, 0.0, true);
+        tel.wave_append(id, 1.0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use emvolt_obs::{CounterId, HistId, Layer, Telemetry};
+use emvolt_obs::{CounterId, HistId, Layer, Telemetry, WaveKind};
 
 struct CountingAlloc;
 
@@ -54,6 +54,15 @@ fn noop_hot_path_allocates_nothing() {
             tel.set_sim_time(i as f64);
             quiet.count(CounterId::Evaluations, 1);
             quiet.span("eval", Layer::Core, &[("idx", i as f64)]);
+            // The disabled wave-sink path must be equally free: every
+            // emission site funnels through these calls when tracing is
+            // off.
+            let wid = tel.wave_register("cpu.i_core", WaveKind::Real);
+            tel.wave_epoch();
+            tel.wave_real(wid, 1e-9, i as f64);
+            tel.wave_int(wid, 1e-9, i);
+            tel.wave_append(wid, i as f64);
+            quiet.wave_real(wid, 1e-9, i as f64);
         }
         let after = ALLOCATIONS.load(Ordering::Relaxed);
         cleanest = cleanest.min(after - before);

@@ -151,8 +151,8 @@ impl Pdn {
             vrm_source,
             l_pkg_id,
             die_probes: TransientProbes::none()
-                .with_node(n_die)
-                .with_inductor(l_pkg_id),
+                .with_node_labeled(n_die, "pdn.v_die")
+                .with_inductor_labeled(l_pkg_id, "pdn.i_pkg"),
         }
     }
 

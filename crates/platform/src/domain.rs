@@ -481,6 +481,10 @@ pub struct DomainRunner {
     plan: TransientPlan,
     transient_cfg: TransientConfig,
     scratch: TransientScratch,
+    telemetry: emvolt_obs::Telemetry,
+    /// Per-cycle issue-slot occupancy from the last traced core sim;
+    /// only filled while the telemetry handle has a live wave sink.
+    occupancy: Vec<u32>,
 }
 
 impl DomainRunner {
@@ -513,7 +517,7 @@ impl DomainRunner {
                 .with_warmup(config.pdn_warmup);
         let cpu = Cpu::new(domain.core_model.clone(), domain.freq_hz);
         let mut scratch = TransientScratch::new();
-        scratch.set_telemetry(telemetry);
+        scratch.set_telemetry(telemetry.clone());
         Ok(DomainRunner {
             domain: domain.clone(),
             config,
@@ -522,12 +526,15 @@ impl DomainRunner {
             plan,
             transient_cfg,
             scratch,
+            telemetry,
+            occupancy: Vec::new(),
         })
     }
 
     /// Swaps the telemetry handle charged by subsequent runs.
     pub fn set_telemetry(&mut self, telemetry: emvolt_obs::Telemetry) {
-        self.scratch.set_telemetry(telemetry);
+        self.scratch.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// The domain state this runner was built from.
@@ -603,6 +610,14 @@ impl DomainRunner {
         out: &mut DomainRun,
     ) -> Result<(), DomainError> {
         let (sim, load) = self.simulate_load(kernel, loaded_cores)?;
+        if self.telemetry.wave_enabled() {
+            // One epoch per run keeps the digital (per-cycle) and analog
+            // (per-pdn_dt) signals on a shared, monotonically advancing
+            // time axis; the transient below emits the pdn.* waves under
+            // the same epoch.
+            self.telemetry.wave_epoch();
+            self.emit_cpu_waves(&sim);
+        }
         self.pdn.set_load(load);
         let die = self
             .pdn
@@ -725,9 +740,32 @@ impl DomainRunner {
                 active,
             });
         }
-        let sim = self.cpu.simulate(kernel, &self.config.sim)?;
+        let sim = if self.telemetry.wave_enabled() {
+            self.cpu
+                .simulate_traced(kernel, &self.config.sim, &mut self.occupancy)?
+        } else {
+            self.cpu.simulate(kernel, &self.config.sim)?
+        };
         let load = self.cluster_load(&sim, loaded_cores)?;
         Ok((sim, load))
+    }
+
+    /// Emits the digital-side waveforms of the last traced core sim —
+    /// per-cycle core current and issue-slot occupancy — decimated by the
+    /// sink's stride. Only called when the wave sink is live.
+    fn emit_cpu_waves(&self, sim: &emvolt_cpu::SimOutput) {
+        let tel = &self.telemetry;
+        let stride = tel.wave_stride();
+        let i_id = tel.wave_register("cpu.i_core", emvolt_obs::WaveKind::Real);
+        for (t, v) in sim.current.decimated(stride).iter() {
+            tel.wave_real(i_id, t, v);
+        }
+        let s_id = tel.wave_register("cpu.issue_slots", emvolt_obs::WaveKind::Int);
+        let dt = sim.current.dt();
+        let t0 = sim.current.start_time();
+        for (k, &slots) in self.occupancy.iter().step_by(stride).enumerate() {
+            tel.wave_int(s_id, t0 + (k * stride) as f64 * dt, u64::from(slots));
+        }
     }
 
     /// Scales one core's simulated draw to the whole cluster: loaded
@@ -829,6 +867,44 @@ mod tests {
         assert!(run.max_droop() > 0.0, "droop {}", run.max_droop());
         assert!(run.peak_to_peak() > 1e-4);
         assert!(run.ipc > 0.0);
+    }
+
+    #[test]
+    fn traced_runner_emits_cpu_and_pdn_waves_without_perturbing_results() {
+        use emvolt_obs::{validate_vcd_text, NoopRecorder, Telemetry, WaveDb};
+        use std::sync::Arc;
+
+        let d = domain();
+        let k = sweep_kernel(Isa::ArmV8);
+        let baseline = d.run(&k, 2, &RunConfig::fast()).unwrap();
+
+        let db = Arc::new(WaveDb::new());
+        let tel = Telemetry::with_waves(Arc::new(NoopRecorder), db.clone());
+        let mut runner = DomainRunner::new_with(&d, RunConfig::fast(), tel).unwrap();
+        let traced = runner.run(&k, 2).unwrap();
+
+        // Tracing must not change the physics.
+        for (a, b) in baseline.v_die.samples().iter().zip(traced.v_die.samples()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "tracing perturbed v_die");
+        }
+        assert_eq!(baseline.ipc, traced.ipc);
+
+        let vcd = db.to_vcd_string();
+        for signal in [
+            " i_core $end",
+            " issue_slots $end",
+            " v_die $end",
+            " i_pkg $end",
+        ] {
+            assert!(vcd.contains(signal), "missing {signal:?} in:\n{vcd}");
+        }
+        validate_vcd_text(&vcd).expect("runner VCD must validate");
+
+        // A second run extends the same database monotonically.
+        let before = db.samples_written();
+        runner.run(&k, 1).unwrap();
+        assert!(db.samples_written() > before);
+        validate_vcd_text(&db.to_vcd_string()).expect("two-run VCD must validate");
     }
 
     #[test]

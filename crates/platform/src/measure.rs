@@ -479,6 +479,15 @@ fn record_measurement(
             ("dominant_mhz", dominant_hz / 1e6),
         ],
     );
+    if telemetry.wave_enabled() {
+        // Point readings: each measurement appends one sample past the
+        // trace high-water mark, so a campaign's swept-band history reads
+        // as a step waveform alongside the analog traces.
+        let band_id = telemetry.wave_register("inst.band_dbm", emvolt_obs::WaveKind::Real);
+        telemetry.wave_append(band_id, metric_dbm);
+        let dom_id = telemetry.wave_register("inst.dominant_mhz", emvolt_obs::WaveKind::Real);
+        telemetry.wave_append(dom_id, dominant_hz / 1e6);
+    }
 }
 
 #[cfg(test)]

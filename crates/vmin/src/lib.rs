@@ -18,7 +18,8 @@
 
 use emvolt_cpu::{execute, execute_with_faults, FaultModel};
 use emvolt_isa::Kernel;
-use emvolt_platform::{DomainError, RunConfig, VoltageDomain};
+use emvolt_obs::Telemetry;
+use emvolt_platform::{DomainError, DomainRunner, RunConfig, VoltageDomain};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -166,12 +167,32 @@ pub fn vmin_test(
     model: &FailureModel,
     config: &VminConfig,
 ) -> Result<VminResult, DomainError> {
+    vmin_test_with(domain, kernel, model, config, Telemetry::noop())
+}
+
+/// Like [`vmin_test`], charging the single physical domain run to
+/// `telemetry` — counters, spans and (when a wave sink is attached) the
+/// `cpu.*` / `pdn.*` waveform traces of the droop measurement that anchors
+/// the whole ladder. The ladder itself is pure arithmetic on that run and
+/// emits nothing.
+///
+/// # Errors
+///
+/// Propagates simulation failures from the underlying domain run.
+pub fn vmin_test_with(
+    domain: &VoltageDomain,
+    kernel: &Kernel,
+    model: &FailureModel,
+    config: &VminConfig,
+    telemetry: Telemetry,
+) -> Result<VminResult, DomainError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     // The PDN is linear, so the droop waveform is supply-independent:
     // simulate once at the starting voltage and slide the DC level.
     let mut dom = domain.clone();
     dom.set_voltage(config.start_v);
-    let run = dom.run(kernel, config.loaded_cores, &config.run)?;
+    let run = DomainRunner::new_with(&dom, config.run.clone(), telemetry)?
+        .run(kernel, config.loaded_cores)?;
     let droop = run.max_droop();
     let golden = execute(kernel, config.golden_iterations);
     let v_crit = model.v_crit_at(dom.frequency());

@@ -15,7 +15,7 @@ use emvolt::core::{
 };
 use emvolt::ga::GaConfig;
 use emvolt::isa::kernels::resonant_stress_kernel;
-use emvolt::obs::{JsonlRecorder, Layer, Telemetry};
+use emvolt::obs::{CounterId, JsonlRecorder, Layer, NoopRecorder, Telemetry, WaveDb, WaveKind};
 use emvolt::pdn::{lin_freqs, strongest_peak_in_band};
 use emvolt::platform::spec2006_suite;
 use emvolt::prelude::*;
@@ -53,6 +53,18 @@ OPTIONS:
     --stress                     vmin: use the built-in resonant stress kernel
     --telemetry PATH             write a JSONL trace of the run to PATH and
                                  append a summary to results/campaign_summaries.jsonl
+    --trace-vcd SPEC             record the analog/digital waveforms of the run
+                                 into a VCD (or .rtt binary) waveform database.
+                                 SPEC is PATH[:signals][:stride]: `signals` is a
+                                 comma-separated list of hierarchical prefixes
+                                 to keep (e.g. `pdn,cpu.i_core`; default all),
+                                 `stride` a decimation factor (default 1).
+                                 Output is deterministic: a seeded campaign
+                                 dumps a byte-identical file at any thread
+                                 count and any SIMD level
+    --threads N                  virus: fitness-evaluation worker threads
+                                 (default 0 = one per core); results and traces
+                                 are bit-identical at any setting
     --kernel auto|lu|statespace  sweep/virus: transient solver kernel — `auto`
                                  (default) picks the fused state-space form for
                                  small PDNs, `lu` forces back-substitution
@@ -97,6 +109,7 @@ impl FlagSpec {
                     "cores",
                     "seed",
                     "telemetry",
+                    "trace-vcd",
                     "backend",
                     "kernel",
                     "spectrum",
@@ -104,7 +117,7 @@ impl FlagSpec {
                 boolean: &[],
             },
             "impedance" => FlagSpec {
-                valued: &["platform", "cores", "telemetry"],
+                valued: &["platform", "cores", "telemetry", "trace-vcd"],
                 boolean: &[],
             },
             "virus" => FlagSpec {
@@ -114,8 +127,10 @@ impl FlagSpec {
                     "population",
                     "generations",
                     "lanes",
+                    "threads",
                     "seed",
                     "telemetry",
+                    "trace-vcd",
                     "backend",
                     "kernel",
                     "spectrum",
@@ -123,7 +138,7 @@ impl FlagSpec {
                 boolean: &["progress"],
             },
             "vmin" => FlagSpec {
-                valued: &["platform", "cores", "workload", "telemetry"],
+                valued: &["platform", "cores", "workload", "telemetry", "trace-vcd"],
                 boolean: &["stress"],
             },
             _ => return None,
@@ -181,17 +196,93 @@ fn parse_flags(
     Ok(flags)
 }
 
-/// Builds the telemetry handle for `--telemetry PATH`, or the inert
-/// handle when the flag is absent.
-fn telemetry_from(flags: &HashMap<String, String>) -> Result<Telemetry, Box<dyn Error>> {
-    match flags.get("telemetry") {
-        Some(path) => {
-            let recorder =
-                JsonlRecorder::create(path).map_err(|e| format!("--telemetry {path}: {e}"))?;
-            Ok(Telemetry::new(Arc::new(recorder)))
-        }
-        None => Ok(Telemetry::noop()),
+/// A live waveform database plus the output path to dump it to — the
+/// CLI-side state behind `--trace-vcd`.
+struct Wavetrace {
+    db: Arc<WaveDb>,
+    path: String,
+}
+
+/// Parses `--trace-vcd PATH[:signals][:stride]`. The optional suffix
+/// segments may appear in either order: an all-digit segment is the
+/// decimation stride, anything else a comma-separated list of signal-name
+/// prefixes to keep.
+fn wavetrace_from(flags: &HashMap<String, String>) -> Result<Option<Wavetrace>, Box<dyn Error>> {
+    let Some(spec) = flags.get("trace-vcd") else {
+        return Ok(None);
+    };
+    let mut parts = spec.split(':');
+    let path = parts.next().unwrap_or_default().to_owned();
+    if path.is_empty() {
+        return Err(format!("--trace-vcd {spec}: empty output path").into());
     }
+    let mut stride = 1usize;
+    let mut filters: Vec<String> = Vec::new();
+    for part in parts {
+        if part.is_empty() {
+            continue;
+        }
+        if part.bytes().all(|b| b.is_ascii_digit()) {
+            stride = part
+                .parse()
+                .map_err(|_| format!("--trace-vcd {spec}: stride `{part}` out of range"))?;
+            if stride == 0 {
+                return Err(format!("--trace-vcd {spec}: stride must be >= 1").into());
+            }
+        } else {
+            filters.extend(part.split(',').filter(|s| !s.is_empty()).map(str::to_owned));
+        }
+    }
+    Ok(Some(Wavetrace {
+        db: Arc::new(WaveDb::with_config(stride, filters)),
+        path,
+    }))
+}
+
+/// Builds the telemetry handle for `--telemetry PATH` / `--trace-vcd`,
+/// or the inert handle when both flags are absent.
+fn telemetry_from(
+    flags: &HashMap<String, String>,
+) -> Result<(Telemetry, Option<Wavetrace>), Box<dyn Error>> {
+    let trace = wavetrace_from(flags)?;
+    let recorder: Arc<dyn emvolt::obs::Recorder> = match flags.get("telemetry") {
+        Some(path) => {
+            Arc::new(JsonlRecorder::create(path).map_err(|e| format!("--telemetry {path}: {e}"))?)
+        }
+        None => Arc::new(NoopRecorder),
+    };
+    let tel = match &trace {
+        Some(t) => Telemetry::with_waves(recorder, t.db.clone()),
+        None if flags.contains_key("telemetry") => Telemetry::new(recorder),
+        None => Telemetry::noop(),
+    };
+    Ok((tel, trace))
+}
+
+/// Charges the wavetrace counters and writes the waveform database to its
+/// output path (VCD, or the compact binary form for a `.rtt` extension).
+/// Call before [`finish_telemetry`] so the counters land in the campaign
+/// summary. No-op without `--trace-vcd`.
+fn dump_wavetrace(tel: &Telemetry, trace: &Option<Wavetrace>) -> Result<(), Box<dyn Error>> {
+    let Some(trace) = trace else {
+        return Ok(());
+    };
+    tel.count(CounterId::WavetraceSignals, trace.db.signal_count() as u64);
+    tel.count(
+        CounterId::WavetraceSamplesWritten,
+        trace.db.samples_written(),
+    );
+    trace
+        .db
+        .dump_to_path(std::path::Path::new(&trace.path))
+        .map_err(|e| format!("--trace-vcd {}: {e}", trace.path))?;
+    eprintln!(
+        "waveform trace: {} ({} signals, {} value changes)",
+        trace.path,
+        trace.db.signal_count(),
+        trace.db.samples_written()
+    );
+    Ok(())
 }
 
 /// Flushes the trace and appends the campaign summary to
@@ -321,7 +412,7 @@ fn cmd_platforms() {
 
 fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let domain = build_platform(flags)?;
-    let tel = telemetry_from(flags)?;
+    let (tel, trace) = telemetry_from(flags)?;
     let mut cfg = FastSweepConfig {
         telemetry: tel.clone(),
         ..FastSweepConfig::for_domain(&domain)
@@ -349,16 +440,25 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         domain.expected_resonance_hz() / 1e6,
         result.campaign.display()
     );
+    dump_wavetrace(&tel, &trace)?;
     finish_telemetry(&tel, flags, "sweep")?;
     Ok(())
 }
 
 fn cmd_impedance(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let domain = build_platform(flags)?;
-    let tel = telemetry_from(flags)?;
+    let (tel, trace) = telemetry_from(flags)?;
     let pdn = domain.build_pdn();
     let freqs = lin_freqs(20e6, 250e6, 2e6);
     let sweep = pdn.impedance_sweep(&freqs)?;
+    if tel.wave_enabled() {
+        // A frequency-domain "waveform": one trace second per MHz, so
+        // the impedance curve plots directly against the sweep axis.
+        let z_id = tel.wave_register("pdn.z_mohm", WaveKind::Real);
+        for (f, z) in &sweep {
+            tel.wave_real(z_id, f / 1e6, z.norm() * 1e3);
+        }
+    }
     println!("freq (MHz)  |Z| (mOhm)");
     for (f, z) in sweep.iter().step_by(5) {
         println!("{:>10.1}  {:>10.2}", f / 1e6, z.norm() * 1e3);
@@ -379,6 +479,7 @@ fn cmd_impedance(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> 
             ],
         );
     }
+    dump_wavetrace(&tel, &trace)?;
     finish_telemetry(&tel, flags, "impedance")?;
     Ok(())
 }
@@ -394,7 +495,15 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(15);
     let lanes = parse_lanes(flags)?;
-    let tel = telemetry_from(flags)?;
+    let threads = flags
+        .get("threads")
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| format!("--threads {s}: expected a non-negative integer (0 = auto)"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let (tel, trace) = telemetry_from(flags)?;
     let progress = flags.contains_key("progress");
     let mut cfg = VirusGenConfig {
         ga: GaConfig {
@@ -406,6 +515,7 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         loaded_cores: domain.active_cores(),
         samples_per_individual: 5,
         lanes,
+        threads,
         telemetry: tel.clone(),
         ..VirusGenConfig::default()
     };
@@ -442,13 +552,14 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         virus.campaign.display()
     );
     println!("\ngenerated loop:\n{}", virus.kernel.render());
+    dump_wavetrace(&tel, &trace)?;
     finish_telemetry(&tel, flags, "virus")?;
     Ok(())
 }
 
 fn cmd_vmin(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let domain = build_platform(flags)?;
-    let tel = telemetry_from(flags)?;
+    let (tel, trace) = telemetry_from(flags)?;
     let model = match domain.name() {
         "A72" => FailureModel::juno_a72(),
         "A53" => FailureModel::juno_a53(),
@@ -482,7 +593,7 @@ fn cmd_vmin(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         "running the V_MIN ladder for `{label}` on {} ...",
         domain.name()
     );
-    let res = vmin_test(&domain, &kernel, &model, &cfg)?;
+    let res = emvolt::vmin::vmin_test_with(&domain, &kernel, &model, &cfg, tel.clone())?;
     println!("voltage (V)  outcomes");
     for (v, outcomes) in &res.ladder {
         let marks: String = outcomes
@@ -513,6 +624,7 @@ fn cmd_vmin(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             ("margin_mv", (domain.voltage() - res.vmin_v) * 1e3),
         ],
     );
+    dump_wavetrace(&tel, &trace)?;
     finish_telemetry(&tel, flags, "vmin")?;
     Ok(())
 }
@@ -557,6 +669,7 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use emvolt::obs::WaveSink;
 
     fn argv(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| (*s).to_owned()).collect()
@@ -643,6 +756,46 @@ mod tests {
             flags.insert("lanes".to_owned(), bad.to_owned());
             let err = parse_lanes(&flags).unwrap_err().to_string();
             assert!(err.contains("0..=64"), "{err}");
+        }
+    }
+
+    #[test]
+    fn trace_vcd_spec_parses_path_filters_and_stride() {
+        let mut flags = HashMap::new();
+        // Bare path: all signals, stride 1.
+        flags.insert("trace-vcd".to_owned(), "out.vcd".to_owned());
+        let t = wavetrace_from(&flags).unwrap().unwrap();
+        assert_eq!(t.path, "out.vcd");
+        assert_eq!(t.db.stride(), 1);
+        assert!(t.db.keeps("anything.at.all"));
+
+        // Filters plus stride, in either order.
+        for spec in ["out.vcd:pdn,cpu.i_core:4", "out.vcd:4:pdn,cpu.i_core"] {
+            flags.insert("trace-vcd".to_owned(), spec.to_owned());
+            let t = wavetrace_from(&flags).unwrap().unwrap();
+            assert_eq!(t.db.stride(), 4, "{spec}");
+            assert!(t.db.keeps("pdn.v_die"), "{spec}");
+            assert!(t.db.keeps("cpu.i_core"), "{spec}");
+            assert!(!t.db.keeps("inst.band_dbm"), "{spec}");
+        }
+
+        // Absent flag: no trace.
+        assert!(wavetrace_from(&HashMap::new()).unwrap().is_none());
+
+        // Malformed specs are hard errors.
+        for bad in [":pdn:4", "out.vcd:0"] {
+            flags.insert("trace-vcd".to_owned(), bad.to_owned());
+            assert!(wavetrace_from(&flags).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn trace_vcd_flag_is_accepted_on_all_physics_commands() {
+        for command in ["sweep", "impedance", "virus", "vmin"] {
+            let spec = FlagSpec::for_command(command).unwrap();
+            let flags =
+                parse_flags(command, &argv(&["--trace-vcd", "out.vcd:pdn:2"]), &spec).unwrap();
+            assert_eq!(flags.get("trace-vcd").unwrap(), "out.vcd:pdn:2");
         }
     }
 
