@@ -133,6 +133,14 @@ impl<B: MeasurementBackend> MeasurementBackend for CachingBackend<B> {
         self.inner.costs()
     }
 
+    fn rig_state(&self) -> Vec<(String, String)> {
+        self.inner.rig_state()
+    }
+
+    fn restore_rig_state(&mut self, state: &[(String, String)]) -> Result<(), BackendError> {
+        self.inner.restore_rig_state(state)
+    }
+
     fn finish(&mut self) -> Result<(), BackendError> {
         self.inner.finish()
     }

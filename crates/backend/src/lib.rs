@@ -240,6 +240,33 @@ pub trait MeasurementBackend: Send + Sync {
     fn finish(&mut self) -> Result<(), BackendError> {
         Ok(())
     }
+
+    /// Opaque key/value pairs capturing the backend's mutable rig state
+    /// (measurement-noise RNG words, analyzer occupancy) for campaign
+    /// checkpoints. Backends with no such state return an empty list.
+    /// Values follow the trace discipline: floats as 16-hex-digit
+    /// `f64::to_bits` strings.
+    fn rig_state(&self) -> Vec<(String, String)> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`rig_state`](Self::rig_state).
+    /// Unknown keys are an error (a checkpoint from a different backend
+    /// must not resume silently); backends with no state accept only an
+    /// empty list.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] naming the unusable key or value.
+    fn restore_rig_state(&mut self, state: &[(String, String)]) -> Result<(), BackendError> {
+        if let Some((key, _)) = state.first() {
+            return Err(BackendError::Store(format!(
+                "backend `{}` holds no rig state; checkpoint key `{key}` cannot be restored",
+                self.label()
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Mutable references forward, so campaign functions taking
@@ -305,5 +332,13 @@ impl<B: MeasurementBackend + ?Sized> MeasurementBackend for &mut B {
 
     fn finish(&mut self) -> Result<(), BackendError> {
         (**self).finish()
+    }
+
+    fn rig_state(&self) -> Vec<(String, String)> {
+        (**self).rig_state()
+    }
+
+    fn restore_rig_state(&mut self, state: &[(String, String)]) -> Result<(), BackendError> {
+        (**self).restore_rig_state(state)
     }
 }

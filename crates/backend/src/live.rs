@@ -505,6 +505,59 @@ impl MeasurementBackend for LiveBackend {
     fn costs(&self) -> SessionCosts {
         self.costs
     }
+
+    fn rig_state(&self) -> Vec<(String, String)> {
+        let words = self.bench.rng_state();
+        vec![
+            (
+                "rig_rng".to_string(),
+                words
+                    .iter()
+                    .map(|w| format!("{w:016x}"))
+                    .collect::<Vec<_>>()
+                    .join(":"),
+            ),
+            (
+                "elapsed".to_string(),
+                format!("{:016x}", self.elapsed_seconds().to_bits()),
+            ),
+        ]
+    }
+
+    fn restore_rig_state(&mut self, state: &[(String, String)]) -> Result<(), BackendError> {
+        // Fold any outstanding shared-analyzer time in first so the
+        // restored absolute total lands on the bench alone.
+        self.bench.absorb_elapsed(&self.shared);
+        for (key, value) in state {
+            match key.as_str() {
+                "rig_rng" => {
+                    let words = value
+                        .split(':')
+                        .map(|w| u64::from_str_radix(w, 16))
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(|e| {
+                            BackendError::Store(format!("bad rig_rng word in `{value}`: {e}"))
+                        })?;
+                    let words: [u64; 4] = words.try_into().map_err(|w: Vec<u64>| {
+                        BackendError::Store(format!("rig_rng holds {} words, expected 4", w.len()))
+                    })?;
+                    self.bench.set_rng_state(words);
+                }
+                "elapsed" => {
+                    let bits = u64::from_str_radix(value, 16).map_err(|e| {
+                        BackendError::Store(format!("bad elapsed bits `{value}`: {e}"))
+                    })?;
+                    self.bench.restore_elapsed(f64::from_bits(bits));
+                }
+                other => {
+                    return Err(BackendError::Store(format!(
+                        "live backend knows no rig-state key `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,11 @@ struct StoredCall {
 pub struct ReplayBackend {
     header: TraceHeader,
     entries: Mutex<HashMap<String, VecDeque<StoredCall>>>,
+    /// Calls actually popped per key (the keep-last clone rule means a key
+    /// can serve more often than it was recorded without popping). This is
+    /// the replay cursor a campaign checkpoint must restore so in-order
+    /// `rig` streams resume where they left off.
+    served: Mutex<HashMap<String, u64>>,
     elapsed: Mutex<f64>,
     cfg_fp: AtomicU64,
 }
@@ -97,6 +102,7 @@ impl ReplayBackend {
         Ok(ReplayBackend {
             header,
             entries: Mutex::new(entries),
+            served: Mutex::new(HashMap::new()),
             elapsed: Mutex::new(0.0),
             cfg_fp: AtomicU64::new(0),
         })
@@ -130,6 +136,7 @@ impl ReplayBackend {
             if queue.len() == 1 {
                 queue.front().cloned().expect("len checked above")
             } else {
+                *self.served.lock().entry(key.to_string()).or_insert(0) += 1;
                 queue.pop_front().expect("len checked above")
             }
         };
@@ -220,5 +227,51 @@ impl MeasurementBackend for ReplayBackend {
 
     fn costs(&self) -> SessionCosts {
         self.header.costs
+    }
+
+    fn rig_state(&self) -> Vec<(String, String)> {
+        let served = self.served.lock();
+        let mut keys: Vec<_> = served.iter().collect();
+        keys.sort();
+        let mut state: Vec<(String, String)> = keys
+            .into_iter()
+            .map(|(k, n)| (format!("served:{k}"), n.to_string()))
+            .collect();
+        state.push((
+            "elapsed".to_string(),
+            format!("{:016x}", self.elapsed.lock().to_bits()),
+        ));
+        state
+    }
+
+    fn restore_rig_state(&mut self, state: &[(String, String)]) -> Result<(), BackendError> {
+        for (key, value) in state {
+            if let Some(entry_key) = key.strip_prefix("served:") {
+                let n: u64 = value.parse().map_err(|e| {
+                    BackendError::Store(format!(
+                        "bad served count `{value}` for `{entry_key}`: {e}"
+                    ))
+                })?;
+                let mut entries = self.entries.lock();
+                let queue = entries
+                    .get_mut(entry_key)
+                    .ok_or_else(|| BackendError::MissingRecording(entry_key.to_string()))?;
+                for _ in 0..n {
+                    if queue.len() > 1 {
+                        queue.pop_front();
+                    }
+                }
+                *self.served.lock().entry(entry_key.to_string()).or_insert(0) = n;
+            } else if key == "elapsed" {
+                let bits = u64::from_str_radix(value, 16)
+                    .map_err(|e| BackendError::Store(format!("bad elapsed bits `{value}`: {e}")))?;
+                *self.elapsed.lock() = f64::from_bits(bits);
+            } else {
+                return Err(BackendError::Store(format!(
+                    "replay backend knows no rig-state key `{key}`"
+                )));
+            }
+        }
+        Ok(())
     }
 }

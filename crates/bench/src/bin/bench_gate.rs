@@ -30,7 +30,13 @@
 //!   scalar-forced one (`simd_fold_lanes_scalar`) by at least 1.3x —
 //!   losing runtime dispatch would silently degrade every chain while
 //!   staying bit-identical. On narrower hosts the check logs a skip
-//!   instead of failing: the floor is calibrated to 4-wide FMA.
+//!   instead of failing: the floor is calibrated to 4-wide FMA;
+//! - from the `BENCH_ga.json` written next to the fresh eval file, the
+//!   engine-driven campaign checkpointing every batch
+//!   (`checkpoint_overhead`) must stay within 3% of the legacy one-shot
+//!   path (`ga_campaign_noop_recorder`) — the step-engine's snapshot
+//!   and atomic-rename cost must never tax an uncheckpointed-equivalent
+//!   campaign noticeably.
 
 use serde::{DeError, Deserialize, Value};
 use std::process::ExitCode;
@@ -220,6 +226,42 @@ fn main() -> ExitCode {
             "skip simd fold speedup floor: host dispatches {} (calibrated for avx2)",
             emvolt_simd::detected_level().as_str()
         );
+    }
+
+    // Same-run checkpoint-overhead ceiling, from the GA-scale file that
+    // `export_bench` writes beside the eval file: the engine-driven
+    // campaign snapshotting after every batch against the legacy
+    // one-shot entry point. Both floors come from the same run on the
+    // same machine, so the ratio is immune to runner speed.
+    const CHECKPOINT_CEILING: f64 = 1.03;
+    let ga_path = std::path::Path::new(&fresh_path)
+        .with_file_name("BENCH_ga.json")
+        .to_string_lossy()
+        .into_owned();
+    let ga = load(&ga_path);
+    match (
+        ga.get("checkpoint_overhead"),
+        ga.get("ga_campaign_noop_recorder"),
+    ) {
+        (Some(engine), Some(legacy)) => {
+            let ratio = engine / legacy;
+            if ratio <= CHECKPOINT_CEILING {
+                eprintln!(
+                    "ok   checkpoint_overhead        {engine:.3} ms = {ratio:.3}x legacy \
+                     one-shot (ceiling {CHECKPOINT_CEILING}x)"
+                );
+            } else {
+                eprintln!(
+                    "FAIL checkpoint_overhead        {engine:.3} ms = {ratio:.3}x legacy \
+                     one-shot exceeds {CHECKPOINT_CEILING}x"
+                );
+                failed = true;
+            }
+        }
+        _ => {
+            eprintln!("FAIL {ga_path} lacks checkpoint_overhead/ga_campaign_noop_recorder records");
+            failed = true;
+        }
     }
 
     if failed {

@@ -8,11 +8,10 @@
 //! resonance. The whole procedure takes ~15 minutes on hardware versus
 //! ~15 hours for a GA run.
 
-use emvolt_backend::{
-    BackendError, BandSpec, LiveBackend, Load, MeasureRequest, MeasurementBackend,
-};
-use emvolt_isa::kernels::sweep_kernel;
-use emvolt_obs::{Layer, Telemetry};
+use crate::campaigns::fast_resonance_sweep_resumable;
+use emvolt_backend::{LiveBackend, MeasurementBackend};
+use emvolt_engine::DriveOptions;
+use emvolt_obs::Telemetry;
 use emvolt_platform::{DomainError, EmBench, SimClock, VoltageDomain};
 
 /// One point of a loop-frequency sweep (Figs. 11, 13, 16).
@@ -121,68 +120,11 @@ pub fn fast_resonance_sweep_on<B: MeasurementBackend + ?Sized>(
     domain_name: &str,
     config: &FastSweepConfig,
 ) -> Result<FastSweepResult, DomainError> {
-    backend
-        .configure_run(&config.run)
-        .map_err(BackendError::into_domain_error)?;
-    let info = backend
-        .domain_info(domain_name)
-        .ok_or_else(|| DomainError::Backend(format!("unknown domain `{domain_name}`")))?;
-    let kernel = sweep_kernel(info.isa);
-    let tel = &config.telemetry;
-    let mut points = Vec::with_capacity(config.cpu_freqs_hz.len());
-    let mut campaign = SimClock::new();
-
-    for &f_cpu in &config.cpu_freqs_hz {
-        let req = MeasureRequest {
-            domain: domain_name,
-            load: Load::Kernel {
-                kernel: &kernel,
-                loaded_cores: config.loaded_cores,
-            },
-            freq_hz: Some(f_cpu.min(info.max_frequency_hz)),
-            band: BandSpec::AroundLoop {
-                halfwidth_hz: config.marker_halfwidth_hz,
-            },
-            samples: config.samples_per_point,
-            seed: None,
-        };
-        let obs = backend
-            .measure_serial(&req, tel)
-            .map_err(BackendError::into_domain_error)?;
-        campaign.advance(config.samples_per_point as f64 * 0.6 + 2.0);
-        tel.set_sim_time(campaign.seconds());
-        tel.span(
-            "sweep",
-            Layer::Core,
-            &[
-                ("cpu_mhz", f_cpu / 1e6),
-                ("loop_mhz", obs.loop_frequency_hz / 1e6),
-                ("amplitude_dbm", obs.reading.metric_dbm),
-            ],
-        );
-        points.push(SweepPoint {
-            cpu_freq_hz: f_cpu,
-            loop_freq_hz: obs.loop_frequency_hz,
-            amplitude_dbm: obs.reading.metric_dbm,
-        });
-    }
-
-    let resonance_hz = points
-        .iter()
-        .max_by(|a, b| a.amplitude_dbm.total_cmp(&b.amplitude_dbm))
-        .map(|p| p.loop_freq_hz)
-        .unwrap_or(0.0);
-
-    tel.emit_counters();
-    tel.emit_histograms();
-    tel.flush();
-    backend.finish().map_err(BackendError::into_domain_error)?;
-
-    Ok(FastSweepResult {
-        points,
-        resonance_hz,
-        campaign,
-    })
+    // No batch limit in the default options, so the drive always runs to
+    // completion.
+    let result =
+        fast_resonance_sweep_resumable(backend, domain_name, config, &DriveOptions::default())?;
+    Ok(result.expect("campaign without a batch limit always completes"))
 }
 
 #[cfg(test)]

@@ -8,17 +8,16 @@
 //! (OC-DSO / Kelvin-pad driven, used by the paper for validation) is also
 //! provided.
 
-use emvolt_backend::{
-    BackendError, BandSpec, CachingBackend, EmObservation, LiveBackend, Load, MeasureRequest,
-    MeasurementBackend,
-};
+use crate::campaigns::generate_em_virus_resumable;
+use emvolt_backend::{LiveBackend, MeasurementBackend};
+use emvolt_engine::DriveOptions;
 use emvolt_ga::{derive_eval_seed, EvalContext, GaConfig, GaEngine, KernelRepresentation};
 use emvolt_inst::Oscilloscope;
 use emvolt_isa::{InstructionPool, Kernel};
-use emvolt_obs::{CounterId, HistId, Layer, Telemetry};
+use emvolt_obs::{CounterId, Telemetry};
 use emvolt_platform::{
     DomainError, DomainRun, DomainRunner, EmBench, RunConfig, SimClock, VoltageDomain,
-    INDIVIDUAL_MEASUREMENT_SECONDS, INDIVIDUAL_OVERHEAD_SECONDS, RESONANCE_BAND,
+    INDIVIDUAL_OVERHEAD_SECONDS, RESONANCE_BAND,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -110,7 +109,7 @@ impl Default for VirusGenConfig {
 /// same architecture collapse to the same key regardless of how they were
 /// produced, which is exactly the equivalence the fitness cache and the
 /// dominant-frequency memoization need.
-fn kernel_identity(kernel: &Kernel) -> u64 {
+pub(crate) fn kernel_identity(kernel: &Kernel) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     kernel.arch().isa().hash(&mut h);
     for i in kernel.body() {
@@ -123,7 +122,7 @@ fn kernel_identity(kernel: &Kernel) -> u64 {
 }
 
 /// Resolves the `threads` knob: `0` means one worker per available core.
-fn resolve_threads(threads: usize) -> usize {
+pub(crate) fn resolve_threads(threads: usize) -> usize {
     if threads == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -138,7 +137,7 @@ fn resolve_threads(threads: usize) -> usize {
 /// hosts, four on narrower vectors), so the SoA fold fills the widest
 /// FMA block the dispatched kernels will actually run. Any explicit
 /// width is honored as-is; results are bit-identical at every width.
-fn resolve_lanes(lanes: usize) -> usize {
+pub(crate) fn resolve_lanes(lanes: usize) -> usize {
     if lanes == 0 {
         emvolt_simd::preferred_lanes()
     } else {
@@ -267,14 +266,6 @@ impl GenerationProgress {
     }
 }
 
-/// One worker-side fitness evaluation, logged for deterministic span
-/// emission at the generation barrier.
-struct EvalRecord {
-    index: usize,
-    score: f64,
-    cached: bool,
-}
-
 /// The product of a virus-generation campaign.
 #[derive(Debug, Clone)]
 pub struct Virus {
@@ -365,301 +356,18 @@ pub fn generate_em_virus_on<B: MeasurementBackend + ?Sized>(
     config: &VirusGenConfig,
     on_generation: impl FnMut(&GenerationProgress),
 ) -> Result<Virus, DomainError> {
-    backend
-        .configure_run(&config.run)
-        .map_err(BackendError::into_domain_error)?;
-    if config.cache_fitness {
-        let mut caching = CachingBackend::new(&mut *backend);
-        run_em_campaign(name, &mut caching, domain_name, config, on_generation)
-    } else {
-        run_em_campaign(name, backend, domain_name, config, on_generation)
-    }
-}
-
-/// Serial re-measurement through the backend's stateful rig path (the
-/// analyzer RNG advances call over call, like the old coordinator-side
-/// `bench.measure_in_band`).
-fn measure_rig<B: MeasurementBackend + ?Sized>(
-    backend: &mut B,
-    domain_name: &str,
-    kernel: &Kernel,
-    config: &VirusGenConfig,
-    samples: usize,
-    tel: &Telemetry,
-) -> Result<EmObservation, DomainError> {
-    let req = MeasureRequest {
-        domain: domain_name,
-        load: Load::Kernel {
-            kernel,
-            loaded_cores: config.loaded_cores,
-        },
-        freq_hz: None,
-        band: BandSpec::Explicit {
-            lo_hz: config.band.0,
-            hi_hz: config.band.1,
-        },
-        samples,
-        seed: None,
-    };
-    backend
-        .measure_serial(&req, tel)
-        .map_err(BackendError::into_domain_error)
-}
-
-/// The campaign proper, generic over the (possibly cache-wrapped)
-/// backend. Split from [`generate_em_virus_on`] so the caching wrapper
-/// and the bare backend share one monomorphic body.
-fn run_em_campaign<B: MeasurementBackend + ?Sized>(
-    name: &str,
-    backend: &mut B,
-    domain_name: &str,
-    config: &VirusGenConfig,
-    mut on_generation: impl FnMut(&GenerationProgress),
-) -> Result<Virus, DomainError> {
-    let info = backend
-        .domain_info(domain_name)
-        .ok_or_else(|| DomainError::Backend(format!("unknown domain `{domain_name}`")))?;
-    let pool = InstructionPool::default_for(info.isa);
-    let repr = KernelRepresentation::new(pool, config.kernel_len);
-    let mut engine = GaEngine::new(repr, config.ga.clone());
-    let mut clock = SimClock::new();
-    let threads = resolve_threads(config.threads);
-    let lanes = resolve_lanes(config.lanes);
-
-    // Full handle for the single-threaded coordinator (emits spans),
-    // quiet clone for the worker-side measurements (counters and
-    // histograms only).
-    let tel = config.telemetry.clone();
-    engine.set_telemetry(tel.clone());
-    // Summary-only (host-dependent, never emitted into traces).
-    tel.count(
-        CounterId::SimdDispatchLevel,
-        emvolt_simd::level().code() as u64,
-    );
-
-    let measured = AtomicUsize::new(0);
-    let cache_hit_count = AtomicUsize::new(0);
-    let eval_log: Mutex<Vec<EvalRecord>> = Mutex::new(Vec::new());
-    // 0.6 s per spectrum sample plus orchestration overhead (the paper's
-    // 30-sample measurement costs ~18 s).
-    let per_individual_s = config.samples_per_individual as f64 * INDIVIDUAL_MEASUREMENT_SECONDS
-        / 30.0
-        + INDIVIDUAL_OVERHEAD_SECONDS;
-    let campaign_seed = config.ga.seed;
-
-    let result = {
-        let backend_ref: &B = backend;
-        let quiet = tel.quiet();
-        let log_eval = |index: usize, score: f64, cached: bool| {
-            if quiet.sink_enabled() {
-                eval_log.lock().push(EvalRecord {
-                    index,
-                    score,
-                    cached,
-                });
-            }
-        };
-        let lane_fitness = |kernels: &[&Kernel], ctxs: &[EvalContext]| -> Vec<f64> {
-            // Cache mode derives the measurement seed from the genome so
-            // a duplicated individual reads identically whether or not
-            // its twin was measured first — and so its request key (which
-            // the caching wrapper memoizes on) collapses too.
-            let reqs: Vec<MeasureRequest<'_>> = kernels
-                .iter()
-                .zip(ctxs)
-                .map(|(&kernel, ctx)| {
-                    let seed = if config.cache_fitness {
-                        derive_eval_seed(campaign_seed ^ kernel_identity(kernel), 0, 0)
-                    } else {
-                        ctx.seed
-                    };
-                    MeasureRequest {
-                        domain: domain_name,
-                        load: Load::Kernel {
-                            kernel,
-                            loaded_cores: config.loaded_cores,
-                        },
-                        freq_hz: None,
-                        band: BandSpec::Explicit {
-                            lo_hz: config.band.0,
-                            hi_hz: config.band.1,
-                        },
-                        samples: config.samples_per_individual,
-                        seed: Some(seed),
-                    }
-                })
-                .collect();
-            backend_ref
-                .measure_batch(&reqs, &quiet)
-                .into_iter()
-                .zip(ctxs)
-                .map(|(outcome, ctx)| match outcome {
-                    Ok(obs) if obs.cached => {
-                        cache_hit_count.fetch_add(1, Ordering::Relaxed);
-                        log_eval(ctx.index, obs.reading.metric_dbm, true);
-                        obs.reading.metric_dbm
-                    }
-                    Ok(obs) => {
-                        measured.fetch_add(1, Ordering::Relaxed);
-                        log_eval(ctx.index, obs.reading.metric_dbm, false);
-                        obs.reading.metric_dbm
-                    }
-                    // A kernel that failed once keeps its noise-floor
-                    // score without re-simulation, like the old cached
-                    // -200.0.
-                    Err(BackendError::CachedFailure(_)) => {
-                        cache_hit_count.fetch_add(1, Ordering::Relaxed);
-                        log_eval(ctx.index, -200.0, true);
-                        -200.0
-                    }
-                    Err(_) => {
-                        measured.fetch_add(1, Ordering::Relaxed);
-                        log_eval(ctx.index, -200.0, false);
-                        -200.0
-                    }
-                })
-                .collect()
-        };
-        engine.run_batch_lanes(&lane_fitness, threads, lanes, |stats| {
-            let measured_now = measured.swap(0, Ordering::Relaxed);
-            let hits = cache_hit_count.swap(0, Ordering::Relaxed);
-            clock.advance(measured_now as f64 * per_individual_s);
-            tel.set_sim_time(clock.seconds());
-
-            // Lane bookkeeping is charged here on the single-threaded
-            // barrier, so the totals are a pure function of the lane
-            // configuration — never of the worker-thread schedule.
-            tel.count(
-                CounterId::BatchLanes,
-                config.ga.population.div_ceil(lanes) as u64,
-            );
-            tel.count(CounterId::BatchLaneOccupancy, (measured_now + hits) as u64);
-
-            // Drain the worker-side eval log and emit spans in population
-            // order — the barrier makes this independent of how threads
-            // interleaved during evaluation.
-            let mut records = std::mem::take(&mut *eval_log.lock());
-            records.sort_by_key(|r| r.index);
-            let mut worst = f64::INFINITY;
-            for r in &records {
-                worst = worst.min(r.score);
-                tel.record_value(
-                    HistId::EvalSeconds,
-                    if r.cached { 0.0 } else { per_individual_s },
-                );
-                tel.span(
-                    "eval",
-                    Layer::Core,
-                    &[
-                        ("generation", stats.index as f64),
-                        ("individual", r.index as f64),
-                        ("fitness_dbm", r.score),
-                        ("cached", if r.cached { 1.0 } else { 0.0 }),
-                    ],
-                );
-            }
-            if !records.is_empty() {
-                tel.record_value(HistId::FitnessBest, stats.best_fitness);
-                tel.record_value(HistId::FitnessMean, stats.mean_fitness);
-                tel.record_value(HistId::FitnessWorst, worst);
-            }
-            let worst_dbm = if worst.is_finite() {
-                worst
-            } else {
-                stats.best_fitness
-            };
-            tel.span(
-                "generation",
-                Layer::Ga,
-                &[
-                    ("index", stats.index as f64),
-                    ("best_dbm", stats.best_fitness),
-                    ("mean_dbm", stats.mean_fitness),
-                    ("worst_dbm", worst_dbm),
-                    ("evaluated", (measured_now + hits) as f64),
-                    ("cache_hits", hits as f64),
-                ],
-            );
-            on_generation(&GenerationProgress {
-                index: stats.index,
-                best_dbm: stats.best_fitness,
-                mean_dbm: stats.mean_fitness,
-                worst_dbm,
-                evaluated: measured_now + hits,
-                cache_hits: hits,
-                sim_seconds: clock.seconds(),
-            });
-        })
-    };
-
-    // Re-measure each generation's best to record its dominant frequency
-    // (the paper reads this off the analyzer marker per generation). The
-    // same champion often survives many generations, so the re-run and
-    // its dominant frequency are memoized by kernel identity. The
-    // re-measurement runs serially on the coordinator with the full
-    // handle, so circuit/dsp/platform spans are emitted here, in a
-    // deterministic order, regardless of the campaign thread count.
-    let mut dominant_memo: HashMap<u64, f64> = HashMap::new();
-    let mut dominant_of_best = Vec::with_capacity(result.generation_best.len());
-    for k in &result.generation_best {
-        let key = kernel_identity(k);
-        let dom = match dominant_memo.get(&key) {
-            Some(&d) => d,
-            None => {
-                let obs = measure_rig(backend, domain_name, k, config, 5, &tel)?;
-                dominant_memo.insert(key, obs.reading.dominant_hz);
-                obs.reading.dominant_hz
-            }
-        };
-        dominant_of_best.push(dom);
-    }
-
-    let history = result
-        .history
-        .iter()
-        .zip(&dominant_of_best)
-        .map(|(s, &dom)| GenerationRecord {
-            index: s.index,
-            best_fitness: s.best_fitness,
-            mean_fitness: s.mean_fitness,
-            dominant_hz: dom,
-            droop_v: None,
-        })
-        .collect();
-
-    let final_obs = measure_rig(
+    // No batch limit in the default options, so the drive always runs to
+    // completion (`threads`/`lanes` of 0 resolve from `config`, exactly
+    // as this entry point always resolved them).
+    let virus = generate_em_virus_resumable(
+        name,
         backend,
         domain_name,
-        &result.best,
         config,
-        config.samples_per_individual,
-        &tel,
+        &DriveOptions::default(),
+        on_generation,
     )?;
-
-    tel.span(
-        "campaign",
-        Layer::Core,
-        &[
-            ("generations", result.history.len() as f64),
-            ("best_dbm", result.best_fitness),
-            ("dominant_mhz", final_obs.reading.dominant_hz / 1e6),
-            ("sim_seconds", clock.seconds()),
-        ],
-    );
-    tel.emit_counters();
-    tel.emit_histograms();
-    tel.flush();
-    backend.finish().map_err(BackendError::into_domain_error)?;
-
-    Ok(Virus {
-        name: name.to_owned(),
-        kernel: result.best,
-        fitness: result.best_fitness,
-        dominant_hz: final_obs.reading.dominant_hz,
-        history,
-        generation_best: result.generation_best,
-        campaign: clock,
-    })
+    Ok(virus.expect("campaign without a batch limit always completes"))
 }
 
 /// Voltage-feedback GA (the paper's validation baseline): fitness is the

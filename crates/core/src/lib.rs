@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaigns;
 mod characterization;
 pub mod emergency;
 mod fast_sweep;
@@ -56,6 +57,9 @@ mod predictor;
 mod report;
 pub mod tamper;
 
+pub use campaigns::{
+    fast_resonance_sweep_resumable, generate_em_virus_resumable, SweepCampaign, VirusCampaign,
+};
 pub use characterization::Characterization;
 pub use fast_sweep::{
     fast_resonance_sweep, fast_resonance_sweep_on, FastSweepConfig, FastSweepResult, SweepPoint,

@@ -1,0 +1,154 @@
+//! Value helpers for campaign snapshots.
+//!
+//! Checkpoint snapshots round-trip floats bit-exactly by encoding every
+//! `f64` as the 16-hex-digit form of its IEEE-754 bits — the same idiom
+//! the backend trace store uses. `u64` values (RNG words, counters,
+//! generation indices past 2^53) get the same treatment so nothing is
+//! squeezed through a lossy `f64` on the way to JSON.
+
+use serde::{DeError, Deserialize, Value};
+
+/// Encodes an `f64` as its bit pattern in hex (bit-exact, NaN-safe).
+pub fn hex(v: f64) -> Value {
+    Value::Str(format!("{:016x}", v.to_bits()))
+}
+
+/// Decodes an `f64` written by [`hex`].
+///
+/// # Errors
+///
+/// [`DeError`] when the value is not a 16-digit hex bit string.
+pub fn unhex(v: &Value) -> Result<f64, DeError> {
+    Ok(f64::from_bits(unhex_u64(v)?))
+}
+
+/// Encodes a `u64` as hex (exact past 2^53, unlike `Value::Num`).
+pub fn hex_u64(n: u64) -> Value {
+    Value::Str(format!("{n:016x}"))
+}
+
+/// Decodes a `u64` written by [`hex_u64`].
+///
+/// # Errors
+///
+/// [`DeError`] when the value is not a hex string.
+pub fn unhex_u64(v: &Value) -> Result<u64, DeError> {
+    let s = String::from_value(v)?;
+    u64::from_str_radix(&s, 16).map_err(|e| DeError::new(format!("bad bit string `{s}`: {e}")))
+}
+
+/// Builds an object value from borrowed field names.
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Looks up a required object field.
+///
+/// # Errors
+///
+/// [`DeError`] when `v` is not an object or lacks `key`.
+pub fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, DeError> {
+    v.field_value(key)
+}
+
+/// Views a value as an array.
+///
+/// # Errors
+///
+/// [`DeError`] when `v` is not an array.
+pub fn arr(v: &Value) -> Result<&[Value], DeError> {
+    match v {
+        Value::Arr(items) => Ok(items),
+        other => Err(DeError::new(format!(
+            "expected array, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Reads a required `usize` field (small integers only; exact in `f64`).
+///
+/// # Errors
+///
+/// [`DeError`] when the field is absent or not a non-negative integer.
+pub fn usize_field(v: &Value, key: &str) -> Result<usize, DeError> {
+    let n = f64::from_value(field(v, key)?)?;
+    if n < 0.0 || n.fract() != 0.0 || n > 2f64.powi(53) {
+        return Err(DeError::new(format!("field `{key}`: `{n}` is not a size")));
+    }
+    Ok(n as usize)
+}
+
+/// Serializes a raw [`Value`] tree to one JSON line.
+pub fn to_line(v: &Value) -> String {
+    serde_json::value_to_string(v)
+}
+
+/// Parses one JSON line into a raw [`Value`] tree.
+///
+/// # Errors
+///
+/// [`DeError`] on malformed JSON.
+pub fn parse_line(line: &str) -> Result<Value, DeError> {
+    struct Passthrough(Value);
+    impl Deserialize for Passthrough {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            Ok(Passthrough(v.clone()))
+        }
+    }
+    serde_json::from_str::<Passthrough>(line)
+        .map(|p| p.0)
+        .map_err(|e| DeError::new(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips_awkward_floats() {
+        for v in [
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            9_007_199_254_740_993.0_f64, // 2^53 + 1 rounded; still bit-exact
+            -1.5e-300,
+        ] {
+            let back = unhex(&hex(v)).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits());
+        }
+    }
+
+    #[test]
+    fn u64_round_trips_past_2_53() {
+        for n in [0u64, 1, u64::MAX, (1 << 53) + 1, 0xE110_CAFE] {
+            assert_eq!(unhex_u64(&hex_u64(n)).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn line_round_trips_nested_values() {
+        let v = obj(vec![
+            ("a", hex(-0.0)),
+            ("b", Value::Arr(vec![Value::Num(1.0), Value::Null])),
+        ]);
+        let back = parse_line(&to_line(&v)).unwrap();
+        assert_eq!(to_line(&back), to_line(&v));
+    }
+
+    #[test]
+    fn usize_field_rejects_fractions() {
+        let v = obj(vec![("n", Value::Num(1.5))]);
+        assert!(usize_field(&v, "n").is_err());
+        let v = obj(vec![("n", Value::Num(7.0))]);
+        assert_eq!(usize_field(&v, "n").unwrap(), 7);
+    }
+}

@@ -300,101 +300,188 @@ impl<R: Representation> GaEngine<R> {
     /// The generation loop shared by [`GaEngine::run`] and
     /// [`GaEngine::run_batch`]: `evaluate` scores a whole generation,
     /// everything else (selection, crossover, mutation, elitism) is
-    /// serial and driven by the engine RNG.
+    /// serial and driven by the engine RNG, held in a [`GaState`].
     fn run_inner<E, C>(&mut self, mut evaluate: E, mut on_generation: C) -> GaResult<R::Genome>
     where
         E: FnMut(&[R::Genome], usize) -> Vec<f64>,
         C: FnMut(&GenerationStats),
     {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut population: Vec<R::Genome> = (0..self.config.population)
-            .map(|_| self.repr.random(&mut rng))
-            .collect();
-
-        let mut best: Option<(R::Genome, f64)> = None;
-        let mut history = Vec::with_capacity(self.config.generations);
-        let mut generation_best = Vec::with_capacity(self.config.generations);
-
-        for generation in 0..self.config.generations {
-            let scores: Vec<f64> = evaluate(&population, generation);
-            assert_eq!(
-                scores.len(),
-                population.len(),
-                "evaluator must score every individual"
+        let mut state = GaState::new(&self.repr, &self.config);
+        while !state.is_done(&self.config) {
+            let scores: Vec<f64> = evaluate(&state.population, state.generation);
+            state.absorb_scores(
+                &self.repr,
+                &self.config,
+                &self.telemetry,
+                &scores,
+                &mut on_generation,
             );
-            self.telemetry
-                .count(emvolt_obs::CounterId::Evaluations, scores.len() as u64);
-            self.telemetry.count(emvolt_obs::CounterId::Generations, 1);
+        }
+        state.into_result()
+    }
+}
 
-            // Rank indices by descending fitness.
-            let mut order: Vec<usize> = (0..population.len()).collect();
-            order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+/// The complete mid-run state of a GA campaign: everything the breeding
+/// loop carries between generations, with public fields so a checkpointed
+/// campaign can serialize it mid-stream and resume bit-identically.
+///
+/// [`GaEngine::run`]-family methods are thin loops over this state:
+/// construct with [`GaState::new`], score `population` externally, feed
+/// the scores to [`GaState::absorb_scores`] until [`GaState::is_done`],
+/// then take the result with [`GaState::into_result`].
+#[derive(Debug, Clone)]
+pub struct GaState<G> {
+    /// The engine RNG mid-stream: population init consumed from it first,
+    /// then each generation's selection/crossover/mutation draws.
+    pub rng: StdRng,
+    /// The current generation's individuals, in population order.
+    pub population: Vec<G>,
+    /// Index of the generation `population` belongs to (0-based); equals
+    /// `config.generations` once the run is complete.
+    pub generation: usize,
+    /// Best genome and fitness seen in any generation so far.
+    pub best: Option<(G, f64)>,
+    /// Statistics of every completed generation.
+    pub history: Vec<GenerationStats>,
+    /// The best genome of each completed generation.
+    pub generation_best: Vec<G>,
+}
 
-            let gen_best_idx = order[0];
-            let gen_best_fit = scores[gen_best_idx];
-            let mean = scores.iter().sum::<f64>() / scores.len() as f64;
-            if best.as_ref().is_none_or(|(_, f)| gen_best_fit > *f) {
-                best = Some((population[gen_best_idx].clone(), gen_best_fit));
-            }
-            let stats = GenerationStats {
-                index: generation,
-                best_fitness: gen_best_fit,
-                mean_fitness: mean,
-                best_so_far: best.as_ref().map(|(_, f)| *f).expect("set above"),
-            };
-            on_generation(&stats);
-            history.push(stats);
-            generation_best.push(population[gen_best_idx].clone());
+impl<G: Clone> GaState<G> {
+    /// Seeds the engine RNG and samples the initial population.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations, like [`GaEngine::new`].
+    pub fn new<R: Representation<Genome = G>>(repr: &R, config: &GaConfig) -> Self {
+        assert!(config.population >= 2, "population must be at least 2");
+        assert!(config.tournament_k >= 1, "tournament size must be >= 1");
+        assert!(
+            config.elitism < config.population,
+            "elitism must leave room for offspring"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let population: Vec<G> = (0..config.population)
+            .map(|_| repr.random(&mut rng))
+            .collect();
+        GaState {
+            rng,
+            population,
+            generation: 0,
+            best: None,
+            history: Vec::with_capacity(config.generations),
+            generation_best: Vec::with_capacity(config.generations),
+        }
+    }
 
-            if generation + 1 == self.config.generations {
-                break;
-            }
+    /// Whether every configured generation has been absorbed.
+    pub fn is_done(&self, config: &GaConfig) -> bool {
+        self.generation >= config.generations
+    }
 
+    /// Absorbs one generation's scores: charges the evaluation counters,
+    /// ranks the population, updates the running best, reports the
+    /// generation's statistics to `observe`, records history, and (unless
+    /// this was the final generation) breeds the next population from the
+    /// engine RNG. Returns the generation's statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scores` has exactly one entry per individual.
+    pub fn absorb_scores<R, C>(
+        &mut self,
+        repr: &R,
+        config: &GaConfig,
+        telemetry: &emvolt_obs::Telemetry,
+        scores: &[f64],
+        mut observe: C,
+    ) -> GenerationStats
+    where
+        R: Representation<Genome = G>,
+        C: FnMut(&GenerationStats),
+    {
+        assert_eq!(
+            scores.len(),
+            self.population.len(),
+            "evaluator must score every individual"
+        );
+        telemetry.count(emvolt_obs::CounterId::Evaluations, scores.len() as u64);
+        telemetry.count(emvolt_obs::CounterId::Generations, 1);
+
+        // Rank indices by descending fitness.
+        let mut order: Vec<usize> = (0..self.population.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+
+        let gen_best_idx = order[0];
+        let gen_best_fit = scores[gen_best_idx];
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        if self.best.as_ref().is_none_or(|(_, f)| gen_best_fit > *f) {
+            self.best = Some((self.population[gen_best_idx].clone(), gen_best_fit));
+        }
+        let stats = GenerationStats {
+            index: self.generation,
+            best_fitness: gen_best_fit,
+            mean_fitness: mean,
+            best_so_far: self.best.as_ref().map(|(_, f)| *f).expect("set above"),
+        };
+        observe(&stats);
+        self.history.push(stats.clone());
+        self.generation_best
+            .push(self.population[gen_best_idx].clone());
+
+        if self.generation + 1 < config.generations {
             // Next generation: elites + tournament/crossover/mutation.
-            let mut next: Vec<R::Genome> = order[..self.config.elitism]
+            let mut next: Vec<G> = order[..config.elitism]
                 .iter()
-                .map(|&i| population[i].clone())
+                .map(|&i| self.population[i].clone())
                 .collect();
-            while next.len() < self.config.population {
-                let p1 = self.tournament(&population, &scores, &mut rng);
-                let p2 = self.tournament(&population, &scores, &mut rng);
-                let (mut c1, mut c2) = self.repr.crossover(p1, p2, &mut rng);
-                self.repr
-                    .mutate(&mut c1, self.config.mutation_rate, &mut rng);
-                self.repr
-                    .mutate(&mut c2, self.config.mutation_rate, &mut rng);
+            while next.len() < config.population {
+                let p1 = tournament(&self.population, scores, config.tournament_k, &mut self.rng);
+                let p2 = tournament(&self.population, scores, config.tournament_k, &mut self.rng);
+                let (mut c1, mut c2) = repr.crossover(p1, p2, &mut self.rng);
+                repr.mutate(&mut c1, config.mutation_rate, &mut self.rng);
+                repr.mutate(&mut c2, config.mutation_rate, &mut self.rng);
                 next.push(c1);
-                if next.len() < self.config.population {
+                if next.len() < config.population {
                     next.push(c2);
                 }
             }
-            population = next;
+            self.population = next;
         }
+        self.generation += 1;
+        stats
+    }
 
-        let (best, best_fitness) = best.expect("at least one generation ran");
+    /// Consumes the state into the run's final result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no generation was ever absorbed.
+    pub fn into_result(self) -> GaResult<G> {
+        let (best, best_fitness) = self.best.expect("at least one generation ran");
         GaResult {
             best,
             best_fitness,
-            history,
-            generation_best,
+            history: self.history,
+            generation_best: self.generation_best,
         }
     }
+}
 
-    fn tournament<'a>(
-        &self,
-        population: &'a [R::Genome],
-        scores: &[f64],
-        rng: &mut StdRng,
-    ) -> &'a R::Genome {
-        let mut best_idx = rng.gen_range(0..population.len());
-        for _ in 1..self.config.tournament_k {
-            let idx = rng.gen_range(0..population.len());
-            if scores[idx] > scores[best_idx] {
-                best_idx = idx;
-            }
+fn tournament<'a, G>(
+    population: &'a [G],
+    scores: &[f64],
+    tournament_k: usize,
+    rng: &mut StdRng,
+) -> &'a G {
+    let mut best_idx = rng.gen_range(0..population.len());
+    for _ in 1..tournament_k {
+        let idx = rng.gen_range(0..population.len());
+        if scores[idx] > scores[best_idx] {
+            best_idx = idx;
         }
-        &population[best_idx]
     }
+    &population[best_idx]
 }
 
 /// Per-individual evaluation context handed to a [`BatchFitness`].
@@ -528,7 +615,10 @@ where
 /// Applies `eval` to every item across `threads` scoped worker threads,
 /// returning results in item order — the group-level analogue of
 /// [`evaluate_parallel`] for evaluators producing per-group vectors.
-fn map_parallel<T, U, F>(items: &[T], eval: F, threads: usize) -> Vec<U>
+/// Public so the step-engine driver can dispatch lane groups with exactly
+/// the same chunking (and therefore the same thread schedule) as
+/// [`GaEngine::run_batch_lanes`].
+pub fn map_parallel<T, U, F>(items: &[T], eval: F, threads: usize) -> Vec<U>
 where
     T: Sync,
     U: Send + Default,

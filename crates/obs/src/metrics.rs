@@ -67,11 +67,22 @@ pub enum CounterId {
     /// (cli). Summary-only, for the same reason as
     /// [`CounterId::WavetraceSignals`].
     WavetraceSamplesWritten,
+    /// Checkpoint snapshots written by the step driver (engine). Only
+    /// nonzero when `--checkpoint` is active, so it is summary-only like
+    /// [`CounterId::WavetraceSignals`]: whether a run also checkpointed
+    /// must not change its emitted JSONL trace.
+    CheckpointWrites,
+    /// Batches skipped on resume because a checkpoint already held their
+    /// results (engine). Summary-only, for the same reason as
+    /// [`CounterId::CheckpointWrites`]: a resumed run's trace must
+    /// concatenate with the interrupted run's into the uninterrupted
+    /// trace, byte for byte.
+    StepsResumed,
 }
 
 impl CounterId {
     /// Every counter, in emission order.
-    pub const ALL: [CounterId; 19] = [
+    pub const ALL: [CounterId; 21] = [
         CounterId::LuFactorizations,
         CounterId::SolverSteps,
         CounterId::TransientRuns,
@@ -91,6 +102,8 @@ impl CounterId {
         CounterId::SimdDispatchLevel,
         CounterId::WavetraceSignals,
         CounterId::WavetraceSamplesWritten,
+        CounterId::CheckpointWrites,
+        CounterId::StepsResumed,
     ];
 
     /// Wire name used in counter events and summaries.
@@ -115,6 +128,8 @@ impl CounterId {
             CounterId::SimdDispatchLevel => "simd_dispatch_level",
             CounterId::WavetraceSignals => "wavetrace_signals",
             CounterId::WavetraceSamplesWritten => "wavetrace_samples_written",
+            CounterId::CheckpointWrites => "checkpoint_writes",
+            CounterId::StepsResumed => "steps_resumed",
         }
     }
 
@@ -135,7 +150,10 @@ impl CounterId {
             | CounterId::BatchLanes
             | CounterId::BatchLaneOccupancy
             | CounterId::SimdDispatchLevel => Layer::Core,
-            CounterId::WavetraceSignals | CounterId::WavetraceSamplesWritten => Layer::Cli,
+            CounterId::WavetraceSignals
+            | CounterId::WavetraceSamplesWritten
+            | CounterId::CheckpointWrites
+            | CounterId::StepsResumed => Layer::Cli,
         }
     }
 
@@ -154,6 +172,8 @@ impl CounterId {
                 | CounterId::SimdDispatchLevel
                 | CounterId::WavetraceSignals
                 | CounterId::WavetraceSamplesWritten
+                | CounterId::CheckpointWrites
+                | CounterId::StepsResumed
         )
     }
 

@@ -49,6 +49,10 @@ pub enum DomainError {
     /// A measurement backend failed outside the simulation itself (e.g.
     /// a missing recording during replay, or a trace-store I/O error).
     Backend(String),
+    /// A campaign checkpoint could not be written, read, or applied
+    /// (I/O failure, malformed snapshot, or a run-config fingerprint
+    /// mismatch when resuming against a different chip/config).
+    Checkpoint(String),
 }
 
 impl fmt::Display for DomainError {
@@ -73,6 +77,7 @@ impl fmt::Display for DomainError {
             }
             DomainError::EmptyPhaseList => write!(f, "run_sequence needs at least one phase"),
             DomainError::Backend(msg) => write!(f, "measurement backend error: {msg}"),
+            DomainError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }

@@ -285,6 +285,27 @@ impl EmBench {
     pub fn absorb_elapsed(&mut self, shared: &SharedEmBench) {
         self.analyzer.advance_elapsed(shared.take_elapsed());
     }
+
+    /// Raw words of the rig's measurement-noise RNG, for campaign
+    /// checkpoints: un-seeded serial measurements advance this stream, so
+    /// resuming a campaign mid-way must restore it exactly.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores the measurement-noise RNG from words captured by
+    /// [`EmBench::rng_state`].
+    pub fn set_rng_state(&mut self, s: [u64; 4]) {
+        self.rng = StdRng::from_state(s);
+    }
+
+    /// Rewinds or advances the analyzer's occupancy clock to an absolute
+    /// total, for checkpoint restore (the underlying analyzer only counts
+    /// forward, so this adds the delta to the current total).
+    pub fn restore_elapsed(&mut self, total_s: f64) {
+        self.analyzer
+            .advance_elapsed(total_s - self.analyzer.elapsed());
+    }
 }
 
 /// The thread-shareable half of an [`EmBench`]: the radiation channel and

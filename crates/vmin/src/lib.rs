@@ -16,12 +16,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use emvolt_cpu::{execute, execute_with_faults, FaultModel};
+pub mod campaign;
+
+pub use campaign::{vmin_test_resumable, VminCampaign};
+
+use emvolt_engine::DriveOptions;
 use emvolt_isa::Kernel;
 use emvolt_obs::Telemetry;
-use emvolt_platform::{DomainError, DomainRunner, RunConfig, VoltageDomain};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use emvolt_platform::{DomainError, RunConfig, VoltageDomain};
+use rand::Rng;
 
 /// The timing-wall failure model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -186,77 +189,22 @@ pub fn vmin_test_with(
     config: &VminConfig,
     telemetry: Telemetry,
 ) -> Result<VminResult, DomainError> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    // The PDN is linear, so the droop waveform is supply-independent:
-    // simulate once at the starting voltage and slide the DC level.
-    let mut dom = domain.clone();
-    dom.set_voltage(config.start_v);
-    let run = DomainRunner::new_with(&dom, config.run.clone(), telemetry)?
-        .run(kernel, config.loaded_cores)?;
-    let droop = run.max_droop();
-    let golden = execute(kernel, config.golden_iterations);
-    let v_crit = model.v_crit_at(dom.frequency());
-
-    let mut ladder = Vec::new();
-    let mut first_failure_v = f64::NAN;
-    let mut v = config.start_v;
-    while v >= config.floor_v - 1e-12 {
-        let mut outcomes = Vec::with_capacity(config.trials);
-        let mut saw_system_crash = false;
-        for _ in 0..config.trials {
-            let extra = gumbel(&mut rng, model.trial_sigma);
-            let min_die = v - droop - extra;
-            let margin = min_die - v_crit;
-            let outcome = if margin >= 0.0 {
-                Outcome::Pass
-            } else if -margin > model.sdc_band {
-                Outcome::SystemCrash
-            } else {
-                // Inside the SDC band: inject faults whose rate grows as
-                // the margin shrinks and compare against the golden run.
-                let severity = (-margin / model.sdc_band).clamp(0.0, 1.0);
-                let fault = FaultModel {
-                    per_instr_probability: 1e-4 + severity * 2e-3,
-                };
-                let out = execute_with_faults(kernel, config.golden_iterations, fault, &mut rng);
-                if out.digest == golden {
-                    Outcome::Pass
-                } else if severity > 0.6 {
-                    Outcome::AppCrash
-                } else {
-                    Outcome::Sdc
-                }
-            };
-            if outcome.is_failure() && first_failure_v.is_nan() {
-                first_failure_v = v;
-            }
-            saw_system_crash |= outcome == Outcome::SystemCrash;
-            outcomes.push(outcome);
-        }
-        ladder.push((v, outcomes));
-        if saw_system_crash {
-            break;
-        }
-        v -= config.step_v;
-    }
-
-    let vmin_v = if first_failure_v.is_nan() {
-        config.floor_v
-    } else {
-        first_failure_v + config.step_v
-    };
-    Ok(VminResult {
-        first_failure_v,
-        vmin_v,
-        max_droop_v: droop,
-        peak_to_peak_v: run.peak_to_peak(),
-        ladder,
-    })
+    // No batch limit in the default options, so the drive always runs to
+    // completion.
+    let result = vmin_test_resumable(
+        domain,
+        kernel,
+        model,
+        config,
+        telemetry,
+        &DriveOptions::default(),
+    )?;
+    Ok(result.expect("campaign without a batch limit always completes"))
 }
 
 /// Standard-Gumbel-distributed positive excursion scaled by `sigma`,
 /// modelling the tail of the worst droop over a long physical run.
-fn gumbel<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
+pub(crate) fn gumbel<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
     if sigma <= 0.0 {
         return 0.0;
     }

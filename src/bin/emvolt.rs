@@ -11,8 +11,9 @@
 
 use emvolt::backend::BackendSpec;
 use emvolt::core::{
-    fast_resonance_sweep_on, generate_em_virus_on, FastSweepConfig, VirusGenConfig,
+    fast_resonance_sweep_resumable, generate_em_virus_resumable, FastSweepConfig, VirusGenConfig,
 };
+use emvolt::engine::DriveOptions;
 use emvolt::ga::GaConfig;
 use emvolt::isa::kernels::resonant_stress_kernel;
 use emvolt::obs::{CounterId, JsonlRecorder, Layer, NoopRecorder, Telemetry, WaveDb, WaveKind};
@@ -62,9 +63,23 @@ OPTIONS:
                                  Output is deterministic: a seeded campaign
                                  dumps a byte-identical file at any thread
                                  count and any SIMD level
-    --threads N                  virus: fitness-evaluation worker threads
-                                 (default 0 = one per core); results and traces
-                                 are bit-identical at any setting
+    --threads N                  fitness-evaluation worker threads (default
+                                 0 = one per core); results and traces are
+                                 bit-identical at any setting
+    --checkpoint SPEC            sweep/virus/vmin: checkpoint campaign state to
+                                 a versioned JSONL snapshot. SPEC is PATH[:N]
+                                 with N the cadence in absorbed batches
+                                 (default 1 = every batch). The file carries a
+                                 run-config fingerprint, so it refuses to seed
+                                 a run on a different chip/config
+    --resume PATH                sweep/virus/vmin: restore campaign, rig and
+                                 telemetry state from a checkpoint and continue;
+                                 a seeded resumed run reproduces the
+                                 uninterrupted run byte-for-byte
+    --step-limit N               sweep/virus/vmin: stop after N absorbed
+                                 batches, writing a final checkpoint (requires
+                                 --checkpoint); the deterministic stand-in for
+                                 killing a campaign mid-flight
     --kernel auto|lu|statespace  sweep/virus: transient solver kernel — `auto`
                                  (default) picks the fused state-space form for
                                  small PDNs, `lu` forces back-substitution
@@ -89,58 +104,53 @@ ENVIRONMENT:
                                  resolved level.
 ";
 
+/// The flag group every measurement campaign shares, declared once so
+/// `--threads`/`--lanes`/`--backend`/`--telemetry`/`--trace-vcd`/
+/// `--checkpoint`/`--resume`/`--step-limit` parse uniformly across
+/// sweep, virus, vmin and impedance.
+const CAMPAIGN_FLAGS: &[&str] = &[
+    "platform",
+    "cores",
+    "seed",
+    "threads",
+    "lanes",
+    "backend",
+    "telemetry",
+    "trace-vcd",
+    "checkpoint",
+    "resume",
+    "step-limit",
+];
+
 /// Which flags a subcommand accepts: `valued` take the next argument,
 /// `boolean` stand alone.
 struct FlagSpec {
-    valued: &'static [&'static str],
-    boolean: &'static [&'static str],
+    valued: Vec<&'static str>,
+    boolean: Vec<&'static str>,
 }
 
 impl FlagSpec {
+    /// The shared campaign group plus a subcommand's own flags.
+    fn campaign(valued: &[&'static str], boolean: &[&'static str]) -> FlagSpec {
+        FlagSpec {
+            valued: CAMPAIGN_FLAGS.iter().chain(valued).copied().collect(),
+            boolean: boolean.to_vec(),
+        }
+    }
+
     fn for_command(command: &str) -> Option<FlagSpec> {
         let spec = match command {
             "platforms" => FlagSpec {
-                valued: &[],
-                boolean: &[],
+                valued: Vec::new(),
+                boolean: Vec::new(),
             },
-            "sweep" => FlagSpec {
-                valued: &[
-                    "platform",
-                    "cores",
-                    "seed",
-                    "telemetry",
-                    "trace-vcd",
-                    "backend",
-                    "kernel",
-                    "spectrum",
-                ],
-                boolean: &[],
-            },
-            "impedance" => FlagSpec {
-                valued: &["platform", "cores", "telemetry", "trace-vcd"],
-                boolean: &[],
-            },
-            "virus" => FlagSpec {
-                valued: &[
-                    "platform",
-                    "cores",
-                    "population",
-                    "generations",
-                    "lanes",
-                    "threads",
-                    "seed",
-                    "telemetry",
-                    "trace-vcd",
-                    "backend",
-                    "kernel",
-                    "spectrum",
-                ],
-                boolean: &["progress"],
-            },
-            "vmin" => FlagSpec {
-                valued: &["platform", "cores", "workload", "telemetry", "trace-vcd"],
-                boolean: &["stress"],
-            },
+            "sweep" => FlagSpec::campaign(&["kernel", "spectrum"], &[]),
+            "impedance" => FlagSpec::campaign(&[], &[]),
+            "virus" => FlagSpec::campaign(
+                &["population", "generations", "kernel", "spectrum"],
+                &["progress"],
+            ),
+            "vmin" => FlagSpec::campaign(&["workload"], &["stress"]),
             _ => return None,
         };
         Some(spec)
@@ -375,6 +385,87 @@ fn parse_lanes(flags: &HashMap<String, String>) -> Result<usize, Box<dyn Error>>
     Ok(lanes)
 }
 
+/// Parses `--threads` strictly: `0` (the default) means one worker per
+/// core; anything non-numeric is a hard error.
+fn parse_threads(flags: &HashMap<String, String>) -> Result<usize, Box<dyn Error>> {
+    flags
+        .get("threads")
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| format!("--threads {s}: expected a non-negative integer (0 = auto)"))
+        })
+        .transpose()
+        .map(|t| t.unwrap_or(0))
+        .map_err(Into::into)
+}
+
+/// Builds the step-engine options from the shared campaign flag group:
+/// worker-pool shape (`--threads`/`--lanes`) plus the checkpoint/resume
+/// wiring (`--checkpoint PATH[:N]`, `--resume PATH`, `--step-limit N`).
+fn drive_options_from(flags: &HashMap<String, String>) -> Result<DriveOptions, Box<dyn Error>> {
+    let mut opts = DriveOptions::pool(parse_threads(flags)?, parse_lanes(flags)?);
+    opts.checkpoint_every = 1;
+    if let Some(spec) = flags.get("checkpoint") {
+        let (path, every) = match spec.rsplit_once(':') {
+            Some((path, n)) if !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()) => {
+                let every: u64 = n
+                    .parse()
+                    .map_err(|_| format!("--checkpoint {spec}: cadence `{n}` out of range"))?;
+                if every == 0 {
+                    return Err(format!("--checkpoint {spec}: cadence must be >= 1").into());
+                }
+                (path, every)
+            }
+            _ => (spec.as_str(), 1),
+        };
+        if path.is_empty() {
+            return Err(format!("--checkpoint {spec}: empty checkpoint path").into());
+        }
+        opts.checkpoint = Some(path.into());
+        opts.checkpoint_every = every;
+    }
+    if let Some(path) = flags.get("resume") {
+        if path.is_empty() {
+            return Err("--resume: empty checkpoint path".into());
+        }
+        opts.resume = Some(path.into());
+    }
+    if let Some(raw) = flags.get("step-limit") {
+        let limit: u64 = raw
+            .parse()
+            .map_err(|_| format!("--step-limit {raw}: expected a positive batch count"))?;
+        if limit == 0 {
+            return Err(format!("--step-limit {raw}: must be >= 1").into());
+        }
+        if opts.checkpoint.is_none() {
+            return Err(
+                "--step-limit requires --checkpoint PATH, or the interrupted state is lost".into(),
+            );
+        }
+        opts.max_batches = Some(limit);
+    }
+    Ok(opts)
+}
+
+/// Reports an engine interrupt (`--step-limit` reached): the campaign
+/// state went to the checkpoint, so flush the event trace and stop
+/// without appending a campaign summary or dumping a wavetrace — the
+/// resumed run owns those, and the interrupted trace concatenated with
+/// the resumed one reproduces the uninterrupted event stream.
+fn report_interrupted(what: &str, tel: &Telemetry, opts: &DriveOptions) {
+    tel.flush();
+    let path = opts
+        .checkpoint
+        .as_ref()
+        .expect("--step-limit requires --checkpoint");
+    eprintln!(
+        "{what} interrupted by --step-limit after {} batches; \
+         resume with --resume {}",
+        opts.max_batches.unwrap_or(0),
+        path.display()
+    );
+}
+
 /// Applies `--kernel` and `--spectrum` to a run configuration; both
 /// default to `auto` when absent.
 fn apply_solver_flags(
@@ -413,6 +504,7 @@ fn cmd_platforms() {
 fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let domain = build_platform(flags)?;
     let (tel, trace) = telemetry_from(flags)?;
+    let opts = drive_options_from(flags)?;
     let mut cfg = FastSweepConfig {
         telemetry: tel.clone(),
         ..FastSweepConfig::for_domain(&domain)
@@ -424,7 +516,11 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         domain.name(),
         domain.active_cores()
     );
-    let result = fast_resonance_sweep_on(&mut *backend, domain.name(), &cfg)?;
+    let Some(result) = fast_resonance_sweep_resumable(&mut *backend, domain.name(), &cfg, &opts)?
+    else {
+        report_interrupted("sweep", &tel, &opts);
+        return Ok(());
+    };
     println!("clock (MHz)  loop (MHz)  EM (dBm)");
     for p in &result.points {
         println!(
@@ -448,6 +544,12 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
 fn cmd_impedance(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let domain = build_platform(flags)?;
     let (tel, trace) = telemetry_from(flags)?;
+    // The shared campaign flag group parses uniformly here too, but an
+    // impedance table is one analytic sweep — nothing to checkpoint.
+    let opts = drive_options_from(flags)?;
+    if opts.checkpoint.is_some() || opts.resume.is_some() || opts.max_batches.is_some() {
+        eprintln!("note: impedance is a single analytic sweep; checkpoint/resume have no effect");
+    }
     let pdn = domain.build_pdn();
     let freqs = lin_freqs(20e6, 250e6, 2e6);
     let sweep = pdn.impedance_sweep(&freqs)?;
@@ -494,16 +596,8 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         .get("generations")
         .and_then(|s| s.parse().ok())
         .unwrap_or(15);
-    let lanes = parse_lanes(flags)?;
-    let threads = flags
-        .get("threads")
-        .map(|s| {
-            s.parse::<usize>()
-                .map_err(|_| format!("--threads {s}: expected a non-negative integer (0 = auto)"))
-        })
-        .transpose()?
-        .unwrap_or(0);
     let (tel, trace) = telemetry_from(flags)?;
+    let opts = drive_options_from(flags)?;
     let progress = flags.contains_key("progress");
     let mut cfg = VirusGenConfig {
         ga: GaConfig {
@@ -514,8 +608,6 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         },
         loaded_cores: domain.active_cores(),
         samples_per_individual: 5,
-        lanes,
-        threads,
         telemetry: tel.clone(),
         ..VirusGenConfig::default()
     };
@@ -525,17 +617,22 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         "evolving a dI/dt virus on {} ({population} x {generations}) ...",
         domain.name()
     );
-    let virus = generate_em_virus_on("cli", &mut *backend, domain.name(), &cfg, |p| {
-        if progress {
-            eprintln!(
-                "gen {:>3}  best {:>8.2} dBm  mean {:>8.2} dBm  cache {:>3.0}%",
-                p.index,
-                p.best_dbm,
-                p.mean_dbm,
-                p.cache_hit_pct()
-            );
-        }
-    })?;
+    let virus =
+        generate_em_virus_resumable("cli", &mut *backend, domain.name(), &cfg, &opts, |p| {
+            if progress {
+                eprintln!(
+                    "gen {:>3}  best {:>8.2} dBm  mean {:>8.2} dBm  cache {:>3.0}%",
+                    p.index,
+                    p.best_dbm,
+                    p.mean_dbm,
+                    p.cache_hit_pct()
+                );
+            }
+        })?;
+    let Some(virus) = virus else {
+        report_interrupted("virus", &tel, &opts);
+        return Ok(());
+    };
     println!("gen  best (dBm)  dominant (MHz)");
     for r in &virus.history {
         println!(
@@ -560,6 +657,7 @@ fn cmd_virus(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
 fn cmd_vmin(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let domain = build_platform(flags)?;
     let (tel, trace) = telemetry_from(flags)?;
+    let opts = drive_options_from(flags)?;
     let model = match domain.name() {
         "A72" => FailureModel::juno_a72(),
         "A53" => FailureModel::juno_a53(),
@@ -593,7 +691,12 @@ fn cmd_vmin(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         "running the V_MIN ladder for `{label}` on {} ...",
         domain.name()
     );
-    let res = emvolt::vmin::vmin_test_with(&domain, &kernel, &model, &cfg, tel.clone())?;
+    let res =
+        emvolt::vmin::vmin_test_resumable(&domain, &kernel, &model, &cfg, tel.clone(), &opts)?;
+    let Some(res) = res else {
+        report_interrupted("vmin", &tel, &opts);
+        return Ok(());
+    };
     println!("voltage (V)  outcomes");
     for (v, outcomes) in &res.ladder {
         let marks: String = outcomes
@@ -756,6 +859,90 @@ mod tests {
             flags.insert("lanes".to_owned(), bad.to_owned());
             let err = parse_lanes(&flags).unwrap_err().to_string();
             assert!(err.contains("0..=64"), "{err}");
+        }
+    }
+
+    #[test]
+    fn campaign_flag_group_is_uniform_across_commands() {
+        // Satellite of the step-engine refactor: the shared flag group
+        // parses identically on every campaign command.
+        for command in ["sweep", "impedance", "virus", "vmin"] {
+            let spec = FlagSpec::for_command(command).unwrap();
+            let flags = parse_flags(
+                command,
+                &argv(&[
+                    "--platform",
+                    "a72",
+                    "--threads",
+                    "2",
+                    "--lanes",
+                    "4",
+                    "--backend",
+                    "live",
+                    "--telemetry",
+                    "t.jsonl",
+                    "--trace-vcd",
+                    "w.vcd",
+                    "--checkpoint",
+                    "c.jsonl:3",
+                    "--resume",
+                    "c.jsonl",
+                    "--step-limit",
+                    "5",
+                ]),
+                &spec,
+            )
+            .unwrap();
+            let opts = drive_options_from(&flags).unwrap();
+            assert_eq!(opts.threads, 2, "{command}");
+            assert_eq!(opts.lanes, 4, "{command}");
+            assert_eq!(
+                opts.checkpoint.as_deref(),
+                Some("c.jsonl".as_ref()),
+                "{command}"
+            );
+            assert_eq!(opts.checkpoint_every, 3, "{command}");
+            assert_eq!(
+                opts.resume.as_deref(),
+                Some("c.jsonl".as_ref()),
+                "{command}"
+            );
+            assert_eq!(opts.max_batches, Some(5), "{command}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_spec_parses_cadence_suffix() {
+        let mut flags = HashMap::new();
+        // Bare path: cadence 1.
+        flags.insert("checkpoint".to_owned(), "state.jsonl".to_owned());
+        let opts = drive_options_from(&flags).unwrap();
+        assert_eq!(opts.checkpoint.as_deref(), Some("state.jsonl".as_ref()));
+        assert_eq!(opts.checkpoint_every, 1);
+        // A path with a colon that is not a cadence stays a path
+        // (Windows-style or odd names keep working).
+        flags.insert("checkpoint".to_owned(), "state:a.jsonl".to_owned());
+        let opts = drive_options_from(&flags).unwrap();
+        assert_eq!(opts.checkpoint.as_deref(), Some("state:a.jsonl".as_ref()));
+        // Zero cadence and empty paths are hard errors.
+        for bad in ["state.jsonl:0", ":4", ""] {
+            flags.insert("checkpoint".to_owned(), bad.to_owned());
+            assert!(drive_options_from(&flags).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn step_limit_requires_a_checkpoint_path() {
+        let mut flags = HashMap::new();
+        flags.insert("step-limit".to_owned(), "3".to_owned());
+        let err = drive_options_from(&flags).unwrap_err().to_string();
+        assert!(err.contains("requires --checkpoint"), "{err}");
+        flags.insert("checkpoint".to_owned(), "c.jsonl".to_owned());
+        let opts = drive_options_from(&flags).unwrap();
+        assert_eq!(opts.max_batches, Some(3));
+        for bad in ["0", "-1", "three"] {
+            flags.insert("step-limit".to_owned(), bad.to_owned());
+            assert!(drive_options_from(&flags).is_err(), "{bad}");
         }
     }
 

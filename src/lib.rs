@@ -48,6 +48,7 @@
 //! | [`em`] | `emvolt-em` | antenna + radiation channel |
 //! | [`inst`] | `emvolt-inst` | spectrum analyzer, oscilloscope, VNA |
 //! | [`ga`] | `emvolt-ga` | the genetic-algorithm engine |
+//! | [`engine`] | `emvolt-engine` | resumable step-engine, checkpoint store |
 //! | [`platform`] | `emvolt-platform` | Juno/AMD boards, workloads, EM rig |
 //! | [`vmin`] | `emvolt-vmin` | V_MIN harness and failure model |
 //! | [`core`] | `emvolt-core` | the paper's EM methodology itself |
@@ -61,6 +62,7 @@ pub use emvolt_core as core;
 pub use emvolt_cpu as cpu;
 pub use emvolt_dsp as dsp;
 pub use emvolt_em as em;
+pub use emvolt_engine as engine;
 pub use emvolt_ga as ga;
 pub use emvolt_inst as inst;
 pub use emvolt_isa as isa;

@@ -1,0 +1,183 @@
+//! Kill-and-resume determinism for the step-engine (ISSUE 10): a
+//! campaign interrupted at an arbitrary batch boundary and resumed from
+//! its checkpoint must produce results identical to an uninterrupted
+//! run — at any worker-thread count, including a different count on
+//! resume than at interrupt.
+
+use emvolt::backend::LiveBackend;
+use emvolt::core::{generate_em_virus_resumable, VirusGenConfig};
+use emvolt::engine::DriveOptions;
+use emvolt::ga::GaConfig;
+use emvolt::isa::kernels::resonant_stress_kernel;
+use emvolt::obs::Telemetry;
+use emvolt::prelude::*;
+use emvolt::vmin::{vmin_test_resumable, FailureModel, VminConfig};
+use std::path::PathBuf;
+
+fn a72() -> VoltageDomain {
+    VoltageDomain::new("A72", CoreModel::cortex_a72(), a72_pdn(), 1.2e9)
+}
+
+fn small_virus_config() -> VirusGenConfig {
+    VirusGenConfig {
+        ga: GaConfig {
+            population: 4,
+            generations: 2,
+            seed: 9,
+            ..GaConfig::default()
+        },
+        kernel_len: 8,
+        samples_per_individual: 2,
+        ..VirusGenConfig::default()
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("emvolt_resume_{tag}_{}.jsonl", std::process::id()))
+}
+
+fn run_virus(opts: &DriveOptions) -> Option<emvolt::core::Virus> {
+    let cfg = small_virus_config();
+    let mut backend = LiveBackend::single(a72(), EmBench::new(9), cfg.run.clone());
+    generate_em_virus_resumable("resume-test", &mut backend, "A72", &cfg, opts, |_| {}).unwrap()
+}
+
+fn assert_same_virus(a: &emvolt::core::Virus, b: &emvolt::core::Virus) {
+    assert_eq!(a.kernel.render(), b.kernel.render());
+    assert_eq!(a.fitness.to_bits(), b.fitness.to_bits());
+    assert_eq!(a.dominant_hz.to_bits(), b.dominant_hz.to_bits());
+    assert_eq!(a.history.len(), b.history.len());
+    for (x, y) in a.history.iter().zip(&b.history) {
+        assert_eq!(x.index, y.index);
+        assert_eq!(x.best_fitness.to_bits(), y.best_fitness.to_bits());
+        assert_eq!(x.mean_fitness.to_bits(), y.mean_fitness.to_bits());
+        assert_eq!(x.dominant_hz.to_bits(), y.dominant_hz.to_bits());
+    }
+}
+
+#[test]
+fn virus_resume_is_identical_at_any_thread_count() {
+    let baseline = run_virus(&DriveOptions::default()).expect("uninterrupted run completes");
+    // Interrupt after each of the first batches, resume with a thread
+    // count different from both the baseline and the interrupted leg.
+    for (interrupt_after, threads_a, threads_b) in [(1, 1, 4), (2, 4, 1), (3, 2, 3)] {
+        let path = scratch(&format!("virus_{interrupt_after}"));
+        let interrupted = run_virus(&DriveOptions {
+            threads: threads_a,
+            checkpoint: Some(path.clone()),
+            checkpoint_every: 1,
+            max_batches: Some(interrupt_after),
+            ..DriveOptions::default()
+        });
+        assert!(
+            interrupted.is_none(),
+            "batch limit {interrupt_after} should interrupt the campaign"
+        );
+        let resumed = run_virus(&DriveOptions {
+            threads: threads_b,
+            resume: Some(path.clone()),
+            ..DriveOptions::default()
+        })
+        .expect("resumed run completes");
+        assert_same_virus(&baseline, &resumed);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn vmin_resume_reproduces_the_ladder() {
+    let domain = a72();
+    let kernel = resonant_stress_kernel(Isa::ArmV8, 12, 17);
+    let model = FailureModel::juno_a72();
+    let cfg = VminConfig {
+        trials: 3,
+        golden_iterations: 40,
+        ..VminConfig::default()
+    };
+    let baseline = vmin_test_resumable(
+        &domain,
+        &kernel,
+        &model,
+        &cfg,
+        Telemetry::noop(),
+        &DriveOptions::default(),
+    )
+    .unwrap()
+    .expect("uninterrupted run completes");
+
+    let path = scratch("vmin");
+    let interrupted = vmin_test_resumable(
+        &domain,
+        &kernel,
+        &model,
+        &cfg,
+        Telemetry::noop(),
+        &DriveOptions {
+            checkpoint: Some(path.clone()),
+            checkpoint_every: 1,
+            max_batches: Some(3),
+            ..DriveOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(interrupted.is_none(), "batch limit should interrupt");
+    let resumed = vmin_test_resumable(
+        &domain,
+        &kernel,
+        &model,
+        &cfg,
+        Telemetry::noop(),
+        &DriveOptions {
+            resume: Some(path.clone()),
+            ..DriveOptions::default()
+        },
+    )
+    .unwrap()
+    .expect("resumed run completes");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(
+        baseline.first_failure_v.to_bits(),
+        resumed.first_failure_v.to_bits()
+    );
+    assert_eq!(baseline.vmin_v.to_bits(), resumed.vmin_v.to_bits());
+    assert_eq!(baseline.ladder.len(), resumed.ladder.len());
+    for ((va, oa), (vb, ob)) in baseline.ladder.iter().zip(&resumed.ladder) {
+        assert_eq!(va.to_bits(), vb.to_bits());
+        assert_eq!(oa, ob);
+    }
+}
+
+#[test]
+fn resume_refuses_a_mismatched_config() {
+    let path = scratch("guard");
+    let interrupted = run_virus(&DriveOptions {
+        checkpoint: Some(path.clone()),
+        checkpoint_every: 1,
+        max_batches: Some(1),
+        ..DriveOptions::default()
+    });
+    assert!(interrupted.is_none());
+
+    // Same checkpoint, different GA seed: the fingerprint must refuse.
+    let mut cfg = small_virus_config();
+    cfg.ga.seed = 10;
+    let mut backend = LiveBackend::single(a72(), EmBench::new(9), cfg.run.clone());
+    let err = generate_em_virus_resumable(
+        "resume-test",
+        &mut backend,
+        "A72",
+        &cfg,
+        &DriveOptions {
+            resume: Some(path.clone()),
+            ..DriveOptions::default()
+        },
+        |_| {},
+    )
+    .unwrap_err();
+    std::fs::remove_file(&path).ok();
+    assert!(
+        err.to_string().contains("refusing to resume"),
+        "unexpected error: {err}"
+    );
+}

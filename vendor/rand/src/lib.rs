@@ -221,6 +221,28 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Returns the raw xoshiro256++ state words, for mid-stream
+        /// persistence (campaign checkpoints). Restoring the same words
+        /// with [`StdRng::from_state`] continues the stream exactly.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from state words captured by
+        /// [`StdRng::state`]. An all-zero state (a xoshiro fixed point,
+        /// never produced by a real stream) is nudged the same way as
+        /// `from_seed`.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return StdRng {
+                    s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+                };
+            }
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];
 

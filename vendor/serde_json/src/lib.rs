@@ -52,6 +52,19 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes a borrowed [`Value`] tree as compact JSON.
+///
+/// Equivalent to [`to_string`] over a wrapper whose `to_value` clones
+/// the tree, minus the clone — callers holding a prebuilt `Value`
+/// (checkpoint snapshots, telemetry lines) render straight from the
+/// borrow.
+#[must_use]
+pub fn value_to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
 /// Parses JSON text into `T`.
 ///
 /// # Errors
@@ -139,12 +152,16 @@ fn write_seq<I, T>(
 }
 
 fn write_number(out: &mut String, n: f64) {
+    use std::fmt::Write;
     if n.is_finite() && n == n.trunc() && n.abs() < 9.0e15 {
         // Integral values round-trip without a fractional point, matching
-        // how integer fields were serialized upstream.
-        out.push_str(&format!("{}", n as i64));
+        // how integer fields were serialized upstream. Formatting straight
+        // into the output buffer avoids a temporary allocation per number
+        // — number-dense documents (checkpoints, telemetry) render these
+        // by the thousand.
+        let _ = write!(out, "{}", n as i64);
     } else if n.is_finite() {
-        out.push_str(&format!("{n}"));
+        let _ = write!(out, "{n}");
     } else {
         // JSON has no NaN/inf; upstream serde_json errors here, but the
         // workspace never serializes non-finite numbers.
@@ -152,19 +169,35 @@ fn write_number(out: &mut String, n: f64) {
     }
 }
 
+/// Characters that cannot pass through a JSON string verbatim.
+fn needs_escape(c: char) -> bool {
+    matches!(c, '"' | '\\') || (c as u32) < 0x20
+}
+
 fn write_string(out: &mut String, s: &str) {
+    use std::fmt::Write;
     out.push('"');
-    for c in s.chars() {
+    // Copy maximal clean runs wholesale; escape only at the breaks.
+    let mut rest = s;
+    while let Some(i) = rest.find(needs_escape) {
+        out.push_str(&rest[..i]);
+        let c = rest[i..]
+            .chars()
+            .next()
+            .expect("find returned a char index");
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+            c => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
         }
+        rest = &rest[i + c.len_utf8()..];
     }
+    out.push_str(rest);
     out.push('"');
 }
 
@@ -317,11 +350,37 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    // Fast path: extend over a maximal run of plain ASCII
+                    // bytes in one append. Validating per character from
+                    // here to the end of the input made parsing quadratic
+                    // in document size.
+                    let start = self.pos;
+                    while matches!(self.bytes.get(self.pos),
+                        Some(&b) if b != b'"' && b != b'\\' && b < 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("ASCII bytes are valid UTF-8"),
+                    );
+                }
                 Some(_) => {
-                    // Advance over one UTF-8 encoded char.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::new("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    // Advance over one multi-byte UTF-8 encoded char (at
+                    // most 4 bytes; a following char cut off mid-sequence
+                    // by the window still leaves a valid prefix).
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let chunk = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(chunk) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()])
+                                .expect("validated prefix")
+                        }
+                        Err(_) => return Err(Error::new("invalid UTF-8")),
+                    };
+                    let c = valid.chars().next().expect("non-empty valid prefix");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
